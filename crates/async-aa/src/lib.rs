@@ -1,0 +1,40 @@
+//! Asynchronous Byzantine approximate agreement on trees — the
+//! `O(log D(T))` state of the art (Nowak & Rybicki, DISC 2019) that the
+//! reproduced paper improves on *in the synchronous model*.
+//!
+//! The paper's related-work discussion (Section 1.2) leans on this
+//! protocol twice: it is the prior best for trees in *both* models, and
+//! its iteration-based outline is what `RealAA`'s gradecast machinery
+//! deviates from. Implementing it end to end closes the reproduction's
+//! comparison loop: experiment E13 measures its asynchronous time and
+//! message complexity next to the synchronous protocols.
+//!
+//! # Construction
+//!
+//! Each iteration of the safe-area protocol needs every pair of honest
+//! parties to act on multisets that agree on at least `n − t` entries,
+//! which asynchrony does not give for free. The classic two-piece recipe
+//! (Abraham–Amit–Dolev) is used:
+//!
+//! * **Reliable broadcast** ([`RbcInstance`], Bracha's echo/ready
+//!   protocol): Byzantine senders cannot make two honest parties accept
+//!   different values, and if one honest party accepts, all eventually do.
+//! * **The witness technique** ([`AsyncTreeAaParty`]): after accepting
+//!   `n − t` values a party reports its accepted set; a peer becomes a
+//!   *witness* once every pair in its report has been accepted locally.
+//!   Having `n − t` witnesses guarantees any two honest parties share a
+//!   witness, hence share `n − t` accepted entries — restoring the
+//!   common-core property the safe-area update needs.
+//!
+//! Each iteration then moves to the midpoint of the safe area
+//! ([`tree_aa::safe_area_midpoint`]), halving the honest diameter;
+//! `⌈log₂ D(T)⌉ + 2` iterations give 1-agreement, and validity is
+//! inherited from the safe-area intersection.
+
+
+#![warn(missing_docs)]
+mod async_tree;
+mod rbc;
+
+pub use async_tree::{AsyncAaMsg, AsyncTreeAaConfig, AsyncTreeAaParty};
+pub use rbc::{RbcInstance, RbcMsg};

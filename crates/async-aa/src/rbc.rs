@@ -1,0 +1,214 @@
+//! Bracha reliable broadcast, as an embeddable per-instance state machine.
+
+use std::collections::BTreeMap;
+
+use sim_net::{PartyId, Payload};
+
+/// A reliable-broadcast message for one instance (the instance — its
+/// broadcaster and any tag — is identified by the embedding protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbcMsg<V> {
+    /// The broadcaster's value.
+    Init(V),
+    /// "I saw the broadcaster send this value."
+    Echo(V),
+    /// "Enough echoes/readies — I am committing to this value."
+    Ready(V),
+}
+
+impl<V: Clone + std::fmt::Debug> Payload for RbcMsg<V> {
+    fn size_bytes(&self) -> usize {
+        1 + std::mem::size_of::<V>()
+    }
+}
+
+/// One Bracha instance at one party: feed it every message for the
+/// instance; it returns messages to broadcast and, eventually, the
+/// delivered value.
+///
+/// Guarantees for `n > 3t` (property-tested in this crate):
+///
+/// * **Consistency** — no two honest parties deliver different values;
+/// * **Totality** — if one honest party delivers, every honest party
+///   eventually delivers (given fair delivery);
+/// * **Validity** — an honest broadcaster's value is delivered by all.
+///
+/// Thresholds: echo on the broadcaster's `Init`; ready on
+/// `⌈(n + t + 1)/2⌉` matching echoes or `t + 1` matching readies; deliver
+/// on `2t + 1` matching readies.
+#[derive(Clone, Debug)]
+pub struct RbcInstance<V> {
+    n: usize,
+    t: usize,
+    broadcaster: PartyId,
+    sent_echo: bool,
+    sent_ready: bool,
+    delivered: Option<V>,
+    echo_seen: Vec<bool>,
+    echo_tally: BTreeMap<V, usize>,
+    ready_seen: Vec<bool>,
+    ready_tally: BTreeMap<V, usize>,
+}
+
+impl<V: Clone + Ord + std::fmt::Debug> RbcInstance<V> {
+    /// Creates the instance for the given broadcaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` and the broadcaster id is in range.
+    pub fn new(n: usize, t: usize, broadcaster: PartyId) -> Self {
+        assert!(n > 3 * t, "Bracha RBC requires n > 3t (n = {n}, t = {t})");
+        assert!(broadcaster.index() < n, "broadcaster out of range");
+        RbcInstance {
+            n,
+            t,
+            broadcaster,
+            sent_echo: false,
+            sent_ready: false,
+            delivered: None,
+            echo_seen: vec![false; n],
+            echo_tally: BTreeMap::new(),
+            ready_seen: vec![false; n],
+            ready_tally: BTreeMap::new(),
+        }
+    }
+
+    /// The delivered value, if any.
+    pub fn delivered(&self) -> Option<&V> {
+        self.delivered.as_ref()
+    }
+
+    /// Handles one message from `from`. Returns the messages this party
+    /// must broadcast in response, plus the value if this call caused
+    /// delivery.
+    pub fn on_message(&mut self, from: PartyId, msg: &RbcMsg<V>) -> (Vec<RbcMsg<V>>, Option<V>) {
+        let mut out = Vec::new();
+        match msg {
+            RbcMsg::Init(v) => {
+                // Authenticated channels: only the broadcaster's Init
+                // counts; echo at most once.
+                if from == self.broadcaster && !self.sent_echo {
+                    self.sent_echo = true;
+                    out.push(RbcMsg::Echo(v.clone()));
+                }
+            }
+            RbcMsg::Echo(v) => {
+                if !self.echo_seen[from.index()] {
+                    self.echo_seen[from.index()] = true;
+                    let c = self.echo_tally.entry(v.clone()).or_insert(0);
+                    *c += 1;
+                    if *c >= self.echo_threshold() && !self.sent_ready {
+                        self.sent_ready = true;
+                        out.push(RbcMsg::Ready(v.clone()));
+                    }
+                }
+            }
+            RbcMsg::Ready(v) => {
+                if !self.ready_seen[from.index()] {
+                    self.ready_seen[from.index()] = true;
+                    let e = self.ready_tally.entry(v.clone()).or_insert(0);
+                    *e += 1;
+                    let c = *e;
+                    if c > self.t && !self.sent_ready {
+                        self.sent_ready = true;
+                        out.push(RbcMsg::Ready(v.clone()));
+                    }
+                    if c > 2 * self.t && self.delivered.is_none() {
+                        self.delivered = Some(v.clone());
+                        return (out, Some(v.clone()));
+                    }
+                }
+            }
+        }
+        (out, None)
+    }
+
+    /// `⌈(n + t + 1)/2⌉` — two different values can never both reach it.
+    fn echo_threshold(&self) -> usize {
+        (self.n + self.t + 1).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive n honest instances by hand with immediate delivery.
+    fn run_honest(n: usize, t: usize, value: u64) -> Vec<Option<u64>> {
+        let b = PartyId(0);
+        let mut machines: Vec<RbcInstance<u64>> =
+            (0..n).map(|_| RbcInstance::new(n, t, b)).collect();
+        // Queue of (from, msg) broadcasts.
+        let mut queue: Vec<(PartyId, RbcMsg<u64>)> = vec![(b, RbcMsg::Init(value))];
+        while let Some((from, msg)) = queue.pop() {
+            for (i, m) in machines.iter_mut().enumerate() {
+                let (outs, _) = m.on_message(from, &msg);
+                for o in outs {
+                    queue.push((PartyId(i), o));
+                }
+            }
+        }
+        machines.iter().map(|m| m.delivered().copied()).collect()
+    }
+
+    #[test]
+    fn honest_broadcast_delivers_everywhere() {
+        for (n, t) in [(4, 1), (7, 2), (10, 3)] {
+            let delivered = run_honest(n, t, 42);
+            assert!(delivered.iter().all(|d| *d == Some(42)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn init_from_non_broadcaster_is_ignored() {
+        let mut m = RbcInstance::<u64>::new(4, 1, PartyId(0));
+        let (out, d) = m.on_message(PartyId(2), &RbcMsg::Init(7));
+        assert!(out.is_empty());
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn echoes_are_counted_once_per_sender() {
+        let mut m = RbcInstance::<u64>::new(4, 1, PartyId(0));
+        // Echo threshold for n=4,t=1 is ceil(6/2) = 3.
+        for _ in 0..5 {
+            let (out, _) = m.on_message(PartyId(1), &RbcMsg::Echo(9));
+            assert!(out.is_empty(), "duplicate echoes must not trigger ready");
+        }
+        let (out, _) = m.on_message(PartyId(2), &RbcMsg::Echo(9));
+        assert!(out.is_empty());
+        let (out, _) = m.on_message(PartyId(3), &RbcMsg::Echo(9));
+        assert_eq!(out, vec![RbcMsg::Ready(9)]);
+    }
+
+    #[test]
+    fn ready_amplification_and_delivery() {
+        let mut m = RbcInstance::<u64>::new(4, 1, PartyId(0));
+        // t+1 = 2 readies -> own ready; 2t+1 = 3 readies -> deliver.
+        let (out, d) = m.on_message(PartyId(1), &RbcMsg::Ready(5));
+        assert!(out.is_empty() && d.is_none());
+        let (out, d) = m.on_message(PartyId(2), &RbcMsg::Ready(5));
+        assert_eq!(out, vec![RbcMsg::Ready(5)]);
+        assert!(d.is_none());
+        let (out, d) = m.on_message(PartyId(3), &RbcMsg::Ready(5));
+        assert!(out.is_empty());
+        assert_eq!(d, Some(5));
+        assert_eq!(m.delivered(), Some(&5));
+    }
+
+    #[test]
+    fn conflicting_echoes_cannot_both_reach_ready() {
+        // n = 7, t = 2: echo threshold = 5; 7 echoers can't give two
+        // values 5 echoes each.
+        let mut m = RbcInstance::<u64>::new(7, 2, PartyId(0));
+        for i in 1..=4 {
+            m.on_message(PartyId(i), &RbcMsg::Echo(1));
+        }
+        for i in 5..7 {
+            m.on_message(PartyId(i), &RbcMsg::Echo(2));
+        }
+        let (out, _) = m.on_message(PartyId(0), &RbcMsg::Echo(1));
+        // Value 1 reaches 5 echoes -> ready for 1; value 2 can never.
+        assert_eq!(out, vec![RbcMsg::Ready(1)]);
+    }
+}

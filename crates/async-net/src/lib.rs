@@ -1,0 +1,572 @@
+//! A deterministic event-driven **asynchronous** network simulator.
+//!
+//! The reproduced paper works in the synchronous model, but its headline
+//! comparison is against the *asynchronous* state of the art (Nowak &
+//! Rybicki's `O(log D)`-round protocol). This crate provides the matching
+//! execution substrate: messages are delivered *eventually*, in an order
+//! controlled by a delay model rather than in lockstep rounds.
+//!
+//! # Model
+//!
+//! * Parties are event handlers ([`AsyncProtocol`]): they act once at
+//!   start-up and then upon each delivered message; there are no rounds.
+//! * Every sent message is assigned a delivery delay by the
+//!   [`DelayModel`]; following the standard convention for measuring
+//!   asynchronous *time complexity*, delays are normalized to `(0, 1]` —
+//!   so the completion time of a run counts "longest-chain units", the
+//!   async analogue of rounds.
+//! * Up to `t` statically corrupted parties are driven by an
+//!   [`AsyncAdversary`], which reacts to every message delivered to a
+//!   corrupted party and may inject arbitrary (per-recipient) messages
+//!   from corrupted senders. Channels remain authenticated.
+//! * Determinism: a run is a pure function of (config, protocol,
+//!   adversary); all randomness comes from the seeded delay model.
+//!
+//! # Example
+//!
+//! ```
+//! use async_net::{run_async, AsyncConfig, AsyncCtx, AsyncProtocol, DelayModel, PassiveAsync};
+//! use sim_net::{Envelope, PartyId};
+//!
+//! /// Everybody announces its id once; output after hearing from all.
+//! struct Census { heard: usize, n: usize }
+//! impl AsyncProtocol for Census {
+//!     type Msg = u64;
+//!     type Output = usize;
+//!     fn on_start(&mut self, ctx: &mut AsyncCtx<u64>) {
+//!         ctx.broadcast(ctx.me().index() as u64);
+//!     }
+//!     fn on_message(&mut self, _e: Envelope<u64>, _ctx: &mut AsyncCtx<u64>) {
+//!         self.heard += 1;
+//!     }
+//!     fn output(&self) -> Option<usize> {
+//!         (self.heard >= self.n).then_some(self.heard)
+//!     }
+//! }
+//!
+//! let cfg = AsyncConfig { n: 4, t: 0, seed: 1, delay: DelayModel::Uniform { min: 0.1 },
+//!                         max_events: 10_000 };
+//! let report = run_async(cfg, |_, n| Census { heard: 0, n }, PassiveAsync).unwrap();
+//! assert!(report.outputs.iter().all(|o| *o == Some(4)));
+//! assert!(report.completion_time <= 1.0); // one async "round"
+//! ```
+
+
+#![warn(missing_docs)]
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sim_net::{Envelope, PartyId, Payload};
+
+/// How message delays are drawn. All models produce delays in `(0, 1]`
+/// (the async-time normalization).
+#[derive(Clone, Debug)]
+pub enum DelayModel {
+    /// Independent uniform delays in `[min, 1]`.
+    Uniform {
+        /// Lower bound (must satisfy `0 < min <= 1`).
+        min: f64,
+    },
+    /// Every message takes exactly `1` — degenerates to lockstep rounds,
+    /// useful for comparing against the synchronous simulator.
+    Lockstep,
+    /// Messages *to or from* the listed parties always take the maximal
+    /// delay 1, everyone else `min` — the classic "slow honest minority"
+    /// schedule that stresses `n − t` waiting rules.
+    SlowParties {
+        /// The slowed parties.
+        slow: Vec<PartyId>,
+        /// Fast-path delay (must satisfy `0 < min <= 1`).
+        min: f64,
+    },
+}
+
+impl DelayModel {
+    fn sample(&self, env: &Envelope<impl Payload>, rng: &mut ChaCha8Rng) -> f64 {
+        match self {
+            DelayModel::Uniform { min } => {
+                assert!(*min > 0.0 && *min <= 1.0, "min delay must be in (0, 1]");
+                rng.gen_range(*min..=1.0)
+            }
+            DelayModel::Lockstep => 1.0,
+            DelayModel::SlowParties { slow, min } => {
+                assert!(*min > 0.0 && *min <= 1.0, "min delay must be in (0, 1]");
+                if slow.contains(&env.from) || slow.contains(&env.to) {
+                    1.0
+                } else {
+                    *min
+                }
+            }
+        }
+    }
+}
+
+/// Static parameters of an asynchronous run.
+#[derive(Clone, Debug)]
+pub struct AsyncConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption bound (statically corrupted parties are chosen by the
+    /// adversary through [`AsyncAdversary::corrupted`]).
+    pub t: usize,
+    /// Seed for the delay model.
+    pub seed: u64,
+    /// The delay model.
+    pub delay: DelayModel,
+    /// Hard stop: error out if honest parties have not all terminated
+    /// after this many delivery events.
+    pub max_events: usize,
+}
+
+/// Per-activation sending context.
+#[derive(Debug)]
+pub struct AsyncCtx<M> {
+    me: PartyId,
+    n: usize,
+    now: f64,
+    outbox: Vec<Envelope<M>>,
+}
+
+impl<M: Payload> AsyncCtx<M> {
+    /// This party's id.
+    pub fn me(&self) -> PartyId {
+        self.me
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Sends `msg` to `to` (delivered after a model-chosen delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        assert!(to.index() < self.n, "recipient {to} out of range");
+        self.outbox.push(Envelope { from: self.me, to, payload: msg });
+    }
+
+    /// Sends `msg` to every party (including the sender).
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.outbox.push(Envelope { from: self.me, to: PartyId(i), payload: msg.clone() });
+        }
+    }
+}
+
+/// An asynchronous protocol: a per-party event handler.
+pub trait AsyncProtocol {
+    /// Message type.
+    type Msg: Payload;
+    /// Output type.
+    type Output: Clone;
+
+    /// Called once at time 0.
+    fn on_start(&mut self, ctx: &mut AsyncCtx<Self::Msg>);
+
+    /// Called on each delivered message. Implementations should keep
+    /// responding even after producing an output — asynchronous peers may
+    /// still depend on their cooperation.
+    fn on_message(&mut self, env: Envelope<Self::Msg>, ctx: &mut AsyncCtx<Self::Msg>);
+
+    /// The party's output once decided.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// The asynchronous Byzantine adversary: statically corrupts a set and
+/// reacts to messages delivered to corrupted parties by injecting
+/// arbitrary traffic from corrupted senders.
+pub trait AsyncAdversary<M: Payload> {
+    /// The statically corrupted set (must have at most `t` members).
+    fn corrupted(&self) -> Vec<PartyId>;
+
+    /// Called at time 0; `sends` collects `(from, to, msg)` injections
+    /// (`from` must be corrupted).
+    fn on_start(&mut self, sends: &mut Vec<(PartyId, PartyId, M)>);
+
+    /// Called whenever `env` is delivered to corrupted party `env.to`.
+    fn on_deliver(&mut self, env: &Envelope<M>, sends: &mut Vec<(PartyId, PartyId, M)>);
+}
+
+/// The do-nothing adversary (no corruption).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassiveAsync;
+
+impl<M: Payload> AsyncAdversary<M> for PassiveAsync {
+    fn corrupted(&self) -> Vec<PartyId> {
+        Vec::new()
+    }
+    fn on_start(&mut self, _sends: &mut Vec<(PartyId, PartyId, M)>) {}
+    fn on_deliver(&mut self, _env: &Envelope<M>, _sends: &mut Vec<(PartyId, PartyId, M)>) {}
+}
+
+/// Crash-at-start faults: the corrupted parties never send anything.
+#[derive(Clone, Debug)]
+pub struct SilentAsync {
+    /// The crashed set.
+    pub parties: Vec<PartyId>,
+}
+
+impl<M: Payload> AsyncAdversary<M> for SilentAsync {
+    fn corrupted(&self) -> Vec<PartyId> {
+        self.parties.clone()
+    }
+    fn on_start(&mut self, _sends: &mut Vec<(PartyId, PartyId, M)>) {}
+    fn on_deliver(&mut self, _env: &Envelope<M>, _sends: &mut Vec<(PartyId, PartyId, M)>) {}
+}
+
+/// Why an asynchronous run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AsyncSimError {
+    /// `n == 0`, `t >= n`, or the adversary corrupted more than `t`.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The event queue drained or the event budget ran out before all
+    /// honest parties produced outputs — an asynchronous deadlock.
+    Stalled {
+        /// Events processed before stalling.
+        events: usize,
+    },
+}
+
+impl fmt::Display for AsyncSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncSimError::BadConfig { reason } => write!(f, "bad async config: {reason}"),
+            AsyncSimError::Stalled { events } => {
+                write!(f, "asynchronous deadlock after {events} delivery events")
+            }
+        }
+    }
+}
+
+impl Error for AsyncSimError {}
+
+/// The result of a completed asynchronous run.
+#[derive(Clone, Debug)]
+pub struct AsyncReport<O> {
+    /// Per-party outputs; `None` exactly for corrupted parties.
+    pub outputs: Vec<Option<O>>,
+    /// Which parties were corrupted.
+    pub corrupted: Vec<bool>,
+    /// Time (in normalized delay units ≤ 1 per hop) at which the last
+    /// honest party decided — the asynchronous analogue of round
+    /// complexity.
+    pub completion_time: f64,
+    /// Total messages delivered.
+    pub messages_delivered: usize,
+}
+
+impl<O: Clone> AsyncReport<O> {
+    /// Outputs of the honest parties only.
+    pub fn honest_outputs(&self) -> Vec<O> {
+        self.outputs
+            .iter()
+            .zip(&self.corrupted)
+            .filter(|(_, &c)| !c)
+            .map(|(o, _)| o.clone().expect("honest parties decide on success"))
+            .collect()
+    }
+}
+
+/// An event in the delivery queue, ordered by time then sequence number
+/// (for determinism).
+struct Event<M> {
+    time: f64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == std::cmp::Ordering::Equal && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs an asynchronous protocol instance to completion.
+///
+/// # Errors
+///
+/// * [`AsyncSimError::BadConfig`] for invalid `n`/`t` or an oversized
+///   corrupted set;
+/// * [`AsyncSimError::Stalled`] if honest parties stop making progress
+///   (queue drained) or `max_events` is exceeded.
+pub fn run_async<P, A, F>(
+    cfg: AsyncConfig,
+    mut factory: F,
+    mut adversary: A,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let n = cfg.n;
+    if n == 0 {
+        return Err(AsyncSimError::BadConfig { reason: "n must be positive".into() });
+    }
+    if cfg.t >= n {
+        return Err(AsyncSimError::BadConfig { reason: format!("t = {} must be < n", cfg.t) });
+    }
+    let mut corrupted = vec![false; n];
+    let byz = adversary.corrupted();
+    if byz.len() > cfg.t {
+        return Err(AsyncSimError::BadConfig {
+            reason: format!("adversary corrupts {} > t = {}", byz.len(), cfg.t),
+        });
+    }
+    for p in byz {
+        if p.index() >= n {
+            return Err(AsyncSimError::BadConfig { reason: format!("corrupted id {p} out of range") });
+        }
+        corrupted[p.index()] = true;
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut parties: Vec<Option<P>> = (0..n)
+        .map(|i| if corrupted[i] { None } else { Some(factory(PartyId(i), n)) })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Event<P::Msg>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<Event<P::Msg>>>,
+                    rng: &mut ChaCha8Rng,
+                    seq: &mut u64,
+                    now: f64,
+                    env: Envelope<P::Msg>| {
+        let delay = cfg.delay.sample(&env, rng);
+        *seq += 1;
+        heap.push(Reverse(Event { time: now + delay, seq: *seq, env }));
+    };
+
+    // Time 0: honest starts, adversary start injections.
+    for (i, party) in parties.iter_mut().enumerate() {
+        if let Some(p) = party.as_mut() {
+            let mut ctx = AsyncCtx { me: PartyId(i), n, now: 0.0, outbox: Vec::new() };
+            p.on_start(&mut ctx);
+            for env in ctx.outbox {
+                push(&mut heap, &mut rng, &mut seq, 0.0, env);
+            }
+        }
+    }
+    let mut adv_sends = Vec::new();
+    adversary.on_start(&mut adv_sends);
+    for (from, to, msg) in adv_sends.drain(..) {
+        assert!(corrupted[from.index()], "adversary must send from corrupted parties");
+        push(&mut heap, &mut rng, &mut seq, 0.0, Envelope { from, to, payload: msg });
+    }
+
+    let all_done = |parties: &[Option<P>]| {
+        parties.iter().all(|p| p.as_ref().is_none_or(|p| p.output().is_some()))
+    };
+
+    let mut events = 0usize;
+    let mut completion_time = 0.0f64;
+    if all_done(&parties) {
+        return Ok(AsyncReport {
+            outputs: parties.iter().map(|p| p.as_ref().and_then(P::output)).collect(),
+            corrupted,
+            completion_time,
+            messages_delivered: 0,
+        });
+    }
+
+    while let Some(Reverse(Event { time, env, .. })) = heap.pop() {
+        events += 1;
+        if events > cfg.max_events {
+            return Err(AsyncSimError::Stalled { events });
+        }
+        let to = env.to.index();
+        if corrupted[to] {
+            adversary.on_deliver(&env, &mut adv_sends);
+            for (from, to, msg) in adv_sends.drain(..) {
+                assert!(corrupted[from.index()], "adversary must send from corrupted parties");
+                push(&mut heap, &mut rng, &mut seq, time, Envelope { from, to, payload: msg });
+            }
+            continue;
+        }
+        let was_done = parties[to].as_ref().expect("honest").output().is_some();
+        {
+            let p = parties[to].as_mut().expect("honest");
+            let mut ctx = AsyncCtx { me: env.to, n, now: time, outbox: Vec::new() };
+            p.on_message(env, &mut ctx);
+            for out in ctx.outbox {
+                push(&mut heap, &mut rng, &mut seq, time, out);
+            }
+        }
+        if !was_done && parties[to].as_ref().expect("honest").output().is_some() {
+            completion_time = completion_time.max(time);
+            if all_done(&parties) {
+                return Ok(AsyncReport {
+                    outputs: parties.iter().map(|p| p.as_ref().and_then(P::output)).collect(),
+                    corrupted,
+                    completion_time,
+                    messages_delivered: events,
+                });
+            }
+        }
+    }
+    Err(AsyncSimError::Stalled { events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Census {
+        heard: usize,
+        need: usize,
+    }
+    impl AsyncProtocol for Census {
+        type Msg = u64;
+        type Output = usize;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<u64>) {
+            ctx.broadcast(1);
+        }
+        fn on_message(&mut self, _e: Envelope<u64>, _ctx: &mut AsyncCtx<u64>) {
+            self.heard += 1;
+        }
+        fn output(&self) -> Option<usize> {
+            (self.heard >= self.need).then_some(self.heard)
+        }
+    }
+
+    #[test]
+    fn waits_only_for_n_minus_t_under_silence() {
+        // One silent corrupted party: honest parties wait for n - t = 3.
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 1,
+            seed: 9,
+            delay: DelayModel::Uniform { min: 0.2 },
+            max_events: 10_000,
+        };
+        let report = run_async(
+            cfg,
+            |_, _| Census { heard: 0, need: 3 },
+            SilentAsync { parties: vec![PartyId(3)] },
+        )
+        .unwrap();
+        assert!(report.corrupted[3]);
+        assert!(report.outputs[3].is_none());
+        for i in 0..3 {
+            assert!(report.outputs[i].unwrap() >= 3);
+        }
+    }
+
+    #[test]
+    fn waiting_for_everyone_with_a_silent_party_stalls() {
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 1,
+            seed: 9,
+            delay: DelayModel::Uniform { min: 0.2 },
+            max_events: 10_000,
+        };
+        let err = run_async(
+            cfg,
+            |_, _| Census { heard: 0, need: 4 },
+            SilentAsync { parties: vec![PartyId(3)] },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AsyncSimError::Stalled { .. }));
+    }
+
+    #[test]
+    fn lockstep_delays_give_unit_time() {
+        let cfg = AsyncConfig {
+            n: 5,
+            t: 0,
+            seed: 1,
+            delay: DelayModel::Lockstep,
+            max_events: 10_000,
+        };
+        let report = run_async(cfg, |_, _| Census { heard: 0, need: 5 }, PassiveAsync).unwrap();
+        assert!((report.completion_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let cfg = AsyncConfig {
+                n: 6,
+                t: 0,
+                seed,
+                delay: DelayModel::Uniform { min: 0.1 },
+                max_events: 10_000,
+            };
+            run_async(cfg, |_, _| Census { heard: 0, need: 6 }, PassiveAsync).unwrap()
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+    }
+
+    #[test]
+    fn slow_parties_model_slows_their_links() {
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 0,
+            seed: 3,
+            delay: DelayModel::SlowParties { slow: vec![PartyId(0)], min: 0.1 },
+            max_events: 10_000,
+        };
+        let report = run_async(cfg, |_, _| Census { heard: 0, need: 4 }, PassiveAsync).unwrap();
+        // Everyone needs p0's message, which takes time 1.
+        assert!(report.completion_time >= 1.0);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let cfg = AsyncConfig {
+            n: 0,
+            t: 0,
+            seed: 0,
+            delay: DelayModel::Lockstep,
+            max_events: 10,
+        };
+        assert!(matches!(
+            run_async(cfg, |_, _| Census { heard: 0, need: 1 }, PassiveAsync),
+            Err(AsyncSimError::BadConfig { .. })
+        ));
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 0,
+            seed: 0,
+            delay: DelayModel::Lockstep,
+            max_events: 10,
+        };
+        assert!(matches!(
+            run_async(
+                cfg,
+                |_, _| Census { heard: 0, need: 1 },
+                SilentAsync { parties: vec![PartyId(0)] }
+            ),
+            Err(AsyncSimError::BadConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benches for the real-valued AA engines: wall-clock cost of a
+//! full simulated execution (protocol logic + engine overhead), honest and
+//! adversarial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator};
+use real_aa::{IteratedAaConfig, IteratedAaParty, RealAaConfig, RealAaParty};
+use sim_net::{run_simulation, Passive, PartyId, SimConfig};
+
+fn bench_realaa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("realaa");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &(n, t) in &[(7usize, 2usize), (13, 4)] {
+        let d = 1024.0;
+        let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
+
+        g.bench_with_input(BenchmarkId::new("gradecast_honest", n), &n, |b, _| {
+            let cfg = RealAaConfig::new(n, t, 1.0, d).unwrap();
+            b.iter(|| {
+                run_simulation(
+                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("gradecast_adversarial", n), &n, |b, _| {
+            let cfg = RealAaConfig::new(n, t, 1.0, d).unwrap();
+            b.iter(|| {
+                let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
+                let adv = BudgetSplitEquivocator::new(
+                    n,
+                    byz,
+                    equal_split_schedule(t, cfg.iterations() as usize),
+                );
+                run_simulation(
+                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+                    adv,
+                )
+                .unwrap()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("halving_honest", n), &n, |b, _| {
+            let cfg = IteratedAaConfig::new(n, t, 1.0, d).unwrap();
+            b.iter(|| {
+                run_simulation(
+                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_realaa);
+criterion_main!(benches);

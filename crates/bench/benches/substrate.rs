@@ -1,0 +1,43 @@
+//! Criterion benches for the combinatorial substrate: the local
+//! computations every party performs (ListConstruction, hulls, LCA,
+//! projections) at experiment scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tree_model::{generate, list_construction, LcaTable, ProjectionTable};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &size in &[1024usize, 16384] {
+        let path = generate::path(size);
+        let cat = generate::caterpillar(size / 3, 2);
+
+        g.bench_with_input(BenchmarkId::new("list_construction", size), &size, |b, _| {
+            b.iter(|| list_construction(&cat))
+        });
+
+        g.bench_with_input(BenchmarkId::new("convex_hull", size), &size, |b, _| {
+            let s: Vec<_> = cat.vertices().step_by(97).collect();
+            b.iter(|| cat.convex_hull(&s))
+        });
+
+        g.bench_with_input(BenchmarkId::new("lca_table_build", size), &size, |b, _| {
+            b.iter(|| LcaTable::new(&cat))
+        });
+
+        g.bench_with_input(BenchmarkId::new("projection_table", size), &size, |b, _| {
+            let dia = path.diameter_info().path;
+            b.iter(|| ProjectionTable::new(&path, &dia))
+        });
+
+        g.bench_with_input(BenchmarkId::new("diameter", size), &size, |b, _| {
+            b.iter(|| cat.diameter_info())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

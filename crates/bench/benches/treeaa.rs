@@ -1,0 +1,70 @@
+//! Criterion benches for the tree protocols: full simulated executions of
+//! TreeAA (both engines) and the Nowak–Rybicki baseline across tree sizes.
+
+use std::sync::Arc;
+
+use bench::spaced_inputs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_net::{run_simulation, Passive, SimConfig};
+use tree_aa::{EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty};
+use tree_model::generate;
+
+fn bench_treeaa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treeaa");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let (n, t) = (7usize, 2usize);
+    for &size in &[64usize, 512, 4096] {
+        let tree = Arc::new(generate::caterpillar(size / 3, 2));
+        let inputs = spaced_inputs(&tree, n, size / n + 1);
+
+        for engine in [EngineKind::Gradecast, EngineKind::Halving] {
+            let cfg = TreeAaConfig::new(n, t, engine, &tree).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("tree_aa_{engine:?}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        run_simulation(
+                            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                            |id, _| {
+                                TreeAaParty::new(
+                                    id,
+                                    cfg.clone(),
+                                    Arc::clone(&tree),
+                                    inputs[id.index()],
+                                )
+                            },
+                            Passive,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+
+        let cfg = NowakRybickiConfig::new(n, t, &tree).unwrap();
+        g.bench_with_input(BenchmarkId::new("nowak_rybicki", size), &size, |b, _| {
+            b.iter(|| {
+                run_simulation(
+                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    |id, _| {
+                        NowakRybickiParty::new(
+                            id,
+                            cfg.clone(),
+                            Arc::clone(&tree),
+                            inputs[id.index()],
+                        )
+                    },
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_treeaa);
+criterion_main!(benches);

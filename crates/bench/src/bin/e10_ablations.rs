@@ -1,0 +1,97 @@
+//! **E10 — Ablations: which design choices carry the round-optimality.**
+//!
+//! `RealAA`'s envelope `Π tᵢ/(n−2t)` rests on two mechanisms that are easy
+//! to get wrong (DESIGN.md §5):
+//!
+//! 1. **Fixed-size multisets** (public fill constant for grade-0 slots).
+//!    Ablated, a planted extreme value shifts the trim window and one
+//!    replacement can move the mean by up to half the honest range.
+//! 2. **Muting** (permanently silencing any leader whose grade split).
+//!    Ablated, a single Byzantine leader disturbs *every* iteration and
+//!    the convergence degrades toward plain halving.
+//!
+//! Each ablation is run against an adversary that models the ablated
+//! update rule, for exactly `R` iterations; the full protocol is run
+//! against its own optimal adversary for comparison.
+
+use bench::{spread, Table};
+use real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator};
+use real_aa::{RealAaConfig, RealAaParty};
+use sim_net::{run_simulation, PartyId, SimConfig};
+
+struct Variant {
+    ablate_fill: bool,
+    ablate_muting: bool,
+}
+
+fn run_variant(v: &Variant, n: usize, t: usize, d: f64, r: u32) -> f64 {
+    let mut cfg = RealAaConfig::new(n, t, 1e-12, d).expect("valid").with_fixed_iterations(r);
+    if v.ablate_fill {
+        cfg = cfg.with_ablated_fill_rule();
+    }
+    if v.ablate_muting {
+        cfg = cfg.with_ablated_muting();
+    }
+    let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
+    // Budget: with muting ablated the same leaders re-attack each
+    // iteration; otherwise spend the budget across iterations.
+    let mut adv = if v.ablate_muting {
+        BudgetSplitEquivocator::new_reusing(n, byz, vec![t.min(2); r as usize])
+    } else {
+        BudgetSplitEquivocator::new(n, byz, equal_split_schedule(t, r as usize))
+    };
+    if v.ablate_fill {
+        adv = adv.modeling_variable_multisets();
+    }
+    let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+        adv,
+    )
+    .expect("simulation completes");
+    spread(&report.honest_outputs())
+}
+
+fn main() {
+    let (n, t) = (10usize, 3usize);
+    let d = 1000.0;
+    println!("## E10: design-choice ablations (n = {n}, t = {t}, D = {d})\n");
+    println!("Final honest spread after exactly R iterations, strongest adversary per variant:\n");
+
+    // Column order matches the table header below.
+    let variants = [
+        Variant { ablate_fill: false, ablate_muting: false },
+        Variant { ablate_fill: true, ablate_muting: false },
+        Variant { ablate_fill: false, ablate_muting: true },
+        Variant { ablate_fill: true, ablate_muting: true },
+    ];
+
+    let rs: Vec<u32> = vec![1, 2, 3, 5, 8];
+    let mut table = Table::new(&["R", "envelope", "full protocol", "no fill rule", "no muting",
+                                 "neither"]);
+    for &r in &rs {
+        let envelope: f64 = equal_split_schedule(t, r as usize)
+            .iter()
+            .map(|&ti| ti as f64 / (n - 2 * t) as f64)
+            .product::<f64>()
+            * d;
+        let mut cells = vec![r.to_string(), format!("{envelope:.4}")];
+        for v in &variants {
+            cells.push(format!("{:.4}", run_variant(v, n, t, d, r)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "\nReading: the full protocol stays within the envelope and collapses to 0 \
+         once the budget is spread thinner than one leader per iteration. Without \
+         muting the same leaders re-attack every iteration and the spread decays \
+         only geometrically (factor ~1/2 per iteration) — round optimality is \
+         gone; this is the load-bearing mechanism. The fill-rule ablation's \
+         cumulative spread looks comparable here, but its *per-iteration* \
+         contraction can exceed t_i/(n-2t) (the trim-window shift; see \
+         DESIGN.md §5), which is what breaks the envelope proof — the fill rule \
+         is what makes the Lemma 5 accounting sound."
+    );
+}

@@ -1,0 +1,119 @@
+//! **E11 — Early stopping ablation: adaptive vs fixed-round termination.**
+//!
+//! The paper notes `RealAA` lets parties terminate once they observe their
+//! values are ε-close (possibly in consecutive iterations), while the
+//! composition inside `TreeAA` runs to the fixed public round bound. This
+//! experiment quantifies the gap: rounds to termination for the
+//! fixed-round protocol vs. the sound early-stopping variant, as a
+//! function of how adversarial the execution actually is. The public
+//! promise is always D = 1024 (so the fixed bound is identical across
+//! rows); what varies is the *actual* input spread and the adversary.
+
+use bench::{spread, Table};
+use real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator, RealAaChaos};
+use real_aa::{RealAaConfig, RealAaParty};
+use sim_net::{run_simulation, Adversary, PartyId, RunReport, SimConfig};
+
+fn run_one<A: Adversary<real_aa::RealAaMsg>>(
+    cfg: RealAaConfig,
+    inputs: &[f64],
+    adv: A,
+) -> RunReport<f64> {
+    run_simulation(
+        SimConfig { n: cfg.n, t: cfg.t, max_rounds: cfg.rounds() + 5 },
+        |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+        adv,
+    )
+    .expect("simulation completes")
+}
+
+fn main() {
+    let (n, t) = (10usize, 3usize);
+    let d_public = 1024.0;
+    let fixed = RealAaConfig::new(n, t, 1.0, d_public).expect("valid");
+    let early = fixed.with_early_stopping();
+    println!(
+        "## E11: early stopping vs fixed rounds (n = {n}, t = {t}, public D = {d_public}, \
+         fixed bound = {} rounds)\n",
+        fixed.rounds()
+    );
+
+    let mut table = Table::new(&[
+        "scenario",
+        "actual spread",
+        "fixed rounds",
+        "early-stop rounds",
+        "saved",
+        "final spread (early)",
+    ]);
+
+    let scenarios: Vec<(&str, f64)> = vec![
+        ("clean, tight inputs", 2.0),
+        ("clean, half-range inputs", 512.0),
+        ("clean, full-range inputs", 1024.0),
+    ];
+    for (name, actual) in scenarios {
+        let inputs: Vec<f64> = (0..n).map(|i| actual * i as f64 / (n - 1) as f64).collect();
+        let rf = run_one(fixed, &inputs, sim_net::Passive);
+        let re = run_one(early, &inputs, sim_net::Passive);
+        let s = spread(&re.honest_outputs());
+        assert!(s <= 1.0);
+        table.row(vec![
+            name.to_string(),
+            format!("{actual}"),
+            rf.communication_rounds().to_string(),
+            re.communication_rounds().to_string(),
+            format!("{}", rf.communication_rounds() - re.communication_rounds()),
+            format!("{s:.3}"),
+        ]);
+    }
+
+    // Adversarial rows: the budget-split equivocator delays the observable
+    // collapse; chaos does not (its noise never reaches grade >= 1).
+    let inputs: Vec<f64> = (0..n).map(|i| d_public * i as f64 / (n - 1) as f64).collect();
+    let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
+
+    let rf = run_one(
+        fixed,
+        &inputs,
+        BudgetSplitEquivocator::new(n, byz.clone(), equal_split_schedule(t, 3)),
+    );
+    let re = run_one(
+        early,
+        &inputs,
+        BudgetSplitEquivocator::new(n, byz.clone(), equal_split_schedule(t, 3)),
+    );
+    let s = spread(&re.honest_outputs());
+    assert!(s <= 1.0);
+    table.row(vec![
+        "budget-split [1,1,1]".to_string(),
+        format!("{d_public}"),
+        rf.communication_rounds().to_string(),
+        re.communication_rounds().to_string(),
+        format!("{}", rf.communication_rounds() - re.communication_rounds()),
+        format!("{s:.3}"),
+    ]);
+
+    let rf = run_one(fixed, &inputs, RealAaChaos::new(byz.clone(), 5, (0.0, d_public)));
+    let re = run_one(early, &inputs, RealAaChaos::new(byz, 5, (0.0, d_public)));
+    let s = spread(&re.honest_outputs());
+    assert!(s <= 1.0);
+    table.row(vec![
+        "chaos spam".to_string(),
+        format!("{d_public}"),
+        rf.communication_rounds().to_string(),
+        re.communication_rounds().to_string(),
+        format!("{}", rf.communication_rounds() - re.communication_rounds()),
+        format!("{s:.3}"),
+    ]);
+
+    table.print();
+    println!(
+        "\nReading: without real interference the adaptive variant stops after two \
+         iterations (one to collapse, one to observe the collapse) regardless of \
+         the public bound; sustained equivocation postpones the observable \
+         collapse by roughly its schedule length. TreeAA still needs the fixed \
+         variant: its two engine runs must start simultaneously at a public \
+         round boundary."
+    );
+}

@@ -1,0 +1,54 @@
+//! **E8 — Section 4 warm-up: AA on path input spaces.**
+//!
+//! Runs `PathAA` on growing path graphs with both engines, verifying
+//! Definition 2 each time and reporting rounds: the warm-up's cost is a
+//! single engine run, i.e. exactly half of `TreeAA`'s two-phase cost on
+//! the same path.
+
+use std::sync::Arc;
+
+use bench::{spaced_inputs, vertex_spread, Table};
+use sim_net::{run_simulation, Passive, SimConfig};
+use tree_aa::{check_tree_aa, EngineKind, PathAaConfig, PathAaParty, TreeAaConfig};
+use tree_model::generate;
+
+fn main() {
+    let (n, t) = (7usize, 2usize);
+    println!("## E8: warm-up PathAA on path graphs (n = {n}, t = {t})\n");
+    let mut table = Table::new(&[
+        "|V| = D+1",
+        "PathAA rounds (gradecast)",
+        "PathAA rounds (halving)",
+        "TreeAA rounds (same path)",
+        "output spread",
+    ]);
+    for size in [8usize, 32, 128, 512, 2048, 8192] {
+        let tree = Arc::new(generate::path(size));
+        let inputs = spaced_inputs(&tree, n, size / n + 1);
+        let mut rounds = Vec::new();
+        let mut last_spread = 0;
+        for engine in [EngineKind::Gradecast, EngineKind::Halving] {
+            let cfg = PathAaConfig::new(n, t, engine, &tree).expect("valid");
+            let report = run_simulation(
+                SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                |id, _| PathAaParty::new(id, cfg.clone(), inputs[id.index()]),
+                Passive,
+            )
+            .expect("simulation completes");
+            let outs = report.honest_outputs();
+            check_tree_aa(&tree, &inputs, &outs).expect("definition 2 holds");
+            rounds.push(report.communication_rounds());
+            last_spread = vertex_spread(&tree, &outs);
+        }
+        let tree_aa =
+            TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid").total_rounds();
+        table.row(vec![
+            size.to_string(),
+            rounds[0].to_string(),
+            rounds[1].to_string(),
+            tree_aa.to_string(),
+            last_spread.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,101 @@
+//! Property tests for phase-king BA: Agreement always; strong-unanimity
+//! Validity; both under chaos, equivocation, and crash faults.
+
+use byz_agreement::{BaMsg, PhaseKingConfig, PhaseKingParty};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sim_net::{run_simulation, AdversaryCtx, CrashAdversary, PartyId, ScriptedAdversary,
+              SimConfig};
+
+fn scenario(seed: u64) -> (usize, usize, Vec<u64>, Vec<PartyId>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let t = rng.gen_range(1..=3usize);
+    let n = 3 * t + 1 + rng.gen_range(0..2usize);
+    let unanimous = rng.gen_bool(0.3);
+    let base = rng.gen_range(0..50u64);
+    let inputs: Vec<u64> = (0..n)
+        .map(|_| if unanimous { base } else { rng.gen_range(0..50) })
+        .collect();
+    let nbad = rng.gen_range(0..=t);
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let byz = ids[..nbad].iter().map(|&i| PartyId(i)).collect();
+    (n, t, inputs, byz)
+}
+
+fn chaos(byz: Vec<PartyId>, seed: u64) -> impl FnMut(&mut AdversaryCtx<'_, BaMsg<u64>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    move |ctx| {
+        if ctx.round() == 1 {
+            for &b in &byz {
+                ctx.corrupt(b).expect("within budget");
+            }
+        }
+        let n = ctx.n();
+        let phase = (ctx.round() - 1) / 3;
+        for &b in &byz {
+            for to in 0..n {
+                let v = rng.gen_range(0..60u64);
+                let msg = match rng.gen_range(0..4) {
+                    0 => BaMsg::Exchange { phase, value: v },
+                    1 => BaMsg::Propose { phase, proposal: Some(v) },
+                    2 => BaMsg::Propose { phase, proposal: None },
+                    _ => BaMsg::King { phase, value: v },
+                };
+                ctx.send(b, PartyId(to), msg);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn agreement_and_unanimity_under_chaos(seed in any::<u64>()) {
+        let (n, t, inputs, byz) = scenario(seed);
+        let cfg = PhaseKingConfig::new(n, t).unwrap();
+        let adv = ScriptedAdversary(chaos(byz.clone(), seed));
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let first = outs[0];
+        prop_assert!(outs.iter().all(|&v| v == first), "agreement violated: {outs:?}");
+
+        // Strong unanimity: if honest inputs all equal, output equals them.
+        let honest_inputs: Vec<u64> = (0..n)
+            .filter(|i| !byz.iter().any(|b| b.index() == *i))
+            .map(|i| inputs[i])
+            .collect();
+        let all_same = honest_inputs.windows(2).all(|w| w[0] == w[1]);
+        if all_same {
+            prop_assert_eq!(first, honest_inputs[0], "unanimity validity violated");
+        }
+    }
+
+    #[test]
+    fn agreement_under_crashes(seed in any::<u64>()) {
+        let (n, t, inputs, byz) = scenario(seed);
+        let cfg = PhaseKingConfig::new(n, t).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+        let crashes = byz.iter().map(|&p| (p, rng.gen_range(1..=cfg.rounds()))).collect();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
+            CrashAdversary { crashes },
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let first = outs[0];
+        prop_assert!(outs.iter().all(|&v| v == first), "agreement violated: {outs:?}");
+        // Under crash (non-equivocating) faults the decision is always one
+        // of the input values.
+        prop_assert!(inputs.contains(&first), "decided {first}, inputs {inputs:?}");
+    }
+}

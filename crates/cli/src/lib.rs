@@ -1,0 +1,486 @@
+//! The `treeaa` command-line tool: generate input-space trees, run the AA
+//! protocols on them (with or without adversaries), and query the
+//! lower-bound calculators — all from tree files in the plain-text format
+//! of [`tree_model::parse_tree`].
+//!
+//! ```text
+//! treeaa gen --family caterpillar --size 30 > map.tree
+//! treeaa info --tree map.tree
+//! treeaa run --tree map.tree --inputs v0003,v0007,v0012,v0020 --t 1 \
+//!            --adversary chaos --seed 7
+//! treeaa bounds --diameter 1000 --n 31 --t 10
+//! ```
+//!
+//! Argument parsing and command execution live in this library crate so
+//! they are unit-testable; `main.rs` is a thin shim.
+
+
+#![warn(missing_docs)]
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lower_bound::{fekete_k, round_lower_bound, theorem2_formula};
+use rand::SeedableRng;
+use sim_net::{run_simulation, CrashAdversary, Passive, PartyId, SelectiveOmission, SimConfig};
+use tree_aa::adversary::TreeAaChaos;
+use tree_aa::{
+    check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
+};
+use tree_model::{generate, parse_tree, Tree, VertexId};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `gen`: emit a generated tree (optionally as DOT).
+    Gen {
+        /// Family name (path, star, binary, caterpillar, spider, broom,
+        /// random).
+        family: String,
+        /// Target size parameter.
+        size: usize,
+        /// Emit Graphviz DOT instead of the text format.
+        dot: bool,
+        /// Seed for the random family.
+        seed: u64,
+    },
+    /// `info`: tree statistics and protocol round counts.
+    Info {
+        /// Path to a tree file.
+        tree: String,
+    },
+    /// `run`: execute a protocol on a tree file.
+    Run {
+        /// Path to a tree file.
+        tree: String,
+        /// Comma-separated input vertex labels (one per party).
+        inputs: String,
+        /// Corruption bound.
+        t: usize,
+        /// `treeaa` or `baseline`.
+        protocol: String,
+        /// `gradecast` or `halving`.
+        engine: String,
+        /// `none`, `chaos`, `crash`, or `omission` (corrupts the last `t`
+        /// parties).
+        adversary: String,
+        /// Adversary seed.
+        seed: u64,
+    },
+    /// `bounds`: print lower bounds for the given parameters.
+    Bounds {
+        /// Input-space diameter.
+        diameter: f64,
+        /// Number of parties.
+        n: usize,
+        /// Corruption bound.
+        t: usize,
+    },
+    /// `help` or no/unknown arguments.
+    Help,
+}
+
+/// Parses `--key value` style options after the subcommand.
+fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option starting with --, got `{k}`"))?;
+        if key == "dot" {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let v = it.next().ok_or_else(|| format!("option --{key} needs a value"))?;
+        map.insert(key.to_string(), v.clone());
+    }
+    Ok(map)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, missing options
+/// or malformed values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let opts = options(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => Ok(Command::Gen {
+            family: req(&opts, "family")?.to_string(),
+            size: parse_num(req(&opts, "size")?, "size")?,
+            dot: opts.contains_key("dot"),
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+        }),
+        "info" => Ok(Command::Info { tree: req(&opts, "tree")?.to_string() }),
+        "run" => Ok(Command::Run {
+            tree: req(&opts, "tree")?.to_string(),
+            inputs: req(&opts, "inputs")?.to_string(),
+            t: opts.get("t").map_or(Ok(1), |s| parse_num(s, "t"))?,
+            protocol: opts.get("protocol").cloned().unwrap_or_else(|| "treeaa".into()),
+            engine: opts.get("engine").cloned().unwrap_or_else(|| "gradecast".into()),
+            adversary: opts.get("adversary").cloned().unwrap_or_else(|| "none".into()),
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+        }),
+        "bounds" => Ok(Command::Bounds {
+            diameter: parse_num(req(&opts, "diameter")?, "diameter")?,
+            n: parse_num(req(&opts, "n")?, "n")?,
+            t: parse_num(req(&opts, "t")?, "t")?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command `{other}`; see `treeaa help`")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+treeaa — Byzantine approximate agreement on trees (PODC 2025 reproduction)
+
+USAGE:
+  treeaa gen    --family <path|star|binary|caterpillar|spider|broom|random>
+                --size <K> [--seed <S>] [--dot]
+  treeaa info   --tree <file>
+  treeaa run    --tree <file> --inputs <l1,l2,...> [--t <T>]
+                [--protocol treeaa|baseline] [--engine gradecast|halving]
+                [--adversary none|chaos|crash|omission] [--seed <S>]
+  treeaa bounds --diameter <D> --n <N> --t <T>
+
+`run` uses one party per input label; with an adversary, the *last* t
+parties are corrupted and their input labels are ignored.
+";
+
+fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
+    if size == 0 {
+        return Err("size must be positive".into());
+    }
+    Ok(match family {
+        "path" => generate::path(size),
+        "star" => generate::star(size),
+        "binary" => generate::balanced_kary(2, (size.max(2) as f64).log2().floor() as u32),
+        "caterpillar" => generate::caterpillar(size.div_ceil(3).max(1), 2),
+        "spider" => generate::spider(4, size.div_ceil(4).max(1)),
+        "broom" => generate::broom(size.div_ceil(2).max(1), size / 2),
+        "random" => {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            generate::random_prufer(size, &mut rng)
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+/// Executes a command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a message for file, parse, or protocol-precondition problems.
+pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("i/o error: {e}");
+    match cmd {
+        Command::Help => write!(out, "{USAGE}").map_err(io),
+        Command::Gen { family, size, dot, seed } => {
+            let tree = build_family(&family, size, seed)?;
+            let text = if dot { tree.to_dot(&[]) } else { tree.to_text() };
+            write!(out, "{text}").map_err(io)
+        }
+        Command::Info { tree } => {
+            let text = std::fs::read_to_string(&tree).map_err(io)?;
+            let tree = parse_tree(&text).map_err(|e| e.to_string())?;
+            let list = tree_model::list_construction(&tree);
+            writeln!(out, "vertices        {}", tree.vertex_count()).map_err(io)?;
+            writeln!(out, "diameter        {}", tree.diameter()).map_err(io)?;
+            writeln!(out, "root            {}", tree.label(tree.root())).map_err(io)?;
+            writeln!(out, "euler list len  {}", list.len()).map_err(io)?;
+            for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+                let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree)
+                    .map_err(|e| e.to_string())?;
+                let nr = NowakRybickiConfig::new(n, t, &tree).map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "rounds n={n:<2} t={t}: TreeAA {} (phase1 {} + phase2 {}), baseline {}",
+                    cfg.total_rounds(),
+                    cfg.phase1_rounds(),
+                    cfg.phase2_rounds(),
+                    nr.rounds()
+                )
+                .map_err(io)?;
+            }
+            Ok(())
+        }
+        Command::Bounds { diameter, n, t } => {
+            writeln!(out, "exact Fekete round lower bound  {}", round_lower_bound(diameter, n, t))
+                .map_err(io)?;
+            writeln!(out, "Theorem 2 closed form           {:.2}", theorem2_formula(diameter, n, t))
+                .map_err(io)?;
+            for r in 1..=8u32 {
+                writeln!(out, "  K({r}, D) = {:.6}", fekete_k(r, diameter, n, t)).map_err(io)?;
+            }
+            writeln!(
+                out,
+                "RealAA rounds for eps = 1       {}",
+                real_aa::iterations_for(diameter, 1.0) * 3
+            )
+            .map_err(io)
+        }
+        Command::Run { tree, inputs, t, protocol, engine, adversary, seed } => {
+            let text = std::fs::read_to_string(&tree).map_err(io)?;
+            let tree = Arc::new(parse_tree(&text).map_err(|e| e.to_string())?);
+            let labels: Vec<&str> = inputs.split(',').map(str::trim).collect();
+            let n = labels.len();
+            let input_ids: Vec<VertexId> = labels
+                .iter()
+                .map(|l| tree.vertex(l).ok_or_else(|| format!("unknown vertex label `{l}`")))
+                .collect::<Result<_, _>>()?;
+            let engine = match engine.as_str() {
+                "gradecast" => EngineKind::Gradecast,
+                "halving" => EngineKind::Halving,
+                other => return Err(format!("unknown engine `{other}`")),
+            };
+            let byz: Vec<PartyId> = if adversary == "none" {
+                Vec::new()
+            } else {
+                (n - t..n).map(PartyId).collect()
+            };
+
+            let (outputs, rounds, messages) = match protocol.as_str() {
+                "treeaa" => {
+                    let cfg =
+                        TreeAaConfig::new(n, t, engine, &tree).map_err(|e| e.to_string())?;
+                    let max = cfg.total_rounds() + 5;
+                    let factory = |id: PartyId, _| {
+                        TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), input_ids[id.index()])
+                    };
+                    let sim = SimConfig { n, t, max_rounds: max };
+                    let report = match adversary.as_str() {
+                        "none" => run_simulation(sim, factory, Passive),
+                        "chaos" => run_simulation(
+                            sim,
+                            factory,
+                            TreeAaChaos::new(byz.clone(), seed, 2.0 * tree.vertex_count() as f64),
+                        ),
+                        "crash" => run_simulation(
+                            sim,
+                            factory,
+                            CrashAdversary {
+                                crashes: byz.iter().map(|&p| (p, 2)).collect(),
+                            },
+                        ),
+                        "omission" => run_simulation(
+                            sim,
+                            factory,
+                            SelectiveOmission::new(byz.clone(), 0.4, seed),
+                        ),
+                        other => return Err(format!("unknown adversary `{other}`")),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    (report.honest_outputs(), report.communication_rounds(),
+                     report.metrics.total_messages())
+                }
+                "baseline" => {
+                    let cfg = NowakRybickiConfig::new(n, t, &tree).map_err(|e| e.to_string())?;
+                    let max = cfg.rounds() + 5;
+                    let factory = |id: PartyId, _| {
+                        NowakRybickiParty::new(
+                            id,
+                            cfg.clone(),
+                            Arc::clone(&tree),
+                            input_ids[id.index()],
+                        )
+                    };
+                    let sim = SimConfig { n, t, max_rounds: max };
+                    let report = match adversary.as_str() {
+                        "none" => run_simulation(sim, factory, Passive),
+                        "crash" => run_simulation(
+                            sim,
+                            factory,
+                            CrashAdversary {
+                                crashes: byz.iter().map(|&p| (p, 2)).collect(),
+                            },
+                        ),
+                        "omission" => run_simulation(
+                            sim,
+                            factory,
+                            SelectiveOmission::new(byz.clone(), 0.4, seed),
+                        ),
+                        other => {
+                            return Err(format!(
+                                "adversary `{other}` is not available for the baseline"
+                            ))
+                        }
+                    }
+                    .map_err(|e| e.to_string())?;
+                    (report.honest_outputs(), report.communication_rounds(),
+                     report.metrics.total_messages())
+                }
+                other => return Err(format!("unknown protocol `{other}`")),
+            };
+
+            let honest_inputs: Vec<VertexId> = (0..n)
+                .filter(|i| !byz.iter().any(|b| b.index() == *i))
+                .map(|i| input_ids[i])
+                .collect();
+            writeln!(out, "rounds    {rounds}").map_err(io)?;
+            writeln!(out, "messages  {messages}").map_err(io)?;
+            for (i, &v) in outputs.iter().enumerate() {
+                writeln!(out, "party {i}: output {}", tree.label(v)).map_err(io)?;
+            }
+            match check_tree_aa(&tree, &honest_inputs, &outputs) {
+                Ok(()) => writeln!(out, "verified: validity + 1-agreement hold").map_err(io),
+                Err(v) => Err(format!("PROPERTY VIOLATION: {v}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let cmd = parse_args(&argv("gen --family path --size 5 --dot")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen { family: "path".into(), size: 5, dot: true, seed: 0 }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse_args(&argv("run --tree x.tree --inputs a,b,c,d")).unwrap();
+        match cmd {
+            Command::Run { t, protocol, engine, adversary, .. } => {
+                assert_eq!(t, 1);
+                assert_eq!(protocol, "treeaa");
+                assert_eq!(engine, "gradecast");
+                assert_eq!(adversary, "none");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_option_is_an_error() {
+        let err = parse_args(&argv("gen --size 5")).unwrap_err();
+        assert!(err.contains("--family"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn gen_and_info_roundtrip_through_a_file() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Gen { family: "caterpillar".into(), size: 12, dot: false, seed: 0 },
+            &mut buf,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("treeaa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.tree");
+        std::fs::write(&file, &buf).unwrap();
+
+        let mut info = Vec::new();
+        execute(Command::Info { tree: file.to_string_lossy().into_owned() }, &mut info).unwrap();
+        let text = String::from_utf8(info).unwrap();
+        assert!(text.contains("vertices        12"), "{text}");
+        assert!(text.contains("TreeAA"), "{text}");
+    }
+
+    #[test]
+    fn run_executes_and_verifies() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Gen { family: "path".into(), size: 9, dot: false, seed: 0 },
+            &mut buf,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("treeaa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("run.tree");
+        std::fs::write(&file, &buf).unwrap();
+
+        for (protocol, engine, adversary) in [
+            ("treeaa", "gradecast", "none"),
+            ("treeaa", "gradecast", "chaos"),
+            ("treeaa", "halving", "none"),
+            ("treeaa", "gradecast", "crash"),
+            ("treeaa", "gradecast", "omission"),
+            ("baseline", "gradecast", "none"),
+            ("baseline", "gradecast", "omission"),
+        ] {
+            let mut out = Vec::new();
+            execute(
+                Command::Run {
+                    tree: file.to_string_lossy().into_owned(),
+                    inputs: "v0000,v0003,v0006,v0008".into(),
+                    t: 1,
+                    protocol: protocol.into(),
+                    engine: engine.into(),
+                    adversary: adversary.into(),
+                    seed: 11,
+                },
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("verified"), "{protocol}/{engine}/{adversary}: {text}");
+        }
+    }
+
+    #[test]
+    fn bounds_prints_the_numbers() {
+        let mut out = Vec::new();
+        execute(Command::Bounds { diameter: 1000.0, n: 31, t: 10 }, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Fekete"));
+        assert!(text.contains("Theorem 2"));
+    }
+
+    #[test]
+    fn unknown_vertex_label_is_a_clean_error() {
+        let mut buf = Vec::new();
+        execute(Command::Gen { family: "path".into(), size: 4, dot: false, seed: 0 }, &mut buf)
+            .unwrap();
+        let dir = std::env::temp_dir().join("treeaa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("labels.tree");
+        std::fs::write(&file, &buf).unwrap();
+        let err = execute(
+            Command::Run {
+                tree: file.to_string_lossy().into_owned(),
+                inputs: "nope,v0001,v0002,v0003".into(),
+                t: 1,
+                protocol: "treeaa".into(),
+                engine: "gradecast".into(),
+                adversary: "none".into(),
+                seed: 0,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown vertex label"), "{err}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Fekete-style lower bounds for synchronous approximate agreement, on
+//! real values and on trees (Section 3 of the paper).
+//!
+//! Theorem 1 (Fekete 1990, as restated by the paper): every deterministic
+//! `R`-round protocol with Validity and Termination admits an execution in
+//! which two honest outputs are at least
+//!
+//! ```text
+//! K(R, D) = D · sup{ t₁·…·t_R : tᵢ ∈ ℕ, t₁+…+t_R ≤ t } / (n + t)^R
+//!         ≥ D · t^R / (R^R · (n + t)^R)
+//! ```
+//!
+//! apart. Corollary 1 transfers this verbatim to trees with `D = D(T)`,
+//! and Theorem 2 turns it into the round lower bound
+//! `Ω(log D / (log log D + log((n+t)/t)))`.
+//!
+//! This crate computes these quantities exactly (in log-space where
+//! magnitudes explode): the optimal budget partition
+//! ([`max_product_partition`]), `K(R, D)` ([`fekete_k`], [`log2_fekete_k`]),
+//! the exact minimal round count forced by `K` ([`round_lower_bound`]) and
+//! the paper's closed-form asymptotic ([`theorem2_formula`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lower_bound::{fekete_k, round_lower_bound};
+//!
+//! // 31 parties, 10 Byzantine, tree diameter 1000:
+//! let lb = round_lower_bound(1000.0, 31, 10);
+//! assert!(lb >= 2);
+//! // One round cannot reach 1-agreement:
+//! assert!(fekete_k(1, 1000.0, 31, 10) > 1.0);
+//! ```
+
+
+#![warn(missing_docs)]
+mod fekete;
+mod partition;
+mod rounds;
+
+pub use fekete::{fekete_k, log2_fekete_k};
+pub use partition::{log2_max_product, max_product_partition};
+pub use rounds::{round_lower_bound, theorem2_formula};

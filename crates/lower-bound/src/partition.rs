@@ -1,0 +1,122 @@
+//! The optimal Byzantine budget partition: `sup Π tᵢ` under `Σ tᵢ ≤ t`
+//! with at most `r` parts.
+
+/// Returns a maximizing partition of budget `t` into at most `r` positive
+/// natural parts (the supremum of `Π tᵢ` in Theorem 1). For a fixed part
+/// count the maximum is the near-equal split; the part count itself is
+/// optimized over `1..=min(r, t)`.
+///
+/// Returns an empty vector when `t == 0` or `r == 0` (the product is then
+/// the empty product, but Fekete's chain has no Byzantine steps — callers
+/// treat this as "bound degenerates to Ω(1)").
+///
+/// # Example
+///
+/// ```
+/// use lower_bound::max_product_partition;
+///
+/// assert_eq!(max_product_partition(6, 2), vec![3, 3]);
+/// // With more rounds available, 3·3 beats 2·2·2; parts of size ~3 win.
+/// assert_eq!(max_product_partition(6, 6), vec![3, 3]);
+/// assert_eq!(max_product_partition(4, 1), vec![4]);
+/// ```
+pub fn max_product_partition(t: usize, r: usize) -> Vec<usize> {
+    if t == 0 || r == 0 {
+        return Vec::new();
+    }
+    let mut best: Vec<usize> = vec![t]; // one part
+    let mut best_log = (t as f64).log2();
+    for parts in 2..=r.min(t) {
+        let q = t / parts;
+        let s = t % parts;
+        // s parts of (q+1), parts-s parts of q.
+        let log = s as f64 * ((q + 1) as f64).log2() + (parts - s) as f64 * (q as f64).log2();
+        if log > best_log {
+            best_log = log;
+            best = std::iter::repeat_n(q + 1, s)
+                .chain(std::iter::repeat_n(q, parts - s))
+                .collect();
+        }
+    }
+    best
+}
+
+/// `log₂ sup Π tᵢ` for budget `t` and at most `r` parts; `0.0` for the
+/// degenerate cases (empty product).
+pub fn log2_max_product(t: usize, r: usize) -> f64 {
+    max_product_partition(t, r)
+        .iter()
+        .map(|&p| (p as f64).log2())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force maximum over all partitions with sum <= t and <= r
+    /// positive parts.
+    fn brute(t: usize, r: usize) -> f64 {
+        fn rec(remaining: usize, parts_left: usize, min_part: usize, acc: f64, best: &mut f64) {
+            if acc > *best {
+                *best = acc;
+            }
+            if parts_left == 0 {
+                return;
+            }
+            for p in min_part..=remaining {
+                rec(remaining - p, parts_left - 1, p, acc * p as f64, best);
+            }
+        }
+        let mut best = 0.0;
+        rec(t, r, 1, 1.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_instances() {
+        for t in 1..=12 {
+            for r in 1..=8 {
+                let ours: f64 = max_product_partition(t, r).iter().map(|&p| p as f64).product();
+                let exact = brute(t, r);
+                assert_eq!(ours, exact, "t = {t}, r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_constraints() {
+        for t in 1..=20 {
+            for r in 1..=10 {
+                let p = max_product_partition(t, r);
+                assert!(p.len() <= r);
+                assert!(p.iter().sum::<usize>() <= t);
+                assert!(p.iter().all(|&x| x >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(max_product_partition(0, 5).is_empty());
+        assert!(max_product_partition(5, 0).is_empty());
+        assert_eq!(log2_max_product(0, 5), 0.0);
+    }
+
+    #[test]
+    fn log_agrees_with_product() {
+        let p = max_product_partition(10, 4);
+        let prod: f64 = p.iter().map(|&x| x as f64).product();
+        assert!((log2_max_product(10, 4) - prod.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_parts_of_about_three() {
+        // Classic integer-break behaviour once r is unconstrained.
+        let p = max_product_partition(9, 9);
+        assert_eq!(p, vec![3, 3, 3]);
+        let p = max_product_partition(10, 10);
+        let prod: usize = p.iter().product();
+        assert_eq!(prod, 36); // 3*3*4 or 3*3*2*2 -> 36
+    }
+}

@@ -1,0 +1,106 @@
+//! Round lower bounds for 1-agreement on trees (Theorem 2).
+
+use crate::fekete::log2_fekete_k;
+
+/// The *exact* round lower bound induced by Corollary 1: the least `R`
+/// with `K(R, D) ≤ 1`. Any deterministic protocol achieving 1-Agreement
+/// on a tree of diameter `d` with `n` parties and `t` Byzantine needs at
+/// least this many rounds.
+///
+/// Returns 1 when `t == 0` or `d ≤ 1` (every protocol still needs `Ω(1)`
+/// rounds; a 0-diameter instance is trivial but the bound statement keeps
+/// the constant floor).
+///
+/// # Panics
+///
+/// Panics if `d` is negative/non-finite, or if no `R ≤ 10⁶` satisfies the
+/// bound (impossible for sane parameters: `K` decays geometrically once
+/// `R > t`).
+pub fn round_lower_bound(d: f64, n: usize, t: usize) -> u32 {
+    assert!(d.is_finite() && d >= 0.0, "diameter must be finite and >= 0");
+    if t == 0 || d <= 1.0 {
+        return 1;
+    }
+    for r in 1..=1_000_000 {
+        if log2_fekete_k(r, d, n, t) <= 0.0 {
+            return r;
+        }
+    }
+    panic!("round lower bound did not converge for d = {d}, n = {n}, t = {t}");
+}
+
+/// The paper's closed-form Theorem 2 expression
+/// `log₂ D / (log₂ log₂ D + log₂((n + t)/t))`, floored at 1. This is the
+/// asymptotic Ω(·) — use [`round_lower_bound`] for the exact bound.
+///
+/// # Panics
+///
+/// Panics if `d` is negative/non-finite or `n == 0`.
+pub fn theorem2_formula(d: f64, n: usize, t: usize) -> f64 {
+    assert!(d.is_finite() && d >= 0.0, "diameter must be finite and >= 0");
+    assert!(n > 0, "n must be positive");
+    if t == 0 || d < 4.0 {
+        return 1.0;
+    }
+    let lg = d.log2();
+    let denom = lg.log2() + (((n + t) as f64) / t as f64).log2();
+    (lg / denom).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fekete::fekete_k;
+
+    #[test]
+    fn exact_bound_is_tightest_violation_point() {
+        let (d, n, t) = (1e4, 10, 3);
+        let r = round_lower_bound(d, n, t);
+        assert!(fekete_k(r, d, n, t) <= 1.0);
+        if r > 1 {
+            assert!(fekete_k(r - 1, d, n, t) > 1.0);
+        }
+    }
+
+    #[test]
+    fn grows_with_diameter() {
+        let mut prev = 0;
+        for exp in [2.0f64, 4.0, 8.0, 16.0, 24.0] {
+            let r = round_lower_bound(2f64.powf(exp), 10, 3);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert!(prev >= 3, "large diameters need several rounds, got {prev}");
+    }
+
+    #[test]
+    fn degenerate_cases_floor_at_one() {
+        assert_eq!(round_lower_bound(0.0, 4, 1), 1);
+        assert_eq!(round_lower_bound(100.0, 4, 0), 1);
+        assert_eq!(theorem2_formula(2.0, 4, 1), 1.0);
+        assert_eq!(theorem2_formula(100.0, 4, 0), 1.0);
+    }
+
+    #[test]
+    fn formula_tracks_exact_bound_asymptotically() {
+        // The closed form is a lower bound on the shape: the exact bound
+        // should stay within a small constant factor above it for
+        // t = Θ(n).
+        for exp in [10.0f64, 20.0, 40.0, 80.0] {
+            let d = 2f64.powf(exp);
+            let (n, t) = (31, 10);
+            let exact = round_lower_bound(d, n, t) as f64;
+            let formula = theorem2_formula(d, n, t);
+            assert!(exact >= formula * 0.5, "exact {exact} far below formula {formula}");
+            assert!(exact <= formula * 6.0, "exact {exact} far above formula {formula}");
+        }
+    }
+
+    #[test]
+    fn more_byzantine_means_higher_bound() {
+        let d = 1e6;
+        let few = round_lower_bound(d, 40, 2);
+        let many = round_lower_bound(d, 40, 13);
+        assert!(many >= few);
+    }
+}

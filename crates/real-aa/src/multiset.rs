@@ -1,0 +1,83 @@
+//! Trimmed-multiset reduction rules shared by the AA protocols.
+
+/// Sorts `values` and returns the slice with the `t` lowest and `t`
+/// highest entries discarded — the paper's "safe area" computation on ℝ:
+/// with at most `t` Byzantine contributions, every survivor lies within
+/// the range of the honest contributions.
+///
+/// Returns an empty slice when `values.len() <= 2t` (the caller must treat
+/// that as "keep current value"; it can only happen off the honest path).
+pub fn trimmed(values: &mut [f64], t: usize) -> &[f64] {
+    values.sort_by(f64::total_cmp);
+    if values.len() <= 2 * t {
+        &[]
+    } else {
+        &values[t..values.len() - t]
+    }
+}
+
+/// The mean of the trimmed multiset (`RealAA`'s update rule), or `None`
+/// when trimming leaves nothing.
+pub fn trimmed_mean(values: &mut [f64], t: usize) -> Option<f64> {
+    let s = trimmed(values, t);
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.iter().sum::<f64>() / s.len() as f64)
+    }
+}
+
+/// The midpoint `(min + max) / 2` of the trimmed multiset (the classic
+/// halving rule of Dolev et al.), or `None` when trimming leaves nothing.
+pub fn trimmed_midpoint(values: &mut [f64], t: usize) -> Option<f64> {
+    let s = trimmed(values, t);
+    if s.is_empty() {
+        None
+    } else {
+        Some((s[0] + s[s.len() - 1]) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_both_tails() {
+        let mut v = vec![5.0, -100.0, 1.0, 3.0, 100.0];
+        assert_eq!(trimmed(&mut v, 1), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn trim_zero_keeps_all_sorted() {
+        let mut v = vec![2.0, 1.0];
+        assert_eq!(trimmed(&mut v, 0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn overtrim_yields_empty() {
+        let mut v = vec![1.0, 2.0];
+        assert!(trimmed(&mut v, 1).is_empty());
+        assert_eq!(trimmed_mean(&mut [1.0, 2.0], 1), None);
+        assert_eq!(trimmed_midpoint(&mut [], 0), None);
+    }
+
+    #[test]
+    fn mean_and_midpoint() {
+        let mut v = vec![0.0, 10.0, 2.0, 4.0];
+        assert_eq!(trimmed_mean(&mut v.clone(), 1), Some(3.0)); // (2+4)/2
+        assert_eq!(trimmed_midpoint(&mut v, 1), Some(3.0));
+        let mut w = vec![0.0, 1.0, 5.0];
+        assert_eq!(trimmed_mean(&mut w.clone(), 0), Some(2.0));
+        assert_eq!(trimmed_midpoint(&mut w, 0), Some(2.5));
+    }
+
+    #[test]
+    fn outliers_cannot_escape_honest_range() {
+        // t = 2 Byzantine extremes on each side; survivors bracketed by the
+        // honest values 3..7.
+        let mut v = vec![3.0, 4.0, 7.0, -1e9, 1e9, 5.0, 6.0];
+        let s = trimmed(&mut v, 2);
+        assert!(s.iter().all(|&x| (3.0..=7.0).contains(&x)));
+    }
+}

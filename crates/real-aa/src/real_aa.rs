@@ -1,0 +1,483 @@
+//! The gradecast-based `RealAA` protocol (Theorem 3's building block).
+
+use gradecast::{GcMsg, Grade, ParallelGradecast};
+use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+
+use crate::multiset::trimmed_mean;
+use crate::rounds::iterations_for;
+use crate::value::R64;
+
+/// Public parameters of a `RealAA(ε)` execution. All parties must be
+/// constructed with identical configs (the parameters are public in the
+/// model).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RealAaConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption bound; the protocol requires `t < n/3`.
+    pub t: usize,
+    /// Output agreement tolerance ε.
+    pub eps: f64,
+    /// Public promise: honest inputs are `diameter_bound`-close.
+    pub diameter_bound: f64,
+    /// When `true`, a party additionally terminates as soon as the spread
+    /// of its *accepted* multiset is ≤ ε (sound early stopping: honest
+    /// values all carry grade 2, so the accepted spread upper-bounds the
+    /// honest spread; once the honest spread is ≤ ε, validity confines all
+    /// future honest values — and hence all outputs — to that ε-window).
+    pub early_stopping: bool,
+    /// When `Some(r)`, run exactly `r` iterations instead of the
+    /// [`iterations_for`] formula. Used by convergence experiments that
+    /// deliberately under-provision rounds to trace the adversarial
+    /// envelope; ε-agreement is only guaranteed when `r` is at least the
+    /// formula value.
+    pub iterations_override: Option<u32>,
+    /// The public constant substituted for leaders whose gradecast was not
+    /// accepted (grade 0), keeping every multiset at exactly `n` entries.
+    /// Any public value works (at most `t` slots are non-honest, so the
+    /// fills are trimmed whenever they are extreme); 0 by default.
+    pub fill_value: f64,
+    /// **Ablation only — weakens the protocol.** Skip the fill rule and
+    /// average the accepted values alone (variable-size multisets). A
+    /// planted extreme value then shifts the trim window and the
+    /// per-iteration divergence can reach `range/2` instead of
+    /// `t_i/(n−2t)`; the `e10_ablations` experiment quantifies it.
+    pub ablate_variable_multisets: bool,
+    /// **Ablation only — weakens the protocol.** Never mute detected
+    /// equivocators. A single Byzantine leader can then cause an
+    /// inconsistency in *every* iteration and round optimality is lost;
+    /// quantified by `e10_ablations`.
+    pub ablate_no_muting: bool,
+}
+
+impl RealAaConfig {
+    /// Creates a fixed-round configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated precondition if `n ≤ 3t`,
+    /// `eps ≤ 0`, or `diameter_bound < 0` (or either is non-finite).
+    pub fn new(n: usize, t: usize, eps: f64, diameter_bound: f64) -> Result<Self, String> {
+        if n <= 3 * t {
+            return Err(format!("RealAA requires n > 3t, got n = {n}, t = {t}"));
+        }
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(format!("epsilon must be positive and finite, got {eps}"));
+        }
+        if !diameter_bound.is_finite() || diameter_bound < 0.0 {
+            return Err(format!("diameter bound must be finite and >= 0, got {diameter_bound}"));
+        }
+        Ok(RealAaConfig {
+            n,
+            t,
+            eps,
+            diameter_bound,
+            early_stopping: false,
+            iterations_override: None,
+            fill_value: 0.0,
+            ablate_variable_multisets: false,
+            ablate_no_muting: false,
+        })
+    }
+
+    /// Enables early stopping (see [`RealAaConfig::early_stopping`]).
+    pub fn with_early_stopping(mut self) -> Self {
+        self.early_stopping = true;
+        self
+    }
+
+    /// Fixes the iteration count (see
+    /// [`RealAaConfig::iterations_override`]).
+    pub fn with_fixed_iterations(mut self, r: u32) -> Self {
+        self.iterations_override = Some(r);
+        self
+    }
+
+    /// Enables the variable-multiset ablation (see
+    /// [`RealAaConfig::ablate_variable_multisets`]; weakens the protocol).
+    pub fn with_ablated_fill_rule(mut self) -> Self {
+        self.ablate_variable_multisets = true;
+        self
+    }
+
+    /// Enables the no-muting ablation (see
+    /// [`RealAaConfig::ablate_no_muting`]; weakens the protocol).
+    pub fn with_ablated_muting(mut self) -> Self {
+        self.ablate_no_muting = true;
+        self
+    }
+
+    /// The fixed iteration count `R` of this configuration.
+    pub fn iterations(&self) -> u32 {
+        self.iterations_override
+            .unwrap_or_else(|| iterations_for(self.diameter_bound, self.eps))
+    }
+
+    /// Total communication rounds of the fixed-round protocol
+    /// (3 per iteration).
+    pub fn rounds(&self) -> u32 {
+        3 * self.iterations()
+    }
+}
+
+/// A `RealAA` wire message: a gradecast message tagged with its iteration.
+///
+/// Messages with tags other than the receiver's current phase are ignored
+/// (a Byzantine party gains nothing by replaying across iterations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RealAaMsg {
+    /// Iteration index (0-based).
+    pub iter: u32,
+    /// The gradecast message body.
+    pub body: GcMsg<R64>,
+}
+
+impl Payload for RealAaMsg {
+    fn size_bytes(&self) -> usize {
+        4 + self.body.size_bytes()
+    }
+}
+
+/// One party of the `RealAA(ε)` protocol.
+///
+/// Iteration `i` (0-based) occupies rounds `3i+1` (lead), `3i+2` (echo) and
+/// `3i+3` (vote); the votes are delivered — and the value updated — at the
+/// start of round `3i+4`, which is also the next iteration's lead round, so
+/// iterations are seamlessly pipelined and the protocol uses exactly `3R`
+/// communication rounds.
+#[derive(Clone, Debug)]
+pub struct RealAaParty {
+    cfg: RealAaConfig,
+    me: PartyId,
+    value: f64,
+    /// Leaders muted so far (carried across iterations).
+    muted: Vec<bool>,
+    gc: ParallelGradecast<R64>,
+    iterations_done: u32,
+    output: Option<f64>,
+    /// Spread of the accepted multiset in the last completed iteration.
+    last_accepted_spread: f64,
+    /// Value after each completed iteration (index 0 = input).
+    history: Vec<f64>,
+}
+
+impl RealAaParty {
+    /// Creates the party with its input value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not finite or `me` is out of range (honest
+    /// inputs are real values; a non-finite input is a harness bug).
+    pub fn new(me: PartyId, cfg: RealAaConfig, input: f64) -> Self {
+        assert!(input.is_finite(), "honest inputs must be finite");
+        assert!(me.index() < cfg.n, "party id out of range");
+        let muted = vec![false; cfg.n];
+        let gc = ParallelGradecast::with_muted(me, cfg.n, cfg.t, muted.clone());
+        RealAaParty {
+            cfg,
+            me,
+            value: input,
+            muted,
+            gc,
+            iterations_done: 0,
+            output: None,
+            last_accepted_spread: f64::INFINITY,
+            history: vec![input],
+        }
+    }
+
+    /// The party's current value (its input before round 1, its running
+    /// estimate afterwards).
+    pub fn current_value(&self) -> f64 {
+        self.value
+    }
+
+    /// How many parties this party has muted so far — the observable trace
+    /// of Byzantine detection.
+    pub fn muted_count(&self) -> usize {
+        self.muted.iter().filter(|&&m| m).count()
+    }
+
+    /// The party's value trajectory: `history()[0]` is the input,
+    /// `history()[i]` the value after iteration `i`. Convergence
+    /// experiments read per-iteration contraction factors off this.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    fn finish_iteration(&mut self, inbox: &[Envelope<RealAaMsg>], iter_tag: u32) {
+        let votes: Vec<(PartyId, GcMsg<R64>)> = inbox
+            .iter()
+            .filter(|e| e.payload.iter == iter_tag)
+            .map(|e| (e.from, e.payload.body.clone()))
+            .collect();
+        let outputs = self.gc.on_votes(&votes);
+
+        // Build the size-n multiset: one slot per leader, the accepted
+        // value for grades >= 1 and the public fill constant otherwise.
+        // Keeping every honest multiset at exactly n entries is essential:
+        // two honest multisets then differ in at most t_i *replacements*
+        // (the leaders burned this iteration), and the trimmed means of
+        // equal-size multisets differing in k replacements diverge by at
+        // most k * range / (n - 2t) — the envelope behind Theorem 3.
+        // (With variable-size multisets, one planted extreme value shifts
+        // the whole trim window and the divergence can reach range/2.)
+        let mut multiset: Vec<f64> = Vec::with_capacity(self.cfg.n);
+        let mut accepted_lo = f64::INFINITY;
+        let mut accepted_hi = f64::NEG_INFINITY;
+        for (leader, out) in outputs.iter().enumerate() {
+            // Acceptance is purely grade-based; muting below only affects
+            // future relaying (see crate docs).
+            if out.accepted() {
+                let v = out.value.expect("accepted implies value").get();
+                multiset.push(v);
+                accepted_lo = accepted_lo.min(v);
+                accepted_hi = accepted_hi.max(v);
+            } else if !self.cfg.ablate_variable_multisets {
+                multiset.push(self.cfg.fill_value);
+            }
+            if out.grade <= Grade::One && !self.cfg.ablate_no_muting {
+                self.muted[leader] = true;
+            }
+        }
+        self.last_accepted_spread = if accepted_lo.is_finite() {
+            accepted_hi - accepted_lo
+        } else {
+            f64::INFINITY
+        };
+        if let Some(mean) = trimmed_mean(&mut multiset, self.cfg.t) {
+            self.value = mean;
+        }
+        // else: unreachable (the multiset always has n > 3t > 2t entries);
+        // keeping the current value would preserve validity regardless.
+        self.history.push(self.value);
+        self.iterations_done += 1;
+    }
+
+    fn maybe_terminate(&mut self) -> bool {
+        let fixed_done = self.iterations_done >= self.cfg.iterations();
+        let early = self.cfg.early_stopping
+            && self.iterations_done >= 1
+            && self.last_accepted_spread <= self.cfg.eps;
+        if fixed_done || early {
+            self.output = Some(self.value);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn start_iteration(&mut self, ctx: &mut RoundCtx<RealAaMsg>, iter_tag: u32) {
+        self.gc =
+            ParallelGradecast::with_muted(self.me, self.cfg.n, self.cfg.t, self.muted.clone());
+        for body in self.gc.lead_msgs(R64::new(self.value)) {
+            ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+        }
+    }
+}
+
+impl Protocol for RealAaParty {
+    type Msg = RealAaMsg;
+    type Output = f64;
+
+    fn step(&mut self, round: u32, inbox: &[Envelope<RealAaMsg>], ctx: &mut RoundCtx<RealAaMsg>) {
+        if self.output.is_some() {
+            return;
+        }
+        if round == 1 && self.cfg.iterations() == 0 {
+            // Inputs are promised ε-close already.
+            self.output = Some(self.value);
+            return;
+        }
+        let phase = (round - 1) % 3;
+        let iter_tag = (round - 1) / 3;
+        match phase {
+            0 => {
+                // Finish the previous iteration (if any), then lead the
+                // next one.
+                if iter_tag > 0 {
+                    self.finish_iteration(inbox, iter_tag - 1);
+                    if self.maybe_terminate() {
+                        return;
+                    }
+                }
+                self.start_iteration(ctx, iter_tag);
+            }
+            1 => {
+                let leads: Vec<(PartyId, GcMsg<R64>)> = inbox
+                    .iter()
+                    .filter(|e| e.payload.iter == iter_tag)
+                    .map(|e| (e.from, e.payload.body.clone()))
+                    .collect();
+                for body in self.gc.on_leads(&leads) {
+                    ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+                }
+            }
+            _ => {
+                let echoes: Vec<(PartyId, GcMsg<R64>)> = inbox
+                    .iter()
+                    .filter(|e| e.payload.iter == iter_tag)
+                    .map(|e| (e.from, e.payload.body.clone()))
+                    .collect();
+                for body in self.gc.on_echoes(&echoes) {
+                    ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<f64> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_net::{run_simulation, CrashAdversary, Passive, SimConfig};
+
+    fn spread(outs: &[f64]) -> f64 {
+        let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    }
+
+    fn run_honest(n: usize, t: usize, eps: f64, d: f64, inputs: &[f64]) -> Vec<f64> {
+        let cfg = RealAaConfig::new(n, t, eps, d).unwrap();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: 10 + cfg.rounds() },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        report.honest_outputs()
+    }
+
+    #[test]
+    fn all_honest_exact_agreement_after_first_iteration() {
+        // With no Byzantine interference the honest range collapses to a
+        // point in the very first iteration.
+        let outs = run_honest(4, 1, 1.0, 100.0, &[0.0, 100.0, 40.0, 60.0]);
+        assert_eq!(spread(&outs), 0.0);
+        // Trimmed mean of all four values: drop 0 and 100, mean(40,60).
+        assert!((outs[0] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_within_input_range() {
+        let inputs = [2.0, 9.0, 5.0, 7.0, 3.0, 8.0, 4.0];
+        let outs = run_honest(7, 2, 0.5, 10.0, &inputs);
+        for &o in &outs {
+            assert!((2.0..=9.0).contains(&o), "output {o} escaped the input range");
+        }
+    }
+
+    #[test]
+    fn zero_iteration_config_outputs_inputs() {
+        let outs = run_honest(4, 1, 2.0, 1.0, &[0.3, 0.9, 0.5, 0.7]);
+        assert_eq!(outs, vec![0.3, 0.9, 0.5, 0.7]);
+    }
+
+    #[test]
+    fn crash_faults_tolerated() {
+        let cfg = RealAaConfig::new(4, 1, 1.0, 8.0).unwrap();
+        let inputs = [0.0, 8.0, 2.0, 6.0];
+        let report = run_simulation(
+            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            CrashAdversary { crashes: vec![(PartyId(1), 2)] },
+        )
+        .unwrap();
+        let outs = report.honest_outputs();
+        assert!(spread(&outs) <= 1.0);
+        for &o in &outs {
+            assert!((0.0..=8.0).contains(&o));
+        }
+    }
+
+    #[test]
+    fn early_stopping_halts_after_one_iteration_without_faults() {
+        let cfg = RealAaConfig::new(4, 1, 1.0, 1000.0).unwrap().with_early_stopping();
+        assert!(cfg.iterations() > 2);
+        let inputs = [0.0, 1000.0, 400.0, 600.0];
+        let report = run_simulation(
+            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        // One full iteration (rounds 1-3) plus the quiet processing round.
+        assert_eq!(report.communication_rounds(), 3 + 3);
+        // Spread is 0 after iteration 1; parties stop after iteration 2
+        // confirms it (accepted spread measured on iteration-1 values is
+        // the input spread, which exceeds eps).
+        let outs = report.honest_outputs();
+        assert_eq!(spread(&outs), 0.0);
+    }
+
+    #[test]
+    fn fixed_round_count_matches_config() {
+        let cfg = RealAaConfig::new(4, 1, 1.0, 64.0).unwrap();
+        let inputs = [0.0, 64.0, 10.0, 30.0];
+        let report = run_simulation(
+            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        assert_eq!(report.communication_rounds(), cfg.rounds());
+    }
+
+    #[test]
+    fn config_rejects_bad_parameters() {
+        assert!(RealAaConfig::new(3, 1, 1.0, 1.0).is_err());
+        assert!(RealAaConfig::new(4, 1, 0.0, 1.0).is_err());
+        assert!(RealAaConfig::new(4, 1, 1.0, -1.0).is_err());
+        assert!(RealAaConfig::new(4, 1, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn identical_inputs_identical_outputs() {
+        let outs = run_honest(4, 1, 0.1, 50.0, &[7.0, 7.0, 7.0, 7.0]);
+        assert!(outs.iter().all(|&o| o == 7.0));
+    }
+}
+
+#[cfg(test)]
+mod history_tests {
+    use super::*;
+    use sim_net::{Envelope, Protocol, RoundCtx};
+
+    /// Drive parties manually so the trajectory stays inspectable.
+    #[test]
+    fn history_records_input_and_every_iteration() {
+        let n = 4;
+        let cfg = RealAaConfig::new(n, 1, 1.0, 64.0).unwrap();
+        let inputs = [0.0, 64.0, 16.0, 48.0];
+        let mut parties: Vec<RealAaParty> =
+            (0..n).map(|i| RealAaParty::new(PartyId(i), cfg, inputs[i])).collect();
+        let mut inboxes: Vec<Vec<Envelope<RealAaMsg>>> = vec![Vec::new(); n];
+        for r in 1..=cfg.rounds() + 1 {
+            let mut next: Vec<Vec<Envelope<RealAaMsg>>> = vec![Vec::new(); n];
+            for (i, p) in parties.iter_mut().enumerate() {
+                let mut ctx = RoundCtx::new(PartyId(i), n);
+                let inbox = std::mem::take(&mut inboxes[i]);
+                p.step(r, &inbox, &mut ctx);
+                for env in ctx.into_outbox() {
+                    next[env.to.index()].push(env);
+                }
+            }
+            inboxes = next;
+        }
+        for (i, p) in parties.iter().enumerate() {
+            assert!(p.output().is_some());
+            let h = p.history();
+            assert_eq!(h[0], inputs[i]);
+            assert_eq!(h.len() as u32, cfg.iterations() + 1);
+            // Honest run: iteration 1 collapses everyone to the same
+            // trimmed mean, which then persists.
+            assert_eq!(h[1], 32.0); // mean of {16, 48} after trimming 0/64
+            assert!(h[1..].windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

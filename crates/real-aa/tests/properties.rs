@@ -1,0 +1,213 @@
+//! Property tests: `RealAA` and the halving baseline keep Validity and
+//! ε-Agreement under chaos, crash and budget-split adversaries, across
+//! random (n, t), inputs, and seeds.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator, RealAaChaos};
+use real_aa::{IteratedAaConfig, IteratedAaParty, RealAaConfig, RealAaParty};
+use sim_net::{run_simulation, CrashAdversary, PartyId, SimConfig};
+
+fn spread(outs: &[f64]) -> f64 {
+    let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// Derives a random scenario: (n, t, inputs, corrupted set).
+fn scenario(seed: u64) -> (usize, usize, Vec<f64>, Vec<PartyId>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let t = rng.gen_range(1..=3usize);
+    let n = 3 * t + 1 + rng.gen_range(0..3usize);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let nbad = rng.gen_range(0..=t);
+    let bad = ids[..nbad].iter().map(|&i| PartyId(i)).collect();
+    (n, t, inputs, bad)
+}
+
+fn honest_range(inputs: &[f64], bad: &[PartyId]) -> (f64, f64) {
+    let honest: Vec<f64> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !bad.iter().any(|b| b.index() == *i))
+        .map(|(_, &v)| v)
+        .collect();
+    (
+        honest.iter().cloned().fold(f64::INFINITY, f64::min),
+        honest.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn realaa_safe_under_chaos(seed in any::<u64>()) {
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.5;
+        let cfg = RealAaConfig::new(n, t, eps, 100.0).unwrap();
+        let adv = RealAaChaos::new(bad.clone(), seed, (-50.0, 150.0));
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps, "spread {} > eps", spread(&outs));
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9, "validity: {o} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn realaa_safe_under_budget_split(seed in any::<u64>(), spread_iters in 1usize..4) {
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.25;
+        let cfg = RealAaConfig::new(n, t, eps, 100.0).unwrap();
+        if bad.is_empty() {
+            return Ok(());
+        }
+        let schedule = equal_split_schedule(bad.len(), spread_iters);
+        let adv = BudgetSplitEquivocator::new(n, bad.clone(), schedule);
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps, "spread {} > eps", spread(&outs));
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9, "validity: {o} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn realaa_safe_under_crashes(seed in any::<u64>()) {
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.5;
+        let cfg = RealAaConfig::new(n, t, eps, 100.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51);
+        let crashes = bad.iter().map(|&p| (p, rng.gen_range(1..=6u32))).collect();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            CrashAdversary { crashes },
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps);
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn realaa_early_stopping_safe_and_never_slower(seed in any::<u64>()) {
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.5;
+        let cfg = RealAaConfig::new(n, t, eps, 100.0).unwrap().with_early_stopping();
+        let adv = RealAaChaos::new(bad.clone(), seed, (0.0, 100.0));
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps, "spread {} > eps", spread(&outs));
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+        prop_assert!(report.rounds_executed <= cfg.rounds() + 5);
+    }
+
+    #[test]
+    fn baseline_safe_under_crashes(seed in any::<u64>()) {
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.5;
+        let cfg = IteratedAaConfig::new(n, t, eps, 100.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x52);
+        let crashes = bad.iter().map(|&p| (p, rng.gen_range(1..=4u32))).collect();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
+            CrashAdversary { crashes },
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps, "baseline spread {}", spread(&outs));
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+}
+
+/// The convergence envelope: with the whole budget split evenly over the
+/// first `R0` iterations and the protocol running `R >= R0` iterations
+/// total, the final spread must be bounded by `D · Π tᵢ / (n − 2t)^{R0}`
+/// (zero afterwards if any later iteration is clean — so we run exactly
+/// R0 iterations via the override to observe the envelope).
+#[test]
+fn budget_split_tracks_the_theoretical_envelope() {
+    let n = 10;
+    let t = 3;
+    let d = 1000.0;
+    for r0 in 1..=3u32 {
+        let schedule = equal_split_schedule(t, r0 as usize);
+        let cfg = RealAaConfig::new(n, t, 1e-12, d)
+            .unwrap()
+            .with_fixed_iterations(r0);
+        let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
+        let adv = BudgetSplitEquivocator::new(n, byz.clone(), schedule.clone());
+        let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        )
+        .unwrap();
+        let outs = report.honest_outputs();
+        let bound: f64 = schedule
+            .iter()
+            .map(|&ti| ti as f64 / (n - 2 * t) as f64)
+            .product::<f64>()
+            * d;
+        assert!(
+            spread(&outs) <= bound + 1e-9,
+            "R0 = {r0}: measured {} exceeds envelope {bound}",
+            spread(&outs)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn realaa_safe_under_selective_omission(seed in any::<u64>()) {
+        use sim_net::SelectiveOmission;
+        let (n, t, inputs, bad) = scenario(seed);
+        let eps = 0.5;
+        let cfg = RealAaConfig::new(n, t, eps, 100.0).unwrap();
+        let adv = SelectiveOmission::new(bad.clone(), 0.4, seed);
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv,
+        ).unwrap();
+        let outs = report.honest_outputs();
+        let (lo, hi) = honest_range(&inputs, &bad);
+        prop_assert!(spread(&outs) <= eps, "spread {} > eps", spread(&outs));
+        for &o in &outs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The lockstep execution engine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::adversary::{Adversary, AdversaryCtx};
+use crate::message::{Envelope, PartyId, Payload};
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::party::{Protocol, RoundCtx};
+
+/// Static parameters of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption budget (`t < n` enforced; protocols typically require
+    /// `t < n/3`, which is *their* precondition, not the engine's).
+    pub t: usize,
+    /// Hard stop: error out if honest parties have not all terminated by
+    /// this round.
+    pub max_rounds: u32,
+}
+
+/// Why a simulation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// `n == 0` or `t >= n`.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Some honest party had produced no output by `max_rounds`.
+    MaxRoundsExceeded {
+        /// The configured bound that was hit.
+        max_rounds: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig { reason } => write!(f, "bad simulation config: {reason}"),
+            SimError::MaxRoundsExceeded { max_rounds } => {
+                write!(f, "honest parties did not terminate within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Per-party outputs; `None` exactly for corrupted parties.
+    pub outputs: Vec<Option<O>>,
+    /// Which parties ended the run corrupted.
+    pub corrupted: Vec<bool>,
+    /// Rounds executed until every honest party had an output.
+    pub rounds_executed: u32,
+    /// Communication metrics.
+    pub metrics: Metrics,
+}
+
+impl<O: Clone> RunReport<O> {
+    /// Outputs of the honest parties only.
+    pub fn honest_outputs(&self) -> Vec<O> {
+        self.outputs
+            .iter()
+            .zip(&self.corrupted)
+            .filter(|(_, &c)| !c)
+            .map(|(o, _)| o.clone().expect("honest parties have outputs on success"))
+            .collect()
+    }
+
+    /// The communication round complexity: last round with traffic.
+    pub fn communication_rounds(&self) -> u32 {
+        self.metrics.communication_rounds()
+    }
+}
+
+/// Runs a protocol instance against an adversary until every honest party
+/// outputs.
+///
+/// `factory(id, n)` builds the party state machine for each id. The
+/// adversary is invoked after the parties in every round (rushing) and may
+/// adaptively corrupt up to `cfg.t` parties.
+///
+/// # Errors
+///
+/// * [`SimError::BadConfig`] if `n == 0` or `t >= n`.
+/// * [`SimError::MaxRoundsExceeded`] if some honest party has no output
+///   after `cfg.max_rounds` rounds — typically a deadlocked or
+///   non-terminating protocol under test.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+pub fn run_simulation<P, A, F>(
+    cfg: SimConfig,
+    factory: F,
+    mut adversary: A,
+) -> Result<RunReport<P::Output>, SimError>
+where
+    P: Protocol,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let SimConfig { n, t, max_rounds } = cfg;
+    if n == 0 {
+        return Err(SimError::BadConfig { reason: "n must be positive".into() });
+    }
+    if t >= n {
+        return Err(SimError::BadConfig { reason: format!("t = {t} must be < n = {n}") });
+    }
+
+    let mut factory = factory;
+    let mut parties: Vec<P> = (0..n).map(|i| factory(PartyId(i), n)).collect();
+    let mut corrupted = vec![false; n];
+    let mut corrupted_count = 0usize;
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    let mut metrics = Metrics::default();
+
+    for round in 1..=max_rounds {
+        // 1. Step every party (corrupted ones too: their tentative traffic
+        //    is shown to the adversary, supporting omission/semi-honest
+        //    strategies), collecting tentative outboxes.
+        let mut tentative: Vec<Vec<Envelope<P::Msg>>> = Vec::with_capacity(n);
+        for (i, party) in parties.iter_mut().enumerate() {
+            let mut ctx = RoundCtx::new(PartyId(i), n);
+            let inbox = std::mem::take(&mut inboxes[i]);
+            party.step(round, &inbox, &mut ctx);
+            tentative.push(ctx.into_outbox());
+        }
+
+        // 2. The adversary observes everything and acts (rushing,
+        //    adaptive).
+        let mut injected: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut forwarded = vec![false; n];
+        {
+            let mut actx = AdversaryCtx {
+                round,
+                n,
+                t,
+                corrupted: &mut corrupted,
+                corrupted_count: &mut corrupted_count,
+                tentative: &tentative,
+                injected: &mut injected,
+                forwarded: &mut forwarded,
+            };
+            adversary.round(&mut actx);
+        }
+
+        // 3. Deliver: honest tentative traffic verbatim; corrupted
+        //    tentative traffic only if forwarded; plus adversary
+        //    injections. Delivery order is deterministic: by sender id,
+        //    injections last in injection order.
+        let mut rm = RoundMetrics::default();
+        for (i, outbox) in tentative.into_iter().enumerate() {
+            let deliver = !corrupted[i] || forwarded[i];
+            if !deliver {
+                continue;
+            }
+            for env in outbox {
+                rm.bytes += env.payload.size_bytes();
+                if corrupted[i] {
+                    rm.byzantine_messages += 1;
+                } else {
+                    rm.honest_messages += 1;
+                }
+                inboxes[env.to.index()].push(env);
+            }
+        }
+        for env in injected {
+            debug_assert!(corrupted[env.from.index()]);
+            rm.bytes += env.payload.size_bytes();
+            rm.byzantine_messages += 1;
+            inboxes[env.to.index()].push(env);
+        }
+        metrics.per_round.push(rm);
+
+        // 4. Termination check.
+        let all_honest_done = (0..n).all(|i| corrupted[i] || parties[i].output().is_some());
+        if all_honest_done {
+            let outputs = parties
+                .iter()
+                .enumerate()
+                .map(|(i, p)| if corrupted[i] { None } else { p.output() })
+                .collect();
+            return Ok(RunReport { outputs, corrupted, rounds_executed: round, metrics });
+        }
+    }
+
+    Err(SimError::MaxRoundsExceeded { max_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashAdversary, Passive, ScriptedAdversary, StaticByzantine};
+
+    /// Round 1: broadcast own id. Round 2: output the multiset of senders
+    /// seen.
+    struct EchoParty {
+        seen: Option<Vec<usize>>,
+    }
+
+    impl Protocol for EchoParty {
+        type Msg = u64;
+        type Output = Vec<usize>;
+        fn step(&mut self, round: u32, inbox: &[Envelope<u64>], ctx: &mut RoundCtx<u64>) {
+            if round == 1 {
+                ctx.broadcast(ctx.me().index() as u64);
+            } else if self.seen.is_none() {
+                let mut s: Vec<usize> = inbox.iter().map(|e| e.from.index()).collect();
+                s.sort_unstable();
+                self.seen = Some(s);
+            }
+        }
+        fn output(&self) -> Option<Vec<usize>> {
+            self.seen.clone()
+        }
+    }
+
+    fn echo_factory(_id: PartyId, _n: usize) -> EchoParty {
+        EchoParty { seen: None }
+    }
+
+    #[test]
+    fn all_honest_all_delivered() {
+        let cfg = SimConfig { n: 5, t: 0, max_rounds: 5 };
+        let report = run_simulation(cfg, echo_factory, Passive).unwrap();
+        assert_eq!(report.rounds_executed, 2);
+        for out in report.honest_outputs() {
+            assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        }
+        // 5 broadcasts of 5 messages in round 1.
+        assert_eq!(report.metrics.total_messages(), 25);
+        assert_eq!(report.communication_rounds(), 1);
+    }
+
+    #[test]
+    fn crashed_party_is_silent_and_outputless() {
+        let cfg = SimConfig { n : 4, t: 1, max_rounds: 5 };
+        let adv = CrashAdversary { crashes: vec![(PartyId(2), 1)] };
+        let report = run_simulation(cfg, echo_factory, adv).unwrap();
+        assert!(report.corrupted[2]);
+        assert!(report.outputs[2].is_none());
+        for (i, out) in report.outputs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(out.as_ref().unwrap(), &vec![0, 1, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn late_crash_after_broadcast_still_counts_round1_traffic() {
+        let cfg = SimConfig { n: 4, t: 1, max_rounds: 5 };
+        let adv = CrashAdversary { crashes: vec![(PartyId(2), 2)] };
+        let report = run_simulation(cfg, echo_factory, adv).unwrap();
+        // p2 broadcast in round 1 before crashing in round 2.
+        for (i, out) in report.outputs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(out.as_ref().unwrap(), &vec![0, 1, 2, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn equivocation_reaches_different_recipients() {
+        let cfg = SimConfig { n: 4, t: 1, max_rounds: 5 };
+        let adv = StaticByzantine {
+            parties: vec![PartyId(0)],
+            behave: |ctx: &mut AdversaryCtx<'_, u64>| {
+                if ctx.round() == 1 {
+                    ctx.send(PartyId(0), PartyId(1), 100);
+                    ctx.send(PartyId(0), PartyId(2), 200);
+                }
+            },
+        };
+        struct Recorder {
+            got: Option<Vec<(usize, u64)>>,
+        }
+        impl Protocol for Recorder {
+            type Msg = u64;
+            type Output = Vec<(usize, u64)>;
+            fn step(&mut self, round: u32, inbox: &[Envelope<u64>], _ctx: &mut RoundCtx<u64>) {
+                if round == 2 {
+                    self.got =
+                        Some(inbox.iter().map(|e| (e.from.index(), e.payload)).collect());
+                }
+            }
+            fn output(&self) -> Option<Self::Output> {
+                self.got.clone()
+            }
+        }
+        let report =
+            run_simulation(cfg, |_, _| Recorder { got: None }, adv).unwrap();
+        assert_eq!(report.outputs[1].as_ref().unwrap(), &vec![(0, 100)]);
+        assert_eq!(report.outputs[2].as_ref().unwrap(), &vec![(0, 200)]);
+        assert_eq!(report.outputs[3].as_ref().unwrap(), &Vec::new());
+    }
+
+    #[test]
+    fn forwarding_models_semi_honest_corruption() {
+        let cfg = SimConfig { n: 3, t: 1, max_rounds: 5 };
+        let adv = ScriptedAdversary(|ctx: &mut AdversaryCtx<'_, u64>| {
+            if ctx.round() == 1 {
+                ctx.corrupt(PartyId(0)).unwrap();
+                ctx.forward(PartyId(0)); // behave honestly this round
+            }
+        });
+        let report = run_simulation(cfg, echo_factory, adv).unwrap();
+        for (i, out) in report.outputs.iter().enumerate() {
+            if i != 0 {
+                assert_eq!(out.as_ref().unwrap(), &vec![0, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn nontermination_is_reported() {
+        struct Mute;
+        impl Protocol for Mute {
+            type Msg = u64;
+            type Output = ();
+            fn step(&mut self, _r: u32, _i: &[Envelope<u64>], _c: &mut RoundCtx<u64>) {}
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let cfg = SimConfig { n: 2, t: 0, max_rounds: 7 };
+        let err = run_simulation(cfg, |_, _| Mute, Passive).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { max_rounds: 7 });
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let err =
+            run_simulation(SimConfig { n: 0, t: 0, max_rounds: 1 }, echo_factory, Passive)
+                .unwrap_err();
+        assert!(matches!(err, SimError::BadConfig { .. }));
+        let err =
+            run_simulation(SimConfig { n: 3, t: 3, max_rounds: 1 }, echo_factory, Passive)
+                .unwrap_err();
+        assert!(matches!(err, SimError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_report() {
+        let cfg = SimConfig { n: 6, t: 1, max_rounds: 5 };
+        let run = || {
+            let adv = CrashAdversary { crashes: vec![(PartyId(5), 1)] };
+            run_simulation(cfg, echo_factory, adv).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rounds_executed, b.rounds_executed);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics.total_messages(), b.metrics.total_messages());
+    }
+}

@@ -1,0 +1,92 @@
+//! Communication metrics: message and byte counts per round.
+
+/// Counters for a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Messages delivered out of this round sent by honest parties.
+    pub honest_messages: usize,
+    /// Messages delivered out of this round authored by the adversary
+    /// (including forwarded tentative outboxes of corrupted parties).
+    pub byzantine_messages: usize,
+    /// Estimated bytes across all delivered messages.
+    pub bytes: usize,
+}
+
+impl RoundMetrics {
+    /// Total delivered messages this round.
+    pub fn messages(&self) -> usize {
+        self.honest_messages + self.byzantine_messages
+    }
+}
+
+/// Aggregated communication metrics of a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Per-round counters, index 0 = round 1.
+    pub per_round: Vec<RoundMetrics>,
+}
+
+impl Metrics {
+    /// Total messages delivered over the whole run.
+    pub fn total_messages(&self) -> usize {
+        self.per_round.iter().map(RoundMetrics::messages).sum()
+    }
+
+    /// Total messages sent by honest parties.
+    pub fn honest_messages(&self) -> usize {
+        self.per_round.iter().map(|r| r.honest_messages).sum()
+    }
+
+    /// Total estimated bytes delivered.
+    pub fn total_bytes(&self) -> usize {
+        self.per_round.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of rounds in which at least one message was delivered — the
+    /// *communication round complexity* of the run, which is what the
+    /// paper's theorems count.
+    pub fn communication_rounds(&self) -> u32 {
+        self.per_round
+            .iter()
+            .rposition(|r| r.messages() > 0)
+            .map(|i| i as u32 + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_rounds() {
+        let m = Metrics {
+            per_round: vec![
+                RoundMetrics { honest_messages: 3, byzantine_messages: 1, bytes: 40 },
+                RoundMetrics { honest_messages: 2, byzantine_messages: 0, bytes: 16 },
+            ],
+        };
+        assert_eq!(m.total_messages(), 6);
+        assert_eq!(m.honest_messages(), 5);
+        assert_eq!(m.total_bytes(), 56);
+        assert_eq!(m.communication_rounds(), 2);
+    }
+
+    #[test]
+    fn trailing_silent_rounds_do_not_count() {
+        let m = Metrics {
+            per_round: vec![
+                RoundMetrics { honest_messages: 1, byzantine_messages: 0, bytes: 8 },
+                RoundMetrics::default(),
+                RoundMetrics::default(),
+            ],
+        };
+        assert_eq!(m.communication_rounds(), 1);
+    }
+
+    #[test]
+    fn empty_run_has_zero_rounds() {
+        assert_eq!(Metrics::default().communication_rounds(), 0);
+        assert_eq!(Metrics::default().total_messages(), 0);
+    }
+}

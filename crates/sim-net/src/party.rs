@@ -1,0 +1,116 @@
+//! The protocol (party state machine) abstraction.
+
+use crate::message::{Envelope, PartyId, Payload};
+
+/// A synchronous protocol, written as a per-party round state machine.
+///
+/// The engine drives all parties in lockstep. In round `r` (1-based), each
+/// party receives the messages that were sent to it in round `r − 1` (round
+/// 1 delivers an empty inbox) and may send messages via the [`RoundCtx`].
+///
+/// Implementations must be deterministic functions of their construction
+/// parameters and observed inboxes — the honest parties of the paper's model
+/// are deterministic, and the simulator's reproducibility relies on it.
+pub trait Protocol {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+    /// The value a party terminates with.
+    type Output: Clone;
+
+    /// Executes one round: consume this round's inbox, emit this round's
+    /// messages.
+    fn step(&mut self, round: u32, inbox: &[Envelope<Self::Msg>], ctx: &mut RoundCtx<Self::Msg>);
+
+    /// The party's output, once it has terminated. The engine stops when
+    /// every honest party reports `Some`.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Per-round sending context handed to a party by the engine.
+///
+/// All sends are attributed to the stepping party; recipients are any of the
+/// `n` parties, including the sender itself (self-delivery is ordinary
+/// delivery in the next round).
+#[derive(Debug)]
+pub struct RoundCtx<M> {
+    me: PartyId,
+    n: usize,
+    outbox: Vec<Envelope<M>>,
+}
+
+impl<M: Payload> RoundCtx<M> {
+    /// Creates a standalone context.
+    ///
+    /// The engine builds these internally; the constructor is public so
+    /// that *composed* protocols can drive an inner protocol's `step` with
+    /// a scratch context and re-wrap its outbox into their own message
+    /// type (see `tree-aa`, which nests real-valued AA engines).
+    pub fn new(me: PartyId, n: usize) -> Self {
+        RoundCtx { me, n, outbox: Vec::new() }
+    }
+
+    /// The stepping party's own id.
+    pub fn me(&self) -> PartyId {
+        self.me
+    }
+
+    /// Total number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `msg` to `to`, delivered next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range — addressing a party that does not
+    /// exist is a protocol bug, not a runtime condition.
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        assert!(to.index() < self.n, "recipient {to} out of range (n = {})", self.n);
+        self.outbox.push(Envelope { from: self.me, to, payload: msg });
+    }
+
+    /// Sends `msg` to every party (including the sender).
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.outbox.push(Envelope { from: self.me, to: PartyId(i), payload: msg.clone() });
+        }
+    }
+
+    /// Consumes the context and returns the accumulated outbox (public
+    /// for the same composition use case as [`RoundCtx::new`]).
+    pub fn into_outbox(self) -> Vec<Envelope<M>> {
+        self.outbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut ctx: RoundCtx<u64> = RoundCtx::new(PartyId(1), 3);
+        ctx.broadcast(5);
+        let out = ctx.into_outbox();
+        assert_eq!(out.len(), 3);
+        let tos: Vec<_> = out.iter().map(|e| e.to.index()).collect();
+        assert_eq!(tos, [0, 1, 2]);
+        assert!(out.iter().all(|e| e.from == PartyId(1) && e.payload == 5));
+    }
+
+    #[test]
+    fn send_is_attributed_to_sender() {
+        let mut ctx: RoundCtx<u64> = RoundCtx::new(PartyId(2), 4);
+        ctx.send(PartyId(0), 9);
+        let out = ctx.into_outbox();
+        assert_eq!(out, vec![Envelope { from: PartyId(2), to: PartyId(0), payload: 9 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        let mut ctx: RoundCtx<u64> = RoundCtx::new(PartyId(0), 2);
+        ctx.send(PartyId(2), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! The Nowak–Rybicki safe-area baseline: iteration-based AA on trees in
+//! `O(log D(T))` rounds (DISC 2019), adapted to the synchronous model.
+//!
+//! This is the protocol the paper improves on; the E3 experiment compares
+//! its round count against `TreeAA`. Each iteration costs one round:
+//! broadcast the current vertex, compute the *safe area* — the
+//! intersection of the convex hulls of all `(n − t)`-subsets of the
+//! received vertices — and move to the midpoint of the safe area's
+//! diameter path.
+//!
+//! The safe-area intersection has a linear-time characterization on trees:
+//! `w` is safe for a received multiset `M` iff **every** component of
+//! `T ∖ {w}` contains at most `n − t − 1` elements of `M` (otherwise some
+//! `(n − t)`-subset lies entirely in one component and its hull misses
+//! `w`). By Helly's property for subtrees the safe area is a non-empty
+//! subtree whenever `|M| ≥ n − t` and at most `t` elements are Byzantine.
+
+use std::sync::Arc;
+
+use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use tree_model::{Tree, VertexId};
+
+/// Public parameters of the baseline.
+#[derive(Clone, Debug)]
+pub struct NowakRybickiConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption bound; requires `t < n/3`.
+    pub t: usize,
+    /// Fixed iteration count (1 round each).
+    pub iterations: u32,
+}
+
+impl NowakRybickiConfig {
+    /// Derives the configuration from the public tree:
+    /// `⌈log₂ D(T)⌉ + 2` iterations (the diameter of the honest vertices
+    /// at least halves per iteration; the slack absorbs the final
+    /// rounding steps, and the fixed count keeps termination simultaneous).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated precondition if `n ≤ 3t`.
+    pub fn new(n: usize, t: usize, tree: &Tree) -> Result<Self, String> {
+        if n <= 3 * t {
+            return Err(format!("safe-area AA requires n > 3t, got n = {n}, t = {t}"));
+        }
+        let d = tree.diameter();
+        let iterations = if d <= 1 {
+            0
+        } else {
+            (d as f64).log2().ceil() as u32 + 2
+        };
+        Ok(NowakRybickiConfig { n, t, iterations })
+    }
+
+    /// Total communication rounds (1 per iteration).
+    pub fn rounds(&self) -> u32 {
+        self.iterations
+    }
+}
+
+/// A broadcast vertex (iteration-tagged; dense vertex index on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlainVertexMsg {
+    /// Iteration index (0-based).
+    pub iter: u32,
+    /// Dense index of the sender's current vertex.
+    pub vertex: u32,
+}
+
+impl Payload for PlainVertexMsg {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+/// One party of the safe-area baseline.
+#[derive(Clone, Debug)]
+pub struct NowakRybickiParty {
+    cfg: NowakRybickiConfig,
+    tree: Arc<Tree>,
+    vertex: VertexId,
+    iterations_done: u32,
+    output: Option<VertexId>,
+}
+
+impl NowakRybickiParty {
+    /// Creates the party with its input vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` or `input` is out of range.
+    pub fn new(me: PartyId, cfg: NowakRybickiConfig, tree: Arc<Tree>, input: VertexId) -> Self {
+        assert!(me.index() < cfg.n, "party id out of range");
+        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
+        NowakRybickiParty { cfg, tree, vertex: input, iterations_done: 0, output: None }
+    }
+
+    fn update(&mut self, received: &[VertexId]) {
+        if let Some(mid) = safe_area_midpoint(&self.tree, received, self.cfg.n, self.cfg.t) {
+            self.vertex = mid;
+        }
+        // An empty safe area cannot occur with >= n - t received values
+        // and <= t Byzantine ones; keeping the current vertex preserves
+        // validity regardless.
+        self.iterations_done += 1;
+    }
+}
+
+/// The safe area of a received vertex multiset: all `w` such that every
+/// component of `T ∖ {w}` holds at most `n − t − 1` of the received
+/// vertices — the linear-time characterization of the intersection of the
+/// convex hulls of all `(n − t)`-subsets (see the module docs). Shared by
+/// the synchronous baseline and the asynchronous protocol in `async-aa`.
+pub fn safe_area(tree: &Tree, received: &[VertexId], n: usize, t: usize) -> Vec<VertexId> {
+    let nv = tree.vertex_count();
+    let mut weight = vec![0usize; nv];
+    for &v in received {
+        weight[v.index()] += 1;
+    }
+    let total: usize = received.len();
+
+    // Subtree sums via reverse preorder.
+    let mut sub = vec![0usize; nv];
+    for &v in tree.dfs_preorder().iter().rev() {
+        let mut c = weight[v.index()];
+        for &ch in tree.children(v) {
+            c += sub[ch.index()];
+        }
+        sub[v.index()] = c;
+    }
+
+    let limit = n - t - 1;
+    let mut safe = Vec::new();
+    for w in tree.vertices() {
+        let mut max_dir = total - sub[w.index()]; // parent side
+        for &ch in tree.children(w) {
+            max_dir = max_dir.max(sub[ch.index()]);
+        }
+        if max_dir <= limit {
+            safe.push(w);
+        }
+    }
+    safe
+}
+
+/// The midpoint of the safe area's diameter path (left-center on even
+/// lengths; the choice is local, so no coordination is needed), or `None`
+/// for an empty safe area.
+pub fn safe_area_midpoint(
+    tree: &Tree,
+    received: &[VertexId],
+    n: usize,
+    t: usize,
+) -> Option<VertexId> {
+    let safe = safe_area(tree, received, n, t);
+    let dia = tree.induced_diameter_path(&safe)?;
+    let mid = (dia.len() - 1) / 2;
+    Some(dia.get(mid).expect("midpoint on path"))
+}
+
+impl Protocol for NowakRybickiParty {
+    type Msg = PlainVertexMsg;
+    type Output = VertexId;
+
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: &[Envelope<PlainVertexMsg>],
+        ctx: &mut RoundCtx<PlainVertexMsg>,
+    ) {
+        if self.output.is_some() {
+            return;
+        }
+        if round == 1 && self.cfg.iterations == 0 {
+            self.output = Some(self.vertex);
+            return;
+        }
+        if round >= 2 {
+            let iter_tag = round - 2;
+            let nv = self.tree.vertex_count();
+            let mut seen = vec![false; self.cfg.n];
+            let mut received = Vec::with_capacity(self.cfg.n);
+            for e in inbox {
+                let idx = e.payload.vertex as usize;
+                if e.payload.iter == iter_tag && idx < nv && !seen[e.from.index()] {
+                    seen[e.from.index()] = true;
+                    received.push(vertex_from_index(idx, &self.tree));
+                }
+            }
+            self.update(&received);
+            if self.iterations_done >= self.cfg.iterations {
+                self.output = Some(self.vertex);
+                return;
+            }
+        }
+        ctx.broadcast(PlainVertexMsg { iter: round - 1, vertex: self.vertex.index() as u32 });
+    }
+
+    fn output(&self) -> Option<VertexId> {
+        self.output
+    }
+}
+
+/// Dense index → `VertexId` (ids are dense by construction).
+fn vertex_from_index(idx: usize, tree: &Tree) -> VertexId {
+    tree.vertices().nth(idx).expect("validated index")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_net::{run_simulation, Passive, SimConfig};
+    use tree_model::generate;
+
+    fn run(tree: &Arc<Tree>, n: usize, t: usize, inputs: &[VertexId]) -> Vec<VertexId> {
+        let cfg = NowakRybickiConfig::new(n, t, tree).unwrap();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            |id, _| {
+                NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
+            },
+            Passive,
+        )
+        .unwrap();
+        report.honest_outputs()
+    }
+
+    #[test]
+    fn converges_honestly_across_families() {
+        for tree in [
+            generate::path(33),
+            generate::star(8),
+            generate::balanced_kary(2, 4),
+            generate::caterpillar(9, 2),
+        ] {
+            let tree = Arc::new(tree);
+            let m = tree.vertex_count();
+            let inputs: Vec<VertexId> =
+                (0..4).map(|i| tree.vertices().nth((i * 17) % m).unwrap()).collect();
+            let outputs = run(&tree, 4, 1, &inputs);
+            crate::validity::check_tree_aa(&tree, &inputs, &outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn safe_area_discards_outliers() {
+        // n = 4, t = 1: one Byzantine vertex at a far leaf must not drag
+        // the safe area toward it.
+        let tree = Arc::new(generate::path(9));
+        let cfg = NowakRybickiConfig::new(4, 1, &tree).unwrap();
+        let _ = cfg;
+        // Three honest at v0..v2, one Byzantine claim at v8.
+        let received: Vec<VertexId> = ["v0000", "v0001", "v0002", "v0008"]
+            .iter()
+            .map(|l| tree.vertex(l).unwrap())
+            .collect();
+        let safe = safe_area(&tree, &received, 4, 1);
+        // Safe vertices must lie within the honest hull v0..v2 region:
+        // every component bound is n - t - 1 = 2.
+        for &w in &safe {
+            assert!(
+                tree.distance(w, tree.vertex("v0001").unwrap()) <= 1,
+                "unsafe vertex {} accepted",
+                tree.label(w)
+            );
+        }
+        assert!(!safe.is_empty());
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_in_diameter() {
+        let tree = generate::path(1025); // D = 1024
+        let cfg = NowakRybickiConfig::new(4, 1, &tree).unwrap();
+        assert_eq!(cfg.rounds(), 12); // log2(1024) + 2
+    }
+
+    #[test]
+    fn trivial_diameter_trees_are_immediate() {
+        let tree = Arc::new(generate::path(2));
+        let inputs = vec![tree.root(), tree.root(), tree.root(), tree.root()];
+        let outputs = run(&tree, 4, 1, &inputs);
+        assert!(outputs.iter().all(|&o| o == tree.root()));
+    }
+}

@@ -1,0 +1,80 @@
+//! **Round-optimal Byzantine approximate agreement on trees** — the
+//! primary contribution of *"Towards Round-Optimal Approximate Agreement
+//! on Trees"* (Fuchs, Ghinea, Parsaeian; PODC 2025), implemented end to
+//! end.
+//!
+//! # The problem
+//!
+//! `n` parties hold vertices of a publicly known labeled tree `T`; up to
+//! `t < n/3` of them are Byzantine. Every honest party must output a vertex
+//! such that (Definition 2):
+//!
+//! * **Termination** — every honest party outputs and halts;
+//! * **Validity** — honest outputs lie in the convex hull (smallest
+//!   connected subtree) of the honest inputs;
+//! * **1-Agreement** — honest outputs are pairwise within distance 1.
+//!
+//! # The protocols
+//!
+//! * [`TreeAaParty`] — the paper's `TreeAA` (Section 7):
+//!   `PathsFinder` + projection, achieving
+//!   `O(log |V(T)| / log log |V(T)|)` rounds via two runs of the
+//!   real-valued `RealAA` engine;
+//! * [`PathsFinderParty`] — the `PathsFinder` subprotocol (Section 6) on
+//!   its own: 1-close root paths intersecting the honest hull, built on
+//!   the Euler-list representation (`ListConstruction`, Lemma 2);
+//! * [`ProjectionAaParty`] — the Section 5 stepping stone: AA on a tree
+//!   given a *publicly known* path intersecting the honest hull;
+//! * [`PathAaParty`] — the Section 4 warm-up: AA when the input space is
+//!   itself a path;
+//! * [`NowakRybickiParty`] — the `O(log D(T))`-round safe-area baseline
+//!   (Nowak & Rybicki, DISC 2019) that the paper's round complexity is
+//!   compared against.
+//!
+//! All protocols are generic over the inner real-valued AA engine
+//! ([`EngineKind`]): the gradecast-based `RealAA` (round-optimal) or the
+//! classic halving iteration — mirroring the paper's remark that the
+//! reduction is independent of the underlying real-valued protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_net::{run_simulation, Passive, SimConfig};
+//! use tree_aa::{check_tree_aa, EngineKind, TreeAaConfig, TreeAaParty};
+//! use tree_model::generate;
+//! use std::sync::Arc;
+//!
+//! let tree = Arc::new(generate::caterpillar(6, 2));
+//! let n = 4;
+//! let t = 1;
+//! let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+//! // Every party inputs some vertex of the tree.
+//! let inputs: Vec<_> = tree.vertices().take(n).collect();
+//! let report = run_simulation(
+//!     SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+//!     |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+//!     Passive,
+//! ).unwrap();
+//! let outputs = report.honest_outputs();
+//! check_tree_aa(&tree, &inputs, &outputs).unwrap(); // validity + 1-agreement
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod adversary;
+mod baseline;
+mod engine;
+mod path_aa;
+mod paths_finder;
+mod projection;
+mod tree_aa;
+mod validity;
+
+pub use baseline::{safe_area, safe_area_midpoint, NowakRybickiConfig, NowakRybickiParty,
+                   PlainVertexMsg};
+pub use engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
+pub use path_aa::{PathAaConfig, PathAaParty};
+pub use paths_finder::{PathsFinderConfig, PathsFinderParty};
+pub use projection::{ProjectionAaConfig, ProjectionAaParty};
+pub use tree_aa::{TreeAaConfig, TreeAaParty, TreeMsg};
+pub use validity::{check_paths_finder, check_tree_aa, Violation};

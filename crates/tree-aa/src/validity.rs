@@ -1,0 +1,191 @@
+//! Outcome checkers for the AA-on-trees properties (Definition 2 and
+//! Lemma 4) — shared by tests, property tests and the experiment harness.
+
+use std::error::Error;
+use std::fmt;
+
+use tree_model::{Tree, TreePath, VertexId};
+
+/// A violated protocol property, with enough context to debug the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An output vertex is outside the honest inputs' convex hull.
+    OutsideHull {
+        /// The offending output.
+        output: VertexId,
+    },
+    /// Two outputs are farther than distance 1 apart.
+    TooFar {
+        /// First output.
+        a: VertexId,
+        /// Second output.
+        b: VertexId,
+        /// Their distance.
+        distance: usize,
+    },
+    /// A `PathsFinder` path misses the honest inputs' hull.
+    PathMissesHull {
+        /// Index of the offending party's path.
+        party: usize,
+    },
+    /// A `PathsFinder` path does not start at the canonical root.
+    PathNotFromRoot {
+        /// Index of the offending party's path.
+        party: usize,
+    },
+    /// Two `PathsFinder` paths differ by more than one trailing edge.
+    PathsDiverge {
+        /// Indices of the two offending parties.
+        parties: (usize, usize),
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutsideHull { output } => {
+                write!(f, "output {output} lies outside the honest inputs' convex hull")
+            }
+            Violation::TooFar { a, b, distance } => {
+                write!(f, "outputs {a} and {b} are {distance} > 1 apart")
+            }
+            Violation::PathMissesHull { party } => {
+                write!(f, "party {party}'s path does not intersect the honest hull")
+            }
+            Violation::PathNotFromRoot { party } => {
+                write!(f, "party {party}'s path does not start at the root")
+            }
+            Violation::PathsDiverge { parties: (a, b) } => {
+                write!(f, "paths of parties {a} and {b} differ by more than one edge")
+            }
+        }
+    }
+}
+
+impl Error for Violation {}
+
+/// Checks Validity and 1-Agreement of a `TreeAA`-style outcome:
+/// `honest_inputs` and `honest_outputs` are the input/output vertices of
+/// the honest parties (in any order; the two slices need not align).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+///
+/// # Panics
+///
+/// Panics if `honest_inputs` is empty (no honest parties means nothing to
+/// check — a harness bug).
+pub fn check_tree_aa(
+    tree: &Tree,
+    honest_inputs: &[VertexId],
+    honest_outputs: &[VertexId],
+) -> Result<(), Violation> {
+    assert!(!honest_inputs.is_empty(), "at least one honest input required");
+    let hull = tree.convex_hull(honest_inputs);
+    for &o in honest_outputs {
+        if !hull.contains(o) {
+            return Err(Violation::OutsideHull { output: o });
+        }
+    }
+    for (i, &a) in honest_outputs.iter().enumerate() {
+        for &b in &honest_outputs[i + 1..] {
+            let d = tree.distance(a, b);
+            if d > 1 {
+                return Err(Violation::TooFar { a, b, distance: d });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the Lemma 4 guarantees of a `PathsFinder` outcome: every path
+/// starts at the canonical root and intersects the honest inputs' hull,
+/// and any two paths are equal or differ by exactly one trailing edge.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+///
+/// # Panics
+///
+/// Panics if `honest_inputs` is empty.
+pub fn check_paths_finder(
+    tree: &Tree,
+    honest_inputs: &[VertexId],
+    paths: &[TreePath],
+) -> Result<(), Violation> {
+    assert!(!honest_inputs.is_empty(), "at least one honest input required");
+    let hull = tree.convex_hull(honest_inputs);
+    for (i, p) in paths.iter().enumerate() {
+        if p.vertices()[0] != tree.root() {
+            return Err(Violation::PathNotFromRoot { party: i });
+        }
+        if !p.vertices().iter().any(|&v| hull.contains(v)) {
+            return Err(Violation::PathMissesHull { party: i });
+        }
+    }
+    for (i, a) in paths.iter().enumerate() {
+        for (j, b) in paths.iter().enumerate().skip(i + 1) {
+            let ok = a == b || a.is_one_edge_prefix_of(b) || b.is_one_edge_prefix_of(a);
+            if !ok {
+                return Err(Violation::PathsDiverge { parties: (i, j) });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tree_model::generate;
+
+    #[test]
+    fn accepts_valid_outcomes() {
+        let t = generate::path(5);
+        let vs: Vec<VertexId> = t.vertices().collect();
+        check_tree_aa(&t, &[vs[0], vs[3]], &[vs[1], vs[2]]).unwrap();
+    }
+
+    #[test]
+    fn rejects_hull_escape() {
+        let t = generate::path(5);
+        let vs: Vec<VertexId> = t.vertices().collect();
+        let err = check_tree_aa(&t, &[vs[0], vs[2]], &[vs[4]]).unwrap_err();
+        assert!(matches!(err, Violation::OutsideHull { .. }));
+        assert!(err.to_string().contains("convex hull"));
+    }
+
+    #[test]
+    fn rejects_distant_outputs() {
+        let t = generate::path(5);
+        let vs: Vec<VertexId> = t.vertices().collect();
+        let err = check_tree_aa(&t, &[vs[0], vs[4]], &[vs[0], vs[4]]).unwrap_err();
+        assert_eq!(err, Violation::TooFar { a: vs[0], b: vs[4], distance: 4 });
+    }
+
+    #[test]
+    fn paths_checks() {
+        let t = generate::path(5);
+        let vs: Vec<VertexId> = t.vertices().collect();
+        let p0 = t.path(t.root(), vs[2]);
+        let p1 = t.path(t.root(), vs[3]);
+        check_paths_finder(&t, &[vs[2], vs[4]], &[p0.clone(), p1.clone()]).unwrap();
+
+        // Diverging by two edges is rejected.
+        let p2 = t.path(t.root(), vs[4]);
+        let err = check_paths_finder(&t, &[vs[2], vs[4]], &[p0.clone(), p2]).unwrap_err();
+        assert!(matches!(err, Violation::PathsDiverge { .. }));
+
+        // Missing the hull is rejected.
+        let err = check_paths_finder(&t, &[vs[3], vs[4]], &[t.path(t.root(), vs[1])])
+            .unwrap_err();
+        assert!(matches!(err, Violation::PathMissesHull { .. }));
+
+        // Not starting at the root is rejected.
+        let err =
+            check_paths_finder(&t, &[vs[0], vs[1]], &[t.path(vs[1], vs[0])]).unwrap_err();
+        assert!(matches!(err, Violation::PathNotFromRoot { .. }));
+    }
+}

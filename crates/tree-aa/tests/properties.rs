@@ -1,0 +1,157 @@
+//! Property tests: every tree protocol keeps Validity and 1-Agreement
+//! (Definition 2), and `PathsFinder` keeps Lemma 4, across random trees,
+//! inputs, (n, t) and adversaries.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sim_net::{run_simulation, CrashAdversary, PartyId, SimConfig};
+use tree_aa::adversary::{NrChaos, TreeAaChaos};
+use tree_aa::{
+    check_paths_finder, check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty,
+    PathsFinderConfig, PathsFinderParty, TreeAaConfig, TreeAaParty,
+};
+use tree_model::{generate, Tree, VertexId};
+
+struct Scenario {
+    tree: Arc<Tree>,
+    n: usize,
+    t: usize,
+    inputs: Vec<VertexId>,
+    byz: Vec<PartyId>,
+}
+
+impl Scenario {
+    fn honest_inputs(&self) -> Vec<VertexId> {
+        (0..self.n)
+            .filter(|i| !self.byz.iter().any(|b| b.index() == *i))
+            .map(|i| self.inputs[i])
+            .collect()
+    }
+}
+
+fn scenario(seed: u64) -> Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let t = rng.gen_range(1..=2usize);
+    let n = 3 * t + 1 + rng.gen_range(0..2usize);
+    let size = rng.gen_range(2..40usize);
+    let tree = match rng.gen_range(0..3) {
+        0 => generate::random_prufer(size, &mut rng),
+        1 => generate::random_attachment(size, &mut rng),
+        _ => generate::caterpillar(size.div_ceil(3), 2),
+    };
+    let tree = Arc::new(generate::relabel_shuffled(&tree, &mut rng));
+    let m = tree.vertex_count();
+    let inputs: Vec<VertexId> = (0..n)
+        .map(|_| tree.vertices().nth(rng.gen_range(0..m)).unwrap())
+        .collect();
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let nbad = rng.gen_range(0..=t);
+    let byz = ids[..nbad].iter().map(|&i| PartyId(i)).collect();
+    Scenario { tree, n, t, inputs, byz }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_aa_gradecast_safe_under_chaos(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = TreeAaConfig::new(s.n, s.t, EngineKind::Gradecast, &s.tree).unwrap();
+        let adv = TreeAaChaos::new(s.byz.clone(), seed, 2.0 * s.tree.vertex_count() as f64);
+        let report = run_simulation(
+            SimConfig { n: s.n, t: s.t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()]),
+            adv,
+        ).unwrap();
+        check_tree_aa(&s.tree, &s.honest_inputs(), &report.honest_outputs())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn tree_aa_halving_safe_under_chaos(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = TreeAaConfig::new(s.n, s.t, EngineKind::Halving, &s.tree).unwrap();
+        let adv = TreeAaChaos::new(s.byz.clone(), seed, 2.0 * s.tree.vertex_count() as f64);
+        let report = run_simulation(
+            SimConfig { n: s.n, t: s.t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()]),
+            adv,
+        ).unwrap();
+        check_tree_aa(&s.tree, &s.honest_inputs(), &report.honest_outputs())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn tree_aa_safe_under_crashes(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = TreeAaConfig::new(s.n, s.t, EngineKind::Gradecast, &s.tree).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x99);
+        let max_r = cfg.total_rounds() + 1;
+        let crashes = s.byz.iter().map(|&p| (p, rng.gen_range(1..=max_r))).collect();
+        let report = run_simulation(
+            SimConfig { n: s.n, t: s.t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()]),
+            CrashAdversary { crashes },
+        ).unwrap();
+        check_tree_aa(&s.tree, &s.honest_inputs(), &report.honest_outputs())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn paths_finder_lemma4_under_chaos(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = PathsFinderConfig::new(s.n, s.t, EngineKind::Gradecast, &s.tree).unwrap();
+        let adv = TreeAaChaos::new(s.byz.clone(), seed, 2.0 * s.tree.vertex_count() as f64);
+        let report = run_simulation(
+            SimConfig { n: s.n, t: s.t, max_rounds: cfg.rounds() + 5 },
+            |id, _| {
+                PathsFinderParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()])
+            },
+            adv,
+        ).unwrap();
+        check_paths_finder(&s.tree, &s.honest_inputs(), &report.honest_outputs())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn baseline_safe_under_chaos(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = NowakRybickiConfig::new(s.n, s.t, &s.tree).unwrap();
+        let adv = NrChaos::new(s.byz.clone(), seed, s.tree.vertex_count());
+        let report = run_simulation(
+            SimConfig { n: s.n, t: s.t, max_rounds: cfg.rounds() + 5 },
+            |id, _| {
+                NowakRybickiParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()])
+            },
+            adv,
+        ).unwrap();
+        check_tree_aa(&s.tree, &s.honest_inputs(), &report.honest_outputs())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn deterministic_replay(seed in any::<u64>()) {
+        let s = scenario(seed);
+        let cfg = TreeAaConfig::new(s.n, s.t, EngineKind::Gradecast, &s.tree).unwrap();
+        let run = || {
+            let adv = TreeAaChaos::new(s.byz.clone(), seed, 2.0 * s.tree.vertex_count() as f64);
+            run_simulation(
+                SimConfig { n: s.n, t: s.t, max_rounds: cfg.total_rounds() + 5 },
+                |id, _| {
+                    TreeAaParty::new(id, cfg.clone(), Arc::clone(&s.tree), s.inputs[id.index()])
+                },
+                adv,
+            ).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics.total_messages(), b.metrics.total_messages());
+    }
+}

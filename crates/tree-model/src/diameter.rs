@@ -1,0 +1,272 @@
+//! Tree diameter `D(T)` and a canonical diameter path.
+
+use crate::path::TreePath;
+use crate::tree::{Tree, VertexId};
+
+/// The diameter of a tree together with one (canonical) longest path.
+#[derive(Clone, Debug)]
+pub struct DiameterInfo {
+    /// `D(T)`: the number of edges of a longest simple path.
+    pub diameter: usize,
+    /// A longest path, endpoints chosen label-deterministically.
+    pub path: TreePath,
+}
+
+impl Tree {
+    /// Computes `D(T)` and a canonical diameter path by double BFS.
+    ///
+    /// Tie-breaking is by label at both BFS sweeps, so all parties agree on
+    /// the returned path. `O(|V|)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tree_model::generate;
+    ///
+    /// let t = generate::star(6);
+    /// let d = t.diameter_info();
+    /// assert_eq!(d.diameter, 2); // leaf - center - leaf
+    /// ```
+    pub fn diameter_info(&self) -> DiameterInfo {
+        let a = self.farthest_from(self.root());
+        let b = self.farthest_from(a);
+        let path = self.path(a, b);
+        DiameterInfo {
+            diameter: path.edge_len(),
+            path,
+        }
+    }
+
+    /// `D(T)` alone.
+    pub fn diameter(&self) -> usize {
+        self.diameter_info().diameter
+    }
+
+    fn farthest_from(&self, from: VertexId) -> VertexId {
+        let n = self.vertex_count();
+        let mut dist = vec![usize::MAX; n];
+        dist[from.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut best = from;
+        while let Some(v) = queue.pop_front() {
+            let better = dist[v.index()] > dist[best.index()]
+                || (dist[v.index()] == dist[best.index()] && self.label(v) < self.label(best));
+            if better {
+                best = v;
+            }
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate;
+
+    #[test]
+    fn path_diameter_is_its_length() {
+        for k in 1..12 {
+            let t = generate::path(k);
+            assert_eq!(t.diameter(), k - 1);
+        }
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let t = generate::star(9);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn single_vertex_diameter_zero() {
+        let t = generate::path(1);
+        let d = t.diameter_info();
+        assert_eq!(d.diameter, 0);
+        assert_eq!(d.path.len(), 1);
+    }
+
+    #[test]
+    fn balanced_binary_diameter() {
+        // depth d: two leaf-to-leaf arms through the root -> 2d edges.
+        for depth in 1..6 {
+            let t = generate::balanced_kary(2, depth);
+            assert_eq!(t.diameter(), 2 * depth as usize);
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_trees() {
+        for t in [
+            generate::caterpillar(6, 2),
+            generate::spider(3, 4),
+            generate::broom(5, 4),
+        ] {
+            let mut best = 0;
+            for u in t.vertices() {
+                for v in t.vertices() {
+                    best = best.max(t.distance(u, v));
+                }
+            }
+            assert_eq!(t.diameter(), best);
+        }
+    }
+
+    #[test]
+    fn diameter_path_is_deterministic() {
+        let t = generate::caterpillar(7, 3);
+        let p1 = t.diameter_info().path;
+        let p2 = t.diameter_info().path;
+        assert_eq!(p1, p2);
+        assert_eq!(p1.edge_len(), t.diameter());
+    }
+}
+
+impl Tree {
+    /// The eccentricity of `v`: its distance to the farthest vertex.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tree_model::generate;
+    ///
+    /// let t = generate::path(5);
+    /// assert_eq!(t.eccentricity(t.root()), 4); // endpoint of the path
+    /// ```
+    pub fn eccentricity(&self, v: VertexId) -> usize {
+        let mut dist = vec![usize::MAX; self.vertex_count()];
+        dist[v.index()] = 0;
+        let mut best = 0;
+        let mut queue = std::collections::VecDeque::from([v]);
+        while let Some(u) = queue.pop_front() {
+            best = best.max(dist[u.index()]);
+            for &w in self.neighbors(u) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        best
+    }
+
+    /// The height of the tree as rooted at the canonical root: the depth
+    /// of the deepest vertex. This bounds the length of every
+    /// `PathsFinder` output path.
+    pub fn height(&self) -> usize {
+        self.vertices().map(|v| self.depth(v) as usize).max().unwrap_or(0)
+    }
+
+    /// A centroid of the tree: a vertex whose removal leaves components of
+    /// at most `⌊|V|/2⌋` vertices. Ties (a tree has one or two centroids)
+    /// are broken toward the smaller label, so the choice is canonical and
+    /// publicly computable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tree_model::generate;
+    ///
+    /// let t = generate::path(5);
+    /// let c = t.centroid();
+    /// assert_eq!(t.label(c).as_str(), "v0002"); // the middle vertex
+    /// ```
+    pub fn centroid(&self) -> VertexId {
+        let n = self.vertex_count();
+        // Subtree sizes via reverse preorder.
+        let mut sub = vec![1usize; n];
+        for &v in self.dfs_preorder().iter().rev() {
+            for &c in self.children(v) {
+                sub[v.index()] += sub[c.index()];
+            }
+        }
+        let mut best: Option<VertexId> = None;
+        let mut best_load = usize::MAX;
+        for v in self.vertices() {
+            let mut load = n - sub[v.index()]; // parent side
+            for &c in self.children(v) {
+                load = load.max(sub[c.index()]);
+            }
+            let better = load < best_load
+                || (load == best_load
+                    && best.is_some_and(|b| self.label(v) < self.label(b)));
+            if better {
+                best = Some(v);
+                best_load = load;
+            }
+        }
+        best.expect("non-empty tree has a centroid")
+    }
+}
+
+#[cfg(test)]
+mod centroid_tests {
+    use crate::generate;
+
+    #[test]
+    fn centroid_of_star_is_the_center() {
+        let t = generate::star(9);
+        assert_eq!(t.centroid(), t.root());
+    }
+
+    #[test]
+    fn centroid_minimizes_max_component() {
+        for t in [
+            generate::path(10),
+            generate::caterpillar(5, 2),
+            generate::spider(3, 4),
+            generate::balanced_kary(2, 4),
+        ] {
+            let n = t.vertex_count();
+            let c = t.centroid();
+            // Check the defining property directly: every component of
+            // T \ {c} has at most n/2 vertices.
+            for &nb in t.neighbors(c) {
+                // Size of nb's component when c is removed = vertices
+                // closer to nb than to c.
+                let count = t
+                    .vertices()
+                    .filter(|&v| t.distance(v, nb) < t.distance(v, c))
+                    .count();
+                assert!(count <= n / 2, "component of size {count} > {}", n / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_extremes() {
+        let t = generate::path(7);
+        let ends: Vec<_> = t.vertices().filter(|&v| t.degree(v) == 1).collect();
+        for e in ends {
+            assert_eq!(t.eccentricity(e), 6);
+        }
+        let mid = t.centroid();
+        assert_eq!(t.eccentricity(mid), 3);
+        // max eccentricity == diameter
+        let d = t.vertices().map(|v| t.eccentricity(v)).max().unwrap();
+        assert_eq!(d, t.diameter());
+    }
+
+    #[test]
+    fn height_bounds_depths() {
+        for t in [generate::path(9), generate::balanced_kary(3, 3), generate::broom(4, 5)] {
+            let h = t.height();
+            assert!(t.vertices().all(|v| (t.depth(v) as usize) <= h));
+            assert!(t.vertices().any(|v| t.depth(v) as usize == h));
+            assert!(h <= t.diameter().max(1));
+        }
+    }
+
+    #[test]
+    fn single_vertex_degenerates() {
+        let t = generate::path(1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.centroid(), t.root());
+        assert_eq!(t.eccentricity(t.root()), 0);
+    }
+}

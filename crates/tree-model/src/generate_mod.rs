@@ -1,0 +1,334 @@
+//! Deterministic and random tree generators for experiments and tests.
+//!
+//! All generators label vertices `v0000, v0001, …` (zero-padded, so
+//! lexicographic order equals numeric order, and `v0000` is the canonical
+//! root). The padding width grows automatically for trees with more than
+//! 10 000 vertices but is constant within any one tree.
+
+use rand::Rng;
+
+use crate::tree::{Tree, TreeBuilder};
+
+fn width(n: usize) -> usize {
+    let digits = n.saturating_sub(1).max(1).to_string().len();
+    digits.max(4)
+}
+
+fn label(i: usize, w: usize) -> String {
+    format!("v{i:0w$}")
+}
+
+/// Builds a tree from parent pointers: vertex `i > 0` has parent
+/// `parents[i - 1] < i`. Vertex 0 is the root.
+fn from_parents(parents: &[usize]) -> Tree {
+    let n = parents.len() + 1;
+    let w = width(n);
+    let mut b = TreeBuilder::new();
+    for i in 0..n {
+        b.add_vertex(label(i, w)).expect("fresh labels");
+    }
+    for (i, &p) in parents.iter().enumerate() {
+        let child = i + 1;
+        assert!(p < child, "parent index must precede child");
+        b.add_edge(label(p, w), label(child, w)).expect("valid edge");
+    }
+    b.build().expect("parent pointers always form a tree")
+}
+
+/// A path graph with `n ≥ 1` vertices: `v0000 - v0001 - … `.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Tree {
+    assert!(n > 0, "a tree has at least one vertex");
+    from_parents(&(0..n.saturating_sub(1)).collect::<Vec<_>>())
+}
+
+/// A star with `n ≥ 1` vertices: center `v0000`, leaves `v0001…`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Tree {
+    assert!(n > 0, "a tree has at least one vertex");
+    from_parents(&vec![0; n - 1])
+}
+
+/// A complete `k`-ary tree of the given `depth` (depth 0 = single vertex),
+/// vertices numbered in BFS order.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn balanced_kary(k: usize, depth: u32) -> Tree {
+    assert!(k > 0, "arity must be positive");
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= k;
+        n += level;
+    }
+    let parents: Vec<usize> = (1..n).map(|i| (i - 1) / k).collect();
+    from_parents(&parents)
+}
+
+/// A caterpillar: a spine path of `spine ≥ 1` vertices, each carrying
+/// `legs` pendant leaves.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine > 0, "spine must be non-empty");
+    let mut parents = Vec::new();
+    let mut spine_ids = vec![0usize];
+    // Spine first.
+    for s in 1..spine {
+        parents.push(spine_ids[s - 1]);
+        spine_ids.push(parents.len());
+    }
+    // Then legs.
+    for &s in &spine_ids {
+        for _ in 0..legs {
+            parents.push(s);
+        }
+    }
+    from_parents(&parents)
+}
+
+/// A spider: a center with `legs` paths of `leg_len` edges each.
+pub fn spider(legs: usize, leg_len: usize) -> Tree {
+    let mut parents = Vec::new();
+    for _ in 0..legs {
+        let mut prev = 0usize;
+        for _ in 0..leg_len {
+            parents.push(prev);
+            prev = parents.len();
+        }
+    }
+    from_parents(&parents)
+}
+
+/// A broom: a handle path of `handle ≥ 1` vertices ending in `bristles`
+/// pendant leaves.
+///
+/// # Panics
+///
+/// Panics if `handle == 0`.
+pub fn broom(handle: usize, bristles: usize) -> Tree {
+    assert!(handle > 0, "handle must be non-empty");
+    let mut parents: Vec<usize> = (0..handle - 1).collect();
+    let tip = handle - 1;
+    for _ in 0..bristles {
+        parents.push(tip);
+    }
+    from_parents(&parents)
+}
+
+/// A random recursive tree: vertex `i` attaches to a uniformly random
+/// earlier vertex. Produces low-diameter (`Θ(log n)`) trees.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_attachment(n: usize, rng: &mut impl Rng) -> Tree {
+    assert!(n > 0, "a tree has at least one vertex");
+    let parents: Vec<usize> = (1..n).map(|i| rng.gen_range(0..i)).collect();
+    from_parents(&parents)
+}
+
+/// A uniformly random labeled tree on `n` vertices via Prüfer-sequence
+/// decoding.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_prufer(n: usize, rng: &mut impl Rng) -> Tree {
+    assert!(n > 0, "a tree has at least one vertex");
+    let w = width(n);
+    if n == 1 {
+        return path(1);
+    }
+    if n == 2 {
+        return path(2);
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &s in &seq {
+        degree[s] += 1;
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &s in &seq {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        edges.push((leaf, s));
+        degree[s] -= 1;
+        if degree[s] == 1 {
+            leaves.push(std::cmp::Reverse(s));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    edges.push((a, b));
+
+    let mut builder = TreeBuilder::new();
+    for i in 0..n {
+        builder.add_vertex(label(i, w)).expect("fresh labels");
+    }
+    for (x, y) in edges {
+        builder.add_edge(label(x, w), label(y, w)).expect("valid edge");
+    }
+    builder.build().expect("Prüfer decoding yields a tree")
+}
+
+/// Rebuilds `tree` with the same topology but labels assigned by a random
+/// permutation, so the canonical root lands on a random vertex. Useful for
+/// property tests that must not depend on generator label order.
+pub fn relabel_shuffled(tree: &Tree, rng: &mut impl Rng) -> Tree {
+    let n = tree.vertex_count();
+    let w = width(n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut b = TreeBuilder::new();
+    // Vertices must be added in a fixed order independent of the permutation
+    // values so ids stay dense; label text carries the permutation.
+    for &p in &perm {
+        b.add_vertex(label(p, w)).expect("permuted labels are fresh");
+    }
+    let mut seen = vec![false; n];
+    for v in tree.vertices() {
+        seen[v.index()] = true;
+        for &u in tree.neighbors(v) {
+            if !seen[u.index()] {
+                b.add_edge(label(perm[v.index()], w), label(perm[u.index()], w))
+                    .expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("same topology remains a tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> impl Rng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn path_shape() {
+        let t = path(5);
+        assert_eq!(t.vertex_count(), 5);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.degree(t.vertex("v0000").unwrap()), 1);
+        assert_eq!(t.degree(t.vertex("v0002").unwrap()), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(7);
+        assert_eq!(t.vertex_count(), 7);
+        assert_eq!(t.degree(t.root()), 6);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn kary_counts() {
+        assert_eq!(balanced_kary(2, 0).vertex_count(), 1);
+        assert_eq!(balanced_kary(2, 3).vertex_count(), 15);
+        assert_eq!(balanced_kary(3, 2).vertex_count(), 13);
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let t = caterpillar(4, 2);
+        assert_eq!(t.vertex_count(), 4 + 8);
+        assert_eq!(t.diameter(), 3 + 2); // leg + spine + leg
+    }
+
+    #[test]
+    fn spider_counts() {
+        let t = spider(3, 4);
+        assert_eq!(t.vertex_count(), 1 + 12);
+        assert_eq!(t.diameter(), 8);
+        assert_eq!(t.degree(t.root()), 3);
+    }
+
+    #[test]
+    fn broom_counts() {
+        let t = broom(3, 5);
+        assert_eq!(t.vertex_count(), 8);
+        assert_eq!(t.diameter(), 3); // handle start -> tip -> bristle
+    }
+
+    #[test]
+    fn random_attachment_is_a_tree_and_deterministic_per_seed() {
+        let t1 = random_attachment(40, &mut rng(7));
+        let t2 = random_attachment(40, &mut rng(7));
+        assert_eq!(t1.vertex_count(), 40);
+        for v in t1.vertices() {
+            assert_eq!(t1.label(v), t2.label(v));
+            assert_eq!(t1.neighbors(v), t2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn random_prufer_is_a_tree() {
+        for n in [1usize, 2, 3, 10, 57] {
+            let t = random_prufer(n, &mut rng(n as u64));
+            assert_eq!(t.vertex_count(), n);
+        }
+    }
+
+    #[test]
+    fn prufer_star_and_path_reachable() {
+        // Over many seeds, small Prüfer trees hit different shapes;
+        // sanity-check that diameters vary.
+        let mut saw = std::collections::HashSet::new();
+        for seed in 0..30 {
+            saw.insert(random_prufer(5, &mut rng(seed)).diameter());
+        }
+        assert!(saw.len() > 1, "expected diverse topologies, got {saw:?}");
+    }
+
+    #[test]
+    fn relabel_preserves_topology() {
+        let t = caterpillar(5, 2);
+        let s = relabel_shuffled(&t, &mut rng(3));
+        assert_eq!(s.vertex_count(), t.vertex_count());
+        assert_eq!(s.diameter(), t.diameter());
+        // Degree multiset preserved.
+        let mut dt: Vec<_> = t.vertices().map(|v| t.degree(v)).collect();
+        let mut ds: Vec<_> = s.vertices().map(|v| s.degree(v)).collect();
+        dt.sort();
+        ds.sort();
+        assert_eq!(dt, ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_vertices_panics() {
+        let _ = path(0);
+    }
+
+    #[test]
+    fn wide_labels_for_large_trees() {
+        let t = path(12_000);
+        assert!(t.vertex(&format!("v{:05}", 11_999)).is_some());
+        // Lexicographic order still equals numeric order.
+        let a = t.vertex("v00002").unwrap();
+        let b = t.vertex("v10000").unwrap();
+        assert_eq!(t.distance(a, b), 9_998);
+    }
+}

@@ -1,0 +1,319 @@
+//! Convex hulls of vertex sets: the smallest connected subtree containing
+//! the set (Definition 2 of the paper; Figure 1).
+
+use crate::path::TreePath;
+use crate::tree::{Tree, VertexId};
+
+/// The convex hull `⟨S⟩` of a vertex set `S`: the vertex set of the smallest
+/// connected subtree of `T` containing `S`.
+///
+/// Equivalently (and this is what the implementation checks), `w ∈ ⟨S⟩` iff
+/// there exist `u, v ∈ S` with `w ∈ V(P(u, v))`.
+///
+/// # Example
+///
+/// ```
+/// use tree_model::{generate, Tree};
+///
+/// let t = generate::star(5); // center v0000, leaves v0001..v0004
+/// let s = [t.vertex("v0001").unwrap(), t.vertex("v0002").unwrap()];
+/// let hull = t.convex_hull(&s);
+/// assert_eq!(hull.len(), 3); // both leaves plus the center
+/// assert!(hull.contains(t.root()));
+/// assert!(!hull.contains(t.vertex("v0003").unwrap()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvexHull {
+    member: Vec<bool>,
+    vertices: Vec<VertexId>,
+}
+
+impl ConvexHull {
+    /// Whether `v` lies in the hull.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.member[v.index()]
+    }
+
+    /// The hull's vertices in dense-index order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of vertices in the hull.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` iff the hull is empty (only for `S = ∅`).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Iterates over member vertices.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+}
+
+impl Tree {
+    /// Computes the convex hull `⟨S⟩` in `O(|V|)` time.
+    ///
+    /// Method: root the tree anywhere (we use the canonical root), count the
+    /// members of `S` in every subtree, and keep `v` iff `v ∈ S` or at least
+    /// two of the *directions* around `v` (each child subtree, plus the
+    /// parent side) contain members of `S` — exactly the vertices lying on a
+    /// path between two members.
+    ///
+    /// Duplicate vertices in `S` are allowed and equivalent to a set.
+    /// `S = ∅` yields the empty hull.
+    pub fn convex_hull(&self, s: &[VertexId]) -> ConvexHull {
+        let n = self.vertex_count();
+        let mut in_s = vec![false; n];
+        let mut total = 0usize;
+        for &v in s {
+            if !in_s[v.index()] {
+                in_s[v.index()] = true;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return ConvexHull {
+                member: vec![false; n],
+                vertices: Vec::new(),
+            };
+        }
+
+        // Subtree counts via reverse preorder (children before parents).
+        let mut sub = vec![0usize; n];
+        for &v in self.dfs_preorder().iter().rev() {
+            let mut c = usize::from(in_s[v.index()]);
+            for &ch in self.children(v) {
+                c += sub[ch.index()];
+            }
+            sub[v.index()] = c;
+        }
+
+        let mut member = vec![false; n];
+        let mut vertices = Vec::new();
+        for v in self.vertices() {
+            let mut directions = 0;
+            for &ch in self.children(v) {
+                if sub[ch.index()] > 0 {
+                    directions += 1;
+                }
+            }
+            if total - sub[v.index()] > 0 {
+                directions += 1; // the parent side
+            }
+            if in_s[v.index()] || directions >= 2 {
+                member[v.index()] = true;
+                vertices.push(v);
+            }
+        }
+        ConvexHull { member, vertices }
+    }
+
+    /// Whether `w` lies in `⟨S⟩` — the membership characterization
+    /// `∃ u, v ∈ S : w ∈ V(P(u, v))` computed directly; `O(|S|² · depth)`.
+    /// Reference implementation used to cross-check
+    /// [`Tree::convex_hull`].
+    pub fn hull_contains_naive(&self, s: &[VertexId], w: VertexId) -> bool {
+        s.iter()
+            .any(|&u| s.iter().any(|&v| self.path(u, v).contains(w)))
+    }
+
+    /// The diameter path of the subtree induced by `hull` — a longest simple
+    /// path all of whose vertices are in the hull. Ties broken
+    /// label-deterministically so that every honest party computes the same
+    /// path. Returns `None` for an empty hull.
+    pub fn hull_diameter_path(&self, hull: &ConvexHull) -> Option<TreePath> {
+        let start = hull.vertices().first().copied()?;
+        let a = self.farthest_in(hull, start);
+        let b = self.farthest_in(hull, a);
+        Some(self.path(a, b))
+    }
+
+    /// The diameter path of the connected subgraph induced by `members`
+    /// (which must induce a subtree): a longest simple path inside it,
+    /// endpoints chosen label-deterministically. Returns `None` for an
+    /// empty member set. Used by the safe-area baselines, whose safe areas
+    /// are subtrees but not `ConvexHull` values.
+    pub fn induced_diameter_path(&self, members: &[VertexId]) -> Option<TreePath> {
+        let mut member = vec![false; self.vertex_count()];
+        for &v in members {
+            member[v.index()] = true;
+        }
+        let hull = ConvexHull { member, vertices: members.to_vec() };
+        self.hull_diameter_path(&hull)
+    }
+
+    /// BFS within `hull` from `from`, returning the farthest vertex with
+    /// label-order tie-breaking. `from` must be in the hull.
+    fn farthest_in(&self, hull: &ConvexHull, from: VertexId) -> VertexId {
+        debug_assert!(hull.contains(from));
+        let n = self.vertex_count();
+        let mut dist = vec![usize::MAX; n];
+        dist[from.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut best = from;
+        while let Some(v) = queue.pop_front() {
+            let better = dist[v.index()] > dist[best.index()]
+                || (dist[v.index()] == dist[best.index()]
+                    && self.label(v) < self.label(best));
+            if better {
+                best = v;
+            }
+            for &w in self.neighbors(v) {
+                if hull.contains(w) && dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tree of Figure 1 cannot be read off the (image) figure exactly,
+    /// but its caption is: the hull of {u1, u2, u3} is {u1, ..., u5}. We
+    /// reconstruct a tree consistent with it: u4 and u5 are the interior
+    /// vertices joining the three inputs, plus extra vertices outside the
+    /// hull.
+    fn figure1() -> Tree {
+        Tree::from_labeled_edges(
+            ["u1", "u2", "u3", "u4", "u5", "w1", "w2"],
+            [
+                ("u1", "u4"),
+                ("u4", "u5"),
+                ("u5", "u2"),
+                ("u4", "u3"),
+                ("w1", "u5"),
+                ("w2", "u1"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_hull() {
+        let t = figure1();
+        let s: Vec<_> = ["u1", "u2", "u3"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let hull = t.convex_hull(&s);
+        let mut labels: Vec<_> = hull.iter().map(|v| t.label(v).to_string()).collect();
+        labels.sort();
+        assert_eq!(labels, ["u1", "u2", "u3", "u4", "u5"]);
+    }
+
+    #[test]
+    fn empty_set_has_empty_hull() {
+        let t = figure1();
+        let hull = t.convex_hull(&[]);
+        assert!(hull.is_empty());
+        assert_eq!(hull.len(), 0);
+        assert!(t.vertices().all(|v| !hull.contains(v)));
+    }
+
+    #[test]
+    fn singleton_hull_is_singleton() {
+        let t = figure1();
+        for v in t.vertices() {
+            let hull = t.convex_hull(&[v]);
+            assert_eq!(hull.vertices(), &[v]);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_matter() {
+        let t = figure1();
+        let a = t.vertex("u1").unwrap();
+        let b = t.vertex("u2").unwrap();
+        assert_eq!(t.convex_hull(&[a, b]), t.convex_hull(&[a, a, b, b, a]));
+    }
+
+    #[test]
+    fn pair_hull_is_exactly_the_path() {
+        let t = figure1();
+        for u in t.vertices() {
+            for v in t.vertices() {
+                let hull = t.convex_hull(&[u, v]);
+                let path = t.path(u, v);
+                let mut hv: Vec<_> = hull.vertices().to_vec();
+                let mut pv: Vec<_> = path.vertices().to_vec();
+                hv.sort();
+                pv.sort();
+                assert_eq!(hv, pv);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_characterization() {
+        let t = figure1();
+        let all: Vec<_> = t.vertices().collect();
+        // All subsets of size <= 3 of the 7 vertices.
+        for i in 0..all.len() {
+            for j in i..all.len() {
+                for k in j..all.len() {
+                    let s = [all[i], all[j], all[k]];
+                    let hull = t.convex_hull(&s);
+                    for w in t.vertices() {
+                        assert_eq!(
+                            hull.contains(w),
+                            t.hull_contains_naive(&s, w),
+                            "mismatch for S={s:?}, w={w:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_connected() {
+        let t = figure1();
+        let s: Vec<_> = ["u2", "u3", "w2"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let hull = t.convex_hull(&s);
+        // BFS within hull from one member must reach all members.
+        let start = hull.vertices()[0];
+        let mut seen = vec![false; t.vertex_count()];
+        seen[start.index()] = true;
+        let mut q = std::collections::VecDeque::from([start]);
+        let mut count = 1;
+        while let Some(v) = q.pop_front() {
+            for &w in t.neighbors(v) {
+                if hull.contains(w) && !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        assert_eq!(count, hull.len());
+    }
+
+    #[test]
+    fn diameter_path_stays_in_hull_and_is_longest() {
+        let t = figure1();
+        let s: Vec<_> = ["u1", "u2", "u3"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let hull = t.convex_hull(&s);
+        let dia = t.hull_diameter_path(&hull).unwrap();
+        assert!(dia.vertices().iter().all(|&v| hull.contains(v)));
+        // No pair within the hull is farther apart.
+        for &u in hull.vertices() {
+            for &v in hull.vertices() {
+                assert!(t.distance(u, v) <= dia.edge_len());
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_of_empty_hull_is_none() {
+        let t = figure1();
+        let hull = t.convex_hull(&[]);
+        assert!(t.hull_diameter_path(&hull).is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Plain-text serialization of trees, plus Graphviz DOT export.
+//!
+//! The text format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! vertex a
+//! vertex b
+//! edge a b
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::tree::{Tree, TreeBuilder, TreeError};
+
+/// Errors raised while parsing the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTreeError {
+    /// A line did not match `vertex <label>` or `edge <a> <b>`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The parsed vertices/edges do not form a tree.
+    Structure(TreeError),
+}
+
+impl fmt::Display for ParseTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTreeError::BadLine { line, content } => {
+                write!(f, "line {line}: expected `vertex <label>` or `edge <a> <b>`, got `{content}`")
+            }
+            ParseTreeError::Structure(e) => write!(f, "not a tree: {e}"),
+        }
+    }
+}
+
+impl Error for ParseTreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTreeError::Structure(e) => Some(e),
+            ParseTreeError::BadLine { .. } => None,
+        }
+    }
+}
+
+impl From<TreeError> for ParseTreeError {
+    fn from(e: TreeError) -> Self {
+        ParseTreeError::Structure(e)
+    }
+}
+
+/// Parses the line-oriented text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTreeError::BadLine`] for malformed lines and
+/// [`ParseTreeError::Structure`] when the declarations do not form a tree
+/// (duplicate labels, cycles, disconnection, emptiness).
+///
+/// # Example
+///
+/// ```
+/// use tree_model::parse_tree;
+///
+/// # fn main() -> Result<(), tree_model::ParseTreeError> {
+/// let tree = parse_tree("
+///     vertex a
+///     vertex b
+///     vertex c
+///     edge a b
+///     edge a c
+/// ")?;
+/// assert_eq!(tree.vertex_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_tree(text: &str) -> Result<Tree, ParseTreeError> {
+    let mut b = TreeBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("vertex"), Some(label), None, _) => {
+                b.add_vertex(label)?;
+            }
+            (Some("edge"), Some(a), Some(c), None) => {
+                b.add_edge(a, c)?;
+            }
+            _ => {
+                return Err(ParseTreeError::BadLine { line: i + 1, content: line.to_owned() })
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+impl Tree {
+    /// Renders the tree in the text format accepted by [`parse_tree`]
+    /// (vertices in label order, edges in canonical parent→child order).
+    pub fn to_text(&self) -> String {
+        let mut vertices: Vec<_> = self.vertices().collect();
+        vertices.sort_by(|&a, &b| self.label(a).cmp(self.label(b)));
+        let mut out = String::new();
+        for v in &vertices {
+            out.push_str(&format!("vertex {}\n", self.label(*v)));
+        }
+        for &v in self.dfs_preorder() {
+            for &c in self.children(v) {
+                out.push_str(&format!("edge {} {}\n", self.label(v), self.label(c)));
+            }
+        }
+        out
+    }
+
+    /// Renders the tree as a Graphviz DOT graph. Vertices listed in
+    /// `highlight` are filled — handy for visualizing hulls, paths, or
+    /// protocol outputs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tree_model::generate;
+    ///
+    /// let t = generate::path(3);
+    /// let dot = t.to_dot(&[t.root()]);
+    /// assert!(dot.starts_with("graph tree {"));
+    /// assert!(dot.contains("\"v0000\" [style=filled"));
+    /// ```
+    pub fn to_dot(&self, highlight: &[crate::tree::VertexId]) -> String {
+        let mut out = String::from("graph tree {\n  node [shape=circle];\n");
+        for v in self.vertices() {
+            if highlight.contains(&v) {
+                out.push_str(&format!(
+                    "  \"{}\" [style=filled, fillcolor=lightblue];\n",
+                    self.label(v)
+                ));
+            } else {
+                out.push_str(&format!("  \"{}\";\n", self.label(v)));
+            }
+        }
+        for &v in self.dfs_preorder() {
+            for &c in self.children(v) {
+                out.push_str(&format!("  \"{}\" -- \"{}\";\n", self.label(v), self.label(c)));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn roundtrip_text() {
+        let t = generate::caterpillar(4, 2);
+        let text = t.to_text();
+        let back = parse_tree(&text).unwrap();
+        assert_eq!(back.vertex_count(), t.vertex_count());
+        for v in t.vertices() {
+            let label = t.label(v).as_str();
+            let w = back.vertex(label).unwrap();
+            let mut n1: Vec<_> =
+                t.neighbors(v).iter().map(|&x| t.label(x).as_str()).collect();
+            let mut n2: Vec<_> =
+                back.neighbors(w).iter().map(|&x| back.label(x).as_str()).collect();
+            n1.sort();
+            n2.sort();
+            assert_eq!(n1, n2, "adjacency differs at {label}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_tree("# a comment\n\nvertex x\n  \nvertex y\nedge x y\n").unwrap();
+        assert_eq!(t.vertex_count(), 2);
+    }
+
+    #[test]
+    fn bad_line_reported_with_number() {
+        let err = parse_tree("vertex a\nnode b\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseTreeError::BadLine { line: 2, content: "node b".into() }
+        );
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn extra_tokens_rejected() {
+        assert!(matches!(
+            parse_tree("vertex a b\n"),
+            Err(ParseTreeError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_tree("edge a b c\n"),
+            Err(ParseTreeError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        let err = parse_tree("vertex a\nvertex b\n").unwrap_err();
+        assert!(matches!(err, ParseTreeError::Structure(TreeError::Disconnected)));
+        let err = parse_tree("").unwrap_err();
+        assert!(matches!(err, ParseTreeError::Structure(TreeError::Empty)));
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let t = generate::star(4);
+        let dot = t.to_dot(&[]);
+        assert_eq!(dot.matches(" -- ").count(), 3);
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Vertex labels and their lexicographic order.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A vertex label of the publicly known input-space tree.
+///
+/// Labels are arbitrary non-empty UTF-8 strings. The protocol relies on their
+/// **lexicographic order** (byte order of the UTF-8 encoding, which is what
+/// `str`'s `Ord` provides) in two places:
+///
+/// * the root of the tree is the vertex with the smallest label, and
+/// * the children of a vertex are visited in ascending label order during
+///   `ListConstruction`, so that all honest parties derive the identical
+///   Euler list.
+///
+/// # Example
+///
+/// ```
+/// use tree_model::Label;
+///
+/// let a = Label::new("alpha");
+/// let b = Label::new("beta");
+/// assert!(a < b);
+/// assert_eq!(a.as_str(), "alpha");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(String);
+
+impl Label {
+    /// Creates a label from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        Label(s.into())
+    }
+
+    /// Returns the label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label(s.to_owned())
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(s)
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Label::new("a") < Label::new("b"));
+        assert!(Label::new("v1") < Label::new("v10"));
+        assert!(Label::new("v10") < Label::new("v2"), "lexicographic, not numeric");
+        assert!(Label::new("") < Label::new("a"));
+    }
+
+    #[test]
+    fn display_and_as_str_agree() {
+        let l = Label::new("root");
+        assert_eq!(l.to_string(), "root");
+        assert_eq!(l.as_str(), "root");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Label = "x".into();
+        let b: Label = String::from("x").into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), "x");
+    }
+
+    #[test]
+    fn hash_borrow_str_lookup() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Label, u32> = HashMap::new();
+        m.insert(Label::new("k"), 7);
+        // Borrow<str> lets us look up by &str.
+        assert_eq!(m.get("k"), Some(&7));
+    }
+}

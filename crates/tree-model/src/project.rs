@@ -1,0 +1,193 @@
+//! Projections of vertices onto a path (Section 5 of the paper, Lemma 1).
+
+use crate::path::TreePath;
+use crate::tree::{Tree, VertexId};
+
+/// Precomputed projections of *every* vertex of a tree onto a fixed path
+/// `P`, i.e. for each `v` the vertex `proj_P(v) ∈ V(P)` minimizing
+/// `d(v, ·)`.
+///
+/// In a tree the nearest path vertex is unique: walking from `v` toward any
+/// vertex of `P`, the first path vertex reached is the projection (see the
+/// proof of Lemma 1). Computed by multi-source BFS from `V(P)` in `O(|V|)`.
+///
+/// # Example
+///
+/// ```
+/// use tree_model::{Tree, ProjectionTable};
+///
+/// # fn main() -> Result<(), tree_model::TreeError> {
+/// // a - b - c with leaf x off b.
+/// let t = Tree::from_labeled_edges(["a", "b", "c", "x"],
+///     [("a", "b"), ("b", "c"), ("b", "x")])?;
+/// let p = t.path(t.vertex("a").unwrap(), t.vertex("c").unwrap());
+/// let proj = ProjectionTable::new(&t, &p);
+/// assert_eq!(proj.project(t.vertex("x").unwrap()), t.vertex("b").unwrap());
+/// // Path vertices project to themselves.
+/// assert_eq!(proj.project(t.vertex("a").unwrap()), t.vertex("a").unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProjectionTable {
+    proj: Vec<VertexId>,
+    /// Position on the path of each vertex's projection.
+    pos: Vec<usize>,
+}
+
+impl ProjectionTable {
+    /// Builds the table for `path` in `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` contains a vertex outside `tree` (ids out of
+    /// range).
+    pub fn new(tree: &Tree, path: &TreePath) -> Self {
+        let n = tree.vertex_count();
+        let mut proj: Vec<Option<VertexId>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        for (i, &v) in path.vertices().iter().enumerate() {
+            proj[v.index()] = Some(v);
+            let _ = i;
+            queue.push_back(v);
+        }
+        while let Some(v) = queue.pop_front() {
+            let pv = proj[v.index()].expect("enqueued vertices are labeled");
+            for &w in tree.neighbors(v) {
+                if proj[w.index()].is_none() {
+                    proj[w.index()] = Some(pv);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let proj: Vec<VertexId> = proj
+            .into_iter()
+            .map(|p| p.expect("tree is connected, so BFS reaches every vertex"))
+            .collect();
+        let mut pos_on_path = vec![usize::MAX; n];
+        for (i, &v) in path.vertices().iter().enumerate() {
+            pos_on_path[v.index()] = i;
+        }
+        let pos = proj.iter().map(|p| pos_on_path[p.index()]).collect();
+        ProjectionTable { proj, pos }
+    }
+
+    /// `proj_P(v)`.
+    pub fn project(&self, v: VertexId) -> VertexId {
+        self.proj[v.index()]
+    }
+
+    /// The 0-based position of `proj_P(v)` along the path — the index a
+    /// party feeds into real-valued AA in Section 5.
+    pub fn position(&self, v: VertexId) -> usize {
+        self.pos[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn figure3() -> Tree {
+        Tree::from_labeled_edges(
+            ["v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8"],
+            [
+                ("v1", "v2"),
+                ("v2", "v3"),
+                ("v3", "v6"),
+                ("v3", "v7"),
+                ("v2", "v4"),
+                ("v4", "v8"),
+                ("v2", "v5"),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Brute-force projection: the path vertex with minimum distance
+    /// (unique in a tree).
+    fn proj_naive(t: &Tree, path: &TreePath, v: VertexId) -> VertexId {
+        let mut best = path.vertices()[0];
+        for &p in path.vertices() {
+            if t.distance(v, p) < t.distance(v, best) {
+                best = p;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_naive_everywhere() {
+        let t = figure3();
+        // All paths between all vertex pairs.
+        for u in t.vertices() {
+            for w in t.vertices() {
+                let path = t.path(u, w);
+                let table = ProjectionTable::new(&t, &path);
+                for v in t.vertices() {
+                    assert_eq!(
+                        table.project(v),
+                        proj_naive(&t, &path, v),
+                        "path {u}->{w}, vertex {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent_on_path() {
+        let t = generate::caterpillar(6, 2);
+        let d = t.diameter_info();
+        let table = ProjectionTable::new(&t, &d.path);
+        for &v in d.path.vertices() {
+            assert_eq!(table.project(v), v);
+        }
+    }
+
+    #[test]
+    fn position_matches_projection() {
+        let t = figure3();
+        let path = t.path(t.vertex("v6").unwrap(), t.vertex("v8").unwrap());
+        let table = ProjectionTable::new(&t, &path);
+        for v in t.vertices() {
+            assert_eq!(path.get(table.position(v)), Some(table.project(v)));
+        }
+    }
+
+    #[test]
+    fn lemma1_projection_lands_in_hull() {
+        // Lemma 1: if V(P) ∩ ⟨S⟩ ≠ ∅ then proj_P(v) ∈ V(P) ∩ ⟨S⟩ for all
+        // v ∈ S.
+        let t = figure3();
+        let s: Vec<_> = ["v6", "v5", "v8"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let hull = t.convex_hull(&s);
+        for u in t.vertices() {
+            for w in t.vertices() {
+                let path = t.path(u, w);
+                if !path.vertices().iter().any(|&x| hull.contains(x)) {
+                    continue;
+                }
+                let table = ProjectionTable::new(&t, &path);
+                for &v in &s {
+                    let p = table.project(v);
+                    assert!(path.contains(p));
+                    assert!(hull.contains(p), "projection of {v} left the hull");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let t = figure3();
+        let v2 = t.vertex("v2").unwrap();
+        let path = t.path(v2, v2);
+        let table = ProjectionTable::new(&t, &path);
+        for v in t.vertices() {
+            assert_eq!(table.project(v), v2);
+            assert_eq!(table.position(v), 0);
+        }
+    }
+}

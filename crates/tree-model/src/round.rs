@@ -1,0 +1,107 @@
+//! The paper's `closestInt` rounding rule (Section 4, Remarks 1 and 2).
+
+/// Rounds a real to its closest integer, **ties rounding up**, exactly as the
+/// paper defines it: for `z ≤ j < z + 1`, `closestInt(j) = z` if
+/// `j − z < (z+1) − j` and `z + 1` otherwise.
+///
+/// The two facts the protocol relies on (both property-tested):
+///
+/// * **Remark 1.** `j ∈ [i_min, i_max]` with integer bounds implies
+///   `closestInt(j) ∈ [i_min, i_max]`.
+/// * **Remark 2.** `|j − j'| ≤ 1` implies
+///   `|closestInt(j) − closestInt(j')| ≤ 1`.
+///
+/// # Panics
+///
+/// Panics if `j` is not finite (NaN or infinite values can never be honest
+/// protocol values; rounding them silently would mask a protocol bug).
+///
+/// # Example
+///
+/// ```
+/// use tree_model::closest_int;
+///
+/// assert_eq!(closest_int(3.2), 3);
+/// assert_eq!(closest_int(3.5), 4); // tie rounds up
+/// assert_eq!(closest_int(-0.5), 0);
+/// assert_eq!(closest_int(7.0), 7);
+/// ```
+pub fn closest_int(j: f64) -> i64 {
+    assert!(j.is_finite(), "closest_int requires a finite value, got {j}");
+    let z = j.floor();
+    let frac = j - z;
+    let z = z as i64;
+    if frac < 0.5 {
+        z
+    } else {
+        z + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_map_to_themselves() {
+        for z in -5..=5 {
+            assert_eq!(closest_int(z as f64), z);
+        }
+    }
+
+    #[test]
+    fn ties_round_up() {
+        assert_eq!(closest_int(0.5), 1);
+        assert_eq!(closest_int(1.5), 2);
+        assert_eq!(closest_int(-1.5), -1);
+        assert_eq!(closest_int(-0.5), 0);
+    }
+
+    #[test]
+    fn below_half_rounds_down() {
+        assert_eq!(closest_int(0.499_999), 0);
+        assert_eq!(closest_int(2.25), 2);
+        assert_eq!(closest_int(-2.75), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        let _ = closest_int(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_panics() {
+        let _ = closest_int(f64::INFINITY);
+    }
+
+    #[test]
+    fn remark1_exhaustive_grid() {
+        // Remark 1 over a fine grid: j in [i_min, i_max] => result within.
+        let (i_min, i_max) = (-3i64, 7i64);
+        let steps = 10_000;
+        for k in 0..=steps {
+            let j = i_min as f64 + (i_max - i_min) as f64 * k as f64 / steps as f64;
+            let r = closest_int(j);
+            assert!(r >= i_min && r <= i_max, "j={j} escaped to {r}");
+        }
+    }
+
+    #[test]
+    fn remark2_exhaustive_grid() {
+        // Remark 2 over a fine grid of (j, j') with |j - j'| <= 1.
+        let steps = 400;
+        for a in 0..=steps {
+            let j = -2.0 + 6.0 * a as f64 / steps as f64;
+            for b in 0..=steps {
+                let jp = j - 1.0 + 2.0 * b as f64 / steps as f64;
+                let (r, rp) = (closest_int(j), closest_int(jp));
+                assert!(
+                    (r - rp).abs() <= 1,
+                    "j={j} j'={jp} rounded to {r},{rp}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the tree-model invariants the protocols rely
+//! on: metric laws, hull laws, Lemma 1 (projection), Lemma 2 (Euler list),
+//! Lemma 3 (root paths through hulls), and Remarks 1-2 (closestInt).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tree_model::{closest_int, generate, list_construction, Tree, VertexId};
+
+/// A random tree described by a seed + size, decodable deterministically.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (1usize..60, any::<u64>(), prop::bool::ANY).prop_map(|(n, seed, uniform)| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let t = if uniform {
+            generate::random_prufer(n, &mut rng)
+        } else {
+            generate::random_attachment(n, &mut rng)
+        };
+        generate::relabel_shuffled(&t, &mut rng)
+    })
+}
+
+fn arb_tree_with_subset(max_subset: usize) -> impl Strategy<Value = (Tree, Vec<VertexId>)> {
+    (arb_tree(), any::<u64>()).prop_map(move |(t, seed)| {
+        use rand::Rng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let k = rng.gen_range(1..=max_subset);
+        let s: Vec<VertexId> = (0..k)
+            .map(|_| VertexId_from_index(&t, rng.gen_range(0..t.vertex_count())))
+            .collect();
+        (t, s)
+    })
+}
+
+/// Helper: vertices() is the only public way to get ids; index into it.
+#[allow(non_snake_case)]
+fn VertexId_from_index(t: &Tree, i: usize) -> VertexId {
+    t.vertices().nth(i).expect("index in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_is_a_metric((t, s) in arb_tree_with_subset(3)) {
+        let u = s[0];
+        let v = s[s.len() / 2];
+        let w = s[s.len() - 1];
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(t.distance(u, u), 0);
+        prop_assert_eq!(t.distance(u, v), t.distance(v, u));
+        prop_assert!(t.distance(u, w) <= t.distance(u, v) + t.distance(v, w));
+    }
+
+    #[test]
+    fn path_endpoints_and_adjacency(t in arb_tree()) {
+        for u in t.vertices() {
+            let v = t.root();
+            let p = t.path(u, v);
+            prop_assert_eq!(p.endpoints(), (u, v));
+            for pair in p.vertices().windows(2) {
+                prop_assert!(t.adjacent(pair[0], pair[1]));
+            }
+            prop_assert_eq!(p.edge_len(), t.distance(u, v));
+        }
+    }
+
+    #[test]
+    fn lca_table_matches_naive(t in arb_tree()) {
+        let table = tree_model::LcaTable::new(&t);
+        for u in t.vertices() {
+            for v in t.vertices() {
+                prop_assert_eq!(table.lca(u, v), t.lca_naive(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_inputs_and_is_minimal((t, s) in arb_tree_with_subset(6)) {
+        let hull = t.convex_hull(&s);
+        for &v in &s {
+            prop_assert!(hull.contains(v));
+        }
+        // Every hull member is on a path between two members of S.
+        for w in hull.iter() {
+            prop_assert!(t.hull_contains_naive(&s, w));
+        }
+        // And nothing outside is.
+        for w in t.vertices() {
+            if !hull.contains(w) {
+                prop_assert!(!t.hull_contains_naive(&s, w));
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent((t, s) in arb_tree_with_subset(6)) {
+        let hull = t.convex_hull(&s);
+        let again = t.convex_hull(hull.vertices());
+        prop_assert_eq!(hull.vertices(), again.vertices());
+    }
+
+    #[test]
+    fn hull_is_monotone((t, s) in arb_tree_with_subset(6)) {
+        let sub = &s[..s.len().div_ceil(2)];
+        let small = t.convex_hull(sub);
+        let big = t.convex_hull(&s);
+        for v in small.iter() {
+            prop_assert!(big.contains(v));
+        }
+    }
+
+    #[test]
+    fn euler_list_satisfies_lemma2(t in arb_tree()) {
+        let l = list_construction(&t);
+        let n = t.vertex_count();
+        prop_assert!(l.len() <= 2 * n);
+        prop_assert_eq!(l.len(), 2 * n - 1);
+        if n > 1 {
+            for w in l.entries().windows(2) {
+                prop_assert!(t.adjacent(w[0], w[1]));
+            }
+        }
+        for v in t.vertices() {
+            prop_assert!(!l.occurrences(v).is_empty());
+            let (lo, hi) = (l.first_occurrence(v), l.last_occurrence(v));
+            for u in t.vertices() {
+                let inside = l.occurrences(u).iter().all(|&i| lo <= i && i <= hi);
+                prop_assert_eq!(t.is_ancestor(v, u), inside);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_root_paths_intersect_hull((t, s) in arb_tree_with_subset(5)) {
+        // For any index between the extremes of S's occurrences, the path
+        // from the root to L_i intersects <S>.
+        let l = list_construction(&t);
+        let hull = t.convex_hull(&s);
+        let i_min = s.iter().map(|&v| l.first_occurrence(v)).min().unwrap();
+        let i_max = s.iter().map(|&v| l.last_occurrence(v)).max().unwrap();
+        for i in i_min..=i_max {
+            let p = t.path(t.root(), l.get(i));
+            prop_assert!(
+                p.vertices().iter().any(|&w| hull.contains(w)),
+                "path to L_{} misses the hull", i
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_projections_stay_in_hull((t, s) in arb_tree_with_subset(5)) {
+        // Choose the hull's diameter path as P (it intersects <S>), then
+        // every projection of an S-vertex lands in V(P) ∩ <S>.
+        let hull = t.convex_hull(&s);
+        let p = t.hull_diameter_path(&hull).expect("non-empty S");
+        let table = tree_model::ProjectionTable::new(&t, &p);
+        for &v in &s {
+            let pr = table.project(v);
+            prop_assert!(p.contains(pr));
+            prop_assert!(hull.contains(pr));
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_distance((t, s) in arb_tree_with_subset(2)) {
+        let p = t.path(s[0], *s.last().unwrap());
+        let table = tree_model::ProjectionTable::new(&t, &p);
+        for v in t.vertices() {
+            let pr = table.project(v);
+            for &w in p.vertices() {
+                prop_assert!(t.distance(v, pr) <= t.distance(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn closest_int_remark1(lo in -50i64..0, hi in 0i64..50, x in 0.0f64..1.0) {
+        let j = lo as f64 + (hi - lo) as f64 * x;
+        let r = closest_int(j);
+        prop_assert!(r >= lo && r <= hi);
+    }
+
+    #[test]
+    fn closest_int_remark2(j in -100.0f64..100.0, d in -1.0f64..1.0) {
+        let r = closest_int(j);
+        let rp = closest_int(j + d);
+        prop_assert!((r - rp).abs() <= 1);
+    }
+
+    #[test]
+    fn diameter_equals_max_pairwise_distance(t in arb_tree()) {
+        let info = t.diameter_info();
+        let mut best = 0;
+        for u in t.vertices() {
+            for v in t.vertices() {
+                best = best.max(t.distance(u, v));
+            }
+        }
+        prop_assert_eq!(info.diameter, best);
+        prop_assert_eq!(info.path.edge_len(), best);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_serialization_roundtrips(t in arb_tree()) {
+        let text = t.to_text();
+        let back = tree_model::parse_tree(&text).unwrap();
+        prop_assert_eq!(back.vertex_count(), t.vertex_count());
+        prop_assert_eq!(back.diameter(), t.diameter());
+        for v in t.vertices() {
+            let label = t.label(v).as_str();
+            let w = back.vertex(label).unwrap();
+            prop_assert_eq!(back.degree(w), t.degree(v));
+        }
+    }
+
+    #[test]
+    fn centroid_defining_property(t in arb_tree()) {
+        let n = t.vertex_count();
+        let c = t.centroid();
+        for &nb in t.neighbors(c) {
+            let count = t
+                .vertices()
+                .filter(|&v| t.distance(v, nb) < t.distance(v, c))
+                .count();
+            prop_assert!(count <= n / 2, "component {} > {}", count, n / 2);
+        }
+    }
+
+    #[test]
+    fn eccentricity_is_bounded_by_diameter(t in arb_tree()) {
+        let d = t.diameter();
+        for v in t.vertices() {
+            let e = t.eccentricity(v);
+            prop_assert!(e <= d);
+            // Radius lower bound: ecc >= ceil(D/2).
+            prop_assert!(2 * e >= d);
+        }
+        prop_assert!(t.height() <= d.max(0) || t.vertex_count() == 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Explore the Fekete/Theorem 2 lower-bound landscape: how many rounds
+//! 1-agreement on a tree *must* take, as a function of diameter and the
+//! corruption ratio.
+//!
+//! ```sh
+//! cargo run --example lower_bound_explorer
+//! ```
+
+use tree_aa_repro::lower_bound::{
+    fekete_k, max_product_partition, round_lower_bound, theorem2_formula,
+};
+
+fn main() {
+    println!("Optimal Byzantine budget partitions (sup prod t_i, budget t, <= R parts):");
+    for (t, r) in [(6usize, 2usize), (6, 6), (10, 3), (12, 12)] {
+        let p = max_product_partition(t, r);
+        let prod: usize = p.iter().product();
+        println!("  t = {t:>2}, R = {r:>2}: {p:?} -> product {prod}");
+    }
+
+    println!("\nK(R, D): the spread Fekete's chain forces after R rounds");
+    println!("(n = 31, t = 10, D = 10^6):");
+    for r in 1..=10u32 {
+        let k = fekete_k(r, 1e6, 31, 10);
+        let marker = if k > 1.0 { "  <- 1-agreement impossible" } else { "" };
+        println!("  R = {r:>2}: K = {k:>14.4}{marker}");
+    }
+
+    println!("\nExact round lower bounds vs the Theorem 2 closed form:");
+    println!("{:>12} {:>8} {:>8} {:>10} {:>10}", "D(T)", "n", "t", "exact LB", "formula");
+    for exp in [4u32, 8, 16, 32, 64] {
+        let d = 2f64.powi(exp as i32);
+        for (n, t) in [(31usize, 10usize), (100, 33), (100, 5)] {
+            println!(
+                "{:>12} {:>8} {:>8} {:>10} {:>10.2}",
+                format!("2^{exp}"),
+                n,
+                t,
+                round_lower_bound(d, n, t),
+                theorem2_formula(d, n, t)
+            );
+        }
+    }
+    println!(
+        "\nReading: more Byzantine parties (t closer to n/3) and larger diameters \
+         both push the bound up; with t = Theta(n) it grows as log D / log log D."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: approximate agreement on a small tree with one Byzantine
+//! party.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use tree_aa_repro::sim_net::{run_simulation, PartyId, SimConfig};
+use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
+use tree_aa_repro::tree_aa::{check_tree_aa, EngineKind, TreeAaConfig, TreeAaParty};
+use tree_aa_repro::tree_model::Tree;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The public input space: the paper's Figure 3 tree.
+    let tree = Arc::new(Tree::from_labeled_edges(
+        ["v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8"],
+        [
+            ("v1", "v2"),
+            ("v2", "v3"),
+            ("v3", "v6"),
+            ("v3", "v7"),
+            ("v2", "v4"),
+            ("v4", "v8"),
+            ("v2", "v5"),
+        ],
+    )?);
+
+    // Four parties; up to one Byzantine. Parties 0-2 are honest with
+    // inputs v6, v5, v3; party 3 is controlled by a chaos adversary.
+    let (n, t) = (4, 1);
+    let inputs: Vec<_> = ["v6", "v5", "v3", "v8"]
+        .iter()
+        .map(|l| tree.vertex(l).expect("label exists"))
+        .collect();
+
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree)
+        .map_err(|e| format!("bad parameters: {e}"))?;
+    println!(
+        "TreeAA on |V| = {} (D = {}): {} communication rounds",
+        tree.vertex_count(),
+        tree.diameter(),
+        cfg.total_rounds()
+    );
+
+    let adversary = TreeAaChaos::new(vec![PartyId(3)], 7, 2.0 * tree.vertex_count() as f64);
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+        adversary,
+    )?;
+
+    let honest_inputs = &inputs[..3];
+    let outputs = report.honest_outputs();
+    for (i, &v) in outputs.iter().enumerate() {
+        println!("party {i}: input {} -> output {}", tree.label(inputs[i]), tree.label(v));
+    }
+
+    // Definition 2: outputs are 1-close and inside the honest hull.
+    check_tree_aa(&tree, honest_inputs, &outputs)?;
+    println!("validity and 1-agreement verified.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Robot gathering on a tree-shaped road network — one of the motivating
+//! applications in the paper's introduction (and the framing of the
+//! Edge-Gathering literature it cites).
+//!
+//! A fleet of robots is scattered over a map whose road network is a tree
+//! (a spider: depot in the middle, radial roads). Each robot knows the map
+//! and its own position; some robots are compromised and lie arbitrarily.
+//! The honest robots must pick rendezvous points that are (i) on the part
+//! of the map between honest robots — no detours past compromised
+//! positions — and (ii) identical or adjacent, so they end up within one
+//! road segment of each other.
+//!
+//! ```sh
+//! cargo run --example robot_gathering
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use tree_aa_repro::sim_net::{run_simulation, PartyId, SimConfig};
+use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
+use tree_aa_repro::tree_aa::{check_tree_aa, EngineKind, TreeAaConfig, TreeAaParty};
+use tree_aa_repro::tree_model::generate;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The map: a depot with 5 radial roads of 6 segments each.
+    let map = Arc::new(generate::spider(5, 6));
+    println!(
+        "road network: {} junctions, farthest pair {} segments apart",
+        map.vertex_count(),
+        map.diameter()
+    );
+
+    // Seven robots, up to two compromised (ids 5 and 6 here).
+    let (n, t) = (7, 2);
+    let positions: Vec<_> = ["v0003", "v0005", "v0009", "v0002", "v0008", "v0013", "v0030"]
+        .iter()
+        .map(|l| map.vertex(l).expect("position on the map"))
+        .collect();
+    for (i, &p) in positions.iter().enumerate() {
+        let role = if i < 5 { "honest" } else { "compromised" };
+        println!("robot {i} ({role}) starts at {}", map.label(p));
+    }
+
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &map)
+        .map_err(|e| format!("bad parameters: {e}"))?;
+    println!("gathering protocol: {} synchronous rounds", cfg.total_rounds());
+
+    let adversary = TreeAaChaos::new(
+        vec![PartyId(5), PartyId(6)],
+        2024,
+        2.0 * map.vertex_count() as f64,
+    );
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&map), positions[id.index()]),
+        adversary,
+    )?;
+
+    let honest_positions = &positions[..5];
+    let rendezvous = report.honest_outputs();
+    for (i, &v) in rendezvous.iter().enumerate() {
+        println!("robot {i} heads to {}", map.label(v));
+    }
+
+    check_tree_aa(&map, honest_positions, &rendezvous)?;
+    println!(
+        "rendezvous points verified: within one road segment of each other, \
+         and between honest starting positions."
+    );
+    Ok(())
+}

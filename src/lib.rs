@@ -1,0 +1,32 @@
+//! Umbrella crate for the `tree-aa` reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate so that examples and
+//! integration tests can address the whole system through a single
+//! dependency. See the individual crates for full documentation:
+//!
+//! * [`tree_model`] — labeled input-space trees (hulls, LCA, Euler lists,
+//!   projections, generators);
+//! * [`sim_net`] — the deterministic synchronous network simulator and its
+//!   Byzantine adversary framework;
+//! * [`gradecast`] — the three-round graded-broadcast primitive;
+//! * [`real_aa`] — round-optimal approximate agreement on real values;
+//! * [`tree_aa`] — the paper's contribution: `PathsFinder` and `TreeAA`,
+//!   plus baselines;
+//! * [`lower_bound`] — Fekete-style lower-bound calculators (Theorems 1–2);
+//! * [`byz_agreement`] — phase-king exact Byzantine agreement (the
+//!   `O(n)`-round alternative `PathsFinder` avoids);
+//! * [`async_net`] / [`async_aa`] — the asynchronous model: event-driven
+//!   simulator, Bracha reliable broadcast, and the witness-technique
+//!   `O(log D)` async tree AA the paper improves on synchronously.
+
+
+#![warn(missing_docs)]
+pub use async_aa;
+pub use async_net;
+pub use byz_agreement;
+pub use gradecast;
+pub use lower_bound;
+pub use real_aa;
+pub use sim_net;
+pub use tree_aa;
+pub use tree_model;

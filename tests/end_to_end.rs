@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: full `TreeAA` executions across tree
+//! families × engines × adversary strategies, plus round-count and
+//! determinism contracts.
+
+use std::sync::Arc;
+
+use tree_aa_repro::sim_net::{
+    run_simulation, CrashAdversary, Passive, PartyId, SelectiveOmission, SimConfig,
+};
+use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
+use tree_aa_repro::tree_aa::{
+    check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
+};
+use tree_aa_repro::tree_model::{generate, Tree, VertexId};
+
+fn families() -> Vec<(&'static str, Tree)> {
+    vec![
+        ("path", generate::path(40)),
+        ("star", generate::star(25)),
+        ("binary", generate::balanced_kary(2, 5)),
+        ("ternary", generate::balanced_kary(3, 3)),
+        ("caterpillar", generate::caterpillar(12, 3)),
+        ("spider", generate::spider(5, 7)),
+        ("broom", generate::broom(10, 8)),
+    ]
+}
+
+fn inputs_for(tree: &Tree, n: usize, stride: usize) -> Vec<VertexId> {
+    let m = tree.vertex_count();
+    (0..n).map(|i| tree.vertices().nth((i * stride) % m).unwrap()).collect()
+}
+
+#[test]
+fn tree_aa_all_families_all_engines_honest() {
+    for (name, tree) in families() {
+        let tree = Arc::new(tree);
+        for engine in [EngineKind::Gradecast, EngineKind::Halving] {
+            let (n, t) = (7, 2);
+            let inputs = inputs_for(&tree, n, 11);
+            let cfg = TreeAaConfig::new(n, t, engine, &tree).unwrap();
+            let report = run_simulation(
+                SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+                Passive,
+            )
+            .unwrap();
+            assert_eq!(
+                report.communication_rounds(),
+                cfg.total_rounds(),
+                "{name}/{engine:?}: round count contract"
+            );
+            check_tree_aa(&tree, &inputs, &report.honest_outputs())
+                .unwrap_or_else(|e| panic!("{name}/{engine:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tree_aa_all_families_under_chaos() {
+    for (name, tree) in families() {
+        let tree = Arc::new(tree);
+        let (n, t) = (7, 2);
+        let inputs = inputs_for(&tree, n, 5);
+        let byz = vec![PartyId(1), PartyId(4)];
+        let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+        let adv = TreeAaChaos::new(byz.clone(), 0xC0FFEE, 2.0 * tree.vertex_count() as f64);
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            adv,
+        )
+        .unwrap();
+        let honest_inputs: Vec<VertexId> = (0..n)
+            .filter(|i| !byz.iter().any(|b| b.index() == *i))
+            .map(|i| inputs[i])
+            .collect();
+        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn tree_aa_under_crash_and_omission() {
+    let tree = Arc::new(generate::caterpillar(15, 2));
+    let (n, t) = (7, 2);
+    let inputs = inputs_for(&tree, n, 9);
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+
+    // Crash mid-protocol.
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+        CrashAdversary { crashes: vec![(PartyId(2), 4), (PartyId(6), cfg.phase1_rounds() + 1)] },
+    )
+    .unwrap();
+    let honest_inputs: Vec<VertexId> =
+        (0..n).filter(|&i| i != 2 && i != 6).map(|i| inputs[i]).collect();
+    check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
+
+    // Selective omission for the whole run.
+    for seed in 0..10 {
+        let adv = SelectiveOmission::new(vec![PartyId(0), PartyId(3)], 0.4, seed);
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            adv,
+        )
+        .unwrap();
+        let honest_inputs: Vec<VertexId> =
+            (0..n).filter(|&i| i != 0 && i != 3).map(|i| inputs[i]).collect();
+        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
+    }
+}
+
+#[test]
+fn baseline_and_tree_aa_agree_on_the_contract() {
+    // Both protocols must satisfy Definition 2 on the same scenario (their
+    // outputs may differ — the contract is per-protocol).
+    let tree = Arc::new(generate::spider(4, 10));
+    let (n, t) = (4, 1);
+    let inputs = inputs_for(&tree, n, 13);
+
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+        Passive,
+    )
+    .unwrap();
+    check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
+
+    let nr = NowakRybickiConfig::new(n, t, &tree).unwrap();
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: nr.rounds() + 5 },
+        |id, _| NowakRybickiParty::new(id, nr.clone(), Arc::clone(&tree), inputs[id.index()]),
+        Passive,
+    )
+    .unwrap();
+    check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
+}
+
+#[test]
+fn runs_are_deterministic_end_to_end() {
+    let tree = Arc::new(generate::balanced_kary(3, 4));
+    let (n, t) = (7, 2);
+    let inputs = inputs_for(&tree, n, 17);
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+    let run = |seed: u64| {
+        let adv = TreeAaChaos::new(vec![PartyId(0)], seed, 2.0 * tree.vertex_count() as f64);
+        run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            adv,
+        )
+        .unwrap()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.metrics.total_messages(), b.metrics.total_messages());
+    // A different seed is allowed to differ (and usually does in traffic).
+    let c = run(43);
+    assert_eq!(a.outputs.len(), c.outputs.len());
+}
+
+#[test]
+fn identical_inputs_collapse_to_that_vertex_everywhere() {
+    for (name, tree) in families() {
+        let tree = Arc::new(tree);
+        let v = tree.vertices().nth(tree.vertex_count() / 2).unwrap();
+        let (n, t) = (4, 1);
+        let inputs = vec![v; n];
+        let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        for out in report.honest_outputs() {
+            assert_eq!(out, v, "{name}: unanimity must be preserved");
+        }
+    }
+}
+
+#[test]
+fn larger_party_counts_work() {
+    let tree = Arc::new(generate::caterpillar(20, 1));
+    for (n, t) in [(10, 3), (13, 4), (16, 5)] {
+        let inputs = inputs_for(&tree, n, 7);
+        let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
+    }
+}

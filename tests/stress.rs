@@ -1,0 +1,125 @@
+//! Wider-grid stress tests: larger trees, larger party counts, longer
+//! adversarial schedules. Kept within a few seconds of runtime so they run
+//! in the default suite.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tree_aa_repro::real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator};
+use tree_aa_repro::real_aa::{RealAaConfig, RealAaParty};
+use tree_aa_repro::sim_net::{run_simulation, Passive, PartyId, SimConfig};
+use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
+use tree_aa_repro::tree_aa::{check_tree_aa, EngineKind, TreeAaConfig, TreeAaParty};
+use tree_aa_repro::tree_model::{generate, VertexId};
+
+#[test]
+fn tree_aa_on_a_16k_vertex_tree() {
+    let tree = Arc::new(generate::caterpillar(5_500, 2));
+    assert!(tree.vertex_count() > 16_000);
+    let (n, t) = (4, 1);
+    let m = tree.vertex_count();
+    let inputs: Vec<VertexId> =
+        (0..n).map(|i| tree.vertices().nth((i * (m / n)) % m).unwrap()).collect();
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+        Passive,
+    )
+    .unwrap();
+    check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
+}
+
+#[test]
+fn realaa_with_25_parties_under_full_budget_attack() {
+    let (n, t) = (25, 8);
+    let d = 10_000.0;
+    let cfg = RealAaConfig::new(n, t, 1.0, d).unwrap();
+    let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
+    let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
+    let adv = BudgetSplitEquivocator::new(
+        n,
+        byz.clone(),
+        equal_split_schedule(t, cfg.iterations() as usize),
+    );
+    let report = run_simulation(
+        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+        adv,
+    )
+    .unwrap();
+    let outs = report.honest_outputs();
+    let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi - lo <= 1.0, "spread {} > 1", hi - lo);
+    let honest_lo = inputs[t..].iter().cloned().fold(f64::INFINITY, f64::min);
+    let honest_hi = inputs[t..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(outs.iter().all(|&o| o >= honest_lo - 1e-9 && o <= honest_hi + 1e-9));
+}
+
+#[test]
+fn hundred_randomized_tree_aa_runs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    for _ in 0..100 {
+        let size = rng.gen_range(3..60usize);
+        let tree = Arc::new(generate::relabel_shuffled(
+            &generate::random_prufer(size, &mut rng),
+            &mut rng,
+        ));
+        let t = rng.gen_range(1..=2usize);
+        let n = 3 * t + 1;
+        let m = tree.vertex_count();
+        let inputs: Vec<VertexId> =
+            (0..n).map(|_| tree.vertices().nth(rng.gen_range(0..m)).unwrap()).collect();
+        let nbad = rng.gen_range(0..=t);
+        let byz: Vec<PartyId> = (0..nbad).map(|i| PartyId((i * 3 + 1) % n)).collect();
+        let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
+        let adv = TreeAaChaos::new(byz.clone(), rng.gen(), 2.0 * m as f64);
+        let report = run_simulation(
+            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            adv,
+        )
+        .unwrap();
+        let honest_inputs: Vec<VertexId> = (0..n)
+            .filter(|i| !byz.iter().any(|b| b.index() == *i))
+            .map(|i| inputs[i])
+            .collect();
+        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
+    }
+}
+
+#[test]
+fn every_possible_input_pattern_on_a_small_tree() {
+    // Exhaustive: all 4-tuples of inputs over a 5-vertex tree (625
+    // patterns), honest run; Definition 2 must hold for each.
+    let tree = Arc::new(generate::caterpillar(3, 1)); // 6 vertices
+    let vs: Vec<VertexId> = tree.vertices().collect();
+    let (n, t) = (4, 1);
+    let cfg = TreeAaConfig::new(n, t, EngineKind::Halving, &tree).unwrap();
+    for a in 0..vs.len() {
+        for b in 0..vs.len() {
+            for c in 0..vs.len() {
+                for d in 0..vs.len() {
+                    let inputs = [vs[a], vs[b], vs[c], vs[d]];
+                    let report = run_simulation(
+                        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                        |id, _| {
+                            TreeAaParty::new(
+                                id,
+                                cfg.clone(),
+                                Arc::clone(&tree),
+                                inputs[id.index()],
+                            )
+                        },
+                        Passive,
+                    )
+                    .unwrap();
+                    check_tree_aa(&tree, &inputs, &report.honest_outputs())
+                        .unwrap_or_else(|e| panic!("inputs {a},{b},{c},{d}: {e}"));
+                }
+            }
+        }
+    }
+}
