@@ -32,11 +32,16 @@ impl AsyncTreeAaConfig {
     /// Returns a description of the violated precondition if `n ≤ 3t`.
     pub fn new(n: usize, t: usize, tree: &Tree) -> Result<Self, String> {
         if n <= 3 * t {
-            return Err(format!("async tree AA requires n > 3t, got n = {n}, t = {t}"));
+            return Err(format!(
+                "async tree AA requires n > 3t, got n = {n}, t = {t}"
+            ));
         }
         let d = tree.diameter();
-        let iterations =
-            if d <= 1 { 0 } else { (d as f64).log2().ceil() as u32 + 2 };
+        let iterations = if d <= 1 {
+            0
+        } else {
+            (d as f64).log2().ceil() as u32 + 2
+        };
         Ok(AsyncTreeAaConfig { n, t, iterations })
     }
 }
@@ -140,7 +145,10 @@ impl AsyncTreeAaParty {
     ///
     /// Panics if `input` is out of range for `tree`.
     pub fn new(cfg: AsyncTreeAaConfig, tree: Arc<Tree>, input: VertexId) -> Self {
-        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
+        assert!(
+            input.index() < tree.vertex_count(),
+            "input vertex out of range"
+        );
         AsyncTreeAaParty {
             cfg,
             tree,
@@ -153,14 +161,15 @@ impl AsyncTreeAaParty {
 
     fn state(&mut self, iter: u32) -> &mut IterState {
         let (n, t) = (self.cfg.n, self.cfg.t);
-        self.iters.entry(iter).or_insert_with(|| IterState::new(n, t))
+        self.iters
+            .entry(iter)
+            .or_insert_with(|| IterState::new(n, t))
     }
 
     fn vertex_from_index(&self, idx: u32) -> Option<VertexId> {
         let idx = idx as usize;
-        (idx < self.tree.vertex_count()).then(|| {
-            self.tree.vertices().nth(idx).expect("validated index")
-        })
+        (idx < self.tree.vertex_count())
+            .then(|| self.tree.vertices().nth(idx).expect("validated index"))
     }
 
     fn start_iteration(&mut self, ctx: &mut AsyncCtx<AsyncAaMsg>) {
@@ -230,7 +239,11 @@ impl AsyncProtocol for AsyncTreeAaParty {
 
     fn on_message(&mut self, env: Envelope<AsyncAaMsg>, ctx: &mut AsyncCtx<AsyncAaMsg>) {
         match env.payload {
-            AsyncAaMsg::Rbc { iter, broadcaster, inner } => {
+            AsyncAaMsg::Rbc {
+                iter,
+                broadcaster,
+                inner,
+            } => {
                 if broadcaster.index() >= self.cfg.n || iter >= self.cfg.iterations {
                     return;
                 }
@@ -245,7 +258,11 @@ impl AsyncProtocol for AsyncTreeAaParty {
                 let st = self.state(iter);
                 let (outs, delivered) = st.rbc[broadcaster.index()].on_message(env.from, &inner);
                 for o in outs {
-                    ctx.broadcast(AsyncAaMsg::Rbc { iter, broadcaster, inner: o });
+                    ctx.broadcast(AsyncAaMsg::Rbc {
+                        iter,
+                        broadcaster,
+                        inner: o,
+                    });
                 }
                 if let Some(v) = delivered {
                     // Deliveries with invalid vertices are impossible: no
@@ -264,7 +281,9 @@ impl AsyncProtocol for AsyncTreeAaParty {
                 let n = self.cfg.n;
                 let nv = self.tree.vertex_count();
                 let valid = entries.len() <= n
-                    && entries.iter().all(|&(p, v)| (p as usize) < n && (v as usize) < nv);
+                    && entries
+                        .iter()
+                        .all(|&(p, v)| (p as usize) < n && (v as usize) < nv);
                 if valid {
                     let st = self.state(iter);
                     if st.reports[env.from.index()].is_none() {
@@ -298,7 +317,13 @@ mod tests {
         silent: Vec<PartyId>,
     ) -> async_net::AsyncReport<VertexId> {
         let cfg = AsyncTreeAaConfig::new(n, t, tree).unwrap();
-        let acfg = AsyncConfig { n, t, seed, delay, max_events: 3_000_000 };
+        let acfg = AsyncConfig {
+            n,
+            t,
+            seed,
+            delay,
+            max_events: 3_000_000,
+        };
         run_async(
             acfg,
             |id, _| AsyncTreeAaParty::new(cfg.clone(), Arc::clone(tree), inputs[id.index()]),
@@ -309,16 +334,27 @@ mod tests {
 
     #[test]
     fn converges_honestly_across_families_and_delays() {
-        for tree in [generate::path(17), generate::star(9), generate::caterpillar(6, 2)] {
+        for tree in [
+            generate::path(17),
+            generate::star(9),
+            generate::caterpillar(6, 2),
+        ] {
             let tree = Arc::new(tree);
             let m = tree.vertex_count();
             let n = 4;
-            let inputs: Vec<VertexId> =
-                (0..n).map(|i| tree.vertices().nth((i * 7) % m).unwrap()).collect();
+            let inputs: Vec<VertexId> = (0..n)
+                .map(|i| tree.vertices().nth((i * 7) % m).unwrap())
+                .collect();
             for (delay, seed) in [
                 (DelayModel::Uniform { min: 0.05 }, 1u64),
                 (DelayModel::Lockstep, 2),
-                (DelayModel::SlowParties { slow: vec![PartyId(0)], min: 0.1 }, 3),
+                (
+                    DelayModel::SlowParties {
+                        slow: vec![PartyId(0)],
+                        min: 0.1,
+                    },
+                    3,
+                ),
             ] {
                 let report = run(&tree, n, 1, &inputs, delay, seed, vec![]);
                 check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
@@ -332,8 +368,9 @@ mod tests {
         let n = 7;
         let t = 2;
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..n).map(|i| tree.vertices().nth((i * 5) % m).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth((i * 5) % m).unwrap())
+            .collect();
         let report = run(
             &tree,
             n,
@@ -343,8 +380,10 @@ mod tests {
             42,
             vec![PartyId(1), PartyId(5)],
         );
-        let honest_inputs: Vec<VertexId> =
-            (0..n).filter(|&i| i != 1 && i != 5).map(|i| inputs[i]).collect();
+        let honest_inputs: Vec<VertexId> = (0..n)
+            .filter(|&i| i != 1 && i != 5)
+            .map(|i| inputs[i])
+            .collect();
         check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
     }
 
@@ -357,7 +396,9 @@ mod tests {
         let long = Arc::new(generate::path(257));
         let mk = |tree: &Arc<Tree>| {
             let m = tree.vertex_count();
-            (0..n).map(|i| tree.vertices().nth((i * (m - 1)) / (n - 1)).unwrap()).collect::<Vec<_>>()
+            (0..n)
+                .map(|i| tree.vertices().nth((i * (m - 1)) / (n - 1)).unwrap())
+                .collect::<Vec<_>>()
         };
         let r_short = run(&short, n, 1, &mk(&short), DelayModel::Lockstep, 7, vec![]);
         let r_long = run(&long, n, 1, &mk(&long), DelayModel::Lockstep, 7, vec![]);

@@ -31,7 +31,6 @@
 //! `⌈log₂ D(T)⌉ + 2` iterations give 1-agreement, and validity is
 //! inherited from the safe-area intersection.
 
-
 #![warn(missing_docs)]
 mod async_tree;
 mod rbc;

@@ -14,7 +14,16 @@ use sim_net::{Envelope, PartyId};
 use tree_aa::check_tree_aa;
 use tree_model::{generate, Tree, VertexId};
 
-fn scenario(seed: u64) -> (Arc<Tree>, usize, usize, Vec<VertexId>, Vec<PartyId>, DelayModel) {
+fn scenario(
+    seed: u64,
+) -> (
+    Arc<Tree>,
+    usize,
+    usize,
+    Vec<VertexId>,
+    Vec<PartyId>,
+    DelayModel,
+) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let t = rng.gen_range(1..=2usize);
     let n = 3 * t + 1;
@@ -31,7 +40,10 @@ fn scenario(seed: u64) -> (Arc<Tree>, usize, usize, Vec<VertexId>, Vec<PartyId>,
     let delay = match rng.gen_range(0..3) {
         0 => DelayModel::Uniform { min: 0.05 },
         1 => DelayModel::Lockstep,
-        _ => DelayModel::SlowParties { slow: vec![PartyId(0)], min: 0.1 },
+        _ => DelayModel::SlowParties {
+            slow: vec![PartyId(0)],
+            min: 0.1,
+        },
     };
     (tree, n, t, inputs, byz, delay)
 }
@@ -66,7 +78,11 @@ impl AsyncAdversary<AsyncAaMsg> for AsyncSpammer {
             }
         }
     }
-    fn on_deliver(&mut self, env: &Envelope<AsyncAaMsg>, sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>) {
+    fn on_deliver(
+        &mut self,
+        env: &Envelope<AsyncAaMsg>,
+        sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>,
+    ) {
         if self.budget == 0 {
             return;
         }
@@ -81,7 +97,15 @@ impl AsyncAdversary<AsyncAaMsg> for AsyncSpammer {
             1 => RbcMsg::Echo(v),
             _ => RbcMsg::Ready(v),
         };
-        sends.push((b, to, AsyncAaMsg::Rbc { iter, broadcaster, inner }));
+        sends.push((
+            b,
+            to,
+            AsyncAaMsg::Rbc {
+                iter,
+                broadcaster,
+                inner,
+            },
+        ));
     }
 }
 

@@ -51,7 +51,6 @@
 //! assert!(report.completion_time <= 1.0); // one async "round"
 //! ```
 
-
 #![warn(missing_docs)]
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -154,13 +153,21 @@ impl<M: Payload> AsyncCtx<M> {
     /// Panics if `to` is out of range.
     pub fn send(&mut self, to: PartyId, msg: M) {
         assert!(to.index() < self.n, "recipient {to} out of range");
-        self.outbox.push(Envelope { from: self.me, to, payload: msg });
+        self.outbox.push(Envelope {
+            from: self.me,
+            to,
+            payload: msg,
+        });
     }
 
     /// Sends `msg` to every party (including the sender).
     pub fn broadcast(&mut self, msg: M) {
         for i in 0..self.n {
-            self.outbox.push(Envelope { from: self.me, to: PartyId(i), payload: msg.clone() });
+            self.outbox.push(Envelope {
+                from: self.me,
+                to: PartyId(i),
+                payload: msg.clone(),
+            });
         }
     }
 }
@@ -303,7 +310,9 @@ impl<M> PartialOrd for Event<M> {
 }
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -327,10 +336,14 @@ where
 {
     let n = cfg.n;
     if n == 0 {
-        return Err(AsyncSimError::BadConfig { reason: "n must be positive".into() });
+        return Err(AsyncSimError::BadConfig {
+            reason: "n must be positive".into(),
+        });
     }
     if cfg.t >= n {
-        return Err(AsyncSimError::BadConfig { reason: format!("t = {} must be < n", cfg.t) });
+        return Err(AsyncSimError::BadConfig {
+            reason: format!("t = {} must be < n", cfg.t),
+        });
     }
     let mut corrupted = vec![false; n];
     let byz = adversary.corrupted();
@@ -341,32 +354,49 @@ where
     }
     for p in byz {
         if p.index() >= n {
-            return Err(AsyncSimError::BadConfig { reason: format!("corrupted id {p} out of range") });
+            return Err(AsyncSimError::BadConfig {
+                reason: format!("corrupted id {p} out of range"),
+            });
         }
         corrupted[p.index()] = true;
     }
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut parties: Vec<Option<P>> = (0..n)
-        .map(|i| if corrupted[i] { None } else { Some(factory(PartyId(i), n)) })
+        .map(|i| {
+            if corrupted[i] {
+                None
+            } else {
+                Some(factory(PartyId(i), n))
+            }
+        })
         .collect();
 
     let mut heap: BinaryHeap<Reverse<Event<P::Msg>>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Reverse<Event<P::Msg>>>,
-                    rng: &mut ChaCha8Rng,
-                    seq: &mut u64,
-                    now: f64,
-                    env: Envelope<P::Msg>| {
+                rng: &mut ChaCha8Rng,
+                seq: &mut u64,
+                now: f64,
+                env: Envelope<P::Msg>| {
         let delay = cfg.delay.sample(&env, rng);
         *seq += 1;
-        heap.push(Reverse(Event { time: now + delay, seq: *seq, env }));
+        heap.push(Reverse(Event {
+            time: now + delay,
+            seq: *seq,
+            env,
+        }));
     };
 
     // Time 0: honest starts, adversary start injections.
     for (i, party) in parties.iter_mut().enumerate() {
         if let Some(p) = party.as_mut() {
-            let mut ctx = AsyncCtx { me: PartyId(i), n, now: 0.0, outbox: Vec::new() };
+            let mut ctx = AsyncCtx {
+                me: PartyId(i),
+                n,
+                now: 0.0,
+                outbox: Vec::new(),
+            };
             p.on_start(&mut ctx);
             for env in ctx.outbox {
                 push(&mut heap, &mut rng, &mut seq, 0.0, env);
@@ -376,19 +406,37 @@ where
     let mut adv_sends = Vec::new();
     adversary.on_start(&mut adv_sends);
     for (from, to, msg) in adv_sends.drain(..) {
-        assert!(corrupted[from.index()], "adversary must send from corrupted parties");
-        push(&mut heap, &mut rng, &mut seq, 0.0, Envelope { from, to, payload: msg });
+        assert!(
+            corrupted[from.index()],
+            "adversary must send from corrupted parties"
+        );
+        push(
+            &mut heap,
+            &mut rng,
+            &mut seq,
+            0.0,
+            Envelope {
+                from,
+                to,
+                payload: msg,
+            },
+        );
     }
 
     let all_done = |parties: &[Option<P>]| {
-        parties.iter().all(|p| p.as_ref().is_none_or(|p| p.output().is_some()))
+        parties
+            .iter()
+            .all(|p| p.as_ref().is_none_or(|p| p.output().is_some()))
     };
 
     let mut events = 0usize;
     let mut completion_time = 0.0f64;
     if all_done(&parties) {
         return Ok(AsyncReport {
-            outputs: parties.iter().map(|p| p.as_ref().and_then(P::output)).collect(),
+            outputs: parties
+                .iter()
+                .map(|p| p.as_ref().and_then(P::output))
+                .collect(),
             corrupted,
             completion_time,
             messages_delivered: 0,
@@ -404,15 +452,33 @@ where
         if corrupted[to] {
             adversary.on_deliver(&env, &mut adv_sends);
             for (from, to, msg) in adv_sends.drain(..) {
-                assert!(corrupted[from.index()], "adversary must send from corrupted parties");
-                push(&mut heap, &mut rng, &mut seq, time, Envelope { from, to, payload: msg });
+                assert!(
+                    corrupted[from.index()],
+                    "adversary must send from corrupted parties"
+                );
+                push(
+                    &mut heap,
+                    &mut rng,
+                    &mut seq,
+                    time,
+                    Envelope {
+                        from,
+                        to,
+                        payload: msg,
+                    },
+                );
             }
             continue;
         }
         let was_done = parties[to].as_ref().expect("honest").output().is_some();
         {
             let p = parties[to].as_mut().expect("honest");
-            let mut ctx = AsyncCtx { me: env.to, n, now: time, outbox: Vec::new() };
+            let mut ctx = AsyncCtx {
+                me: env.to,
+                n,
+                now: time,
+                outbox: Vec::new(),
+            };
             p.on_message(env, &mut ctx);
             for out in ctx.outbox {
                 push(&mut heap, &mut rng, &mut seq, time, out);
@@ -422,7 +488,10 @@ where
             completion_time = completion_time.max(time);
             if all_done(&parties) {
                 return Ok(AsyncReport {
-                    outputs: parties.iter().map(|p| p.as_ref().and_then(P::output)).collect(),
+                    outputs: parties
+                        .iter()
+                        .map(|p| p.as_ref().and_then(P::output))
+                        .collect(),
                     corrupted,
                     completion_time,
                     messages_delivered: events,
@@ -468,7 +537,9 @@ mod tests {
         let report = run_async(
             cfg,
             |_, _| Census { heard: 0, need: 3 },
-            SilentAsync { parties: vec![PartyId(3)] },
+            SilentAsync {
+                parties: vec![PartyId(3)],
+            },
         )
         .unwrap();
         assert!(report.corrupted[3]);
@@ -490,7 +561,9 @@ mod tests {
         let err = run_async(
             cfg,
             |_, _| Census { heard: 0, need: 4 },
-            SilentAsync { parties: vec![PartyId(3)] },
+            SilentAsync {
+                parties: vec![PartyId(3)],
+            },
         )
         .unwrap_err();
         assert!(matches!(err, AsyncSimError::Stalled { .. }));
@@ -532,7 +605,10 @@ mod tests {
             n: 4,
             t: 0,
             seed: 3,
-            delay: DelayModel::SlowParties { slow: vec![PartyId(0)], min: 0.1 },
+            delay: DelayModel::SlowParties {
+                slow: vec![PartyId(0)],
+                min: 0.1,
+            },
             max_events: 10_000,
         };
         let report = run_async(cfg, |_, _| Census { heard: 0, need: 4 }, PassiveAsync).unwrap();
@@ -564,7 +640,9 @@ mod tests {
             run_async(
                 cfg,
                 |_, _| Census { heard: 0, need: 1 },
-                SilentAsync { parties: vec![PartyId(0)] }
+                SilentAsync {
+                    parties: vec![PartyId(0)]
+                }
             ),
             Err(AsyncSimError::BadConfig { .. })
         ));

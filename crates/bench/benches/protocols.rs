@@ -22,7 +22,11 @@ fn bench_protocols(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("gradecast_batch", n), &n, |b, _| {
             b.iter(|| {
                 run_simulation(
-                    SimConfig { n, t, max_rounds: 8 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: 8,
+                    },
                     |id, nn| GradecastProtocol::new(id, nn, t, id.index() as u64),
                     Passive,
                 )
@@ -34,7 +38,11 @@ fn bench_protocols(c: &mut Criterion) {
             let cfg = PhaseKingConfig::new(n, t).unwrap();
             b.iter(|| {
                 run_simulation(
-                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
                     |id, _| PhaseKingParty::new(id, cfg, id.index() as u64),
                     Passive,
                 )

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator};
 use real_aa::{IteratedAaConfig, IteratedAaParty, RealAaConfig, RealAaParty};
-use sim_net::{run_simulation, Passive, PartyId, SimConfig};
+use sim_net::{run_simulation, PartyId, Passive, SimConfig};
 
 fn bench_realaa(c: &mut Criterion) {
     let mut g = c.benchmark_group("realaa");
@@ -20,7 +20,11 @@ fn bench_realaa(c: &mut Criterion) {
             let cfg = RealAaConfig::new(n, t, 1.0, d).unwrap();
             b.iter(|| {
                 run_simulation(
-                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
                     |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
                     Passive,
                 )
@@ -38,7 +42,11 @@ fn bench_realaa(c: &mut Criterion) {
                     equal_split_schedule(t, cfg.iterations() as usize),
                 );
                 run_simulation(
-                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
                     |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
                     adv,
                 )
@@ -50,7 +58,11 @@ fn bench_realaa(c: &mut Criterion) {
             let cfg = IteratedAaConfig::new(n, t, 1.0, d).unwrap();
             b.iter(|| {
                 run_simulation(
-                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
                     |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
                     Passive,
                 )

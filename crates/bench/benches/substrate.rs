@@ -3,7 +3,116 @@
 //! projections) at experiment scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradecast::GradecastProtocol;
+use real_aa::{RealAaConfig, RealAaParty};
+use sim_net::{run_simulation, Inbox, Passive, Payload, Protocol, RoundCtx, SimConfig};
 use tree_model::{generate, list_construction, LcaTable, ProjectionTable};
+
+/// A broadcast payload with a real heap body, sized like a protocol
+/// message carrying a value vector (64 words ≈ a batched state digest).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Blob(Vec<u64>);
+
+impl Payload for Blob {
+    fn size_bytes(&self) -> usize {
+        8 * self.0.len()
+    }
+}
+
+/// Each party broadcasts a fresh blob every round for `ROUNDS` rounds and
+/// then outputs how many messages it saw — pure engine fan-out, no
+/// protocol logic to speak of.
+struct Flooder {
+    rounds: u32,
+    seen: usize,
+    done: bool,
+}
+
+const FLOOD_ROUNDS: u32 = 3;
+
+impl Protocol for Flooder {
+    type Msg = Blob;
+    type Output = usize;
+
+    fn step(&mut self, round: u32, inbox: &Inbox<Blob>, ctx: &mut RoundCtx<Blob>) {
+        self.seen += inbox.len();
+        if round <= self.rounds {
+            ctx.broadcast(Blob(vec![round as u64; 64]));
+        } else {
+            self.done = true;
+        }
+    }
+
+    fn output(&self) -> Option<usize> {
+        self.done.then_some(self.seen)
+    }
+}
+
+/// The engine substrate under protocol-shaped load: broadcast fan-out,
+/// a full parallel-gradecast batch, and one `RealAA` iteration, across
+/// the experiment scale the message-complexity scenarios use.
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[16usize, 64, 256] {
+        let t = (n - 1) / 3;
+
+        g.bench_with_input(BenchmarkId::new("broadcast_fanout", n), &n, |b, &n| {
+            b.iter(|| {
+                run_simulation(
+                    SimConfig {
+                        n,
+                        t: 0,
+                        max_rounds: FLOOD_ROUNDS + 2,
+                    },
+                    |_, _| Flooder {
+                        rounds: FLOOD_ROUNDS,
+                        seen: 0,
+                        done: false,
+                    },
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("gradecast_batch", n), &n, |b, &n| {
+            b.iter(|| {
+                run_simulation(
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: 8,
+                    },
+                    |id, nn| GradecastProtocol::new(id, nn, t, id.index() as u64),
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("realaa_iteration", n), &n, |b, &n| {
+            // d = 2, eps = 1: exactly one gradecast-based iteration.
+            let cfg = RealAaConfig::new(n, t, 1.0, 2.0).unwrap();
+            let inputs: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 / (n - 1) as f64).collect();
+            b.iter(|| {
+                run_simulation(
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
+                    |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+                    Passive,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
 
 fn bench_substrate(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate");
@@ -14,9 +123,11 @@ fn bench_substrate(c: &mut Criterion) {
         let path = generate::path(size);
         let cat = generate::caterpillar(size / 3, 2);
 
-        g.bench_with_input(BenchmarkId::new("list_construction", size), &size, |b, _| {
-            b.iter(|| list_construction(&cat))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("list_construction", size),
+            &size,
+            |b, _| b.iter(|| list_construction(&cat)),
+        );
 
         g.bench_with_input(BenchmarkId::new("convex_hull", size), &size, |b, _| {
             let s: Vec<_> = cat.vertices().step_by(97).collect();
@@ -39,5 +150,5 @@ fn bench_substrate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_substrate);
+criterion_group!(benches, bench_substrate, bench_engine);
 criterion_main!(benches);

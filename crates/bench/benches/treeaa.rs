@@ -27,7 +27,11 @@ fn bench_treeaa(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         run_simulation(
-                            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                            SimConfig {
+                                n,
+                                t,
+                                max_rounds: cfg.total_rounds() + 5,
+                            },
                             |id, _| {
                                 TreeAaParty::new(
                                     id,
@@ -48,7 +52,11 @@ fn bench_treeaa(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("nowak_rybicki", size), &size, |b, _| {
             b.iter(|| {
                 run_simulation(
-                    SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                    SimConfig {
+                        n,
+                        t,
+                        max_rounds: cfg.rounds() + 5,
+                    },
                     |id, _| {
                         NowakRybickiParty::new(
                             id,

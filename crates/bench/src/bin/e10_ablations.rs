@@ -25,7 +25,9 @@ struct Variant {
 }
 
 fn run_variant(v: &Variant, n: usize, t: usize, d: f64, r: u32) -> f64 {
-    let mut cfg = RealAaConfig::new(n, t, 1e-12, d).expect("valid").with_fixed_iterations(r);
+    let mut cfg = RealAaConfig::new(n, t, 1e-12, d)
+        .expect("valid")
+        .with_fixed_iterations(r);
     if v.ablate_fill {
         cfg = cfg.with_ablated_fill_rule();
     }
@@ -45,7 +47,11 @@ fn run_variant(v: &Variant, n: usize, t: usize, d: f64, r: u32) -> f64 {
     }
     let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
         adv,
     )
@@ -61,15 +67,33 @@ fn main() {
 
     // Column order matches the table header below.
     let variants = [
-        Variant { ablate_fill: false, ablate_muting: false },
-        Variant { ablate_fill: true, ablate_muting: false },
-        Variant { ablate_fill: false, ablate_muting: true },
-        Variant { ablate_fill: true, ablate_muting: true },
+        Variant {
+            ablate_fill: false,
+            ablate_muting: false,
+        },
+        Variant {
+            ablate_fill: true,
+            ablate_muting: false,
+        },
+        Variant {
+            ablate_fill: false,
+            ablate_muting: true,
+        },
+        Variant {
+            ablate_fill: true,
+            ablate_muting: true,
+        },
     ];
 
     let rs: Vec<u32> = vec![1, 2, 3, 5, 8];
-    let mut table = Table::new(&["R", "envelope", "full protocol", "no fill rule", "no muting",
-                                 "neither"]);
+    let mut table = Table::new(&[
+        "R",
+        "envelope",
+        "full protocol",
+        "no fill rule",
+        "no muting",
+        "neither",
+    ]);
     for &r in &rs {
         let envelope: f64 = equal_split_schedule(t, r as usize)
             .iter()

@@ -20,7 +20,11 @@ fn run_one<A: Adversary<real_aa::RealAaMsg>>(
     adv: A,
 ) -> RunReport<f64> {
     run_simulation(
-        SimConfig { n: cfg.n, t: cfg.t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n: cfg.n,
+            t: cfg.t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
         adv,
     )
@@ -70,7 +74,9 @@ fn main() {
 
     // Adversarial rows: the budget-split equivocator delays the observable
     // collapse; chaos does not (its noise never reaches grade >= 1).
-    let inputs: Vec<f64> = (0..n).map(|i| d_public * i as f64 / (n - 1) as f64).collect();
+    let inputs: Vec<f64> = (0..n)
+        .map(|i| d_public * i as f64 / (n - 1) as f64)
+        .collect();
     let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
 
     let rf = run_one(
@@ -94,7 +100,11 @@ fn main() {
         format!("{s:.3}"),
     ]);
 
-    let rf = run_one(fixed, &inputs, RealAaChaos::new(byz.clone(), 5, (0.0, d_public)));
+    let rf = run_one(
+        fixed,
+        &inputs,
+        RealAaChaos::new(byz.clone(), 5, (0.0, d_public)),
+    );
     let re = run_one(early, &inputs, RealAaChaos::new(byz, 5, (0.0, d_public)));
     let s = spread(&re.honest_outputs());
     assert!(s <= 1.0);

@@ -36,7 +36,11 @@ fn main() {
         let ba = PhaseKingConfig::new(n, t).expect("valid");
         let inputs: Vec<u64> = (0..n).map(|i| (i * 97 % list.len()) as u64).collect();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: ba.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: ba.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, ba, inputs[id.index()]),
             Passive,
         )
@@ -46,10 +50,18 @@ fn main() {
         // PathsFinder on the same tree.
         let pf = PathsFinderConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid");
         let vins: Vec<_> = (0..n)
-            .map(|i| tree.vertices().nth((i * 97) % tree.vertex_count()).expect("ok"))
+            .map(|i| {
+                tree.vertices()
+                    .nth((i * 97) % tree.vertex_count())
+                    .expect("ok")
+            })
             .collect();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: pf.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: pf.rounds() + 5,
+            },
             |id, _| PathsFinderParty::new(id, pf.clone(), Arc::clone(&tree), vins[id.index()]),
             Passive,
         )

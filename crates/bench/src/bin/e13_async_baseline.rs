@@ -19,7 +19,9 @@ use tree_model::generate;
 
 fn main() {
     let (n, t) = (7usize, 2usize);
-    println!("## E13: async tree AA (RBC + witnesses) vs synchronous protocols (n = {n}, t = {t})\n");
+    println!(
+        "## E13: async tree AA (RBC + witnesses) vs synchronous protocols (n = {n}, t = {t})\n"
+    );
     let mut table = Table::new(&[
         "|V| (path)",
         "iterations",
@@ -42,11 +44,17 @@ fn main() {
             (DelayModel::Lockstep, 12),
         ] {
             let report = run_async(
-                AsyncConfig { n, t, seed, delay, max_events: 20_000_000 },
-                |id, _| {
-                    AsyncTreeAaParty::new(cfg.clone(), Arc::clone(&tree), inputs[id.index()])
+                AsyncConfig {
+                    n,
+                    t,
+                    seed,
+                    delay,
+                    max_events: 20_000_000,
                 },
-                SilentAsync { parties: vec![PartyId(2), PartyId(5)] },
+                |id, _| AsyncTreeAaParty::new(cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+                SilentAsync {
+                    parties: vec![PartyId(2), PartyId(5)],
+                },
             )
             .expect("async run completes");
             let honest_inputs: Vec<_> = (0..n)
@@ -59,8 +67,7 @@ fn main() {
             msgs = report.messages_delivered;
         }
 
-        let sync_cfg =
-            TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid");
+        let sync_cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid");
         let nr = NowakRybickiConfig::new(n, t, &tree).expect("valid");
         table.row(vec![
             size.to_string(),

@@ -34,10 +34,13 @@ fn main() {
             let byz: Vec<PartyId> = (0..t).map(PartyId).collect();
             let schedule = equal_split_schedule(t, cfg.iterations() as usize);
             let adv = BudgetSplitEquivocator::new(n, byz.clone(), schedule);
-            let inputs: Vec<f64> =
-                (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
+            let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
             let report = run_simulation(
-                SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                SimConfig {
+                    n,
+                    t,
+                    max_rounds: cfg.rounds() + 5,
+                },
                 |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
                 adv,
             )
@@ -45,7 +48,10 @@ fn main() {
             let outs = report.honest_outputs();
             let s = spread(&outs);
             let lo = inputs[t..].iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = inputs[t..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let hi = inputs[t..]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             let valid = outs.iter().all(|&o| o >= lo - 1e-9 && o <= hi + 1e-9);
             assert!(valid, "validity violated at delta = {d}");
             table.row(vec![

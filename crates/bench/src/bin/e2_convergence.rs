@@ -29,7 +29,11 @@ fn run_case(n: usize, t: usize, d: f64, r: u32) -> (f64, f64, f64) {
     let adv = BudgetSplitEquivocator::new(n, byz, schedule.clone());
     let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
         adv,
     )

@@ -23,7 +23,10 @@ fn families(size: usize) -> Vec<(&'static str, Tree)> {
         ("path", generate::path(size)),
         ("caterpillar", generate::caterpillar(size.div_ceil(3), 2)),
         ("spider8", generate::spider(8, size.div_ceil(8).max(1))),
-        ("binary", generate::balanced_kary(2, (size.max(2) as f64).log2().floor() as u32)),
+        (
+            "binary",
+            generate::balanced_kary(2, (size.max(2) as f64).log2().floor() as u32),
+        ),
         ("star", generate::star(size)),
     ]
 }
@@ -50,10 +53,11 @@ fn main() {
             let (outs_g, rounds_g) =
                 run_tree_aa_honest(&tree, n, t, EngineKind::Gradecast, &inputs);
             check_tree_aa(&tree, &inputs, &outs_g).expect("definition 2 holds");
-            let (outs_h, rounds_h) =
-                run_tree_aa_honest(&tree, n, t, EngineKind::Halving, &inputs);
+            let (outs_h, rounds_h) = run_tree_aa_honest(&tree, n, t, EngineKind::Halving, &inputs);
             check_tree_aa(&tree, &inputs, &outs_h).expect("definition 2 holds");
-            let nr = NowakRybickiConfig::new(n, t, &tree).expect("valid").rounds();
+            let nr = NowakRybickiConfig::new(n, t, &tree)
+                .expect("valid")
+                .rounds();
             let lv = (v as f64).log2();
             let target = if lv.log2() > 0.0 { lv / lv.log2() } else { 1.0 };
             table.row(vec![

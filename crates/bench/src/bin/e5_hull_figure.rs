@@ -23,8 +23,10 @@ fn main() {
         ],
     )
     .expect("valid tree");
-    let s: Vec<VertexId> =
-        ["u1", "u2", "u3"].iter().map(|l| tree.vertex(l).expect("present")).collect();
+    let s: Vec<VertexId> = ["u1", "u2", "u3"]
+        .iter()
+        .map(|l| tree.vertex(l).expect("present"))
+        .collect();
     let hull = tree.convex_hull(&s);
     let mut labels: Vec<String> = hull.iter().map(|v| tree.label(v).to_string()).collect();
     labels.sort();
@@ -40,8 +42,9 @@ fn main() {
         let size = rng.gen_range(2..50);
         let t = generate::random_prufer(size, &mut rng);
         let k = rng.gen_range(1..=5usize);
-        let s: Vec<VertexId> =
-            (0..k).map(|_| t.vertices().nth(rng.gen_range(0..size)).expect("ok")).collect();
+        let s: Vec<VertexId> = (0..k)
+            .map(|_| t.vertices().nth(rng.gen_range(0..size)).expect("ok"))
+            .collect();
         let hull = t.convex_hull(&s);
         for w in t.vertices() {
             assert_eq!(

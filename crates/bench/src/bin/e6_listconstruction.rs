@@ -35,17 +35,27 @@ fn figure3() -> Tree {
 fn main() {
     let tree = Arc::new(figure3());
     let list = list_construction(&tree);
-    let labels: Vec<&str> = list.entries().iter().map(|&v| tree.label(v).as_str()).collect();
+    let labels: Vec<&str> = list
+        .entries()
+        .iter()
+        .map(|&v| tree.label(v).as_str())
+        .collect();
     println!("## E6a: ListConstruction on the Figure 3 tree\n");
     println!("L = [{}]", labels.join(", "));
-    let expected = ["v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2",
-                    "v5", "v2", "v1"];
+    let expected = [
+        "v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5", "v2", "v1",
+    ];
     assert_eq!(labels, expected, "Euler list mismatch with the paper");
-    println!("matches the paper's list: yes (|L| = {} = 2|V| - 1)\n", list.len());
+    println!(
+        "matches the paper's list: yes (|L| = {} = 2|V| - 1)\n",
+        list.len()
+    );
 
     println!("## E6b: steering PathsFinder outside the honest hull (Figure 4)\n");
-    let honest_inputs: Vec<VertexId> =
-        ["v3", "v6", "v5"].iter().map(|l| tree.vertex(l).expect("present")).collect();
+    let honest_inputs: Vec<VertexId> = ["v3", "v6", "v5"]
+        .iter()
+        .map(|l| tree.vertex(l).expect("present"))
+        .collect();
     let hull = tree.convex_hull(&honest_inputs);
     let (n, t) = (4usize, 1usize);
     let cfg = PathsFinderConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid");
@@ -60,17 +70,26 @@ fn main() {
     for planted in tree.vertices() {
         // The Byzantine party (id 3) runs the protocol honestly with a
         // planted input — the cheapest steering strategy.
-        let inputs = [honest_inputs[0], honest_inputs[1], honest_inputs[2], planted];
+        let inputs = [
+            honest_inputs[0],
+            honest_inputs[1],
+            honest_inputs[2],
+            planted,
+        ];
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
-            |id, _| {
-                PathsFinderParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()])
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
             },
+            |id, _| PathsFinderParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )
         .expect("simulation completes");
         // Party 3 is "byzantine by input": evaluate only honest parties.
-        let paths: Vec<_> = (0..3).map(|i| report.outputs[i].clone().expect("output")).collect();
+        let paths: Vec<_> = (0..3)
+            .map(|i| report.outputs[i].clone().expect("output"))
+            .collect();
         let mut endpoints: Vec<String> = Vec::new();
         let mut all_valid = true;
         let mut all_intersect = true;
@@ -99,5 +118,8 @@ fn main() {
          (into the subtree of a valid vertex), and every path still intersected the \
          hull — exactly the Figure 4 phenomenon and why TreeAA's second phase exists."
     );
-    assert!(escapes > 0, "expected at least one hull escape to demonstrate Figure 4");
+    assert!(
+        escapes > 0,
+        "expected at least one hull escape to demonstrate Figure 4"
+    );
 }

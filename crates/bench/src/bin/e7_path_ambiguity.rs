@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use bench::Table;
 use real_aa::PlainValueMsg;
-use sim_net::{Envelope, PartyId, Protocol, RoundCtx};
+use sim_net::{step_standalone, Inbox, Outbox, PartyId, Protocol, Received, RoundCtx};
 use tree_aa::{check_tree_aa, EngineKind, InnerMsg, TreeAaConfig, TreeAaParty, TreeMsg};
 use tree_model::{generate, VertexId};
 
@@ -53,37 +53,46 @@ fn main() {
         let mut parties: Vec<TreeAaParty> = (0..n)
             .map(|i| TreeAaParty::new(PartyId(i), cfg.clone(), Arc::clone(&tree), inputs[i]))
             .collect();
-        let mut inboxes: Vec<Vec<Envelope<TreeMsg>>> = vec![Vec::new(); n];
+        let mut inboxes: Vec<Inbox<TreeMsg>> = vec![Inbox::empty(); n];
         for round in 1..=cfg.total_rounds() + 1 {
-            let mut tentative: Vec<Vec<Envelope<TreeMsg>>> = Vec::with_capacity(n);
+            let mut tentative: Vec<Outbox<TreeMsg>> = Vec::with_capacity(n);
             for (i, p) in parties.iter_mut().enumerate() {
-                let mut ctx = RoundCtx::new(PartyId(i), n);
                 let inbox = std::mem::take(&mut inboxes[i]);
-                p.step(round, &inbox, &mut ctx);
-                tentative.push(ctx.into_outbox());
+                tentative.push(step_standalone(p, PartyId(i), n, round, &inbox));
             }
             // Party 3 is Byzantine: replace its traffic with per-recipient
             // extreme equivocation (high to even ids, low to odd ids),
             // correctly tagged for the current phase and local iteration.
-            tentative[byz].clear();
-            let (phase, local) =
-                if round <= r1 { (1u8, round) } else { (2u8, round - r1) };
+            let (phase, local) = if round <= r1 {
+                (1u8, round)
+            } else {
+                (2u8, round - r1)
+            };
+            let mut byz_ctx: RoundCtx<TreeMsg> = RoundCtx::new(PartyId(byz), n);
             for to in 0..n {
                 let value = if to % 2 == 0 { 1e9 } else { -1e9 };
-                tentative[byz].push(Envelope {
-                    from: PartyId(byz),
-                    to: PartyId(to),
-                    payload: TreeMsg {
+                byz_ctx.send(
+                    PartyId(to),
+                    TreeMsg {
                         phase,
-                        inner: InnerMsg::Plain(PlainValueMsg { iter: local - 1, value }),
+                        inner: InnerMsg::Plain(PlainValueMsg {
+                            iter: local - 1,
+                            value,
+                        }),
                     },
-                });
+                );
             }
+            tentative[byz] = byz_ctx.into_outbox();
+            let mut next: Vec<Vec<Received<TreeMsg>>> = vec![Vec::new(); n];
             for outbox in tentative {
-                for env in outbox {
-                    inboxes[env.to.index()].push(env);
+                for env in outbox.envelopes() {
+                    next[env.to.index()].push(Received {
+                        from: env.from,
+                        payload: env.payload,
+                    });
                 }
             }
+            inboxes = next.into_iter().map(Inbox::from_messages).collect();
         }
         runs += 1;
 
@@ -98,8 +107,10 @@ fn main() {
         if max_len > min_len {
             diverged_paths += 1;
         }
-        let outputs: Vec<VertexId> =
-            honest.iter().map(|&i| parties[i].output().expect("terminated")).collect();
+        let outputs: Vec<VertexId> = honest
+            .iter()
+            .map(|&i| parties[i].output().expect("terminated"))
+            .collect();
         // Fallback detection: some shorter-path party output its own last
         // vertex while a longer-path party output beyond it.
         if max_len > min_len {
@@ -125,8 +136,12 @@ fn main() {
     }
 
     println!("## E7: Figure 5 path ambiguity under persistent equivocation\n");
-    let mut table =
-        Table::new(&["runs", "paths diverged", "v_k fallback pattern", "safety violations"]);
+    let mut table = Table::new(&[
+        "runs",
+        "paths diverged",
+        "v_k fallback pattern",
+        "safety violations",
+    ]);
     table.row(vec![
         runs.to_string(),
         diverged_paths.to_string(),
@@ -135,5 +150,8 @@ fn main() {
     ]);
     table.print();
     assert_eq!(violations, 0, "Definition 2 must hold in every run");
-    assert!(diverged_paths > 0, "expected some path divergence to exercise Figure 5");
+    assert!(
+        diverged_paths > 0,
+        "expected some path divergence to exercise Figure 5"
+    );
 }

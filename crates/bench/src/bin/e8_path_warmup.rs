@@ -30,7 +30,11 @@ fn main() {
         for engine in [EngineKind::Gradecast, EngineKind::Halving] {
             let cfg = PathAaConfig::new(n, t, engine, &tree).expect("valid");
             let report = run_simulation(
-                SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                SimConfig {
+                    n,
+                    t,
+                    max_rounds: cfg.rounds() + 5,
+                },
                 |id, _| PathAaParty::new(id, cfg.clone(), inputs[id.index()]),
                 Passive,
             )
@@ -40,8 +44,9 @@ fn main() {
             rounds.push(report.communication_rounds());
             last_spread = vertex_spread(&tree, &outs);
         }
-        let tree_aa =
-            TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).expect("valid").total_rounds();
+        let tree_aa = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree)
+            .expect("valid")
+            .total_rounds();
         table.row(vec![
             size.to_string(),
             rounds[0].to_string(),

@@ -29,7 +29,11 @@ fn main() {
         let cfg = RealAaConfig::new(n, t, 1.0, d).expect("valid");
         let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -60,7 +64,11 @@ fn main() {
     for engine in [EngineKind::Gradecast, EngineKind::Halving] {
         let cfg = TreeAaConfig::new(n, t, engine, &tree).expect("valid");
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )
@@ -74,7 +82,11 @@ fn main() {
     }
     let cfg = NowakRybickiConfig::new(n, t, &tree).expect("valid");
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| NowakRybickiParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
         Passive,
     )

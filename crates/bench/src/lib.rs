@@ -2,13 +2,12 @@
 //! Criterion benches: scenario runners, spread helpers, and markdown
 //! table rendering matching the formats recorded in `EXPERIMENTS.md`.
 
-
 #![warn(missing_docs)]
 use std::sync::Arc;
 
-use sim_net::{run_simulation, Adversary, Passive, PartyId, Protocol, SimConfig};
+use sim_net::{run_simulation, Adversary, PartyId, Passive, Protocol, SimConfig};
 use tree_aa::{EngineKind, TreeAaConfig, TreeAaParty};
-use tree_model::{Tree, VertexId};
+use tree_model::{LcaTable, Tree, VertexId};
 
 /// max − min of a value slice.
 pub fn spread(outs: &[f64]) -> f64 {
@@ -18,11 +17,18 @@ pub fn spread(outs: &[f64]) -> f64 {
 }
 
 /// Maximum pairwise tree distance of a vertex slice.
+///
+/// Builds one binary-lifting [`LcaTable`] up front and answers each of the
+/// `k·(k−1)/2` pairs in `O(log |V|)`, instead of one BFS walk per pair.
 pub fn vertex_spread(tree: &Tree, outs: &[VertexId]) -> usize {
+    if outs.len() < 2 {
+        return 0;
+    }
+    let lca = LcaTable::new(tree);
     let mut best = 0;
     for (i, &a) in outs.iter().enumerate() {
         for &b in &outs[i + 1..] {
-            best = best.max(tree.distance(a, b));
+            best = best.max(lca.distance(a, b));
         }
     }
     best
@@ -31,7 +37,9 @@ pub fn vertex_spread(tree: &Tree, outs: &[VertexId]) -> usize {
 /// Picks `n` spread-out input vertices deterministically.
 pub fn spaced_inputs(tree: &Tree, n: usize, stride: usize) -> Vec<VertexId> {
     let m = tree.vertex_count();
-    (0..n).map(|i| tree.vertices().nth((i * stride) % m).expect("in range")).collect()
+    (0..n)
+        .map(|i| tree.vertices().nth((i * stride) % m).expect("in range"))
+        .collect()
 }
 
 /// Runs `TreeAA` honestly and returns (honest outputs, communication
@@ -50,7 +58,11 @@ pub fn run_tree_aa_honest(
 ) -> (Vec<VertexId>, u32) {
     let cfg = TreeAaConfig::new(n, t, engine, tree).expect("valid parameters");
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
         Passive,
     )
@@ -64,10 +76,16 @@ pub fn run_tree_aa_honest(
 /// # Panics
 ///
 /// Panics if the simulation fails.
-pub fn run<P, A, F>(n: usize, t: usize, max_rounds: u32, factory: F, adversary: A)
-    -> sim_net::RunReport<P::Output>
+pub fn run<P, A, F>(
+    n: usize,
+    t: usize,
+    max_rounds: u32,
+    factory: F,
+    adversary: A,
+) -> sim_net::RunReport<P::Output>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
 {
@@ -86,7 +104,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

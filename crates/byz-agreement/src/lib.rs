@@ -59,11 +59,10 @@
 //! assert!(report.honest_outputs().iter().all(|&v| v == 7)); // unanimity
 //! ```
 
-
 #![warn(missing_docs)]
 use std::collections::BTreeMap;
 
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
 
 /// Public parameters of a phase-king execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,9 +124,16 @@ pub enum BaMsg<V> {
     },
 }
 
-impl<V: Clone + std::fmt::Debug> Payload for BaMsg<V> {
+impl<V: Payload> Payload for BaMsg<V> {
+    /// Wire size: 1 tag byte + 4 phase bytes + the value's own wire size
+    /// (plus 1 option byte for proposals). Delegating to `V::size_bytes`
+    /// counts heap payloads (strings, vectors) at their real size instead
+    /// of `size_of::<V>()`'s shallow stack footprint.
     fn size_bytes(&self) -> usize {
-        5 + std::mem::size_of::<V>()
+        5 + match self {
+            BaMsg::Exchange { value, .. } | BaMsg::King { value, .. } => value.size_bytes(),
+            BaMsg::Propose { proposal, .. } => 1 + proposal.as_ref().map_or(0, Payload::size_bytes),
+        }
     }
 }
 
@@ -152,7 +158,14 @@ impl<V: Clone + Ord + std::fmt::Debug> PhaseKingParty<V> {
     /// Panics if `me` is out of range.
     pub fn new(me: PartyId, cfg: PhaseKingConfig, input: V) -> Self {
         assert!(me.index() < cfg.n, "party id out of range");
-        PhaseKingParty { cfg, me, value: input, best: None, my_proposal: None, output: None }
+        PhaseKingParty {
+            cfg,
+            me,
+            value: input,
+            best: None,
+            my_proposal: None,
+            output: None,
+        }
     }
 
     /// Tallies one value per sender (first message wins) for the expected
@@ -173,11 +186,11 @@ impl<V: Clone + Ord + std::fmt::Debug> PhaseKingParty<V> {
     }
 }
 
-impl<V: Clone + Ord + std::fmt::Debug> Protocol for PhaseKingParty<V> {
+impl<V: Payload + Ord> Protocol for PhaseKingParty<V> {
     type Msg = BaMsg<V>;
     type Output = V;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<BaMsg<V>>], ctx: &mut RoundCtx<BaMsg<V>>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<BaMsg<V>>, ctx: &mut RoundCtx<BaMsg<V>>) {
         if self.output.is_some() {
             return;
         }
@@ -191,15 +204,14 @@ impl<V: Clone + Ord + std::fmt::Debug> Protocol for PhaseKingParty<V> {
                     // counts; the engine stamps senders, so a Byzantine
                     // non-king cannot forge a King message.
                     let prev_king = PartyId(((phase - 1) as usize) % self.cfg.n);
-                    let king_value = inbox
-                        .iter()
-                        .filter(|e| e.from == prev_king)
-                        .find_map(|e| match &e.payload {
+                    let king_value = inbox.iter().filter(|e| e.from == prev_king).find_map(|e| {
+                        match &e.payload {
                             BaMsg::King { phase: p, value } if *p == phase - 1 => {
                                 Some(value.clone())
                             }
                             _ => None,
-                        });
+                        }
+                    });
                     // Keep own B at the strong threshold, else adopt king.
                     let keep = self
                         .best
@@ -217,7 +229,10 @@ impl<V: Clone + Ord + std::fmt::Debug> Protocol for PhaseKingParty<V> {
                         return;
                     }
                 }
-                ctx.broadcast(BaMsg::Exchange { phase, value: self.value.clone() });
+                ctx.broadcast(BaMsg::Exchange {
+                    phase,
+                    value: self.value.clone(),
+                });
             }
             1 => {
                 let counts = self.tally(inbox.iter().filter_map(|e| match &e.payload {
@@ -228,13 +243,17 @@ impl<V: Clone + Ord + std::fmt::Debug> Protocol for PhaseKingParty<V> {
                     .iter()
                     .find(|&(_, &c)| c >= self.cfg.n - self.cfg.t)
                     .map(|(v, _)| v.clone());
-                ctx.broadcast(BaMsg::Propose { phase, proposal: self.my_proposal.clone() });
+                ctx.broadcast(BaMsg::Propose {
+                    phase,
+                    proposal: self.my_proposal.clone(),
+                });
             }
             _ => {
                 let counts = self.tally(inbox.iter().filter_map(|e| match &e.payload {
-                    BaMsg::Propose { phase: p, proposal: Some(v) } if *p == phase => {
-                        Some((e.from, v))
-                    }
+                    BaMsg::Propose {
+                        phase: p,
+                        proposal: Some(v),
+                    } if *p == phase => Some((e.from, v)),
                     _ => None,
                 }));
                 self.best = counts
@@ -248,7 +267,10 @@ impl<V: Clone + Ord + std::fmt::Debug> Protocol for PhaseKingParty<V> {
                         .filter(|(_, c)| *c > self.cfg.t)
                         .map(|(v, _)| v.clone())
                         .unwrap_or_else(|| self.value.clone());
-                    ctx.broadcast(BaMsg::King { phase, value: candidate });
+                    ctx.broadcast(BaMsg::King {
+                        phase,
+                        value: candidate,
+                    });
                 }
             }
         }
@@ -267,12 +289,41 @@ mod tests {
     fn run_honest(n: usize, t: usize, inputs: &[u64]) -> Vec<u64> {
         let cfg = PhaseKingConfig::new(n, t).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
         .unwrap();
         report.honest_outputs()
+    }
+
+    #[test]
+    fn message_sizes_count_heap_payloads() {
+        // 1 tag + 4 phase + real value size (not size_of::<V>()).
+        let e = BaMsg::Exchange {
+            phase: 0,
+            value: "x".repeat(100),
+        };
+        assert_eq!(e.size_bytes(), 105);
+        let none: BaMsg<String> = BaMsg::Propose {
+            phase: 0,
+            proposal: None,
+        };
+        assert_eq!(none.size_bytes(), 6);
+        let some = BaMsg::Propose {
+            phase: 0,
+            proposal: Some("ab".to_string()),
+        };
+        assert_eq!(some.size_bytes(), 8);
+        let king = BaMsg::King {
+            phase: 1,
+            value: 7u64,
+        };
+        assert_eq!(king.size_bytes(), 13);
     }
 
     #[test]
@@ -294,7 +345,11 @@ mod tests {
         assert_eq!(cfg.rounds(), 12);
         let inputs: Vec<u64> = (0..10).collect();
         let report = run_simulation(
-            SimConfig { n: 10, t: 3, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 10,
+                t: 3,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -321,7 +376,10 @@ mod tests {
                         let v = if to % 2 == 0 { 10 } else { 20 };
                         let msg = match stage {
                             0 => BaMsg::Exchange { phase, value: v },
-                            1 => BaMsg::Propose { phase, proposal: Some(v) },
+                            1 => BaMsg::Propose {
+                                phase,
+                                proposal: Some(v),
+                            },
                             _ => BaMsg::King { phase, value: v },
                         };
                         ctx.send(PartyId(b), PartyId(to), msg);
@@ -330,15 +388,25 @@ mod tests {
             },
         };
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
             adv,
         )
         .unwrap();
         let outs = report.honest_outputs();
         let first = outs[0];
-        assert!(outs.iter().all(|&v| v == first), "agreement violated: {outs:?}");
-        assert!(first == 10 || first == 20, "decided a value nobody held: {first}");
+        assert!(
+            outs.iter().all(|&v| v == first),
+            "agreement violated: {outs:?}"
+        );
+        assert!(
+            first == 10 || first == 20,
+            "decided a value nobody held: {first}"
+        );
     }
 
     /// The weak-validity caveat the crate docs call out: with divergent
@@ -361,8 +429,14 @@ mod tests {
                 // Behave consistently (so later phases persist) but push
                 // the planted value 999 as king of phase 0.
                 let msg = match stage {
-                    0 => BaMsg::Exchange { phase, value: 999u64 },
-                    1 => BaMsg::Propose { phase, proposal: None },
+                    0 => BaMsg::Exchange {
+                        phase,
+                        value: 999u64,
+                    },
+                    1 => BaMsg::Propose {
+                        phase,
+                        proposal: None,
+                    },
                     _ => BaMsg::King { phase, value: 999 },
                 };
                 for to in 0..4 {
@@ -371,15 +445,25 @@ mod tests {
             },
         };
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()]),
             adv,
         )
         .unwrap();
         let outs = report.honest_outputs();
         let first = outs[0];
-        assert!(outs.iter().all(|&v| v == first), "agreement must still hold");
-        assert_eq!(first, 999, "the Byzantine king's value wins under divergent inputs");
+        assert!(
+            outs.iter().all(|&v| v == first),
+            "agreement must still hold"
+        );
+        assert_eq!(
+            first, 999,
+            "the Byzantine king's value wins under divergent inputs"
+        );
     }
 
     #[test]
@@ -393,7 +477,11 @@ mod tests {
         let cfg = PhaseKingConfig::new(4, 1).unwrap();
         let inputs = ["apple", "apple", "apple", "apple"];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PhaseKingParty::new(id, cfg, inputs[id.index()].to_string()),
             Passive,
         )

@@ -5,8 +5,9 @@ use byz_agreement::{BaMsg, PhaseKingConfig, PhaseKingParty};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sim_net::{run_simulation, AdversaryCtx, CrashAdversary, PartyId, ScriptedAdversary,
-              SimConfig};
+use sim_net::{
+    run_simulation, AdversaryCtx, CrashAdversary, PartyId, ScriptedAdversary, SimConfig,
+};
 
 fn scenario(seed: u64) -> (usize, usize, Vec<u64>, Vec<PartyId>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -15,7 +16,13 @@ fn scenario(seed: u64) -> (usize, usize, Vec<u64>, Vec<PartyId>) {
     let unanimous = rng.gen_bool(0.3);
     let base = rng.gen_range(0..50u64);
     let inputs: Vec<u64> = (0..n)
-        .map(|_| if unanimous { base } else { rng.gen_range(0..50) })
+        .map(|_| {
+            if unanimous {
+                base
+            } else {
+                rng.gen_range(0..50)
+            }
+        })
         .collect();
     let nbad = rng.gen_range(0..=t);
     let mut ids: Vec<usize> = (0..n).collect();
@@ -42,8 +49,14 @@ fn chaos(byz: Vec<PartyId>, seed: u64) -> impl FnMut(&mut AdversaryCtx<'_, BaMsg
                 let v = rng.gen_range(0..60u64);
                 let msg = match rng.gen_range(0..4) {
                     0 => BaMsg::Exchange { phase, value: v },
-                    1 => BaMsg::Propose { phase, proposal: Some(v) },
-                    2 => BaMsg::Propose { phase, proposal: None },
+                    1 => BaMsg::Propose {
+                        phase,
+                        proposal: Some(v),
+                    },
+                    2 => BaMsg::Propose {
+                        phase,
+                        proposal: None,
+                    },
                     _ => BaMsg::King { phase, value: v },
                 };
                 ctx.send(b, PartyId(to), msg);

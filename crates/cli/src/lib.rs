@@ -14,14 +14,13 @@
 //! Argument parsing and command execution live in this library crate so
 //! they are unit-testable; `main.rs` is a thin shim.
 
-
 #![warn(missing_docs)]
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use lower_bound::{fekete_k, round_lower_bound, theorem2_formula};
 use rand::SeedableRng;
-use sim_net::{run_simulation, CrashAdversary, Passive, PartyId, SelectiveOmission, SimConfig};
+use sim_net::{run_simulation, CrashAdversary, PartyId, Passive, SelectiveOmission, SimConfig};
 use tree_aa::adversary::TreeAaChaos;
 use tree_aa::{
     check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
@@ -91,14 +90,18 @@ fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
-        let v = it.next().ok_or_else(|| format!("option --{key} needs a value"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("option --{key} needs a value"))?;
         map.insert(key.to_string(), v.clone());
     }
     Ok(map)
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing required option --{key}"))
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
@@ -123,14 +126,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             dot: opts.contains_key("dot"),
             seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
         }),
-        "info" => Ok(Command::Info { tree: req(&opts, "tree")?.to_string() }),
+        "info" => Ok(Command::Info {
+            tree: req(&opts, "tree")?.to_string(),
+        }),
         "run" => Ok(Command::Run {
             tree: req(&opts, "tree")?.to_string(),
             inputs: req(&opts, "inputs")?.to_string(),
             t: opts.get("t").map_or(Ok(1), |s| parse_num(s, "t"))?,
-            protocol: opts.get("protocol").cloned().unwrap_or_else(|| "treeaa".into()),
-            engine: opts.get("engine").cloned().unwrap_or_else(|| "gradecast".into()),
-            adversary: opts.get("adversary").cloned().unwrap_or_else(|| "none".into()),
+            protocol: opts
+                .get("protocol")
+                .cloned()
+                .unwrap_or_else(|| "treeaa".into()),
+            engine: opts
+                .get("engine")
+                .cloned()
+                .unwrap_or_else(|| "gradecast".into()),
+            adversary: opts
+                .get("adversary")
+                .cloned()
+                .unwrap_or_else(|| "none".into()),
             seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
         }),
         "bounds" => Ok(Command::Bounds {
@@ -188,9 +202,18 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
     let io = |e: std::io::Error| format!("i/o error: {e}");
     match cmd {
         Command::Help => write!(out, "{USAGE}").map_err(io),
-        Command::Gen { family, size, dot, seed } => {
+        Command::Gen {
+            family,
+            size,
+            dot,
+            seed,
+        } => {
             let tree = build_family(&family, size, seed)?;
-            let text = if dot { tree.to_dot(&[]) } else { tree.to_text() };
+            let text = if dot {
+                tree.to_dot(&[])
+            } else {
+                tree.to_text()
+            };
             write!(out, "{text}").map_err(io)
         }
         Command::Info { tree } => {
@@ -218,10 +241,18 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             Ok(())
         }
         Command::Bounds { diameter, n, t } => {
-            writeln!(out, "exact Fekete round lower bound  {}", round_lower_bound(diameter, n, t))
-                .map_err(io)?;
-            writeln!(out, "Theorem 2 closed form           {:.2}", theorem2_formula(diameter, n, t))
-                .map_err(io)?;
+            writeln!(
+                out,
+                "exact Fekete round lower bound  {}",
+                round_lower_bound(diameter, n, t)
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "Theorem 2 closed form           {:.2}",
+                theorem2_formula(diameter, n, t)
+            )
+            .map_err(io)?;
             for r in 1..=8u32 {
                 writeln!(out, "  K({r}, D) = {:.6}", fekete_k(r, diameter, n, t)).map_err(io)?;
             }
@@ -232,14 +263,25 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             )
             .map_err(io)
         }
-        Command::Run { tree, inputs, t, protocol, engine, adversary, seed } => {
+        Command::Run {
+            tree,
+            inputs,
+            t,
+            protocol,
+            engine,
+            adversary,
+            seed,
+        } => {
             let text = std::fs::read_to_string(&tree).map_err(io)?;
             let tree = Arc::new(parse_tree(&text).map_err(|e| e.to_string())?);
             let labels: Vec<&str> = inputs.split(',').map(str::trim).collect();
             let n = labels.len();
             let input_ids: Vec<VertexId> = labels
                 .iter()
-                .map(|l| tree.vertex(l).ok_or_else(|| format!("unknown vertex label `{l}`")))
+                .map(|l| {
+                    tree.vertex(l)
+                        .ok_or_else(|| format!("unknown vertex label `{l}`"))
+                })
                 .collect::<Result<_, _>>()?;
             let engine = match engine.as_str() {
                 "gradecast" => EngineKind::Gradecast,
@@ -254,13 +296,16 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
 
             let (outputs, rounds, messages) = match protocol.as_str() {
                 "treeaa" => {
-                    let cfg =
-                        TreeAaConfig::new(n, t, engine, &tree).map_err(|e| e.to_string())?;
+                    let cfg = TreeAaConfig::new(n, t, engine, &tree).map_err(|e| e.to_string())?;
                     let max = cfg.total_rounds() + 5;
                     let factory = |id: PartyId, _| {
                         TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), input_ids[id.index()])
                     };
-                    let sim = SimConfig { n, t, max_rounds: max };
+                    let sim = SimConfig {
+                        n,
+                        t,
+                        max_rounds: max,
+                    };
                     let report = match adversary.as_str() {
                         "none" => run_simulation(sim, factory, Passive),
                         "chaos" => run_simulation(
@@ -283,8 +328,11 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                         other => return Err(format!("unknown adversary `{other}`")),
                     }
                     .map_err(|e| e.to_string())?;
-                    (report.honest_outputs(), report.communication_rounds(),
-                     report.metrics.total_messages())
+                    (
+                        report.honest_outputs(),
+                        report.communication_rounds(),
+                        report.metrics.total_messages(),
+                    )
                 }
                 "baseline" => {
                     let cfg = NowakRybickiConfig::new(n, t, &tree).map_err(|e| e.to_string())?;
@@ -297,7 +345,11 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                             input_ids[id.index()],
                         )
                     };
-                    let sim = SimConfig { n, t, max_rounds: max };
+                    let sim = SimConfig {
+                        n,
+                        t,
+                        max_rounds: max,
+                    };
                     let report = match adversary.as_str() {
                         "none" => run_simulation(sim, factory, Passive),
                         "crash" => run_simulation(
@@ -319,8 +371,11 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                         }
                     }
                     .map_err(|e| e.to_string())?;
-                    (report.honest_outputs(), report.communication_rounds(),
-                     report.metrics.total_messages())
+                    (
+                        report.honest_outputs(),
+                        report.communication_rounds(),
+                        report.metrics.total_messages(),
+                    )
                 }
                 other => return Err(format!("unknown protocol `{other}`")),
             };
@@ -355,7 +410,12 @@ mod tests {
         let cmd = parse_args(&argv("gen --family path --size 5 --dot")).unwrap();
         assert_eq!(
             cmd,
-            Command::Gen { family: "path".into(), size: 5, dot: true, seed: 0 }
+            Command::Gen {
+                family: "path".into(),
+                size: 5,
+                dot: true,
+                seed: 0
+            }
         );
     }
 
@@ -363,7 +423,13 @@ mod tests {
     fn parses_run_with_defaults() {
         let cmd = parse_args(&argv("run --tree x.tree --inputs a,b,c,d")).unwrap();
         match cmd {
-            Command::Run { t, protocol, engine, adversary, .. } => {
+            Command::Run {
+                t,
+                protocol,
+                engine,
+                adversary,
+                ..
+            } => {
                 assert_eq!(t, 1);
                 assert_eq!(protocol, "treeaa");
                 assert_eq!(engine, "gradecast");
@@ -393,7 +459,12 @@ mod tests {
     fn gen_and_info_roundtrip_through_a_file() {
         let mut buf = Vec::new();
         execute(
-            Command::Gen { family: "caterpillar".into(), size: 12, dot: false, seed: 0 },
+            Command::Gen {
+                family: "caterpillar".into(),
+                size: 12,
+                dot: false,
+                seed: 0,
+            },
             &mut buf,
         )
         .unwrap();
@@ -403,7 +474,13 @@ mod tests {
         std::fs::write(&file, &buf).unwrap();
 
         let mut info = Vec::new();
-        execute(Command::Info { tree: file.to_string_lossy().into_owned() }, &mut info).unwrap();
+        execute(
+            Command::Info {
+                tree: file.to_string_lossy().into_owned(),
+            },
+            &mut info,
+        )
+        .unwrap();
         let text = String::from_utf8(info).unwrap();
         assert!(text.contains("vertices        12"), "{text}");
         assert!(text.contains("TreeAA"), "{text}");
@@ -413,7 +490,12 @@ mod tests {
     fn run_executes_and_verifies() {
         let mut buf = Vec::new();
         execute(
-            Command::Gen { family: "path".into(), size: 9, dot: false, seed: 0 },
+            Command::Gen {
+                family: "path".into(),
+                size: 9,
+                dot: false,
+                seed: 0,
+            },
             &mut buf,
         )
         .unwrap();
@@ -446,14 +528,25 @@ mod tests {
             )
             .unwrap();
             let text = String::from_utf8(out).unwrap();
-            assert!(text.contains("verified"), "{protocol}/{engine}/{adversary}: {text}");
+            assert!(
+                text.contains("verified"),
+                "{protocol}/{engine}/{adversary}: {text}"
+            );
         }
     }
 
     #[test]
     fn bounds_prints_the_numbers() {
         let mut out = Vec::new();
-        execute(Command::Bounds { diameter: 1000.0, n: 31, t: 10 }, &mut out).unwrap();
+        execute(
+            Command::Bounds {
+                diameter: 1000.0,
+                n: 31,
+                t: 10,
+            },
+            &mut out,
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Fekete"));
         assert!(text.contains("Theorem 2"));
@@ -462,8 +555,16 @@ mod tests {
     #[test]
     fn unknown_vertex_label_is_a_clean_error() {
         let mut buf = Vec::new();
-        execute(Command::Gen { family: "path".into(), size: 4, dot: false, seed: 0 }, &mut buf)
-            .unwrap();
+        execute(
+            Command::Gen {
+                family: "path".into(),
+                size: 4,
+                dot: false,
+                seed: 0,
+            },
+            &mut buf,
+        )
+        .unwrap();
         let dir = std::env::temp_dir().join("treeaa-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("labels.tree");

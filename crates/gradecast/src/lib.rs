@@ -60,7 +60,6 @@
 //! }
 //! ```
 
-
 #![warn(missing_docs)]
 mod msg;
 mod protocol;

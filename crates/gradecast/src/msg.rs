@@ -15,13 +15,15 @@ pub enum GcMsg<V> {
     Vote(PartyId, V),
 }
 
-impl<V: Clone + std::fmt::Debug> Payload for GcMsg<V> {
+impl<V: Payload> Payload for GcMsg<V> {
     fn size_bytes(&self) -> usize {
-        // Tag byte + optional leader id (4 bytes) + value payload.
-        let value_size = std::mem::size_of::<V>();
+        // Tag byte + optional leader id (4 bytes) + value payload. The
+        // value is sized through its own `Payload` impl so heap-carrying
+        // values (strings, vertex lists) count their real wire size, not
+        // `size_of::<V>()`'s shallow pointer-width estimate.
         match self {
-            GcMsg::Lead(_) => 1 + value_size,
-            GcMsg::Echo(_, _) | GcMsg::Vote(_, _) => 1 + 4 + value_size,
+            GcMsg::Lead(v) => 1 + v.size_bytes(),
+            GcMsg::Echo(_, v) | GcMsg::Vote(_, v) => 1 + 4 + v.size_bytes(),
         }
     }
 }
@@ -38,5 +40,16 @@ mod tests {
         assert_eq!(lead.size_bytes(), 9);
         assert_eq!(echo.size_bytes(), 13);
         assert_eq!(vote.size_bytes(), 13);
+    }
+
+    #[test]
+    fn heap_values_count_their_real_size() {
+        // A 100-byte string must contribute 100 bytes, not the 24-byte
+        // shallow size of the `String` header.
+        let v = "x".repeat(100);
+        let lead: GcMsg<String> = GcMsg::Lead(v.clone());
+        let echo: GcMsg<String> = GcMsg::Echo(PartyId(3), v);
+        assert_eq!(lead.size_bytes(), 1 + 100);
+        assert_eq!(echo.size_bytes(), 1 + 4 + 100);
     }
 }

@@ -1,6 +1,6 @@
 //! A `sim-net` protocol adapter running one parallel gradecast batch.
 
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
 
 use crate::msg::GcMsg;
 use crate::state::{GradecastOutput, ParallelGradecast};
@@ -39,7 +39,7 @@ impl<V: Clone + Ord + std::fmt::Debug> GradecastProtocol<V> {
     }
 }
 
-fn to_pairs<V: Clone>(inbox: &[Envelope<GcMsg<V>>]) -> Vec<(PartyId, GcMsg<V>)> {
+fn to_pairs<V: Clone>(inbox: &Inbox<GcMsg<V>>) -> Vec<(PartyId, GcMsg<V>)> {
     inbox.iter().map(|e| (e.from, e.payload.clone())).collect()
 }
 
@@ -51,7 +51,7 @@ where
     type Msg = GcMsg<V>;
     type Output = Vec<GradecastOutput<V>>;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<Self::Msg>], ctx: &mut RoundCtx<Self::Msg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<Self::Msg>, ctx: &mut RoundCtx<Self::Msg>) {
         match round {
             1 => {
                 for m in self.gc.lead_msgs(self.value.clone()) {
@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn honest_run_three_communication_rounds() {
-        let cfg = SimConfig { n: 4, t: 1, max_rounds: 10 };
+        let cfg = SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: 10,
+        };
         let report = run_simulation(
             cfg,
             |id, n| GradecastProtocol::new(id, n, 1, id.index() as u64),
@@ -106,7 +110,11 @@ mod tests {
 
     #[test]
     fn silent_byzantine_leader_grades_zero() {
-        let cfg = SimConfig { n: 4, t: 1, max_rounds: 10 };
+        let cfg = SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: 10,
+        };
         let adv = StaticByzantine {
             parties: vec![PartyId(0)],
             behave: |_: &mut AdversaryCtx<'_, GcMsg<u64>>| {},
@@ -129,7 +137,11 @@ mod tests {
     #[test]
     fn equivocating_leader_cannot_bind_two_values() {
         // Leader 0 sends value 111 to parties 1,2 and 222 to party 3.
-        let cfg = SimConfig { n: 7, t: 2, max_rounds: 10 };
+        let cfg = SimConfig {
+            n: 7,
+            t: 2,
+            max_rounds: 10,
+        };
         let adv = StaticByzantine {
             parties: vec![PartyId(0)],
             behave: |ctx: &mut AdversaryCtx<'_, GcMsg<u64>>| {

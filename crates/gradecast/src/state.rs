@@ -172,7 +172,8 @@ impl<V: Clone + Ord + std::fmt::Debug> ParallelGradecast<V> {
             .iter()
             .enumerate()
             .filter_map(|(leader, lead)| {
-                lead.as_ref().map(|v| GcMsg::Echo(PartyId(leader), v.clone()))
+                lead.as_ref()
+                    .map(|v| GcMsg::Echo(PartyId(leader), v.clone()))
             })
             .collect()
     }
@@ -238,7 +239,10 @@ impl<V: Clone + Ord + std::fmt::Debug> ParallelGradecast<V> {
                         value: Some(v.clone()),
                         grade: Grade::One,
                     },
-                    _ => GradecastOutput { value: None, grade: Grade::Zero },
+                    _ => GradecastOutput {
+                        value: None,
+                        grade: Grade::Zero,
+                    },
                 }
             })
             .collect()
@@ -251,8 +255,9 @@ mod tests {
 
     fn all_honest_run(n: usize, t: usize, values: &[u64]) -> Vec<Vec<GradecastOutput<u64>>> {
         // Drive n state machines by hand, all honest.
-        let mut machines: Vec<ParallelGradecast<u64>> =
-            (0..n).map(|i| ParallelGradecast::new(PartyId(i), n, t)).collect();
+        let mut machines: Vec<ParallelGradecast<u64>> = (0..n)
+            .map(|i| ParallelGradecast::new(PartyId(i), n, t))
+            .collect();
         // Round 1: leads.
         let mut leads: Vec<(PartyId, GcMsg<u64>)> = Vec::new();
         for (i, m) in machines.iter().enumerate() {
@@ -293,8 +298,9 @@ mod tests {
     #[test]
     fn muted_leader_grades_zero_when_all_mute() {
         let n = 4;
-        let mut machines: Vec<ParallelGradecast<u64>> =
-            (0..n).map(|i| ParallelGradecast::new(PartyId(i), n, 1)).collect();
+        let mut machines: Vec<ParallelGradecast<u64>> = (0..n)
+            .map(|i| ParallelGradecast::new(PartyId(i), n, 1))
+            .collect();
         for m in &mut machines {
             m.mute(PartyId(0));
         }
@@ -311,7 +317,9 @@ mod tests {
             }
         }
         // No echoes for leader 0 at all.
-        assert!(echoes.iter().all(|(_, m)| !matches!(m, GcMsg::Echo(l, _) if l.index() == 0)));
+        assert!(echoes
+            .iter()
+            .all(|(_, m)| !matches!(m, GcMsg::Echo(l, _) if l.index() == 0)));
         let mut votes = Vec::new();
         for (i, m) in machines.iter_mut().enumerate() {
             for msg in m.on_echoes(&echoes) {
@@ -362,10 +370,7 @@ mod tests {
     fn first_lead_wins() {
         let n = 4;
         let mut m = ParallelGradecast::<u64>::new(PartyId(0), n, 1);
-        let echoes = m.on_leads(&[
-            (PartyId(1), GcMsg::Lead(5)),
-            (PartyId(1), GcMsg::Lead(6)),
-        ]);
+        let echoes = m.on_leads(&[(PartyId(1), GcMsg::Lead(5)), (PartyId(1), GcMsg::Lead(6))]);
         assert_eq!(echoes, vec![GcMsg::Echo(PartyId(1), 5)]);
     }
 }

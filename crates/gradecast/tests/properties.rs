@@ -6,7 +6,7 @@ use gradecast::{GcMsg, Grade, GradecastProtocol};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sim_net::{run_simulation, AdversaryCtx, PartyId, ScriptedAdversary, SimConfig};
+use sim_net::{run_simulation, AdversaryCtx, PartyId, Payload, ScriptedAdversary, SimConfig};
 
 /// A chaos adversary: statically corrupts `bad` parties; every round each
 /// corrupted party sprays random gradecast messages (random kinds, leader
@@ -17,7 +17,7 @@ fn chaos<V>(
     values: Vec<V>,
 ) -> impl FnMut(&mut AdversaryCtx<'_, GcMsg<V>>)
 where
-    V: Clone + Ord + std::fmt::Debug,
+    V: Payload + Ord,
 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     move |ctx| {
@@ -55,7 +55,11 @@ fn check_gradecast_properties(n: usize, t: usize, num_bad: usize, seed: u64) {
     let bad: Vec<PartyId> = ids[..num_bad].iter().map(|&i| PartyId(i)).collect();
     let is_bad = |i: usize| bad.iter().any(|b| b.index() == i);
 
-    let cfg = SimConfig { n, t, max_rounds: 10 };
+    let cfg = SimConfig {
+        n,
+        t,
+        max_rounds: 10,
+    };
     let adv = ScriptedAdversary(chaos(bad.clone(), seed, (0u64..5).collect()));
     let inputs: Vec<u64> = (0..n).map(|i| 100 + i as u64).collect();
     let report = run_simulation(
@@ -91,9 +95,15 @@ fn check_gradecast_properties(n: usize, t: usize, num_bad: usize, seed: u64) {
             }
         }
         // Property 3: grade gap <= 1.
-        let grades: Vec<u8> = honest_outs.iter().map(|(_, o)| o[leader].grade.as_u8()).collect();
+        let grades: Vec<u8> = honest_outs
+            .iter()
+            .map(|(_, o)| o[leader].grade.as_u8())
+            .collect();
         let (lo, hi) = (grades.iter().min().unwrap(), grades.iter().max().unwrap());
-        assert!(hi - lo <= 1, "grade gap violated for leader {leader}: {grades:?}");
+        assert!(
+            hi - lo <= 1,
+            "grade gap violated for leader {leader}: {grades:?}"
+        );
     }
 }
 
@@ -125,7 +135,11 @@ fn engineered_grade_split_zero_one() {
     // (grade 2). Byzantine: p0 (leader), p1 (helper).
     let n = 7;
     let t = 2;
-    let cfg = SimConfig { n, t, max_rounds: 10 };
+    let cfg = SimConfig {
+        n,
+        t,
+        max_rounds: 10,
+    };
     let adv = ScriptedAdversary(move |ctx: &mut AdversaryCtx<'_, GcMsg<u64>>| {
         match ctx.round() {
             1 => {

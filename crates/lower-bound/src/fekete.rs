@@ -15,7 +15,10 @@ use crate::partition::log2_max_product;
 ///
 /// Panics if `d` is negative or non-finite, or `r == 0`.
 pub fn log2_fekete_k(r: u32, d: f64, n: usize, t: usize) -> f64 {
-    assert!(d.is_finite() && d >= 0.0, "diameter must be finite and >= 0");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter must be finite and >= 0"
+    );
     assert!(r >= 1, "at least one round");
     if t == 0 || d == 0.0 {
         return f64::NEG_INFINITY;
@@ -70,9 +73,9 @@ mod tests {
             for t in (1..=30usize).filter(|t| t % r as usize == 0) {
                 let n = 3 * t + 1;
                 let d: f64 = 1e5;
-                let closed =
-                    d.log2() + r as f64 * (t as f64).log2() - r as f64 * (r as f64).log2()
-                        - r as f64 * ((n + t) as f64).log2();
+                let closed = d.log2() + r as f64 * (t as f64).log2()
+                    - r as f64 * (r as f64).log2()
+                    - r as f64 * ((n + t) as f64).log2();
                 let exact = log2_fekete_k(r, d, n, t);
                 assert!(exact >= closed - 1e-9, "r={r}, t={t}");
             }

@@ -32,7 +32,6 @@
 //! assert!(fekete_k(1, 1000.0, 31, 10) > 1.0);
 //! ```
 
-
 #![warn(missing_docs)]
 mod fekete;
 mod partition;

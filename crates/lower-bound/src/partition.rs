@@ -77,7 +77,10 @@ mod tests {
     fn matches_bruteforce_on_small_instances() {
         for t in 1..=12 {
             for r in 1..=8 {
-                let ours: f64 = max_product_partition(t, r).iter().map(|&p| p as f64).product();
+                let ours: f64 = max_product_partition(t, r)
+                    .iter()
+                    .map(|&p| p as f64)
+                    .product();
                 let exact = brute(t, r);
                 assert_eq!(ours, exact, "t = {t}, r = {r}");
             }

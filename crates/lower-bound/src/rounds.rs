@@ -17,7 +17,10 @@ use crate::fekete::log2_fekete_k;
 /// bound (impossible for sane parameters: `K` decays geometrically once
 /// `R > t`).
 pub fn round_lower_bound(d: f64, n: usize, t: usize) -> u32 {
-    assert!(d.is_finite() && d >= 0.0, "diameter must be finite and >= 0");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter must be finite and >= 0"
+    );
     if t == 0 || d <= 1.0 {
         return 1;
     }
@@ -37,7 +40,10 @@ pub fn round_lower_bound(d: f64, n: usize, t: usize) -> u32 {
 ///
 /// Panics if `d` is negative/non-finite or `n == 0`.
 pub fn theorem2_formula(d: f64, n: usize, t: usize) -> f64 {
-    assert!(d.is_finite() && d >= 0.0, "diameter must be finite and >= 0");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter must be finite and >= 0"
+    );
     assert!(n > 0, "n must be positive");
     if t == 0 || d < 4.0 {
         return 1.0;
@@ -91,8 +97,14 @@ mod tests {
             let (n, t) = (31, 10);
             let exact = round_lower_bound(d, n, t) as f64;
             let formula = theorem2_formula(d, n, t);
-            assert!(exact >= formula * 0.5, "exact {exact} far below formula {formula}");
-            assert!(exact <= formula * 6.0, "exact {exact} far above formula {formula}");
+            assert!(
+                exact >= formula * 0.5,
+                "exact {exact} far below formula {formula}"
+            );
+            assert!(
+                exact <= formula * 6.0,
+                "exact {exact} far above formula {formula}"
+            );
         }
     }
 

@@ -39,9 +39,7 @@ pub fn equal_split_schedule(budget: usize, rounds: usize) -> Vec<usize> {
     }
     let base = budget / rounds;
     let extra = budget % rounds;
-    (0..rounds)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..rounds).map(|i| base + usize::from(i < extra)).collect()
 }
 
 /// The Fekete-envelope adversary against [`crate::RealAaParty`].
@@ -89,10 +87,7 @@ impl BudgetSplitEquivocator {
             "schedule spends {spend} leaders but only {} are corrupted",
             byz.len()
         );
-        let honest: Vec<PartyId> = (0..n)
-            .map(PartyId)
-            .filter(|p| !byz.contains(p))
-            .collect();
+        let honest: Vec<PartyId> = (0..n).map(PartyId).filter(|p| !byz.contains(p)).collect();
         let half = honest.len() / 2;
         BudgetSplitEquivocator {
             low_group: honest[..half].to_vec(),
@@ -154,7 +149,11 @@ impl BudgetSplitEquivocator {
         // and of all still-honest-behaving corrupted parties. Burned
         // leaders are muted by everyone; the leaders about to be burned
         // have their leads replaced below.
-        let start = if self.reuse_leaders { 0 } else { self.next_fresh };
+        let start = if self.reuse_leaders {
+            0
+        } else {
+            self.next_fresh
+        };
         let fresh: Vec<PartyId> = self.byz[start..].iter().copied().take(burn).collect();
         let mut base: Vec<f64> = Vec::new();
         let mut lo = f64::INFINITY;
@@ -173,8 +172,13 @@ impl BudgetSplitEquivocator {
                 continue;
             }
             let mut led = false;
-            for env in ctx.tentative_outbox(p) {
-                if let GcMsg::Lead(v) = &env.payload.body {
+            let outbox = ctx.tentative_outbox(p);
+            let payloads = outbox
+                .broadcasts()
+                .iter()
+                .chain(outbox.unicasts().iter().map(|e| &e.payload));
+            for msg in payloads {
+                if let GcMsg::Lead(v) = &msg.body {
                     base.push(v.get());
                     led = true;
                     if self.honest.contains(&p) {
@@ -318,7 +322,10 @@ impl Adversary<RealAaMsg> for BudgetSplitEquivocator {
                         ctx.send(
                             q,
                             p,
-                            RealAaMsg { iter: iter as u32, body: GcMsg::Lead(R64::new(x)) },
+                            RealAaMsg {
+                                iter: iter as u32,
+                                body: GcMsg::Lead(R64::new(x)),
+                            },
                         );
                     }
                 }
@@ -329,8 +336,7 @@ impl Adversary<RealAaMsg> for BudgetSplitEquivocator {
                 // the accepting group).
                 let v_size = (t + 1).saturating_sub(c).max(1);
                 for (q, group, x) in self.plans.clone() {
-                    let voters: Vec<PartyId> =
-                        group.iter().copied().take(v_size).collect();
+                    let voters: Vec<PartyId> = group.iter().copied().take(v_size).collect();
                     for &b in &self.byz.clone() {
                         for &v in &voters {
                             ctx.send(
@@ -385,7 +391,11 @@ impl RealAaChaos {
     /// Creates the adversary with its own deterministic RNG.
     pub fn new(byz: Vec<PartyId>, seed: u64, value_range: (f64, f64)) -> Self {
         use rand::SeedableRng;
-        RealAaChaos { byz, rng: ChaCha8Rng::seed_from_u64(seed), value_range }
+        RealAaChaos {
+            byz,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            value_range,
+        }
     }
 }
 
@@ -407,7 +417,7 @@ impl Adversary<RealAaMsg> for RealAaChaos {
                 let x = R64::new(self.rng.gen_range(lo..=hi));
                 // Tags near the plausible current iteration, sometimes off.
                 let iter = ((ctx.round() - 1) / 3).saturating_sub(self.rng.gen_range(0..2))
-                    + self.rng.gen_range(0..2);
+                    + self.rng.gen_range(0..2u32);
                 let body = match self.rng.gen_range(0..3) {
                     0 => GcMsg::Lead(x),
                     1 => GcMsg::Echo(leader, x),
@@ -451,7 +461,11 @@ mod tests {
         let adv = BudgetSplitEquivocator::new(n, byz, vec![1, 1]);
         let inputs = [0.0, 0.0, 0.0, 100.0, 30.0, 60.0, 90.0];
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             adv,
         )
@@ -477,7 +491,11 @@ mod tests {
         let adv = BudgetSplitEquivocator::new(n, byz, vec![2]);
         let inputs = [0.0, 25.0, 50.0, 75.0, 100.0, 0.0, 0.0];
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             adv,
         )

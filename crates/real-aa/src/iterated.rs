@@ -3,7 +3,7 @@
 //! rounds. `RealAA` is benchmarked against this throughout the experiment
 //! harness.
 
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
 
 use crate::multiset::trimmed_midpoint;
 use crate::rounds::halving_iterations;
@@ -36,9 +36,16 @@ impl IteratedAaConfig {
             return Err(format!("epsilon must be positive and finite, got {eps}"));
         }
         if !diameter_bound.is_finite() || diameter_bound < 0.0 {
-            return Err(format!("diameter bound must be finite and >= 0, got {diameter_bound}"));
+            return Err(format!(
+                "diameter bound must be finite and >= 0, got {diameter_bound}"
+            ));
         }
-        Ok(IteratedAaConfig { n, t, eps, diameter_bound })
+        Ok(IteratedAaConfig {
+            n,
+            t,
+            eps,
+            diameter_bound,
+        })
     }
 
     /// Fixed iteration count `⌈log₂(D/ε)⌉` (1 round each).
@@ -91,7 +98,12 @@ impl IteratedAaParty {
     pub fn new(me: PartyId, cfg: IteratedAaConfig, input: f64) -> Self {
         assert!(input.is_finite(), "honest inputs must be finite");
         assert!(me.index() < cfg.n, "party id out of range");
-        IteratedAaParty { cfg, value: input, iterations_done: 0, output: None }
+        IteratedAaParty {
+            cfg,
+            value: input,
+            iterations_done: 0,
+            output: None,
+        }
     }
 
     /// The party's running estimate.
@@ -107,7 +119,7 @@ impl Protocol for IteratedAaParty {
     fn step(
         &mut self,
         round: u32,
-        inbox: &[Envelope<PlainValueMsg>],
+        inbox: &Inbox<PlainValueMsg>,
         ctx: &mut RoundCtx<PlainValueMsg>,
     ) {
         if self.output.is_some() {
@@ -142,7 +154,10 @@ impl Protocol for IteratedAaParty {
                 return;
             }
         }
-        ctx.broadcast(PlainValueMsg { iter: round - 1, value: self.value });
+        ctx.broadcast(PlainValueMsg {
+            iter: round - 1,
+            value: self.value,
+        });
     }
 
     fn output(&self) -> Option<f64> {
@@ -162,11 +177,27 @@ mod tests {
     }
 
     #[test]
+    fn message_size_is_iter_plus_value() {
+        assert_eq!(
+            PlainValueMsg {
+                iter: 0,
+                value: 1.5
+            }
+            .size_bytes(),
+            12
+        );
+    }
+
+    #[test]
     fn converges_all_honest() {
         let cfg = IteratedAaConfig::new(4, 1, 1.0, 64.0).unwrap();
         let inputs = [0.0, 64.0, 16.0, 48.0];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -200,7 +231,11 @@ mod tests {
             },
         };
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
             adv,
         )
@@ -220,11 +255,21 @@ mod tests {
             parties: vec![PartyId(3)],
             behave: |ctx: &mut AdversaryCtx<'_, PlainValueMsg>| {
                 let iter = ctx.round() - 1;
-                ctx.broadcast(PartyId(3), PlainValueMsg { iter, value: f64::NAN });
+                ctx.broadcast(
+                    PartyId(3),
+                    PlainValueMsg {
+                        iter,
+                        value: f64::NAN,
+                    },
+                );
             },
         };
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| IteratedAaParty::new(id, cfg, inputs[id.index()]),
             adv,
         )

@@ -69,7 +69,6 @@
 //! assert!(outs.iter().all(|&v| (0.0..=8.0).contains(&v))); // validity
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod adversary;
 mod iterated;

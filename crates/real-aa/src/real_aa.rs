@@ -1,7 +1,7 @@
 //! The gradecast-based `RealAA` protocol (Theorem 3's building block).
 
 use gradecast::{GcMsg, Grade, ParallelGradecast};
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
 
 use crate::multiset::trimmed_mean;
 use crate::rounds::iterations_for;
@@ -65,7 +65,9 @@ impl RealAaConfig {
             return Err(format!("epsilon must be positive and finite, got {eps}"));
         }
         if !diameter_bound.is_finite() || diameter_bound < 0.0 {
-            return Err(format!("diameter bound must be finite and >= 0, got {diameter_bound}"));
+            return Err(format!(
+                "diameter bound must be finite and >= 0, got {diameter_bound}"
+            ));
         }
         Ok(RealAaConfig {
             n,
@@ -205,7 +207,7 @@ impl RealAaParty {
         &self.history
     }
 
-    fn finish_iteration(&mut self, inbox: &[Envelope<RealAaMsg>], iter_tag: u32) {
+    fn finish_iteration(&mut self, inbox: &Inbox<RealAaMsg>, iter_tag: u32) {
         let votes: Vec<(PartyId, GcMsg<R64>)> = inbox
             .iter()
             .filter(|e| e.payload.iter == iter_tag)
@@ -271,7 +273,10 @@ impl RealAaParty {
         self.gc =
             ParallelGradecast::with_muted(self.me, self.cfg.n, self.cfg.t, self.muted.clone());
         for body in self.gc.lead_msgs(R64::new(self.value)) {
-            ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+            ctx.broadcast(RealAaMsg {
+                iter: iter_tag,
+                body,
+            });
         }
     }
 }
@@ -280,7 +285,7 @@ impl Protocol for RealAaParty {
     type Msg = RealAaMsg;
     type Output = f64;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<RealAaMsg>], ctx: &mut RoundCtx<RealAaMsg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<RealAaMsg>, ctx: &mut RoundCtx<RealAaMsg>) {
         if self.output.is_some() {
             return;
         }
@@ -310,7 +315,10 @@ impl Protocol for RealAaParty {
                     .map(|e| (e.from, e.payload.body.clone()))
                     .collect();
                 for body in self.gc.on_leads(&leads) {
-                    ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+                    ctx.broadcast(RealAaMsg {
+                        iter: iter_tag,
+                        body,
+                    });
                 }
             }
             _ => {
@@ -320,7 +328,10 @@ impl Protocol for RealAaParty {
                     .map(|e| (e.from, e.payload.body.clone()))
                     .collect();
                 for body in self.gc.on_echoes(&echoes) {
-                    ctx.broadcast(RealAaMsg { iter: iter_tag, body });
+                    ctx.broadcast(RealAaMsg {
+                        iter: iter_tag,
+                        body,
+                    });
                 }
             }
         }
@@ -342,10 +353,30 @@ mod tests {
         hi - lo
     }
 
+    #[test]
+    fn message_sizes_are_deep() {
+        // 4 iter bytes + the gradecast body's own wire size (which in turn
+        // sizes the R64 value at 8 bytes, not size_of::<R64>() shallow).
+        let lead = RealAaMsg {
+            iter: 0,
+            body: GcMsg::Lead(R64::new(1.0)),
+        };
+        assert_eq!(lead.size_bytes(), 4 + 9);
+        let echo = RealAaMsg {
+            iter: 3,
+            body: GcMsg::Echo(PartyId(2), R64::new(0.5)),
+        };
+        assert_eq!(echo.size_bytes(), 4 + 13);
+    }
+
     fn run_honest(n: usize, t: usize, eps: f64, d: f64, inputs: &[f64]) -> Vec<f64> {
         let cfg = RealAaConfig::new(n, t, eps, d).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: 10 + cfg.rounds() },
+            SimConfig {
+                n,
+                t,
+                max_rounds: 10 + cfg.rounds(),
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -368,7 +399,10 @@ mod tests {
         let inputs = [2.0, 9.0, 5.0, 7.0, 3.0, 8.0, 4.0];
         let outs = run_honest(7, 2, 0.5, 10.0, &inputs);
         for &o in &outs {
-            assert!((2.0..=9.0).contains(&o), "output {o} escaped the input range");
+            assert!(
+                (2.0..=9.0).contains(&o),
+                "output {o} escaped the input range"
+            );
         }
     }
 
@@ -383,9 +417,15 @@ mod tests {
         let cfg = RealAaConfig::new(4, 1, 1.0, 8.0).unwrap();
         let inputs = [0.0, 8.0, 2.0, 6.0];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 10 + cfg.rounds(),
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
-            CrashAdversary { crashes: vec![(PartyId(1), 2)] },
+            CrashAdversary {
+                crashes: vec![(PartyId(1), 2)],
+            },
         )
         .unwrap();
         let outs = report.honest_outputs();
@@ -397,11 +437,17 @@ mod tests {
 
     #[test]
     fn early_stopping_halts_after_one_iteration_without_faults() {
-        let cfg = RealAaConfig::new(4, 1, 1.0, 1000.0).unwrap().with_early_stopping();
+        let cfg = RealAaConfig::new(4, 1, 1.0, 1000.0)
+            .unwrap()
+            .with_early_stopping();
         assert!(cfg.iterations() > 2);
         let inputs = [0.0, 1000.0, 400.0, 600.0];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 10 + cfg.rounds(),
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -420,7 +466,11 @@ mod tests {
         let cfg = RealAaConfig::new(4, 1, 1.0, 64.0).unwrap();
         let inputs = [0.0, 64.0, 10.0, 30.0];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 10 + cfg.rounds() },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 10 + cfg.rounds(),
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             Passive,
         )
@@ -446,7 +496,7 @@ mod tests {
 #[cfg(test)]
 mod history_tests {
     use super::*;
-    use sim_net::{Envelope, Protocol, RoundCtx};
+    use sim_net::{step_standalone, Protocol, Received};
 
     /// Drive parties manually so the trajectory stays inspectable.
     #[test]
@@ -454,20 +504,22 @@ mod history_tests {
         let n = 4;
         let cfg = RealAaConfig::new(n, 1, 1.0, 64.0).unwrap();
         let inputs = [0.0, 64.0, 16.0, 48.0];
-        let mut parties: Vec<RealAaParty> =
-            (0..n).map(|i| RealAaParty::new(PartyId(i), cfg, inputs[i])).collect();
-        let mut inboxes: Vec<Vec<Envelope<RealAaMsg>>> = vec![Vec::new(); n];
+        let mut parties: Vec<RealAaParty> = (0..n)
+            .map(|i| RealAaParty::new(PartyId(i), cfg, inputs[i]))
+            .collect();
+        let mut inboxes: Vec<Inbox<RealAaMsg>> = (0..n).map(|_| Inbox::empty()).collect();
         for r in 1..=cfg.rounds() + 1 {
-            let mut next: Vec<Vec<Envelope<RealAaMsg>>> = vec![Vec::new(); n];
+            let mut next: Vec<Vec<Received<RealAaMsg>>> = vec![Vec::new(); n];
             for (i, p) in parties.iter_mut().enumerate() {
-                let mut ctx = RoundCtx::new(PartyId(i), n);
-                let inbox = std::mem::take(&mut inboxes[i]);
-                p.step(r, &inbox, &mut ctx);
-                for env in ctx.into_outbox() {
-                    next[env.to.index()].push(env);
+                let outbox = step_standalone(p, PartyId(i), n, r, &inboxes[i]);
+                for env in outbox.envelopes() {
+                    next[env.to.index()].push(Received {
+                        from: env.from,
+                        payload: env.payload,
+                    });
                 }
             }
-            inboxes = next;
+            inboxes = next.into_iter().map(Inbox::from_messages).collect();
         }
         for (i, p) in parties.iter().enumerate() {
             assert!(p.output().is_some());

@@ -22,8 +22,14 @@
 /// assert!(iterations_for(1024.0, 1.0) >= 5);
 /// ```
 pub fn iterations_for(d: f64, eps: f64) -> u32 {
-    assert!(d.is_finite() && d >= 0.0, "diameter bound must be finite and >= 0");
-    assert!(eps.is_finite() && eps > 0.0, "epsilon must be finite and positive");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter bound must be finite and >= 0"
+    );
+    assert!(
+        eps.is_finite() && eps > 0.0,
+        "epsilon must be finite and positive"
+    );
     let delta = d / eps;
     if delta <= 1.0 {
         return 0;
@@ -43,8 +49,14 @@ pub fn iterations_for(d: f64, eps: f64) -> u32 {
 /// absorbs this asymptotically. The implemented protocol always satisfies
 /// `3 ·`[`iterations_for`]` ≤ rounds_bound`.
 pub fn rounds_bound(d: f64, eps: f64) -> u32 {
-    assert!(d.is_finite() && d >= 0.0, "diameter bound must be finite and >= 0");
-    assert!(eps.is_finite() && eps > 0.0, "epsilon must be finite and positive");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter bound must be finite and >= 0"
+    );
+    assert!(
+        eps.is_finite() && eps > 0.0,
+        "epsilon must be finite and positive"
+    );
     let delta = d / eps;
     if delta <= 1.0 {
         return 0;
@@ -57,8 +69,14 @@ pub fn rounds_bound(d: f64, eps: f64) -> u32 {
 /// Iterations of the classic halving baseline to go from spread `D` to
 /// `ε`: `⌈log₂(D/ε)⌉` (each iteration halves the honest range).
 pub fn halving_iterations(d: f64, eps: f64) -> u32 {
-    assert!(d.is_finite() && d >= 0.0, "diameter bound must be finite and >= 0");
-    assert!(eps.is_finite() && eps > 0.0, "epsilon must be finite and positive");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "diameter bound must be finite and >= 0"
+    );
+    assert!(
+        eps.is_finite() && eps > 0.0,
+        "epsilon must be finite and positive"
+    );
     let delta = d / eps;
     if delta <= 1.0 {
         return 0;
@@ -82,11 +100,7 @@ mod tests {
     fn guarantee_r_pow_r_at_least_delta() {
         for delta in [1.5, 2.0, 4.0, 10.0, 100.0, 1e4, 1e6, 1e9, 1e12] {
             let r = iterations_for(delta, 1.0) as f64;
-            assert!(
-                r.powf(r) >= delta,
-                "R^R = {} < delta = {delta}",
-                r.powf(r)
-            );
+            assert!(r.powf(r) >= delta, "R^R = {} < delta = {delta}", r.powf(r));
         }
     }
 
@@ -112,7 +126,10 @@ mod tests {
     #[test]
     fn scale_invariance_in_d_over_eps() {
         assert_eq!(iterations_for(100.0, 1.0), iterations_for(10.0, 0.1));
-        assert_eq!(halving_iterations(100.0, 1.0), halving_iterations(1.0, 0.01));
+        assert_eq!(
+            halving_iterations(100.0, 1.0),
+            halving_iterations(1.0, 0.01)
+        );
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl From<R64> for f64 {
     }
 }
 
+impl sim_net::Payload for R64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +121,11 @@ mod tests {
     fn display_roundtrip() {
         assert_eq!(R64::new(2.5).to_string(), "2.5");
         assert_eq!(f64::from(R64::new(2.5)), 2.5);
+    }
+
+    #[test]
+    fn wire_size_is_one_f64() {
+        use sim_net::Payload;
+        assert_eq!(R64::new(1.0).size_bytes(), 8);
     }
 }

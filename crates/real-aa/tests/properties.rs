@@ -169,7 +169,11 @@ fn budget_split_tracks_the_theoretical_envelope() {
         let adv = BudgetSplitEquivocator::new(n, byz.clone(), schedule.clone());
         let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
             adv,
         )

@@ -6,6 +6,7 @@ use std::fmt;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::mailbox::Outbox;
 use crate::message::{Envelope, PartyId, Payload};
 
 /// Returned by [`AdversaryCtx::corrupt`] when the corruption budget `t` is
@@ -44,8 +45,8 @@ pub struct AdversaryCtx<'a, M> {
     pub(crate) t: usize,
     pub(crate) corrupted: &'a mut Vec<bool>,
     pub(crate) corrupted_count: &'a mut usize,
-    /// Tentative messages of all parties this round, indexed by sender.
-    pub(crate) tentative: &'a [Vec<Envelope<M>>],
+    /// Tentative outboxes of all parties this round, indexed by sender.
+    pub(crate) tentative: &'a [Outbox<M>],
     /// Adversary-authored traffic for this round.
     pub(crate) injected: &'a mut Vec<Envelope<M>>,
     /// Per-sender flag: forward the tentative outbox of this corrupted
@@ -76,7 +77,10 @@ impl<'a, M: Payload> AdversaryCtx<'a, M> {
 
     /// Ids of all corrupted parties.
     pub fn corrupted(&self) -> Vec<PartyId> {
-        (0..self.n).filter(|&i| self.corrupted[i]).map(PartyId).collect()
+        (0..self.n)
+            .filter(|&i| self.corrupted[i])
+            .map(PartyId)
+            .collect()
     }
 
     /// How many more parties may be corrupted.
@@ -106,16 +110,22 @@ impl<'a, M: Payload> AdversaryCtx<'a, M> {
         Ok(())
     }
 
-    /// All tentative messages of the round: what every party (honest or
-    /// corrupted) would send this round if left alone. Honest entries are
-    /// exactly what will be delivered; corrupted entries are delivered only
-    /// if forwarded.
-    pub fn traffic(&self) -> impl Iterator<Item = &Envelope<M>> {
-        self.tentative.iter().flatten()
+    /// All tentative messages of the round as materialised envelopes: what
+    /// every party (honest or corrupted) would send this round if left
+    /// alone. Honest entries are exactly what will be delivered; corrupted
+    /// entries are delivered only if forwarded.
+    ///
+    /// Broadcasts are expanded (and their payloads cloned) per recipient
+    /// here — this is the adversary's convenience view, not the engine's
+    /// delivery path. Prefer [`AdversaryCtx::tentative_outbox`] and
+    /// [`Outbox::broadcasts`] when per-recipient envelopes are not needed.
+    pub fn traffic(&self) -> impl Iterator<Item = Envelope<M>> + '_ {
+        self.tentative.iter().flat_map(Outbox::envelopes)
     }
 
-    /// The tentative outbox of one party this round.
-    pub fn tentative_outbox(&self, p: PartyId) -> &[Envelope<M>] {
+    /// The tentative outbox of one party this round, in structured form
+    /// (unicast envelopes plus broadcast payloads).
+    pub fn tentative_outbox(&self, p: PartyId) -> &Outbox<M> {
         &self.tentative[p.index()]
     }
 
@@ -128,7 +138,10 @@ impl<'a, M: Payload> AdversaryCtx<'a, M> {
     /// messages is a no-op the engine already performs, and calling this on
     /// an honest party indicates a bug in the adversary.
     pub fn forward(&mut self, p: PartyId) {
-        assert!(self.corrupted[p.index()], "forward() requires a corrupted party");
+        assert!(
+            self.corrupted[p.index()],
+            "forward() requires a corrupted party"
+        );
         self.forwarded[p.index()] = true;
     }
 
@@ -145,7 +158,11 @@ impl<'a, M: Payload> AdversaryCtx<'a, M> {
             "adversary can only send from corrupted parties (channels are authenticated)"
         );
         assert!(to.index() < self.n, "recipient {to} out of range");
-        self.injected.push(Envelope { from, to, payload: msg });
+        self.injected.push(Envelope {
+            from,
+            to,
+            payload: msg,
+        });
     }
 
     /// Sends `msg` from corrupted `from` to every party.
@@ -187,7 +204,8 @@ impl<M: Payload> Adversary<M> for CrashAdversary {
     fn round(&mut self, ctx: &mut AdversaryCtx<'_, M>) {
         for &(p, r) in &self.crashes {
             if r == ctx.round() {
-                ctx.corrupt(p).expect("crash schedule exceeds corruption budget");
+                ctx.corrupt(p)
+                    .expect("crash schedule exceeds corruption budget");
             }
         }
     }
@@ -210,7 +228,8 @@ where
     fn round(&mut self, ctx: &mut AdversaryCtx<'_, M>) {
         if ctx.round() == 1 {
             for &p in &self.parties {
-                ctx.corrupt(p).expect("static corruption set exceeds budget");
+                ctx.corrupt(p)
+                    .expect("static corruption set exceeds budget");
             }
         }
         (self.behave)(ctx);
@@ -236,8 +255,15 @@ impl SelectiveOmission {
     ///
     /// Panics unless `0.0 <= drop_prob <= 1.0`.
     pub fn new(victims: Vec<PartyId>, drop_prob: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob must be a probability");
-        SelectiveOmission { victims, drop_prob, rng: ChaCha8Rng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop_prob must be a probability"
+        );
+        SelectiveOmission {
+            victims,
+            drop_prob,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -245,11 +271,12 @@ impl<M: Payload> Adversary<M> for SelectiveOmission {
     fn round(&mut self, ctx: &mut AdversaryCtx<'_, M>) {
         if ctx.round() == 1 {
             for &v in &self.victims.clone() {
-                ctx.corrupt(v).expect("victim set exceeds corruption budget");
+                ctx.corrupt(v)
+                    .expect("victim set exceeds corruption budget");
             }
         }
         for &v in &self.victims.clone() {
-            let outbox: Vec<Envelope<M>> = ctx.tentative_outbox(v).to_vec();
+            let outbox: Vec<Envelope<M>> = ctx.tentative_outbox(v).envelopes().collect();
             for env in outbox {
                 if self.rng.gen_range(0.0..1.0) >= self.drop_prob {
                     ctx.send(v, env.to, env.payload);
@@ -280,6 +307,7 @@ mod tests {
     #[test]
     fn selective_omission_drops_some_messages() {
         use crate::engine::{run_simulation, SimConfig};
+        use crate::mailbox::Inbox;
         use crate::party::{Protocol, RoundCtx};
 
         struct Chatter {
@@ -288,7 +316,7 @@ mod tests {
         impl Protocol for Chatter {
             type Msg = u64;
             type Output = usize;
-            fn step(&mut self, round: u32, inbox: &[Envelope<u64>], ctx: &mut RoundCtx<u64>) {
+            fn step(&mut self, round: u32, inbox: &Inbox<u64>, ctx: &mut RoundCtx<u64>) {
                 if round == 1 {
                     ctx.broadcast(1);
                 } else if self.heard.is_none() {
@@ -301,22 +329,32 @@ mod tests {
         }
         let adv = SelectiveOmission::new(vec![PartyId(0)], 0.5, 42);
         let report = run_simulation(
-            SimConfig { n: 8, t: 1, max_rounds: 5 },
+            SimConfig {
+                n: 8,
+                t: 1,
+                max_rounds: 5,
+            },
             |_, _| Chatter { heard: None },
             adv,
         )
         .unwrap();
-        let heard: Vec<usize> =
-            (1..8).map(|i| report.outputs[i].unwrap()).collect();
+        let heard: Vec<usize> = (1..8).map(|i| report.outputs[i].unwrap()).collect();
         // The victim's broadcast reached some but (with this seed) not all.
         assert!(heard.contains(&8), "someone got all 8");
-        assert!(heard.iter().any(|&h| h < 8), "someone lost the victim's message");
+        assert!(
+            heard.iter().any(|&h| h < 8),
+            "someone lost the victim's message"
+        );
+    }
+
+    fn empty_tentative(n: usize) -> Vec<Outbox<u64>> {
+        (0..n).map(|i| Outbox::new(PartyId(i), n)).collect()
     }
 
     fn ctx_fixture<'a>(
         corrupted: &'a mut Vec<bool>,
         count: &'a mut usize,
-        tentative: &'a [Vec<Envelope<u64>>],
+        tentative: &'a [Outbox<u64>],
         injected: &'a mut Vec<Envelope<u64>>,
         forwarded: &'a mut Vec<bool>,
     ) -> AdversaryCtx<'a, u64> {
@@ -336,11 +374,16 @@ mod tests {
     fn budget_is_enforced() {
         let mut corrupted = vec![false; 4];
         let mut count = 0;
-        let tentative: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 4];
+        let tentative = empty_tentative(4);
         let mut injected = Vec::new();
         let mut forwarded = vec![false; 4];
-        let mut ctx = ctx_fixture(&mut corrupted, &mut count, &tentative, &mut injected,
-                                  &mut forwarded);
+        let mut ctx = ctx_fixture(
+            &mut corrupted,
+            &mut count,
+            &tentative,
+            &mut injected,
+            &mut forwarded,
+        );
         assert_eq!(ctx.remaining_budget(), 2);
         ctx.corrupt(PartyId(0)).unwrap();
         ctx.corrupt(PartyId(0)).unwrap(); // idempotent, costs nothing
@@ -355,11 +398,16 @@ mod tests {
     fn cannot_send_as_honest_party() {
         let mut corrupted = vec![false; 4];
         let mut count = 0;
-        let tentative: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 4];
+        let tentative = empty_tentative(4);
         let mut injected = Vec::new();
         let mut forwarded = vec![false; 4];
-        let mut ctx = ctx_fixture(&mut corrupted, &mut count, &tentative, &mut injected,
-                                  &mut forwarded);
+        let mut ctx = ctx_fixture(
+            &mut corrupted,
+            &mut count,
+            &tentative,
+            &mut injected,
+            &mut forwarded,
+        );
         ctx.send(PartyId(3), PartyId(0), 1);
     }
 
@@ -367,12 +415,17 @@ mod tests {
     fn equivocation_is_possible_from_corrupted() {
         let mut corrupted = vec![false; 4];
         let mut count = 0;
-        let tentative: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 4];
+        let tentative = empty_tentative(4);
         let mut injected = Vec::new();
         let mut forwarded = vec![false; 4];
         {
-            let mut ctx = ctx_fixture(&mut corrupted, &mut count, &tentative, &mut injected,
-                                      &mut forwarded);
+            let mut ctx = ctx_fixture(
+                &mut corrupted,
+                &mut count,
+                &tentative,
+                &mut injected,
+                &mut forwarded,
+            );
             ctx.corrupt(PartyId(0)).unwrap();
             ctx.send(PartyId(0), PartyId(1), 10);
             ctx.send(PartyId(0), PartyId(2), 20); // different value to p2
@@ -386,11 +439,16 @@ mod tests {
     fn forward_requires_corruption() {
         let mut corrupted = vec![false; 4];
         let mut count = 0;
-        let tentative: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 4];
+        let tentative = empty_tentative(4);
         let mut injected = Vec::new();
         let mut forwarded = vec![false; 4];
-        let mut ctx = ctx_fixture(&mut corrupted, &mut count, &tentative, &mut injected,
-                                  &mut forwarded);
+        let mut ctx = ctx_fixture(
+            &mut corrupted,
+            &mut count,
+            &tentative,
+            &mut injected,
+            &mut forwarded,
+        );
         ctx.forward(PartyId(1));
     }
 }

@@ -1,9 +1,27 @@
 //! The lockstep execution engine.
+//!
+//! # Performance model
+//!
+//! Each round has three phases:
+//!
+//! 1. **Step.** Every party's `step` is a pure function of its state and
+//!    inbox, so parties are stepped either sequentially or concurrently
+//!    (see [`StepMode`]) with bit-identical results — outboxes are always
+//!    collected in party-id order.
+//! 2. **Adversary.** The rushing adversary sees all tentative [`Outbox`]es
+//!    and acts.
+//! 3. **Delivery.** Broadcast payloads are *moved* into one shared
+//!    per-round list (`Arc`) that every inbox references — a broadcast
+//!    costs one allocation and one `size_bytes` call regardless of `n`.
+//!    Unicasts and injections go into per-party direct lists whose
+//!    allocations persist across rounds.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::adversary::{Adversary, AdversaryCtx};
+use crate::mailbox::{Inbox, Outbox, Received};
 use crate::message::{Envelope, PartyId, Payload};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::party::{Protocol, RoundCtx};
@@ -19,6 +37,55 @@ pub struct SimConfig {
     /// Hard stop: error out if honest parties have not all terminated by
     /// this round.
     pub max_rounds: u32,
+}
+
+/// How the engine steps the `n` parties within a round.
+///
+/// Any mode produces byte-for-byte identical runs: parties within a round
+/// never interact, and outboxes are collected in party-id order before
+/// the adversary or the delivery phase looks at them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// Parallel for large networks on multi-core hosts, sequential
+    /// otherwise (the threshold is [`PARALLEL_THRESHOLD`]).
+    #[default]
+    Auto,
+    /// Always one party after another — the reference path.
+    Sequential,
+    /// Always concurrent over index-order chunks on `threads` OS threads
+    /// (clamped to `1..=n`). `threads: 0` means one thread per available
+    /// core.
+    Parallel {
+        /// Worker thread count; `0` = number of available cores.
+        threads: usize,
+    },
+}
+
+/// Network size at which [`StepMode::Auto`] starts stepping in parallel
+/// (when more than one core is available): below this, thread spawn
+/// overhead dominates the per-round work.
+pub const PARALLEL_THRESHOLD: usize = 64;
+
+/// Engine parameters beyond the protocol-visible [`SimConfig`].
+///
+/// `SimConfig` stays a three-field literal everywhere; tuning knobs that
+/// cannot change observable behaviour live here instead. Build one with
+/// `EngineConfig::from(sim_config)` and override fields as needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// The protocol-visible parameters.
+    pub sim: SimConfig,
+    /// How parties are stepped within a round.
+    pub step_mode: StepMode,
+}
+
+impl From<SimConfig> for EngineConfig {
+    fn from(sim: SimConfig) -> Self {
+        EngineConfig {
+            sim,
+            step_mode: StepMode::Auto,
+        }
+    }
 }
 
 /// Why a simulation failed.
@@ -41,7 +108,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::BadConfig { reason } => write!(f, "bad simulation config: {reason}"),
             SimError::MaxRoundsExceeded { max_rounds } => {
-                write!(f, "honest parties did not terminate within {max_rounds} rounds")
+                write!(
+                    f,
+                    "honest parties did not terminate within {max_rounds} rounds"
+                )
             }
         }
     }
@@ -50,7 +120,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// The result of a completed run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport<O> {
     /// Per-party outputs; `None` exactly for corrupted parties.
     pub outputs: Vec<Option<O>>,
@@ -79,8 +149,72 @@ impl<O: Clone> RunReport<O> {
     }
 }
 
+/// Steps every party once, sequentially, collecting outboxes in id order.
+fn step_sequential<P: Protocol>(
+    parties: &mut [P],
+    inboxes: &[Inbox<P::Msg>],
+    round: u32,
+    n: usize,
+) -> Vec<Outbox<P::Msg>> {
+    parties
+        .iter_mut()
+        .enumerate()
+        .map(|(i, party)| {
+            let mut ctx = RoundCtx::new(PartyId(i), n);
+            party.step(round, &inboxes[i], &mut ctx);
+            ctx.into_outbox()
+        })
+        .collect()
+}
+
+/// Steps every party once on `threads` scoped OS threads over index-order
+/// chunks. Each party writes its outbox into its own pre-assigned slot, so
+/// the collected order is the party-id order no matter how the threads are
+/// scheduled.
+fn step_parallel<P>(
+    parties: &mut [P],
+    inboxes: &[Inbox<P::Msg>],
+    round: u32,
+    n: usize,
+    threads: usize,
+) -> Vec<Outbox<P::Msg>>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+{
+    let count = parties.len();
+    let threads = threads.clamp(1, count);
+    let chunk = count.div_ceil(threads);
+    let mut slots: Vec<Option<Outbox<P::Msg>>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, (party_chunk, slot_chunk)) in parties
+            .chunks_mut(chunk)
+            .zip(slots.chunks_mut(chunk))
+            .enumerate()
+        {
+            let base = c * chunk;
+            let inboxes = &inboxes[base..base + party_chunk.len()];
+            scope.spawn(move || {
+                for (j, (party, slot)) in party_chunk
+                    .iter_mut()
+                    .zip(slot_chunk.iter_mut())
+                    .enumerate()
+                {
+                    let mut ctx = RoundCtx::new(PartyId(base + j), n);
+                    party.step(round, &inboxes[j], &mut ctx);
+                    *slot = Some(ctx.into_outbox());
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk stepped its parties"))
+        .collect()
+}
+
 /// Runs a protocol instance against an adversary until every honest party
-/// outputs.
+/// outputs, with default engine tuning ([`StepMode::Auto`]).
 ///
 /// `factory(id, n)` builds the party state machine for each id. The
 /// adversary is invoked after the parties in every round (rushing) and may
@@ -99,39 +233,82 @@ impl<O: Clone> RunReport<O> {
 pub fn run_simulation<P, A, F>(
     cfg: SimConfig,
     factory: F,
-    mut adversary: A,
+    adversary: A,
 ) -> Result<RunReport<P::Output>, SimError>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
 {
-    let SimConfig { n, t, max_rounds } = cfg;
+    run_simulation_with(EngineConfig::from(cfg), factory, adversary)
+}
+
+/// [`run_simulation`] with explicit engine tuning (step mode).
+///
+/// The step mode cannot change observable behaviour — reports from any two
+/// modes are equal — so choosing it is purely a throughput decision.
+///
+/// # Errors
+///
+/// As [`run_simulation`].
+pub fn run_simulation_with<P, A, F>(
+    cfg: EngineConfig,
+    factory: F,
+    mut adversary: A,
+) -> Result<RunReport<P::Output>, SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let SimConfig { n, t, max_rounds } = cfg.sim;
     if n == 0 {
-        return Err(SimError::BadConfig { reason: "n must be positive".into() });
+        return Err(SimError::BadConfig {
+            reason: "n must be positive".into(),
+        });
     }
     if t >= n {
-        return Err(SimError::BadConfig { reason: format!("t = {t} must be < n = {n}") });
+        return Err(SimError::BadConfig {
+            reason: format!("t = {t} must be < n = {n}"),
+        });
     }
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = match cfg.step_mode {
+        StepMode::Sequential => 1,
+        StepMode::Parallel { threads: 0 } => cores,
+        StepMode::Parallel { threads } => threads,
+        StepMode::Auto => {
+            if n >= PARALLEL_THRESHOLD && cores > 1 {
+                cores
+            } else {
+                1
+            }
+        }
+    };
 
     let mut factory = factory;
     let mut parties: Vec<P> = (0..n).map(|i| factory(PartyId(i), n)).collect();
     let mut corrupted = vec![false; n];
     let mut corrupted_count = 0usize;
-    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    // Per-party inboxes. The `direct` vectors are persistent arenas —
+    // cleared, never dropped — and the broadcast list is rebuilt once per
+    // round and shared by all n of them.
+    let mut inboxes: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::empty()).collect();
+    let mut prev_broadcasts = 0usize;
     let mut metrics = Metrics::default();
 
     for round in 1..=max_rounds {
         // 1. Step every party (corrupted ones too: their tentative traffic
         //    is shown to the adversary, supporting omission/semi-honest
-        //    strategies), collecting tentative outboxes.
-        let mut tentative: Vec<Vec<Envelope<P::Msg>>> = Vec::with_capacity(n);
-        for (i, party) in parties.iter_mut().enumerate() {
-            let mut ctx = RoundCtx::new(PartyId(i), n);
-            let inbox = std::mem::take(&mut inboxes[i]);
-            party.step(round, &inbox, &mut ctx);
-            tentative.push(ctx.into_outbox());
-        }
+        //    strategies), collecting tentative outboxes in id order.
+        let tentative: Vec<Outbox<P::Msg>> = if threads > 1 {
+            step_parallel(&mut parties, &inboxes, round, n, threads)
+        } else {
+            step_sequential(&mut parties, &inboxes, round, n)
+        };
 
         // 2. The adversary observes everything and acts (rushing,
         //    adaptive).
@@ -153,29 +330,60 @@ where
 
         // 3. Deliver: honest tentative traffic verbatim; corrupted
         //    tentative traffic only if forwarded; plus adversary
-        //    injections. Delivery order is deterministic: by sender id,
-        //    injections last in injection order.
+        //    injections. Delivery order is deterministic: broadcasts by
+        //    sender id, then unicasts by sender id, injections last in
+        //    injection order. Broadcast payloads are moved into the shared
+        //    list exactly once — no per-recipient clone, and `size_bytes`
+        //    runs once per broadcast.
         let mut rm = RoundMetrics::default();
+        let mut shared: Vec<Received<P::Msg>> = Vec::with_capacity(prev_broadcasts);
+        for inbox in &mut inboxes {
+            inbox.direct.clear();
+        }
         for (i, outbox) in tentative.into_iter().enumerate() {
             let deliver = !corrupted[i] || forwarded[i];
             if !deliver {
                 continue;
             }
-            for env in outbox {
+            let (unicasts, broadcasts) = outbox.into_parts();
+            for payload in broadcasts {
+                rm.bytes += payload.size_bytes() * n;
+                if corrupted[i] {
+                    rm.byzantine_messages += n;
+                } else {
+                    rm.honest_messages += n;
+                }
+                shared.push(Received {
+                    from: PartyId(i),
+                    payload,
+                });
+            }
+            for env in unicasts {
                 rm.bytes += env.payload.size_bytes();
                 if corrupted[i] {
                     rm.byzantine_messages += 1;
                 } else {
                     rm.honest_messages += 1;
                 }
-                inboxes[env.to.index()].push(env);
+                inboxes[env.to.index()].direct.push(Received {
+                    from: env.from,
+                    payload: env.payload,
+                });
             }
         }
         for env in injected {
             debug_assert!(corrupted[env.from.index()]);
             rm.bytes += env.payload.size_bytes();
             rm.byzantine_messages += 1;
-            inboxes[env.to.index()].push(env);
+            inboxes[env.to.index()].direct.push(Received {
+                from: env.from,
+                payload: env.payload,
+            });
+        }
+        prev_broadcasts = shared.len();
+        let shared = Arc::new(shared);
+        for inbox in &mut inboxes {
+            inbox.broadcasts = Arc::clone(&shared);
         }
         metrics.per_round.push(rm);
 
@@ -187,7 +395,12 @@ where
                 .enumerate()
                 .map(|(i, p)| if corrupted[i] { None } else { p.output() })
                 .collect();
-            return Ok(RunReport { outputs, corrupted, rounds_executed: round, metrics });
+            return Ok(RunReport {
+                outputs,
+                corrupted,
+                rounds_executed: round,
+                metrics,
+            });
         }
     }
 
@@ -208,7 +421,7 @@ mod tests {
     impl Protocol for EchoParty {
         type Msg = u64;
         type Output = Vec<usize>;
-        fn step(&mut self, round: u32, inbox: &[Envelope<u64>], ctx: &mut RoundCtx<u64>) {
+        fn step(&mut self, round: u32, inbox: &Inbox<u64>, ctx: &mut RoundCtx<u64>) {
             if round == 1 {
                 ctx.broadcast(ctx.me().index() as u64);
             } else if self.seen.is_none() {
@@ -228,7 +441,11 @@ mod tests {
 
     #[test]
     fn all_honest_all_delivered() {
-        let cfg = SimConfig { n: 5, t: 0, max_rounds: 5 };
+        let cfg = SimConfig {
+            n: 5,
+            t: 0,
+            max_rounds: 5,
+        };
         let report = run_simulation(cfg, echo_factory, Passive).unwrap();
         assert_eq!(report.rounds_executed, 2);
         for out in report.honest_outputs() {
@@ -241,8 +458,14 @@ mod tests {
 
     #[test]
     fn crashed_party_is_silent_and_outputless() {
-        let cfg = SimConfig { n : 4, t: 1, max_rounds: 5 };
-        let adv = CrashAdversary { crashes: vec![(PartyId(2), 1)] };
+        let cfg = SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: 5,
+        };
+        let adv = CrashAdversary {
+            crashes: vec![(PartyId(2), 1)],
+        };
         let report = run_simulation(cfg, echo_factory, adv).unwrap();
         assert!(report.corrupted[2]);
         assert!(report.outputs[2].is_none());
@@ -255,8 +478,14 @@ mod tests {
 
     #[test]
     fn late_crash_after_broadcast_still_counts_round1_traffic() {
-        let cfg = SimConfig { n: 4, t: 1, max_rounds: 5 };
-        let adv = CrashAdversary { crashes: vec![(PartyId(2), 2)] };
+        let cfg = SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: 5,
+        };
+        let adv = CrashAdversary {
+            crashes: vec![(PartyId(2), 2)],
+        };
         let report = run_simulation(cfg, echo_factory, adv).unwrap();
         // p2 broadcast in round 1 before crashing in round 2.
         for (i, out) in report.outputs.iter().enumerate() {
@@ -268,7 +497,11 @@ mod tests {
 
     #[test]
     fn equivocation_reaches_different_recipients() {
-        let cfg = SimConfig { n: 4, t: 1, max_rounds: 5 };
+        let cfg = SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: 5,
+        };
         let adv = StaticByzantine {
             parties: vec![PartyId(0)],
             behave: |ctx: &mut AdversaryCtx<'_, u64>| {
@@ -284,18 +517,16 @@ mod tests {
         impl Protocol for Recorder {
             type Msg = u64;
             type Output = Vec<(usize, u64)>;
-            fn step(&mut self, round: u32, inbox: &[Envelope<u64>], _ctx: &mut RoundCtx<u64>) {
+            fn step(&mut self, round: u32, inbox: &Inbox<u64>, _ctx: &mut RoundCtx<u64>) {
                 if round == 2 {
-                    self.got =
-                        Some(inbox.iter().map(|e| (e.from.index(), e.payload)).collect());
+                    self.got = Some(inbox.iter().map(|e| (e.from.index(), e.payload)).collect());
                 }
             }
             fn output(&self) -> Option<Self::Output> {
                 self.got.clone()
             }
         }
-        let report =
-            run_simulation(cfg, |_, _| Recorder { got: None }, adv).unwrap();
+        let report = run_simulation(cfg, |_, _| Recorder { got: None }, adv).unwrap();
         assert_eq!(report.outputs[1].as_ref().unwrap(), &vec![(0, 100)]);
         assert_eq!(report.outputs[2].as_ref().unwrap(), &vec![(0, 200)]);
         assert_eq!(report.outputs[3].as_ref().unwrap(), &Vec::new());
@@ -303,7 +534,11 @@ mod tests {
 
     #[test]
     fn forwarding_models_semi_honest_corruption() {
-        let cfg = SimConfig { n: 3, t: 1, max_rounds: 5 };
+        let cfg = SimConfig {
+            n: 3,
+            t: 1,
+            max_rounds: 5,
+        };
         let adv = ScriptedAdversary(|ctx: &mut AdversaryCtx<'_, u64>| {
             if ctx.round() == 1 {
                 ctx.corrupt(PartyId(0)).unwrap();
@@ -324,38 +559,183 @@ mod tests {
         impl Protocol for Mute {
             type Msg = u64;
             type Output = ();
-            fn step(&mut self, _r: u32, _i: &[Envelope<u64>], _c: &mut RoundCtx<u64>) {}
+            fn step(&mut self, _r: u32, _i: &Inbox<u64>, _c: &mut RoundCtx<u64>) {}
             fn output(&self) -> Option<()> {
                 None
             }
         }
-        let cfg = SimConfig { n: 2, t: 0, max_rounds: 7 };
+        let cfg = SimConfig {
+            n: 2,
+            t: 0,
+            max_rounds: 7,
+        };
         let err = run_simulation(cfg, |_, _| Mute, Passive).unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { max_rounds: 7 });
     }
 
     #[test]
     fn bad_configs_rejected() {
-        let err =
-            run_simulation(SimConfig { n: 0, t: 0, max_rounds: 1 }, echo_factory, Passive)
-                .unwrap_err();
+        let err = run_simulation(
+            SimConfig {
+                n: 0,
+                t: 0,
+                max_rounds: 1,
+            },
+            echo_factory,
+            Passive,
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::BadConfig { .. }));
-        let err =
-            run_simulation(SimConfig { n: 3, t: 3, max_rounds: 1 }, echo_factory, Passive)
-                .unwrap_err();
+        let err = run_simulation(
+            SimConfig {
+                n: 3,
+                t: 3,
+                max_rounds: 1,
+            },
+            echo_factory,
+            Passive,
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::BadConfig { .. }));
     }
 
     #[test]
     fn determinism_same_inputs_same_report() {
-        let cfg = SimConfig { n: 6, t: 1, max_rounds: 5 };
+        let cfg = SimConfig {
+            n: 6,
+            t: 1,
+            max_rounds: 5,
+        };
         let run = || {
-            let adv = CrashAdversary { crashes: vec![(PartyId(5), 1)] };
+            let adv = CrashAdversary {
+                crashes: vec![(PartyId(5), 1)],
+            };
             run_simulation(cfg, echo_factory, adv).unwrap()
         };
         let (a, b) = (run(), run());
-        assert_eq!(a.rounds_executed, b.rounds_executed);
-        assert_eq!(a.outputs, b.outputs);
-        assert_eq!(a.metrics.total_messages(), b.metrics.total_messages());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_modes_produce_equal_reports() {
+        for mode in [
+            StepMode::Sequential,
+            StepMode::Parallel { threads: 1 },
+            StepMode::Parallel { threads: 3 },
+            StepMode::Parallel { threads: 0 },
+            StepMode::Auto,
+        ] {
+            let cfg = EngineConfig {
+                sim: SimConfig {
+                    n: 7,
+                    t: 1,
+                    max_rounds: 5,
+                },
+                step_mode: mode,
+            };
+            let adv = CrashAdversary {
+                crashes: vec![(PartyId(6), 1)],
+            };
+            let report = run_simulation_with(cfg, echo_factory, adv).unwrap();
+            let reference = run_simulation_with(
+                EngineConfig {
+                    sim: cfg.sim,
+                    step_mode: StepMode::Sequential,
+                },
+                echo_factory,
+                CrashAdversary {
+                    crashes: vec![(PartyId(6), 1)],
+                },
+            )
+            .unwrap();
+            assert_eq!(report, reference, "mode {mode:?} diverged");
+        }
+    }
+
+    /// A payload whose clones are observable: the engine must never clone
+    /// a broadcast payload per recipient.
+    #[test]
+    fn broadcast_costs_no_per_recipient_clones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Debug)]
+        struct Counted(#[allow(dead_code)] Vec<u8>);
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::SeqCst);
+                Counted(self.0.clone())
+            }
+        }
+        impl Payload for Counted {}
+
+        struct OneShot {
+            done: bool,
+        }
+        impl Protocol for OneShot {
+            type Msg = Counted;
+            type Output = ();
+            fn step(&mut self, round: u32, _inbox: &Inbox<Counted>, ctx: &mut RoundCtx<Counted>) {
+                if round == 1 {
+                    ctx.broadcast(Counted(vec![0; 1024]));
+                } else {
+                    self.done = true;
+                }
+            }
+            fn output(&self) -> Option<()> {
+                self.done.then_some(())
+            }
+        }
+
+        let n = 16;
+        let report = run_simulation(
+            SimConfig {
+                n,
+                t: 0,
+                max_rounds: 3,
+            },
+            |_, _| OneShot { done: false },
+            Passive,
+        )
+        .unwrap();
+        // n broadcasts were delivered to all n parties…
+        assert_eq!(report.metrics.total_messages(), n * n);
+        // …and not a single payload clone happened anywhere: every payload
+        // was moved from the broadcaster into the shared round list.
+        assert_eq!(CLONES.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn broadcast_bytes_count_every_recipient() {
+        struct Wide {
+            done: bool,
+        }
+        impl Protocol for Wide {
+            type Msg = String;
+            type Output = ();
+            fn step(&mut self, round: u32, _inbox: &Inbox<String>, ctx: &mut RoundCtx<String>) {
+                if round == 1 {
+                    ctx.broadcast("xxxxxxxxxx".to_string()); // 10 bytes
+                } else {
+                    self.done = true;
+                }
+            }
+            fn output(&self) -> Option<()> {
+                self.done.then_some(())
+            }
+        }
+        let report = run_simulation(
+            SimConfig {
+                n: 4,
+                t: 0,
+                max_rounds: 3,
+            },
+            |_, _| Wide { done: false },
+            Passive,
+        )
+        .unwrap();
+        // 4 broadcasts × 10 bytes × 4 recipients.
+        assert_eq!(report.metrics.total_bytes(), 4 * 10 * 4);
     }
 }

@@ -25,10 +25,19 @@
 //!   adversaries own their seeded RNGs, so a run is a pure function of
 //!   (configuration, protocol, adversary, seed).
 //!
+//! # Performance model
+//!
+//! Traffic is tracked by *shape*: a broadcast is stored once as a bare
+//! payload ([`Outbox`]) and delivered to all `n` recipients as one shared
+//! per-round list ([`Inbox`]), so all-to-all rounds cost O(n) payload
+//! moves instead of O(n²) clones. Within a round, parties are stepped
+//! sequentially or on several threads ([`StepMode`]) with byte-identical
+//! results; see the `engine` module docs for the full breakdown.
+//!
 //! # Example
 //!
 //! ```
-//! use sim_net::{run_simulation, Envelope, Passive, PartyId, Protocol, RoundCtx,
+//! use sim_net::{run_simulation, Inbox, Passive, PartyId, Protocol, RoundCtx,
 //!               SimConfig};
 //!
 //! /// Every party broadcasts its id and outputs the sum of all ids it saw.
@@ -37,7 +46,7 @@
 //! impl Protocol for SumParty {
 //!     type Msg = u64;
 //!     type Output = u64;
-//!     fn step(&mut self, round: u32, inbox: &[Envelope<u64>], ctx: &mut RoundCtx<u64>) {
+//!     fn step(&mut self, round: u32, inbox: &Inbox<u64>, ctx: &mut RoundCtx<u64>) {
 //!         match round {
 //!             1 => ctx.broadcast(self.id.index() as u64),
 //!             _ => {
@@ -55,17 +64,23 @@
 //! assert!(report.outputs.iter().all(|o| *o == Some(0 + 1 + 2 + 3)));
 //! ```
 
-
 #![warn(missing_docs)]
 mod adversary;
 mod engine;
+mod mailbox;
 mod message;
 mod metrics;
 mod party;
 
-pub use adversary::{Adversary, AdversaryCtx, BudgetExceeded, CrashAdversary, Passive,
-                    ScriptedAdversary, SelectiveOmission, StaticByzantine};
-pub use engine::{run_simulation, RunReport, SimConfig, SimError};
+pub use adversary::{
+    Adversary, AdversaryCtx, BudgetExceeded, CrashAdversary, Passive, ScriptedAdversary,
+    SelectiveOmission, StaticByzantine,
+};
+pub use engine::{
+    run_simulation, run_simulation_with, EngineConfig, RunReport, SimConfig, SimError, StepMode,
+    PARALLEL_THRESHOLD,
+};
+pub use mailbox::{Inbox, Outbox, Received};
 pub use message::{Envelope, PartyId, Payload};
 pub use metrics::{Metrics, RoundMetrics};
-pub use party::{Protocol, RoundCtx};
+pub use party::{step_standalone, Protocol, RoundCtx};

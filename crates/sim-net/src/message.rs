@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn envelope_is_plain_data() {
-        let e = Envelope { from: PartyId(0), to: PartyId(1), payload: 9u64 };
+        let e = Envelope {
+            from: PartyId(0),
+            to: PartyId(1),
+            payload: 9u64,
+        };
         let f = e.clone();
         assert_eq!(e, f);
     }

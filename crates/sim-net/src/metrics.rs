@@ -20,7 +20,7 @@ impl RoundMetrics {
 }
 
 /// Aggregated communication metrics of a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Per-round counters, index 0 = round 1.
     pub per_round: Vec<RoundMetrics>,
@@ -62,8 +62,16 @@ mod tests {
     fn totals_sum_over_rounds() {
         let m = Metrics {
             per_round: vec![
-                RoundMetrics { honest_messages: 3, byzantine_messages: 1, bytes: 40 },
-                RoundMetrics { honest_messages: 2, byzantine_messages: 0, bytes: 16 },
+                RoundMetrics {
+                    honest_messages: 3,
+                    byzantine_messages: 1,
+                    bytes: 40,
+                },
+                RoundMetrics {
+                    honest_messages: 2,
+                    byzantine_messages: 0,
+                    bytes: 16,
+                },
             ],
         };
         assert_eq!(m.total_messages(), 6);
@@ -76,7 +84,11 @@ mod tests {
     fn trailing_silent_rounds_do_not_count() {
         let m = Metrics {
             per_round: vec![
-                RoundMetrics { honest_messages: 1, byzantine_messages: 0, bytes: 8 },
+                RoundMetrics {
+                    honest_messages: 1,
+                    byzantine_messages: 0,
+                    bytes: 8,
+                },
                 RoundMetrics::default(),
                 RoundMetrics::default(),
             ],

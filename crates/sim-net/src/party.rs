@@ -1,5 +1,6 @@
 //! The protocol (party state machine) abstraction.
 
+use crate::mailbox::{Inbox, Outbox};
 use crate::message::{Envelope, PartyId, Payload};
 
 /// A synchronous protocol, written as a per-party round state machine.
@@ -11,6 +12,9 @@ use crate::message::{Envelope, PartyId, Payload};
 /// Implementations must be deterministic functions of their construction
 /// parameters and observed inboxes — the honest parties of the paper's model
 /// are deterministic, and the simulator's reproducibility relies on it.
+/// Because each party's round is such a pure function, the engine is free
+/// to step parties concurrently (see `StepMode`); the `Send` bounds on
+/// `run_simulation` exist for that.
 pub trait Protocol {
     /// Message type exchanged by this protocol.
     type Msg: Payload;
@@ -19,7 +23,7 @@ pub trait Protocol {
 
     /// Executes one round: consume this round's inbox, emit this round's
     /// messages.
-    fn step(&mut self, round: u32, inbox: &[Envelope<Self::Msg>], ctx: &mut RoundCtx<Self::Msg>);
+    fn step(&mut self, round: u32, inbox: &Inbox<Self::Msg>, ctx: &mut RoundCtx<Self::Msg>);
 
     /// The party's output, once it has terminated. The engine stops when
     /// every honest party reports `Some`.
@@ -31,11 +35,17 @@ pub trait Protocol {
 /// All sends are attributed to the stepping party; recipients are any of the
 /// `n` parties, including the sender itself (self-delivery is ordinary
 /// delivery in the next round).
+///
+/// Unicasts and broadcasts are tracked separately (see
+/// [`Outbox`]): a broadcast records its payload **once** instead of
+/// materialising `n` cloned envelopes, which is what makes all-to-all
+/// rounds linear instead of quadratic in allocations.
 #[derive(Debug)]
 pub struct RoundCtx<M> {
     me: PartyId,
     n: usize,
-    outbox: Vec<Envelope<M>>,
+    unicasts: Vec<Envelope<M>>,
+    broadcasts: Vec<M>,
 }
 
 impl<M: Payload> RoundCtx<M> {
@@ -46,7 +56,12 @@ impl<M: Payload> RoundCtx<M> {
     /// a scratch context and re-wrap its outbox into their own message
     /// type (see `tree-aa`, which nests real-valued AA engines).
     pub fn new(me: PartyId, n: usize) -> Self {
-        RoundCtx { me, n, outbox: Vec::new() }
+        RoundCtx {
+            me,
+            n,
+            unicasts: Vec::new(),
+            broadcasts: Vec::new(),
+        }
     }
 
     /// The stepping party's own id.
@@ -66,22 +81,51 @@ impl<M: Payload> RoundCtx<M> {
     /// Panics if `to` is out of range — addressing a party that does not
     /// exist is a protocol bug, not a runtime condition.
     pub fn send(&mut self, to: PartyId, msg: M) {
-        assert!(to.index() < self.n, "recipient {to} out of range (n = {})", self.n);
-        self.outbox.push(Envelope { from: self.me, to, payload: msg });
+        assert!(
+            to.index() < self.n,
+            "recipient {to} out of range (n = {})",
+            self.n
+        );
+        self.unicasts.push(Envelope {
+            from: self.me,
+            to,
+            payload: msg,
+        });
     }
 
     /// Sends `msg` to every party (including the sender).
+    ///
+    /// The payload is moved, not cloned: fan-out to the `n` recipients
+    /// happens structurally in the engine's shared broadcast list.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.n {
-            self.outbox.push(Envelope { from: self.me, to: PartyId(i), payload: msg.clone() });
-        }
+        self.broadcasts.push(msg);
     }
 
     /// Consumes the context and returns the accumulated outbox (public
     /// for the same composition use case as [`RoundCtx::new`]).
-    pub fn into_outbox(self) -> Vec<Envelope<M>> {
-        self.outbox
+    pub fn into_outbox(self) -> Outbox<M> {
+        Outbox {
+            from: self.me,
+            n: self.n,
+            unicasts: self.unicasts,
+            broadcasts: self.broadcasts,
+        }
     }
+}
+
+/// Feeds a hand-built round through a protocol outside the engine: steps
+/// `party` with `inbox` and returns its outbox. This is the harness half of
+/// protocol composition (see `tree-aa`) and of history-replay tests.
+pub fn step_standalone<P: Protocol>(
+    party: &mut P,
+    me: PartyId,
+    n: usize,
+    round: u32,
+    inbox: &Inbox<P::Msg>,
+) -> Outbox<P::Msg> {
+    let mut ctx = RoundCtx::new(me, n);
+    party.step(round, inbox, &mut ctx);
+    ctx.into_outbox()
 }
 
 #[cfg(test)]
@@ -89,14 +133,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn broadcast_reaches_everyone_including_self() {
+    fn broadcast_is_recorded_once_but_counts_n() {
         let mut ctx: RoundCtx<u64> = RoundCtx::new(PartyId(1), 3);
         ctx.broadcast(5);
         let out = ctx.into_outbox();
-        assert_eq!(out.len(), 3);
-        let tos: Vec<_> = out.iter().map(|e| e.to.index()).collect();
-        assert_eq!(tos, [0, 1, 2]);
-        assert!(out.iter().all(|e| e.from == PartyId(1) && e.payload == 5));
+        assert_eq!(out.broadcasts(), [5]);
+        assert!(out.unicasts().is_empty());
+        assert_eq!(out.message_count(), 3);
+        assert_eq!(out.sender(), PartyId(1));
     }
 
     #[test]
@@ -104,7 +148,15 @@ mod tests {
         let mut ctx: RoundCtx<u64> = RoundCtx::new(PartyId(2), 4);
         ctx.send(PartyId(0), 9);
         let out = ctx.into_outbox();
-        assert_eq!(out, vec![Envelope { from: PartyId(2), to: PartyId(0), payload: 9 }]);
+        assert_eq!(
+            out.unicasts(),
+            [Envelope {
+                from: PartyId(2),
+                to: PartyId(0),
+                payload: 9
+            }]
+        );
+        assert_eq!(out.message_count(), 1);
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct TreeAaChaos {
 impl TreeAaChaos {
     /// Creates the adversary with its own deterministic RNG.
     pub fn new(byz: Vec<PartyId>, seed: u64, index_span: f64) -> Self {
-        TreeAaChaos { byz, rng: ChaCha8Rng::seed_from_u64(seed), index_span }
+        TreeAaChaos {
+            byz,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            index_span,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ impl Adversary<TreeMsg> for TreeAaChaos {
                     };
                     InnerMsg::Real(RealAaMsg { iter, body })
                 } else {
-                    InnerMsg::Plain(PlainValueMsg { iter, value: x.get() })
+                    InnerMsg::Plain(PlainValueMsg {
+                        iter,
+                        value: x.get(),
+                    })
                 };
                 let phase = if self.rng.gen_bool(0.5) { 1 } else { 2 };
                 ctx.send(b, to, TreeMsg { phase, inner });
@@ -77,7 +84,11 @@ pub struct NrChaos {
 impl NrChaos {
     /// Creates the adversary with its own deterministic RNG.
     pub fn new(byz: Vec<PartyId>, seed: u64, vertex_count: usize) -> Self {
-        NrChaos { byz, rng: ChaCha8Rng::seed_from_u64(seed), vertex_count }
+        NrChaos {
+            byz,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            vertex_count,
+        }
     }
 }
 
@@ -129,16 +140,19 @@ mod tests {
         let t = 2;
         let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..n).map(|i| tree.vertices().nth((i * 7) % m).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth((i * 7) % m).unwrap())
+            .collect();
         for seed in 0..5 {
             let byz = vec![PartyId(seed as usize % n), PartyId((seed as usize + 3) % n)];
             let adv = TreeAaChaos::new(byz.clone(), seed, 2.0 * m as f64);
             let report = run_simulation(
-                SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
-                |id, _| {
-                    TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()])
+                SimConfig {
+                    n,
+                    t,
+                    max_rounds: cfg.total_rounds() + 5,
                 },
+                |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
                 adv,
             )
             .unwrap();
@@ -158,13 +172,18 @@ mod tests {
         let t = 2;
         let cfg = NowakRybickiConfig::new(n, t, &tree).unwrap();
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..n).map(|i| tree.vertices().nth((i * 3) % m).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth((i * 3) % m).unwrap())
+            .collect();
         for seed in 0..5 {
             let byz = vec![PartyId(seed as usize % n), PartyId((seed as usize + 2) % n)];
             let adv = NrChaos::new(byz.clone(), seed, m);
             let report = run_simulation(
-                SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+                SimConfig {
+                    n,
+                    t,
+                    max_rounds: cfg.rounds() + 5,
+                },
                 |id, _| {
                     NowakRybickiParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()])
                 },

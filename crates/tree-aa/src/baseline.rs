@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
 use tree_model::{Tree, VertexId};
 
 /// Public parameters of the baseline.
@@ -42,7 +42,9 @@ impl NowakRybickiConfig {
     /// Returns a description of the violated precondition if `n ≤ 3t`.
     pub fn new(n: usize, t: usize, tree: &Tree) -> Result<Self, String> {
         if n <= 3 * t {
-            return Err(format!("safe-area AA requires n > 3t, got n = {n}, t = {t}"));
+            return Err(format!(
+                "safe-area AA requires n > 3t, got n = {n}, t = {t}"
+            ));
         }
         let d = tree.diameter();
         let iterations = if d <= 1 {
@@ -92,8 +94,17 @@ impl NowakRybickiParty {
     /// Panics if `me` or `input` is out of range.
     pub fn new(me: PartyId, cfg: NowakRybickiConfig, tree: Arc<Tree>, input: VertexId) -> Self {
         assert!(me.index() < cfg.n, "party id out of range");
-        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
-        NowakRybickiParty { cfg, tree, vertex: input, iterations_done: 0, output: None }
+        assert!(
+            input.index() < tree.vertex_count(),
+            "input vertex out of range"
+        );
+        NowakRybickiParty {
+            cfg,
+            tree,
+            vertex: input,
+            iterations_done: 0,
+            output: None,
+        }
     }
 
     fn update(&mut self, received: &[VertexId]) {
@@ -166,7 +177,7 @@ impl Protocol for NowakRybickiParty {
     fn step(
         &mut self,
         round: u32,
-        inbox: &[Envelope<PlainVertexMsg>],
+        inbox: &Inbox<PlainVertexMsg>,
         ctx: &mut RoundCtx<PlainVertexMsg>,
     ) {
         if self.output.is_some() {
@@ -194,7 +205,10 @@ impl Protocol for NowakRybickiParty {
                 return;
             }
         }
-        ctx.broadcast(PlainVertexMsg { iter: round - 1, vertex: self.vertex.index() as u32 });
+        ctx.broadcast(PlainVertexMsg {
+            iter: round - 1,
+            vertex: self.vertex.index() as u32,
+        });
     }
 
     fn output(&self) -> Option<VertexId> {
@@ -216,14 +230,21 @@ mod tests {
     fn run(tree: &Arc<Tree>, n: usize, t: usize, inputs: &[VertexId]) -> Vec<VertexId> {
         let cfg = NowakRybickiConfig::new(n, t, tree).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
-            |id, _| {
-                NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
             },
+            |id, _| NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
             Passive,
         )
         .unwrap();
         report.honest_outputs()
+    }
+
+    #[test]
+    fn message_size_is_iter_plus_vertex() {
+        assert_eq!(PlainVertexMsg { iter: 0, vertex: 3 }.size_bytes(), 8);
     }
 
     #[test]
@@ -236,8 +257,9 @@ mod tests {
         ] {
             let tree = Arc::new(tree);
             let m = tree.vertex_count();
-            let inputs: Vec<VertexId> =
-                (0..4).map(|i| tree.vertices().nth((i * 17) % m).unwrap()).collect();
+            let inputs: Vec<VertexId> = (0..4)
+                .map(|i| tree.vertices().nth((i * 17) % m).unwrap())
+                .collect();
             let outputs = run(&tree, 4, 1, &inputs);
             crate::validity::check_tree_aa(&tree, &inputs, &outputs).unwrap();
         }

@@ -16,7 +16,7 @@ use real_aa::{
     halving_iterations, iterations_for, IteratedAaConfig, IteratedAaParty, PlainValueMsg,
     RealAaConfig, RealAaMsg, RealAaParty,
 };
-use sim_net::{Envelope, PartyId, Payload, RoundCtx};
+use sim_net::{step_standalone, Inbox, Outbox, PartyId, Payload, Received, RoundCtx};
 
 /// Which real-valued AA protocol powers the reduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -101,57 +101,51 @@ impl InnerAa {
     }
 
     /// Drives one local round: feeds the engine the inner messages
-    /// delivered this round and returns the envelopes it wants delivered
+    /// delivered this round and returns the traffic it wants delivered
     /// next round (already wrapped back into [`InnerMsg`]).
+    ///
+    /// The outbox keeps its shape: inner broadcasts stay broadcasts, so
+    /// the embedding protocol can re-broadcast them without expanding to
+    /// `n` per-recipient clones.
     pub fn step(
         &mut self,
         me: PartyId,
         n: usize,
         local_round: u32,
-        inbox: &[Envelope<InnerMsg>],
-    ) -> Vec<Envelope<InnerMsg>> {
+        inbox: &Inbox<InnerMsg>,
+    ) -> Outbox<InnerMsg> {
         match self {
             InnerAa::Real(p) => {
-                let mapped: Vec<Envelope<RealAaMsg>> = inbox
-                    .iter()
-                    .filter_map(|e| match &e.payload {
-                        InnerMsg::Real(m) => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            payload: m.clone(),
-                        }),
-                        InnerMsg::Plain(_) => None,
-                    })
-                    .collect();
-                let mut ctx = RoundCtx::new(me, n);
-                p.step(local_round, &mapped, &mut ctx);
-                ctx.into_outbox()
-                    .into_iter()
-                    .map(|e| Envelope { from: e.from, to: e.to, payload: InnerMsg::Real(e.payload) })
-                    .collect()
+                let mapped = Inbox::from_messages(
+                    inbox
+                        .iter()
+                        .filter_map(|r| match &r.payload {
+                            InnerMsg::Real(m) => Some(Received {
+                                from: r.from,
+                                payload: m.clone(),
+                            }),
+                            InnerMsg::Plain(_) => None,
+                        })
+                        .collect(),
+                );
+                let outbox = step_standalone(p.as_mut(), me, n, local_round, &mapped);
+                rewrap(outbox, InnerMsg::Real)
             }
             InnerAa::Halving(p) => {
-                let mapped: Vec<Envelope<PlainValueMsg>> = inbox
-                    .iter()
-                    .filter_map(|e| match &e.payload {
-                        InnerMsg::Plain(m) => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            payload: *m,
-                        }),
-                        InnerMsg::Real(_) => None,
-                    })
-                    .collect();
-                let mut ctx = RoundCtx::new(me, n);
-                p.step(local_round, &mapped, &mut ctx);
-                ctx.into_outbox()
-                    .into_iter()
-                    .map(|e| Envelope {
-                        from: e.from,
-                        to: e.to,
-                        payload: InnerMsg::Plain(e.payload),
-                    })
-                    .collect()
+                let mapped = Inbox::from_messages(
+                    inbox
+                        .iter()
+                        .filter_map(|r| match &r.payload {
+                            InnerMsg::Plain(m) => Some(Received {
+                                from: r.from,
+                                payload: *m,
+                            }),
+                            InnerMsg::Real(_) => None,
+                        })
+                        .collect(),
+                );
+                let outbox = step_standalone(p, me, n, local_round, &mapped);
+                rewrap(outbox, InnerMsg::Plain)
             }
         }
     }
@@ -165,7 +159,20 @@ impl InnerAa {
     }
 }
 
-use sim_net::Protocol as _;
+/// Re-wraps an inner outbox into the composed message type, preserving the
+/// unicast/broadcast split (a broadcast stays one payload, not `n`).
+fn rewrap<A: Payload, B: Payload>(outbox: Outbox<A>, wrap: impl Fn(A) -> B) -> Outbox<B> {
+    let (me, n) = (outbox.sender(), outbox.n());
+    let (unicasts, broadcasts) = outbox.into_parts();
+    let mut ctx = RoundCtx::new(me, n);
+    for m in broadcasts {
+        ctx.broadcast(wrap(m));
+    }
+    for e in unicasts {
+        ctx.send(e.to, wrap(e.payload));
+    }
+    ctx.into_outbox()
+}
 
 #[cfg(test)]
 mod tests {
@@ -179,18 +186,38 @@ mod tests {
             .map(|i| InnerAa::new(kind, PartyId(i), n, t, 1.0, d, inputs[i]))
             .collect();
         let rounds = engine_rounds(kind, d, 1.0);
-        let mut inboxes: Vec<Vec<Envelope<InnerMsg>>> = vec![Vec::new(); n];
+        let mut inboxes: Vec<Inbox<InnerMsg>> = vec![Inbox::empty(); n];
         for r in 1..=rounds + 1 {
-            let mut next: Vec<Vec<Envelope<InnerMsg>>> = vec![Vec::new(); n];
+            let mut next: Vec<Vec<Received<InnerMsg>>> = vec![Vec::new(); n];
             for (i, eng) in engines.iter_mut().enumerate() {
                 let inbox = std::mem::take(&mut inboxes[i]);
-                for env in eng.step(PartyId(i), n, r, &inbox) {
-                    next[env.to.index()].push(env);
+                for env in eng.step(PartyId(i), n, r, &inbox).envelopes() {
+                    next[env.to.index()].push(Received {
+                        from: env.from,
+                        payload: env.payload,
+                    });
                 }
             }
-            inboxes = next;
+            inboxes = next.into_iter().map(Inbox::from_messages).collect();
         }
-        engines.iter().map(|e| e.output().expect("terminated")).collect()
+        engines
+            .iter()
+            .map(|e| e.output().expect("terminated"))
+            .collect()
+    }
+
+    #[test]
+    fn wire_size_is_tag_plus_inner() {
+        let plain = InnerMsg::Plain(PlainValueMsg {
+            iter: 0,
+            value: 1.0,
+        });
+        assert_eq!(plain.size_bytes(), 1 + 12);
+        let real = InnerMsg::Real(RealAaMsg {
+            iter: 0,
+            body: gradecast::GcMsg::Lead(real_aa::R64::new(2.0)),
+        });
+        assert_eq!(real.size_bytes(), 1 + 13);
     }
 
     #[test]
@@ -201,15 +228,20 @@ mod tests {
             let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             assert!(hi - lo <= 1.0, "{kind:?} spread {}", hi - lo);
-            assert!(outs.iter().all(|&o| (0.0..=30.0).contains(&o)), "{kind:?} validity");
+            assert!(
+                outs.iter().all(|&o| (0.0..=30.0).contains(&o)),
+                "{kind:?} validity"
+            );
         }
     }
 
     #[test]
     fn round_counts_differ_as_expected() {
         let d = 1_000_000.0;
-        assert!(engine_rounds(EngineKind::Gradecast, d, 1.0)
-            < engine_rounds(EngineKind::Halving, d, 1.0) * 3);
+        assert!(
+            engine_rounds(EngineKind::Gradecast, d, 1.0)
+                < engine_rounds(EngineKind::Halving, d, 1.0) * 3
+        );
         assert_eq!(engine_rounds(EngineKind::Halving, d, 1.0), 20);
     }
 
@@ -217,13 +249,15 @@ mod tests {
     fn cross_engine_messages_are_ignored() {
         // A Real engine fed a Plain message must not panic or act on it.
         let mut eng = InnerAa::new(EngineKind::Gradecast, PartyId(0), 4, 1, 1.0, 8.0, 3.0);
-        let _ = eng.step(PartyId(0), 4, 1, &[]);
-        let stray = Envelope {
+        let _ = eng.step(PartyId(0), 4, 1, &Inbox::empty());
+        let stray = Received {
             from: PartyId(1),
-            to: PartyId(0),
-            payload: InnerMsg::Plain(PlainValueMsg { iter: 0, value: 4.0 }),
+            payload: InnerMsg::Plain(PlainValueMsg {
+                iter: 0,
+                value: 4.0,
+            }),
         };
-        let out = eng.step(PartyId(0), 4, 2, &[stray]);
+        let out = eng.step(PartyId(0), 4, 2, &Inbox::from_messages(vec![stray]));
         // Round 2 of gradecast with no leads produces no echoes.
         assert!(out.is_empty());
     }

@@ -59,7 +59,6 @@
 //! check_tree_aa(&tree, &inputs, &outputs).unwrap(); // validity + 1-agreement
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod adversary;
 mod baseline;
@@ -70,8 +69,9 @@ mod projection;
 mod tree_aa;
 mod validity;
 
-pub use baseline::{safe_area, safe_area_midpoint, NowakRybickiConfig, NowakRybickiParty,
-                   PlainVertexMsg};
+pub use baseline::{
+    safe_area, safe_area_midpoint, NowakRybickiConfig, NowakRybickiParty, PlainVertexMsg,
+};
 pub use engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
 pub use path_aa::{PathAaConfig, PathAaParty};
 pub use paths_finder::{PathsFinderConfig, PathsFinderParty};

@@ -3,11 +3,11 @@
 
 use std::sync::Arc;
 
-use sim_net::{Envelope, PartyId, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Protocol, RoundCtx};
 use tree_model::{closest_int, Tree, TreePath, VertexId};
 
-use crate::engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
-use crate::tree_aa::TreeMsg;
+use crate::engine::{engine_rounds, EngineKind, InnerAa};
+use crate::tree_aa::{filter_phase, forward_phase, TreeMsg};
 
 /// Public parameters of a path-AA run.
 #[derive(Clone, Debug)]
@@ -51,7 +51,12 @@ impl PathAaConfig {
             2 => tree.path(ends[0], ends[1]),
             k => unreachable!("a path graph has 1 or 2 endpoints, found {k}"),
         };
-        Ok(PathAaConfig { n, t, engine, path: Arc::new(path) })
+        Ok(PathAaConfig {
+            n,
+            t,
+            engine,
+            path: Arc::new(path),
+        })
     }
 
     /// Fixed communication rounds: one engine run with ε = 1 on
@@ -92,7 +97,12 @@ impl PathAaParty {
             cfg.path.edge_len() as f64,
             i as f64,
         );
-        PathAaParty { cfg, me, engine, output: None }
+        PathAaParty {
+            cfg,
+            me,
+            engine,
+            output: None,
+        }
     }
 }
 
@@ -100,18 +110,13 @@ impl Protocol for PathAaParty {
     type Msg = TreeMsg;
     type Output = VertexId;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<TreeMsg>], ctx: &mut RoundCtx<TreeMsg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<TreeMsg>, ctx: &mut RoundCtx<TreeMsg>) {
         if self.output.is_some() {
             return;
         }
-        let inner: Vec<Envelope<InnerMsg>> = inbox
-            .iter()
-            .filter(|e| e.payload.phase == 1)
-            .map(|e| Envelope { from: e.from, to: e.to, payload: e.payload.inner.clone() })
-            .collect();
-        for env in self.engine.step(self.me, self.cfg.n, round, &inner) {
-            ctx.send(env.to, TreeMsg { phase: 1, inner: env.payload });
-        }
+        let inner = filter_phase(inbox, 1);
+        let out = self.engine.step(self.me, self.cfg.n, round, &inner);
+        forward_phase(ctx, out, 1);
         if let Some(j) = self.engine.output() {
             let ci = closest_int(j).clamp(0, self.cfg.path.len() as i64 - 1) as usize;
             self.output = Some(self.cfg.path.get(ci).expect("clamped onto the path"));
@@ -134,10 +139,15 @@ mod tests {
         let tree = generate::path(100);
         let cfg = PathAaConfig::new(7, 2, EngineKind::Gradecast, &tree).unwrap();
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..7).map(|i| tree.vertices().nth((i * 13) % m).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..7)
+            .map(|i| tree.vertices().nth((i * 13) % m).unwrap())
+            .collect();
         let report = run_simulation(
-            SimConfig { n: 7, t: 2, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 7,
+                t: 2,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PathAaParty::new(id, cfg.clone(), inputs[id.index()]),
             Passive,
         )
@@ -176,7 +186,11 @@ mod tests {
         assert_eq!(cfg.rounds(), 0);
         let v = tree.root();
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 5,
+            },
             |id, _| PathAaParty::new(id, cfg.clone(), v),
             Passive,
         )

@@ -6,11 +6,11 @@
 
 use std::sync::Arc;
 
-use sim_net::{Envelope, PartyId, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Protocol, RoundCtx};
 use tree_model::{closest_int, list_construction, EulerList, Tree, TreePath, VertexId};
 
-use crate::engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
-use crate::tree_aa::TreeMsg;
+use crate::engine::{engine_rounds, EngineKind, InnerAa};
+use crate::tree_aa::{filter_phase, forward_phase, TreeMsg};
 
 /// Public parameters of a standalone `PathsFinder` run.
 #[derive(Clone, Debug)]
@@ -35,7 +35,12 @@ impl PathsFinderConfig {
         if n <= 3 * t {
             return Err(format!("PathsFinder requires n > 3t, got n = {n}, t = {t}"));
         }
-        Ok(PathsFinderConfig { n, t, engine, list_len: 2 * tree.vertex_count() - 1 })
+        Ok(PathsFinderConfig {
+            n,
+            t,
+            engine,
+            list_len: 2 * tree.vertex_count() - 1,
+        })
     }
 
     /// Fixed communication rounds: one engine run with ε = 1 on
@@ -73,7 +78,10 @@ impl PathsFinderParty {
     /// Panics if `me` or `input` is out of range.
     pub fn new(me: PartyId, cfg: PathsFinderConfig, tree: Arc<Tree>, input: VertexId) -> Self {
         assert!(me.index() < cfg.n, "party id out of range");
-        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
+        assert!(
+            input.index() < tree.vertex_count(),
+            "input vertex out of range"
+        );
         let list = list_construction(&tree);
         let i = list.first_occurrence(input) as f64;
         let engine = InnerAa::new(
@@ -85,7 +93,14 @@ impl PathsFinderParty {
             (cfg.list_len - 1) as f64,
             i,
         );
-        PathsFinderParty { cfg, me, tree, list, engine, output: None }
+        PathsFinderParty {
+            cfg,
+            me,
+            tree,
+            list,
+            engine,
+            output: None,
+        }
     }
 }
 
@@ -93,7 +108,7 @@ impl Protocol for PathsFinderParty {
     type Msg = TreeMsg;
     type Output = TreePath;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<TreeMsg>], ctx: &mut RoundCtx<TreeMsg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<TreeMsg>, ctx: &mut RoundCtx<TreeMsg>) {
         if self.output.is_some() {
             return;
         }
@@ -101,14 +116,9 @@ impl Protocol for PathsFinderParty {
             self.output = Some(self.tree.path(self.tree.root(), self.tree.root()));
             return;
         }
-        let inner: Vec<Envelope<InnerMsg>> = inbox
-            .iter()
-            .filter(|e| e.payload.phase == 1)
-            .map(|e| Envelope { from: e.from, to: e.to, payload: e.payload.inner.clone() })
-            .collect();
-        for env in self.engine.step(self.me, self.cfg.n, round, &inner) {
-            ctx.send(env.to, TreeMsg { phase: 1, inner: env.payload });
-        }
+        let inner = filter_phase(inbox, 1);
+        let out = self.engine.step(self.me, self.cfg.n, round, &inner);
+        forward_phase(ctx, out, 1);
         if let Some(j) = self.engine.output() {
             let idx = closest_int(j).clamp(0, self.list.len() as i64 - 1) as usize;
             self.output = Some(self.tree.path(self.tree.root(), self.list.get(idx)));
@@ -130,7 +140,11 @@ mod tests {
     fn run(tree: &Arc<Tree>, n: usize, t: usize, inputs: &[VertexId]) -> Vec<TreePath> {
         let cfg = PathsFinderConfig::new(n, t, EngineKind::Gradecast, tree).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| PathsFinderParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
             Passive,
         )
@@ -169,11 +183,16 @@ mod tests {
 
     #[test]
     fn lemma4_across_families() {
-        for tree in [generate::path(12), generate::balanced_kary(2, 4), generate::spider(4, 3)] {
+        for tree in [
+            generate::path(12),
+            generate::balanced_kary(2, 4),
+            generate::spider(4, 3),
+        ] {
             let tree = Arc::new(tree);
             let m = tree.vertex_count();
-            let inputs: Vec<VertexId> =
-                (0..7).map(|i| tree.vertices().nth((3 + i * 11) % m).unwrap()).collect();
+            let inputs: Vec<VertexId> = (0..7)
+                .map(|i| tree.vertices().nth((3 + i * 11) % m).unwrap())
+                .collect();
             let paths = run(&tree, 7, 2, &inputs);
             check_paths_finder(&tree, &inputs, &paths).unwrap();
         }

@@ -3,11 +3,11 @@
 
 use std::sync::Arc;
 
-use sim_net::{Envelope, PartyId, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Protocol, RoundCtx};
 use tree_model::{closest_int, ProjectionTable, Tree, TreePath, VertexId};
 
-use crate::engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
-use crate::tree_aa::TreeMsg;
+use crate::engine::{engine_rounds, EngineKind, InnerAa};
+use crate::tree_aa::{filter_phase, forward_phase, TreeMsg};
 
 /// Public parameters of a projection-AA run. The path is part of the
 /// public setup (the assumption Section 6 later removes).
@@ -38,7 +38,9 @@ impl ProjectionAaConfig {
         path: Arc<TreePath>,
     ) -> Result<Self, String> {
         if n <= 3 * t {
-            return Err(format!("projection AA requires n > 3t, got n = {n}, t = {t}"));
+            return Err(format!(
+                "projection AA requires n > 3t, got n = {n}, t = {t}"
+            ));
         }
         Ok(ProjectionAaConfig { n, t, engine, path })
     }
@@ -67,19 +69,29 @@ impl ProjectionAaParty {
     /// # Panics
     ///
     /// Panics if `me` or `input` is out of range.
-    pub fn new(
-        me: PartyId,
-        cfg: ProjectionAaConfig,
-        tree: &Tree,
-        input: VertexId,
-    ) -> Self {
+    pub fn new(me: PartyId, cfg: ProjectionAaConfig, tree: &Tree, input: VertexId) -> Self {
         assert!(me.index() < cfg.n, "party id out of range");
-        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
+        assert!(
+            input.index() < tree.vertex_count(),
+            "input vertex out of range"
+        );
         let table = ProjectionTable::new(tree, &cfg.path);
         let i = table.position(input) as f64;
-        let engine =
-            InnerAa::new(cfg.engine, me, cfg.n, cfg.t, 1.0, cfg.path.edge_len() as f64, i);
-        ProjectionAaParty { cfg, me, engine, output: None }
+        let engine = InnerAa::new(
+            cfg.engine,
+            me,
+            cfg.n,
+            cfg.t,
+            1.0,
+            cfg.path.edge_len() as f64,
+            i,
+        );
+        ProjectionAaParty {
+            cfg,
+            me,
+            engine,
+            output: None,
+        }
     }
 }
 
@@ -87,18 +99,13 @@ impl Protocol for ProjectionAaParty {
     type Msg = TreeMsg;
     type Output = VertexId;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<TreeMsg>], ctx: &mut RoundCtx<TreeMsg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<TreeMsg>, ctx: &mut RoundCtx<TreeMsg>) {
         if self.output.is_some() {
             return;
         }
-        let inner: Vec<Envelope<InnerMsg>> = inbox
-            .iter()
-            .filter(|e| e.payload.phase == 2)
-            .map(|e| Envelope { from: e.from, to: e.to, payload: e.payload.inner.clone() })
-            .collect();
-        for env in self.engine.step(self.me, self.cfg.n, round, &inner) {
-            ctx.send(env.to, TreeMsg { phase: 2, inner: env.payload });
-        }
+        let inner = filter_phase(inbox, 2);
+        let out = self.engine.step(self.me, self.cfg.n, round, &inner);
+        forward_phase(ctx, out, 2);
         if let Some(j) = self.engine.output() {
             // Remark 1 keeps closestInt(j) within the honest positions,
             // hence on the path; clamp defensively all the same.
@@ -143,14 +150,17 @@ mod tests {
         );
         let spine = tree.path(tree.vertex("a1").unwrap(), tree.vertex("a8").unwrap());
         let cfg =
-            ProjectionAaConfig::new(4, 1, EngineKind::Gradecast, Arc::new(spine.clone()))
-                .unwrap();
+            ProjectionAaConfig::new(4, 1, EngineKind::Gradecast, Arc::new(spine.clone())).unwrap();
         let inputs: Vec<VertexId> = ["u1", "a4", "u3", "a4"]
             .iter()
             .map(|l| tree.vertex(l).unwrap())
             .collect();
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
+            },
             |id, _| ProjectionAaParty::new(id, cfg.clone(), &tree, inputs[id.index()]),
             Passive,
         )
@@ -179,7 +189,11 @@ mod tests {
         assert_eq!(cfg.rounds(), 0);
         let inputs: Vec<VertexId> = tree.vertices().take(4).collect();
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 5 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 5,
+            },
             |id, _| ProjectionAaParty::new(id, cfg.clone(), &tree, inputs[id.index()]),
             Passive,
         )

@@ -2,9 +2,10 @@
 
 use std::sync::Arc;
 
-use sim_net::{Envelope, PartyId, Payload, Protocol, RoundCtx};
-use tree_model::{closest_int, list_construction, EulerList, ProjectionTable, Tree, TreePath,
-                 VertexId};
+use sim_net::{Inbox, Outbox, PartyId, Payload, Protocol, Received, RoundCtx};
+use tree_model::{
+    closest_int, list_construction, EulerList, ProjectionTable, Tree, TreePath, VertexId,
+};
 
 use crate::engine::{engine_rounds, EngineKind, InnerAa, InnerMsg};
 
@@ -128,8 +129,15 @@ impl TreeAaParty {
     /// Panics if `me` or `input` is out of range for `cfg`/`tree`.
     pub fn new(me: PartyId, cfg: TreeAaConfig, tree: Arc<Tree>, input: VertexId) -> Self {
         assert!(me.index() < cfg.n, "party id out of range");
-        assert!(input.index() < tree.vertex_count(), "input vertex out of range");
-        assert_eq!(cfg.list_len, 2 * tree.vertex_count() - 1, "config/tree mismatch");
+        assert!(
+            input.index() < tree.vertex_count(),
+            "input vertex out of range"
+        );
+        assert_eq!(
+            cfg.list_len,
+            2 * tree.vertex_count() - 1,
+            "config/tree mismatch"
+        );
         let list = list_construction(&tree);
         let i1 = list.first_occurrence(input) as f64;
         let phase1 = InnerAa::new(
@@ -158,14 +166,6 @@ impl TreeAaParty {
     /// the phase boundary; used by tests and experiments).
     pub fn found_path(&self) -> Option<&TreePath> {
         self.path.as_ref()
-    }
-
-    fn filtered(inbox: &[Envelope<TreeMsg>], phase: u8) -> Vec<Envelope<InnerMsg>> {
-        inbox
-            .iter()
-            .filter(|e| e.payload.phase == phase)
-            .map(|e| Envelope { from: e.from, to: e.to, payload: e.payload.inner.clone() })
-            .collect()
     }
 
     fn begin_phase2(&mut self, j: f64) -> InnerAa {
@@ -205,11 +205,44 @@ impl TreeAaParty {
     }
 }
 
+/// The engine traffic of `phase` delivered in `inbox`, unwrapped for an
+/// inner engine (shared by `TreeAA` and the standalone subprotocols).
+pub(crate) fn filter_phase(inbox: &Inbox<TreeMsg>, phase: u8) -> Inbox<InnerMsg> {
+    Inbox::from_messages(
+        inbox
+            .iter()
+            .filter(|r| r.payload.phase == phase)
+            .map(|r| Received {
+                from: r.from,
+                payload: r.payload.inner.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Forwards an inner outbox through the outer context with its phase tag,
+/// keeping broadcasts structural (one payload, not `n` clones).
+pub(crate) fn forward_phase(ctx: &mut RoundCtx<TreeMsg>, outbox: Outbox<InnerMsg>, phase: u8) {
+    let (unicasts, broadcasts) = outbox.into_parts();
+    for inner in broadcasts {
+        ctx.broadcast(TreeMsg { phase, inner });
+    }
+    for e in unicasts {
+        ctx.send(
+            e.to,
+            TreeMsg {
+                phase,
+                inner: e.payload,
+            },
+        );
+    }
+}
+
 impl Protocol for TreeAaParty {
     type Msg = TreeMsg;
     type Output = VertexId;
 
-    fn step(&mut self, round: u32, inbox: &[Envelope<TreeMsg>], ctx: &mut RoundCtx<TreeMsg>) {
+    fn step(&mut self, round: u32, inbox: &Inbox<TreeMsg>, ctx: &mut RoundCtx<TreeMsg>) {
         if self.output.is_some() {
             return;
         }
@@ -222,36 +255,33 @@ impl Protocol for TreeAaParty {
         let r1 = self.cfg.phase1_rounds();
         if round <= r1 {
             // Phase 1, local rounds 1..=r1.
-            let inner = Self::filtered(inbox, 1);
-            for env in self.phase1.step(self.me, self.cfg.n, round, &inner) {
-                ctx.send(env.to, TreeMsg { phase: 1, inner: env.payload });
-            }
+            let inner = filter_phase(inbox, 1);
+            let out = self.phase1.step(self.me, self.cfg.n, round, &inner);
+            forward_phase(ctx, out, 1);
             return;
         }
         if self.phase2.is_none() {
             // The boundary round r1 + 1: finish phase 1 (its final
             // local round processes the last inbox and terminates) and
             // immediately start phase 2 in the same communication round.
-            let inner = Self::filtered(inbox, 1);
+            let inner = filter_phase(inbox, 1);
             let _ = self.phase1.step(self.me, self.cfg.n, round, &inner);
             let j = self
                 .phase1
                 .output()
                 .expect("fixed-round engine terminates at its round bound");
             let mut engine = self.begin_phase2(j);
-            for env in engine.step(self.me, self.cfg.n, 1, &[]) {
-                ctx.send(env.to, TreeMsg { phase: 2, inner: env.payload });
-            }
+            let out = engine.step(self.me, self.cfg.n, 1, &Inbox::empty());
+            forward_phase(ctx, out, 2);
             self.phase2 = Some(engine);
             return;
         }
         // Phase 2, local rounds 2..
         let local = round - r1;
-        let inner = Self::filtered(inbox, 2);
+        let inner = filter_phase(inbox, 2);
         let engine = self.phase2.as_mut().expect("phase 2 running");
-        for env in engine.step(self.me, self.cfg.n, local, &inner) {
-            ctx.send(env.to, TreeMsg { phase: 2, inner: env.payload });
-        }
+        let out = engine.step(self.me, self.cfg.n, local, &inner);
+        forward_phase(ctx, out, 2);
         if let Some(j) = engine.output() {
             self.finish(j);
         }
@@ -278,12 +308,30 @@ mod tests {
     ) -> (Vec<VertexId>, u32) {
         let cfg = TreeAaConfig::new(n, t, engine, tree).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
             Passive,
         )
         .unwrap();
         (report.honest_outputs(), report.communication_rounds())
+    }
+
+    #[test]
+    fn wire_size_is_phase_tag_plus_inner() {
+        use real_aa::PlainValueMsg;
+        let msg = TreeMsg {
+            phase: 1,
+            inner: crate::engine::InnerMsg::Plain(PlainValueMsg {
+                iter: 0,
+                value: 3.0,
+            }),
+        };
+        // 1 phase byte + 1 inner tag byte + (4 + 8) plain value bytes.
+        assert_eq!(msg.size_bytes(), 14);
     }
 
     #[test]
@@ -339,8 +387,9 @@ mod tests {
     fn trivial_trees_are_immediate() {
         for tree in [generate::path(1), generate::path(2)] {
             let tree = Arc::new(tree);
-            let inputs: Vec<VertexId> =
-                (0..4).map(|i| tree.vertices().nth(i % tree.vertex_count()).unwrap()).collect();
+            let inputs: Vec<VertexId> = (0..4)
+                .map(|i| tree.vertices().nth(i % tree.vertex_count()).unwrap())
+                .collect();
             let (outputs, rounds) = run_tree_aa(&tree, 4, 1, EngineKind::Gradecast, &inputs);
             assert_eq!(rounds, 0);
             assert_eq!(outputs, inputs);
@@ -363,26 +412,31 @@ mod tests {
         let n = 4;
         let cfg = TreeAaConfig::new(n, 1, EngineKind::Gradecast, &tree).unwrap();
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..n).map(|i| tree.vertices().nth((i * 5) % m).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth((i * 5) % m).unwrap())
+            .collect();
         let mut parties: Vec<TreeAaParty> = (0..n)
             .map(|i| TreeAaParty::new(PartyId(i), cfg.clone(), Arc::clone(&tree), inputs[i]))
             .collect();
-        let mut inboxes: Vec<Vec<Envelope<TreeMsg>>> = vec![Vec::new(); n];
+        let mut inboxes: Vec<Inbox<TreeMsg>> = vec![Inbox::empty(); n];
         for r in 1..=cfg.total_rounds() + 1 {
-            let mut next: Vec<Vec<Envelope<TreeMsg>>> = vec![Vec::new(); n];
+            let mut next: Vec<Vec<Received<TreeMsg>>> = vec![Vec::new(); n];
             for (i, p) in parties.iter_mut().enumerate() {
-                let mut ctx = RoundCtx::new(PartyId(i), n);
                 let inbox = std::mem::take(&mut inboxes[i]);
-                p.step(r, &inbox, &mut ctx);
-                for env in ctx.into_outbox() {
-                    next[env.to.index()].push(env);
+                let out = sim_net::step_standalone(p, PartyId(i), n, r, &inbox);
+                for env in out.envelopes() {
+                    next[env.to.index()].push(Received {
+                        from: env.from,
+                        payload: env.payload,
+                    });
                 }
             }
-            inboxes = next;
+            inboxes = next.into_iter().map(Inbox::from_messages).collect();
         }
-        let paths: Vec<TreePath> =
-            parties.iter().map(|p| p.found_path().expect("path found").clone()).collect();
+        let paths: Vec<TreePath> = parties
+            .iter()
+            .map(|p| p.found_path().expect("path found").clone())
+            .collect();
         crate::validity::check_paths_finder(&tree, &inputs, &paths).unwrap();
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::OutsideHull { output } => {
-                write!(f, "output {output} lies outside the honest inputs' convex hull")
+                write!(
+                    f,
+                    "output {output} lies outside the honest inputs' convex hull"
+                )
             }
             Violation::TooFar { a, b, distance } => {
                 write!(f, "outputs {a} and {b} are {distance} > 1 apart")
@@ -56,7 +59,10 @@ impl fmt::Display for Violation {
                 write!(f, "party {party}'s path does not start at the root")
             }
             Violation::PathsDiverge { parties: (a, b) } => {
-                write!(f, "paths of parties {a} and {b} differ by more than one edge")
+                write!(
+                    f,
+                    "paths of parties {a} and {b} differ by more than one edge"
+                )
             }
         }
     }
@@ -81,7 +87,10 @@ pub fn check_tree_aa(
     honest_inputs: &[VertexId],
     honest_outputs: &[VertexId],
 ) -> Result<(), Violation> {
-    assert!(!honest_inputs.is_empty(), "at least one honest input required");
+    assert!(
+        !honest_inputs.is_empty(),
+        "at least one honest input required"
+    );
     let hull = tree.convex_hull(honest_inputs);
     for &o in honest_outputs {
         if !hull.contains(o) {
@@ -115,7 +124,10 @@ pub fn check_paths_finder(
     honest_inputs: &[VertexId],
     paths: &[TreePath],
 ) -> Result<(), Violation> {
-    assert!(!honest_inputs.is_empty(), "at least one honest input required");
+    assert!(
+        !honest_inputs.is_empty(),
+        "at least one honest input required"
+    );
     let hull = tree.convex_hull(honest_inputs);
     for (i, p) in paths.iter().enumerate() {
         if p.vertices()[0] != tree.root() {
@@ -162,7 +174,14 @@ mod tests {
         let t = generate::path(5);
         let vs: Vec<VertexId> = t.vertices().collect();
         let err = check_tree_aa(&t, &[vs[0], vs[4]], &[vs[0], vs[4]]).unwrap_err();
-        assert_eq!(err, Violation::TooFar { a: vs[0], b: vs[4], distance: 4 });
+        assert_eq!(
+            err,
+            Violation::TooFar {
+                a: vs[0],
+                b: vs[4],
+                distance: 4
+            }
+        );
     }
 
     #[test]
@@ -179,13 +198,11 @@ mod tests {
         assert!(matches!(err, Violation::PathsDiverge { .. }));
 
         // Missing the hull is rejected.
-        let err = check_paths_finder(&t, &[vs[3], vs[4]], &[t.path(t.root(), vs[1])])
-            .unwrap_err();
+        let err = check_paths_finder(&t, &[vs[3], vs[4]], &[t.path(t.root(), vs[1])]).unwrap_err();
         assert!(matches!(err, Violation::PathMissesHull { .. }));
 
         // Not starting at the root is rejected.
-        let err =
-            check_paths_finder(&t, &[vs[0], vs[1]], &[t.path(vs[1], vs[0])]).unwrap_err();
+        let err = check_paths_finder(&t, &[vs[0], vs[1]], &[t.path(vs[1], vs[0])]).unwrap_err();
         assert!(matches!(err, Violation::PathNotFromRoot { .. }));
     }
 }

@@ -54,7 +54,13 @@ fn scenario(seed: u64) -> Scenario {
     }
     let nbad = rng.gen_range(0..=t);
     let byz = ids[..nbad].iter().map(|&i| PartyId(i)).collect();
-    Scenario { tree, n, t, inputs, byz }
+    Scenario {
+        tree,
+        n,
+        t,
+        inputs,
+        byz,
+    }
 }
 
 proptest! {

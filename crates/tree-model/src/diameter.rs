@@ -159,7 +159,10 @@ impl Tree {
     /// of the deepest vertex. This bounds the length of every
     /// `PathsFinder` output path.
     pub fn height(&self) -> usize {
-        self.vertices().map(|v| self.depth(v) as usize).max().unwrap_or(0)
+        self.vertices()
+            .map(|v| self.depth(v) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// A centroid of the tree: a vertex whose removal leaves components of
@@ -193,8 +196,7 @@ impl Tree {
                 load = load.max(sub[c.index()]);
             }
             let better = load < best_load
-                || (load == best_load
-                    && best.is_some_and(|b| self.label(v) < self.label(b)));
+                || (load == best_load && best.is_some_and(|b| self.label(v) < self.label(b)));
             if better {
                 best = Some(v);
                 best_load = load;
@@ -254,7 +256,11 @@ mod centroid_tests {
 
     #[test]
     fn height_bounds_depths() {
-        for t in [generate::path(9), generate::balanced_kary(3, 3), generate::broom(4, 5)] {
+        for t in [
+            generate::path(9),
+            generate::balanced_kary(3, 3),
+            generate::broom(4, 5),
+        ] {
             let h = t.height();
             assert!(t.vertices().all(|v| (t.depth(v) as usize) <= h));
             assert!(t.vertices().any(|v| t.depth(v) as usize == h));

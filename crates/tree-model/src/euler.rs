@@ -150,8 +150,10 @@ mod tests {
         let labels: Vec<_> = l.entries().iter().map(|&v| t.label(v).as_str()).collect();
         assert_eq!(
             labels,
-            ["v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5",
-             "v2", "v1"]
+            [
+                "v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5", "v2",
+                "v1"
+            ]
         );
     }
 

@@ -30,7 +30,8 @@ fn from_parents(parents: &[usize]) -> Tree {
     for (i, &p) in parents.iter().enumerate() {
         let child = i + 1;
         assert!(p < child, "parent index must precede child");
-        b.add_edge(label(p, w), label(child, w)).expect("valid edge");
+        b.add_edge(label(p, w), label(child, w))
+            .expect("valid edge");
     }
     b.build().expect("parent pointers always form a tree")
 }
@@ -181,7 +182,9 @@ pub fn random_prufer(n: usize, rng: &mut impl Rng) -> Tree {
         builder.add_vertex(label(i, w)).expect("fresh labels");
     }
     for (x, y) in edges {
-        builder.add_edge(label(x, w), label(y, w)).expect("valid edge");
+        builder
+            .add_edge(label(x, w), label(y, w))
+            .expect("valid edge");
     }
     builder.build().expect("Prüfer decoding yields a tree")
 }
@@ -202,7 +205,8 @@ pub fn relabel_shuffled(tree: &Tree, rng: &mut impl Rng) -> Tree {
     // Vertices must be added in a fixed order independent of the permutation
     // values so ids stay dense; label text carries the permutation.
     for &p in &perm {
-        b.add_vertex(label(p, w)).expect("permuted labels are fresh");
+        b.add_vertex(label(p, w))
+            .expect("permuted labels are fresh");
     }
     let mut seen = vec![false; n];
     for v in tree.vertices() {

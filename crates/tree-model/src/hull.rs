@@ -143,7 +143,10 @@ impl Tree {
         for &v in members {
             member[v.index()] = true;
         }
-        let hull = ConvexHull { member, vertices: members.to_vec() };
+        let hull = ConvexHull {
+            member,
+            vertices: members.to_vec(),
+        };
         self.hull_diameter_path(&hull)
     }
 
@@ -158,8 +161,7 @@ impl Tree {
         let mut best = from;
         while let Some(v) = queue.pop_front() {
             let better = dist[v.index()] > dist[best.index()]
-                || (dist[v.index()] == dist[best.index()]
-                    && self.label(v) < self.label(best));
+                || (dist[v.index()] == dist[best.index()] && self.label(v) < self.label(best));
             if better {
                 best = v;
             }
@@ -201,7 +203,10 @@ mod tests {
     #[test]
     fn figure1_hull() {
         let t = figure1();
-        let s: Vec<_> = ["u1", "u2", "u3"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let s: Vec<_> = ["u1", "u2", "u3"]
+            .iter()
+            .map(|l| t.vertex(l).unwrap())
+            .collect();
         let hull = t.convex_hull(&s);
         let mut labels: Vec<_> = hull.iter().map(|v| t.label(v).to_string()).collect();
         labels.sort();
@@ -275,7 +280,10 @@ mod tests {
     #[test]
     fn hull_is_connected() {
         let t = figure1();
-        let s: Vec<_> = ["u2", "u3", "w2"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let s: Vec<_> = ["u2", "u3", "w2"]
+            .iter()
+            .map(|l| t.vertex(l).unwrap())
+            .collect();
         let hull = t.convex_hull(&s);
         // BFS within hull from one member must reach all members.
         let start = hull.vertices()[0];
@@ -298,7 +306,10 @@ mod tests {
     #[test]
     fn diameter_path_stays_in_hull_and_is_longest() {
         let t = figure1();
-        let s: Vec<_> = ["u1", "u2", "u3"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let s: Vec<_> = ["u1", "u2", "u3"]
+            .iter()
+            .map(|l| t.vertex(l).unwrap())
+            .collect();
         let hull = t.convex_hull(&s);
         let dia = t.hull_diameter_path(&hull).unwrap();
         assert!(dia.vertices().iter().all(|&v| hull.contains(v)));

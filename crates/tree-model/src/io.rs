@@ -32,7 +32,10 @@ impl fmt::Display for ParseTreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseTreeError::BadLine { line, content } => {
-                write!(f, "line {line}: expected `vertex <label>` or `edge <a> <b>`, got `{content}`")
+                write!(
+                    f,
+                    "line {line}: expected `vertex <label>` or `edge <a> <b>`, got `{content}`"
+                )
             }
             ParseTreeError::Structure(e) => write!(f, "not a tree: {e}"),
         }
@@ -95,7 +98,10 @@ pub fn parse_tree(text: &str) -> Result<Tree, ParseTreeError> {
                 b.add_edge(a, c)?;
             }
             _ => {
-                return Err(ParseTreeError::BadLine { line: i + 1, content: line.to_owned() })
+                return Err(ParseTreeError::BadLine {
+                    line: i + 1,
+                    content: line.to_owned(),
+                })
             }
         }
     }
@@ -148,7 +154,11 @@ impl Tree {
         }
         for &v in self.dfs_preorder() {
             for &c in self.children(v) {
-                out.push_str(&format!("  \"{}\" -- \"{}\";\n", self.label(v), self.label(c)));
+                out.push_str(&format!(
+                    "  \"{}\" -- \"{}\";\n",
+                    self.label(v),
+                    self.label(c)
+                ));
             }
         }
         out.push_str("}\n");
@@ -170,10 +180,16 @@ mod tests {
         for v in t.vertices() {
             let label = t.label(v).as_str();
             let w = back.vertex(label).unwrap();
-            let mut n1: Vec<_> =
-                t.neighbors(v).iter().map(|&x| t.label(x).as_str()).collect();
-            let mut n2: Vec<_> =
-                back.neighbors(w).iter().map(|&x| back.label(x).as_str()).collect();
+            let mut n1: Vec<_> = t
+                .neighbors(v)
+                .iter()
+                .map(|&x| t.label(x).as_str())
+                .collect();
+            let mut n2: Vec<_> = back
+                .neighbors(w)
+                .iter()
+                .map(|&x| back.label(x).as_str())
+                .collect();
             n1.sort();
             n2.sort();
             assert_eq!(n1, n2, "adjacency differs at {label}");
@@ -191,7 +207,10 @@ mod tests {
         let err = parse_tree("vertex a\nnode b\n").unwrap_err();
         assert_eq!(
             err,
-            ParseTreeError::BadLine { line: 2, content: "node b".into() }
+            ParseTreeError::BadLine {
+                line: 2,
+                content: "node b".into()
+            }
         );
         assert!(err.to_string().contains("line 2"));
     }
@@ -211,7 +230,10 @@ mod tests {
     #[test]
     fn structural_errors_propagate() {
         let err = parse_tree("vertex a\nvertex b\n").unwrap_err();
-        assert!(matches!(err, ParseTreeError::Structure(TreeError::Disconnected)));
+        assert!(matches!(
+            err,
+            ParseTreeError::Structure(TreeError::Disconnected)
+        ));
         let err = parse_tree("").unwrap_err();
         assert!(matches!(err, ParseTreeError::Structure(TreeError::Empty)));
     }

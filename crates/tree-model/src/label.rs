@@ -77,7 +77,10 @@ mod tests {
     fn ordering_is_lexicographic() {
         assert!(Label::new("a") < Label::new("b"));
         assert!(Label::new("v1") < Label::new("v10"));
-        assert!(Label::new("v10") < Label::new("v2"), "lexicographic, not numeric");
+        assert!(
+            Label::new("v10") < Label::new("v2"),
+            "lexicographic, not numeric"
+        );
         assert!(Label::new("") < Label::new("a"));
     }
 

@@ -213,7 +213,10 @@ mod tests {
     }
 
     fn by_label(t: &Tree, p: &TreePath) -> Vec<String> {
-        p.vertices().iter().map(|&v| t.label(v).to_string()).collect()
+        p.vertices()
+            .iter()
+            .map(|&v| t.label(v).to_string())
+            .collect()
     }
 
     #[test]

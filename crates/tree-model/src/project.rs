@@ -161,7 +161,10 @@ mod tests {
         // Lemma 1: if V(P) ∩ ⟨S⟩ ≠ ∅ then proj_P(v) ∈ V(P) ∩ ⟨S⟩ for all
         // v ∈ S.
         let t = figure3();
-        let s: Vec<_> = ["v6", "v5", "v8"].iter().map(|l| t.vertex(l).unwrap()).collect();
+        let s: Vec<_> = ["v6", "v5", "v8"]
+            .iter()
+            .map(|l| t.vertex(l).unwrap())
+            .collect();
         let hull = t.convex_hull(&s);
         for u in t.vertices() {
             for w in t.vertices() {

@@ -27,7 +27,10 @@
 /// assert_eq!(closest_int(7.0), 7);
 /// ```
 pub fn closest_int(j: f64) -> i64 {
-    assert!(j.is_finite(), "closest_int requires a finite value, got {j}");
+    assert!(
+        j.is_finite(),
+        "closest_int requires a finite value, got {j}"
+    );
     let z = j.floor();
     let frac = j - z;
     let z = z as i64;
@@ -97,10 +100,7 @@ mod tests {
             for b in 0..=steps {
                 let jp = j - 1.0 + 2.0 * b as f64 / steps as f64;
                 let (r, rp) = (closest_int(j), closest_int(jp));
-                assert!(
-                    (r - rp).abs() <= 1,
-                    "j={j} j'={jp} rounded to {r},{rp}"
-                );
+                assert!((r - rp).abs() <= 1, "j={j} j'={jp} rounded to {r},{rp}");
             }
         }
     }

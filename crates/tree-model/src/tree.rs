@@ -119,11 +119,7 @@ impl TreeBuilder {
     /// Returns [`TreeError::UnknownLabel`] if either endpoint was never
     /// added, [`TreeError::SelfLoop`] for an edge from a vertex to itself,
     /// and [`TreeError::DuplicateEdge`] if the edge was already added.
-    pub fn add_edge(
-        &mut self,
-        a: impl Into<Label>,
-        b: impl Into<Label>,
-    ) -> Result<(), TreeError> {
+    pub fn add_edge(&mut self, a: impl Into<Label>, b: impl Into<Label>) -> Result<(), TreeError> {
         let (a, b) = (a.into(), b.into());
         let ia = *self
             .by_label
@@ -218,7 +214,11 @@ impl TreeBuilder {
 
         Ok(Tree {
             labels,
-            by_label: self.by_label.into_iter().map(|(l, i)| (l, VertexId(i))).collect(),
+            by_label: self
+                .by_label
+                .into_iter()
+                .map(|(l, i)| (l, VertexId(i)))
+                .collect(),
             adj: adj
                 .into_iter()
                 .map(|l| l.into_iter().map(VertexId).collect())
@@ -412,7 +412,11 @@ mod tests {
         assert_eq!(t.label(t.root()).as_str(), "v1");
         let v2 = t.vertex("v2").unwrap();
         assert_eq!(t.parent(v2), Some(t.root()));
-        let kids: Vec<_> = t.children(v2).iter().map(|&c| t.label(c).as_str()).collect();
+        let kids: Vec<_> = t
+            .children(v2)
+            .iter()
+            .map(|&c| t.label(c).as_str())
+            .collect();
         assert_eq!(kids, ["v3", "v4", "v5"]);
     }
 
@@ -428,10 +432,7 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(
-            TreeBuilder::new().build().unwrap_err(),
-            TreeError::Empty
-        );
+        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeError::Empty);
     }
 
     #[test]
@@ -529,7 +530,11 @@ mod tests {
     fn adjacency_is_symmetric_and_sorted() {
         let t = figure3();
         let v2 = t.vertex("v2").unwrap();
-        let labels: Vec<_> = t.neighbors(v2).iter().map(|&v| t.label(v).as_str()).collect();
+        let labels: Vec<_> = t
+            .neighbors(v2)
+            .iter()
+            .map(|&v| t.label(v).as_str())
+            .collect();
         assert_eq!(labels, ["v1", "v3", "v4", "v5"]);
         for v in t.vertices() {
             for &w in t.neighbors(v) {
@@ -541,7 +546,11 @@ mod tests {
     #[test]
     fn dfs_preorder_visits_all_once_smallest_child_first() {
         let t = figure3();
-        let order: Vec<_> = t.dfs_preorder().iter().map(|&v| t.label(v).as_str()).collect();
+        let order: Vec<_> = t
+            .dfs_preorder()
+            .iter()
+            .map(|&v| t.label(v).as_str())
+            .collect();
         assert_eq!(order, ["v1", "v2", "v3", "v6", "v7", "v4", "v8", "v5"]);
     }
 }

@@ -239,6 +239,6 @@ proptest! {
             // Radius lower bound: ecc >= ceil(D/2).
             prop_assert!(2 * e >= d);
         }
-        prop_assert!(t.height() <= d.max(0) || t.vertex_count() == 1);
+        prop_assert!(t.height() <= d || t.vertex_count() == 1);
     }
 }

@@ -13,7 +13,7 @@ use tree_aa_repro::real_aa::adversary::{
 };
 use tree_aa_repro::real_aa::{RealAaConfig, RealAaParty};
 use tree_aa_repro::sim_net::{
-    run_simulation, Adversary, CrashAdversary, Passive, PartyId, SimConfig,
+    run_simulation, Adversary, CrashAdversary, PartyId, Passive, SimConfig,
 };
 
 fn spread(outs: &[f64]) -> f64 {
@@ -31,7 +31,11 @@ where
     let cfg = RealAaConfig::new(n, t, 1.0, d).map_err(|e| format!("bad parameters: {e}"))?;
     let inputs: Vec<f64> = (0..n).map(|i| d * i as f64 / (n - 1) as f64).collect();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
         adversary,
     )?;
@@ -51,9 +55,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     run_with("passive", Passive)?;
     run_with(
         "crash (2 parties)",
-        CrashAdversary { crashes: vec![(PartyId(0), 2), (PartyId(1), 5)] },
+        CrashAdversary {
+            crashes: vec![(PartyId(0), 2), (PartyId(1), 5)],
+        },
     )?;
-    run_with("chaos spam", RealAaChaos::new(vec![PartyId(0), PartyId(1)], 11, (-50.0, 150.0)))?;
+    run_with(
+        "chaos spam",
+        RealAaChaos::new(vec![PartyId(0), PartyId(1)], 11, (-50.0, 150.0)),
+    )?;
     run_with(
         "budget-split [1,1]",
         BudgetSplitEquivocator::new(7, vec![PartyId(0), PartyId(1)], equal_split_schedule(2, 2)),

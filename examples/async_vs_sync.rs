@@ -25,11 +25,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let tree = Arc::new(generate::caterpillar(40, 2));
     let (n, t) = (7, 2);
     let m = tree.vertex_count();
-    let inputs: Vec<VertexId> =
-        (0..n).map(|i| tree.vertices().nth((i * 17) % m).expect("in range")).collect();
+    let inputs: Vec<VertexId> = (0..n)
+        .map(|i| tree.vertices().nth((i * 17) % m).expect("in range"))
+        .collect();
     let faulty = [PartyId(2), PartyId(5)];
-    let honest_inputs: Vec<VertexId> =
-        (0..n).filter(|&i| i != 2 && i != 5).map(|i| inputs[i]).collect();
+    let honest_inputs: Vec<VertexId> = (0..n)
+        .filter(|&i| i != 2 && i != 5)
+        .map(|i| inputs[i])
+        .collect();
     println!(
         "map: caterpillar, |V| = {m}, D = {}; n = {n}, t = {t}, parties 2 and 5 faulty\n",
         tree.diameter()
@@ -39,9 +42,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree)
         .map_err(|e| format!("bad parameters: {e}"))?;
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
-        CrashAdversary { crashes: faulty.iter().map(|&p| (p, 3)).collect() },
+        CrashAdversary {
+            crashes: faulty.iter().map(|&p| (p, 3)).collect(),
+        },
     )?;
     check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())?;
     println!(
@@ -53,9 +62,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 2. Synchronous safe-area baseline.
     let nr = NowakRybickiConfig::new(n, t, &tree).map_err(|e| format!("bad parameters: {e}"))?;
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: nr.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: nr.rounds() + 5,
+        },
         |id, _| NowakRybickiParty::new(id, nr.clone(), Arc::clone(&tree), inputs[id.index()]),
-        CrashAdversary { crashes: faulty.iter().map(|&p| (p, 3)).collect() },
+        CrashAdversary {
+            crashes: faulty.iter().map(|&p| (p, 3)).collect(),
+        },
     )?;
     check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())?;
     println!(
@@ -72,11 +87,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             n,
             t,
             seed: 42,
-            delay: DelayModel::SlowParties { slow: vec![PartyId(0)], min: 0.05 },
+            delay: DelayModel::SlowParties {
+                slow: vec![PartyId(0)],
+                min: 0.05,
+            },
             max_events: 10_000_000,
         },
         |id, _| AsyncTreeAaParty::new(acfg.clone(), Arc::clone(&tree), inputs[id.index()]),
-        SilentAsync { parties: faulty.to_vec() },
+        SilentAsync {
+            parties: faulty.to_vec(),
+        },
     )?;
     check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())?;
     println!(

@@ -22,12 +22,19 @@ fn main() {
     println!("(n = 31, t = 10, D = 10^6):");
     for r in 1..=10u32 {
         let k = fekete_k(r, 1e6, 31, 10);
-        let marker = if k > 1.0 { "  <- 1-agreement impossible" } else { "" };
+        let marker = if k > 1.0 {
+            "  <- 1-agreement impossible"
+        } else {
+            ""
+        };
         println!("  R = {r:>2}: K = {k:>14.4}{marker}");
     }
 
     println!("\nExact round lower bounds vs the Theorem 2 closed form:");
-    println!("{:>12} {:>8} {:>8} {:>10} {:>10}", "D(T)", "n", "t", "exact LB", "formula");
+    println!(
+        "{:>12} {:>8} {:>8} {:>10} {:>10}",
+        "D(T)", "n", "t", "exact LB", "formula"
+    );
     for exp in [4u32, 8, 16, 32, 64] {
         let d = 2f64.powi(exp as i32);
         for (n, t) in [(31usize, 10usize), (100, 33), (100, 5)] {

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let adversary = TreeAaChaos::new(vec![PartyId(3)], 7, 2.0 * tree.vertex_count() as f64);
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
         adversary,
     )?;
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let honest_inputs = &inputs[..3];
     let outputs = report.honest_outputs();
     for (i, &v) in outputs.iter().enumerate() {
-        println!("party {i}: input {} -> output {}", tree.label(inputs[i]), tree.label(v));
+        println!(
+            "party {i}: input {} -> output {}",
+            tree.label(inputs[i]),
+            tree.label(v)
+        );
     }
 
     // Definition 2: outputs are 1-close and inside the honest hull.

@@ -33,10 +33,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Seven robots, up to two compromised (ids 5 and 6 here).
     let (n, t) = (7, 2);
-    let positions: Vec<_> = ["v0003", "v0005", "v0009", "v0002", "v0008", "v0013", "v0030"]
-        .iter()
-        .map(|l| map.vertex(l).expect("position on the map"))
-        .collect();
+    let positions: Vec<_> = [
+        "v0003", "v0005", "v0009", "v0002", "v0008", "v0013", "v0030",
+    ]
+    .iter()
+    .map(|l| map.vertex(l).expect("position on the map"))
+    .collect();
     for (i, &p) in positions.iter().enumerate() {
         let role = if i < 5 { "honest" } else { "compromised" };
         println!("robot {i} ({role}) starts at {}", map.label(p));
@@ -44,7 +46,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &map)
         .map_err(|e| format!("bad parameters: {e}"))?;
-    println!("gathering protocol: {} synchronous rounds", cfg.total_rounds());
+    println!(
+        "gathering protocol: {} synchronous rounds",
+        cfg.total_rounds()
+    );
 
     let adversary = TreeAaChaos::new(
         vec![PartyId(5), PartyId(6)],
@@ -52,7 +57,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         2.0 * map.vertex_count() as f64,
     );
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&map), positions[id.index()]),
         adversary,
     )?;

@@ -26,10 +26,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     // branch off r3, and a stale branch off r1.
     let mut b = TreeBuilder::new();
     for v in [
-        "r0", "r1", "r2", "r3", "r4", // trunk
-        "r2-feat-1", "r2-feat-2", // feature branch off r2
-        "r3-fix-1", // hotfix off r3
-        "r1-old-1", "r1-old-2", // stale branch off r1
+        "r0",
+        "r1",
+        "r2",
+        "r3",
+        "r4", // trunk
+        "r2-feat-1",
+        "r2-feat-2", // feature branch off r2
+        "r3-fix-1",  // hotfix off r3
+        "r1-old-1",
+        "r1-old-2", // stale branch off r1
     ] {
         b.add_vertex(v)?;
     }
@@ -64,14 +70,21 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map_err(|e| format!("bad parameters: {e}"))?;
     let adversary = TreeAaChaos::new(vec![PartyId(3)], 99, 2.0 * history.vertex_count() as f64);
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&history), observed[id.index()]),
         adversary,
     )?;
 
     let honest_observed = &observed[..3];
     let repair = report.honest_outputs();
-    println!("\nreconciliation targets after {} rounds:", cfg.total_rounds());
+    println!(
+        "\nreconciliation targets after {} rounds:",
+        cfg.total_rounds()
+    );
     for (i, &v) in repair.iter().enumerate() {
         println!("  replica {i} rolls to {}", history.label(v));
     }

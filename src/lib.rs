@@ -19,7 +19,6 @@
 //!   simulator, Bracha reliable broadcast, and the witness-technique
 //!   `O(log D)` async tree AA the paper improves on synchronously.
 
-
 #![warn(missing_docs)]
 pub use async_aa;
 pub use async_net;

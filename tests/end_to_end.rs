@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use tree_aa_repro::sim_net::{
-    run_simulation, CrashAdversary, Passive, PartyId, SelectiveOmission, SimConfig,
+    run_simulation, CrashAdversary, PartyId, Passive, SelectiveOmission, SimConfig,
 };
 use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
 use tree_aa_repro::tree_aa::{
@@ -27,7 +27,9 @@ fn families() -> Vec<(&'static str, Tree)> {
 
 fn inputs_for(tree: &Tree, n: usize, stride: usize) -> Vec<VertexId> {
     let m = tree.vertex_count();
-    (0..n).map(|i| tree.vertices().nth((i * stride) % m).unwrap()).collect()
+    (0..n)
+        .map(|i| tree.vertices().nth((i * stride) % m).unwrap())
+        .collect()
 }
 
 #[test]
@@ -39,7 +41,11 @@ fn tree_aa_all_families_all_engines_honest() {
             let inputs = inputs_for(&tree, n, 11);
             let cfg = TreeAaConfig::new(n, t, engine, &tree).unwrap();
             let report = run_simulation(
-                SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                SimConfig {
+                    n,
+                    t,
+                    max_rounds: cfg.total_rounds() + 5,
+                },
                 |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
                 Passive,
             )
@@ -65,7 +71,11 @@ fn tree_aa_all_families_under_chaos() {
         let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
         let adv = TreeAaChaos::new(byz.clone(), 0xC0FFEE, 2.0 * tree.vertex_count() as f64);
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             adv,
         )
@@ -88,26 +98,40 @@ fn tree_aa_under_crash_and_omission() {
 
     // Crash mid-protocol.
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
-        CrashAdversary { crashes: vec![(PartyId(2), 4), (PartyId(6), cfg.phase1_rounds() + 1)] },
+        CrashAdversary {
+            crashes: vec![(PartyId(2), 4), (PartyId(6), cfg.phase1_rounds() + 1)],
+        },
     )
     .unwrap();
-    let honest_inputs: Vec<VertexId> =
-        (0..n).filter(|&i| i != 2 && i != 6).map(|i| inputs[i]).collect();
+    let honest_inputs: Vec<VertexId> = (0..n)
+        .filter(|&i| i != 2 && i != 6)
+        .map(|i| inputs[i])
+        .collect();
     check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
 
     // Selective omission for the whole run.
     for seed in 0..10 {
         let adv = SelectiveOmission::new(vec![PartyId(0), PartyId(3)], 0.4, seed);
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             adv,
         )
         .unwrap();
-        let honest_inputs: Vec<VertexId> =
-            (0..n).filter(|&i| i != 0 && i != 3).map(|i| inputs[i]).collect();
+        let honest_inputs: Vec<VertexId> = (0..n)
+            .filter(|&i| i != 0 && i != 3)
+            .map(|i| inputs[i])
+            .collect();
         check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
     }
 }
@@ -122,7 +146,11 @@ fn baseline_and_tree_aa_agree_on_the_contract() {
 
     let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
         Passive,
     )
@@ -131,7 +159,11 @@ fn baseline_and_tree_aa_agree_on_the_contract() {
 
     let nr = NowakRybickiConfig::new(n, t, &tree).unwrap();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: nr.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: nr.rounds() + 5,
+        },
         |id, _| NowakRybickiParty::new(id, nr.clone(), Arc::clone(&tree), inputs[id.index()]),
         Passive,
     )
@@ -148,7 +180,11 @@ fn runs_are_deterministic_end_to_end() {
     let run = |seed: u64| {
         let adv = TreeAaChaos::new(vec![PartyId(0)], seed, 2.0 * tree.vertex_count() as f64);
         run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             adv,
         )
@@ -172,7 +208,11 @@ fn identical_inputs_collapse_to_that_vertex_everywhere() {
         let inputs = vec![v; n];
         let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )
@@ -190,7 +230,11 @@ fn larger_party_counts_work() {
         let inputs = inputs_for(&tree, n, 7);
         let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )

@@ -15,10 +15,20 @@ use tree_aa_repro::tree_model::{list_construction, Tree, VertexId};
 fn figure1_convex_hull() {
     let t = Tree::from_labeled_edges(
         ["u1", "u2", "u3", "u4", "u5", "w1", "w2"],
-        [("u1", "u4"), ("u4", "u5"), ("u5", "u2"), ("u4", "u3"), ("w1", "u5"), ("w2", "u1")],
+        [
+            ("u1", "u4"),
+            ("u4", "u5"),
+            ("u5", "u2"),
+            ("u4", "u3"),
+            ("w1", "u5"),
+            ("w2", "u1"),
+        ],
     )
     .unwrap();
-    let s: Vec<VertexId> = ["u1", "u2", "u3"].iter().map(|l| t.vertex(l).unwrap()).collect();
+    let s: Vec<VertexId> = ["u1", "u2", "u3"]
+        .iter()
+        .map(|l| t.vertex(l).unwrap())
+        .collect();
     let hull = t.convex_hull(&s);
     let mut labels: Vec<_> = hull.iter().map(|v| t.label(v).to_string()).collect();
     labels.sort();
@@ -48,13 +58,18 @@ fn figure2_projection_protocol() {
     let tree = Arc::new(figure3_tree());
     // Known path v1 .. v2 .. v4 .. v8 intersects the hull of the honest
     // inputs below (their hull contains v2).
-    let path =
-        Arc::new(tree.path(tree.vertex("v1").unwrap(), tree.vertex("v8").unwrap()));
-    let inputs: Vec<VertexId> =
-        ["v6", "v5", "v3", "v7"].iter().map(|l| tree.vertex(l).unwrap()).collect();
+    let path = Arc::new(tree.path(tree.vertex("v1").unwrap(), tree.vertex("v8").unwrap()));
+    let inputs: Vec<VertexId> = ["v6", "v5", "v3", "v7"]
+        .iter()
+        .map(|l| tree.vertex(l).unwrap())
+        .collect();
     let cfg = ProjectionAaConfig::new(4, 1, EngineKind::Gradecast, Arc::clone(&path)).unwrap();
     let report = run_simulation(
-        SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n: 4,
+            t: 1,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| ProjectionAaParty::new(id, cfg.clone(), &tree, inputs[id.index()]),
         Passive,
     )
@@ -80,8 +95,10 @@ fn figure3_euler_list() {
     let labels: Vec<&str> = l.entries().iter().map(|&v| t.label(v).as_str()).collect();
     assert_eq!(
         labels,
-        ["v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5", "v2",
-         "v1"]
+        [
+            "v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5", "v2",
+            "v1"
+        ]
     );
 }
 
@@ -92,8 +109,10 @@ fn figure3_euler_list() {
 #[test]
 fn figure4_invalid_vertex_valid_subtree() {
     let tree = Arc::new(figure3_tree());
-    let honest: Vec<VertexId> =
-        ["v3", "v6", "v5"].iter().map(|l| tree.vertex(l).unwrap()).collect();
+    let honest: Vec<VertexId> = ["v3", "v6", "v5"]
+        .iter()
+        .map(|l| tree.vertex(l).unwrap())
+        .collect();
     let hull = tree.convex_hull(&honest);
     let cfg = PathsFinderConfig::new(4, 1, EngineKind::Gradecast, &tree).unwrap();
 
@@ -101,10 +120,12 @@ fn figure4_invalid_vertex_valid_subtree() {
     for planted in tree.vertices() {
         let inputs = [honest[0], honest[1], honest[2], planted];
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: cfg.rounds() + 5 },
-            |id, _| {
-                PathsFinderParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()])
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: cfg.rounds() + 5,
             },
+            |id, _| PathsFinderParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )
         .unwrap();
@@ -138,10 +159,15 @@ fn trivial_input_spaces() {
         let cfg = TreeAaConfig::new(4, 1, EngineKind::Gradecast, &tree).unwrap();
         assert!(cfg.trivial());
         assert_eq!(cfg.total_rounds(), 0);
-        let inputs: Vec<VertexId> =
-            (0..4).map(|i| tree.vertices().nth(i % size).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..4)
+            .map(|i| tree.vertices().nth(i % size).unwrap())
+            .collect();
         let report = run_simulation(
-            SimConfig { n: 4, t: 1, max_rounds: 3 },
+            SimConfig {
+                n: 4,
+                t: 1,
+                max_rounds: 3,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             Passive,
         )

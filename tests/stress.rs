@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tree_aa_repro::real_aa::adversary::{equal_split_schedule, BudgetSplitEquivocator};
 use tree_aa_repro::real_aa::{RealAaConfig, RealAaParty};
-use tree_aa_repro::sim_net::{run_simulation, Passive, PartyId, SimConfig};
+use tree_aa_repro::sim_net::{run_simulation, PartyId, Passive, SimConfig};
 use tree_aa_repro::tree_aa::adversary::TreeAaChaos;
 use tree_aa_repro::tree_aa::{check_tree_aa, EngineKind, TreeAaConfig, TreeAaParty};
 use tree_aa_repro::tree_model::{generate, VertexId};
@@ -19,11 +19,16 @@ fn tree_aa_on_a_16k_vertex_tree() {
     assert!(tree.vertex_count() > 16_000);
     let (n, t) = (4, 1);
     let m = tree.vertex_count();
-    let inputs: Vec<VertexId> =
-        (0..n).map(|i| tree.vertices().nth((i * (m / n)) % m).unwrap()).collect();
+    let inputs: Vec<VertexId> = (0..n)
+        .map(|i| tree.vertices().nth((i * (m / n)) % m).unwrap())
+        .collect();
     let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.total_rounds() + 5,
+        },
         |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
         Passive,
     )
@@ -44,7 +49,11 @@ fn realaa_with_25_parties_under_full_budget_attack() {
         equal_split_schedule(t, cfg.iterations() as usize),
     );
     let report = run_simulation(
-        SimConfig { n, t, max_rounds: cfg.rounds() + 5 },
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 5,
+        },
         |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
         adv,
     )
@@ -54,8 +63,13 @@ fn realaa_with_25_parties_under_full_budget_attack() {
     let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert!(hi - lo <= 1.0, "spread {} > 1", hi - lo);
     let honest_lo = inputs[t..].iter().cloned().fold(f64::INFINITY, f64::min);
-    let honest_hi = inputs[t..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    assert!(outs.iter().all(|&o| o >= honest_lo - 1e-9 && o <= honest_hi + 1e-9));
+    let honest_hi = inputs[t..]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(outs
+        .iter()
+        .all(|&o| o >= honest_lo - 1e-9 && o <= honest_hi + 1e-9));
 }
 
 #[test]
@@ -70,14 +84,19 @@ fn hundred_randomized_tree_aa_runs() {
         let t = rng.gen_range(1..=2usize);
         let n = 3 * t + 1;
         let m = tree.vertex_count();
-        let inputs: Vec<VertexId> =
-            (0..n).map(|_| tree.vertices().nth(rng.gen_range(0..m)).unwrap()).collect();
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|_| tree.vertices().nth(rng.gen_range(0..m)).unwrap())
+            .collect();
         let nbad = rng.gen_range(0..=t);
         let byz: Vec<PartyId> = (0..nbad).map(|i| PartyId((i * 3 + 1) % n)).collect();
         let cfg = TreeAaConfig::new(n, t, EngineKind::Gradecast, &tree).unwrap();
         let adv = TreeAaChaos::new(byz.clone(), rng.gen(), 2.0 * m as f64);
         let report = run_simulation(
-            SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+            SimConfig {
+                n,
+                t,
+                max_rounds: cfg.total_rounds() + 5,
+            },
             |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
             adv,
         )
@@ -104,14 +123,13 @@ fn every_possible_input_pattern_on_a_small_tree() {
                 for d in 0..vs.len() {
                     let inputs = [vs[a], vs[b], vs[c], vs[d]];
                     let report = run_simulation(
-                        SimConfig { n, t, max_rounds: cfg.total_rounds() + 5 },
+                        SimConfig {
+                            n,
+                            t,
+                            max_rounds: cfg.total_rounds() + 5,
+                        },
                         |id, _| {
-                            TreeAaParty::new(
-                                id,
-                                cfg.clone(),
-                                Arc::clone(&tree),
-                                inputs[id.index()],
-                            )
+                            TreeAaParty::new(id, cfg.clone(), Arc::clone(&tree), inputs[id.index()])
                         },
                         Passive,
                     )

@@ -1,0 +1,223 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Exposes the subset of the `criterion` 0.5 API this workspace's benches
+//! use (`Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros) backed by a simple
+//! wall-clock loop: warm up, calibrate an iteration count that fills the
+//! configured measurement window, then report the mean time per iteration.
+//!
+//! Besides the human-readable line, every benchmark emits a
+//! `BENCHJSON {...}` line so scripts can scrape results into the
+//! `BENCH_*.json` files recorded in the repository.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the computation behind
+/// it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id for benchmark `name` at parameter `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / f64::from(warm_iters);
+
+        // Calibrate an iteration count that roughly fills the measurement
+        // window, then time it as one batch.
+        let target = self.measurement.as_secs_f64();
+        let iters = ((target / est.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.mean_ns = total * 1e9 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks sharing loop settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness calibrates its
+    /// own iteration counts from the measurement window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn run_one(&mut self, label: String, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: f64::NAN,
+        };
+        routine(&mut b);
+        let mean = b.mean_ns;
+        let human = if mean >= 1e9 {
+            format!("{:.3} s", mean / 1e9)
+        } else if mean >= 1e6 {
+            format!("{:.3} ms", mean / 1e6)
+        } else if mean >= 1e3 {
+            format!("{:.3} µs", mean / 1e3)
+        } else {
+            format!("{mean:.1} ns")
+        };
+        println!("{}/{label:<40} time: {human}", self.name);
+        println!(
+            "BENCHJSON {{\"group\":\"{}\",\"bench\":\"{label}\",\"mean_ns\":{mean:.1}}}",
+            self.name
+        );
+    }
+
+    /// Benchmarks `routine` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.to_string(), |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks `routine` under a plain string id.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), |b| routine(b));
+        self
+    }
+
+    /// Ends the group (purely cosmetic in the vendored harness).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group with default loop settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("vendored");
+        g.measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut observed = 0.0;
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            observed = b.mean_ns;
+        });
+        g.finish();
+        assert!(observed.is_finite() && observed > 0.0);
+    }
+
+    #[test]
+    fn id_renders_name_and_param() {
+        assert_eq!(BenchmarkId::new("fanout", 256).to_string(), "fanout/256");
+    }
+}
