@@ -1,0 +1,542 @@
+//! The fuzz-case specification: a small, fully self-describing record
+//! from which a run can be reconstructed bit-for-bit.
+//!
+//! A [`FuzzCase`] stores *generator parameters*, not materialized objects:
+//! the tree is `(family, size, seed)` and the honest inputs are raw
+//! indices taken modulo the vertex count at run time. That representation
+//! is what makes minimization trivial — shrinking `size` or dropping an
+//! adversary atom always yields another well-formed case, so the shrinker
+//! never has to repair invariants by hand.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tree_model::generate;
+use tree_model::Tree;
+
+use crate::json::Json;
+
+/// A tree topology family the generator can draw from.
+///
+/// The list deliberately over-weights the near-path shapes (caterpillars,
+/// brooms, spiders) where the round-bound analysis is tight, alongside
+/// uniform random trees via Prüfer sequences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// A path `P_n` — the worst case for the diameter-driven baseline.
+    Path,
+    /// A star `K_{1,n-1}` — diameter 2, hull logic degenerate.
+    Star,
+    /// A caterpillar: a spine with two legs per spine vertex.
+    Caterpillar,
+    /// A broom: a path handle ending in a star of bristles.
+    Broom,
+    /// A balanced binary tree.
+    BalancedBinary,
+    /// A spider with three legs.
+    Spider,
+    /// A uniform random labeled tree (Prüfer sequence).
+    Prufer,
+    /// A random-attachment (preferential-free) recursive tree.
+    Attachment,
+}
+
+impl Family {
+    /// All families, in the order the generator indexes them.
+    pub const ALL: [Family; 8] = [
+        Family::Path,
+        Family::Star,
+        Family::Caterpillar,
+        Family::Broom,
+        Family::BalancedBinary,
+        Family::Spider,
+        Family::Prufer,
+        Family::Attachment,
+    ];
+
+    /// The canonical name used in corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Star => "star",
+            Family::Caterpillar => "caterpillar",
+            Family::Broom => "broom",
+            Family::BalancedBinary => "balanced-binary",
+            Family::Spider => "spider",
+            Family::Prufer => "prufer",
+            Family::Attachment => "attachment",
+        }
+    }
+
+    /// Parses a canonical name back into a family.
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// Generator parameters for a tree: rebuilt on demand, never stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeSpec {
+    /// Topology family.
+    pub family: Family,
+    /// Requested vertex count (the built tree has at least 2 and roughly
+    /// this many vertices; structured families round to their shape).
+    pub size: usize,
+    /// Seed for the random families; ignored by deterministic shapes.
+    pub seed: u64,
+}
+
+impl TreeSpec {
+    /// Materializes the tree. Total vertex count is clamped to `>= 2` so
+    /// every case has at least one edge and a non-trivial hull.
+    pub fn build(&self) -> Tree {
+        let size = self.size.max(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        match self.family {
+            Family::Path => generate::path(size),
+            Family::Star => generate::star(size),
+            Family::Caterpillar => generate::caterpillar(size.div_ceil(3), 2),
+            Family::Broom => generate::broom(size.div_ceil(2).max(1), size / 2),
+            Family::BalancedBinary => {
+                // Smallest depth whose full binary tree reaches `size`.
+                let mut depth = 1u32;
+                while (1usize << (depth + 1)) - 1 < size && depth < 12 {
+                    depth += 1;
+                }
+                generate::balanced_kary(2, depth)
+            }
+            Family::Spider => generate::spider(3, size.div_ceil(3).max(1)),
+            Family::Prufer => generate::random_prufer(size, &mut rng),
+            Family::Attachment => generate::random_attachment(size, &mut rng),
+        }
+    }
+}
+
+/// Which protocol stack the case exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// `tree-aa` with the gradecast inner engine.
+    TreeAaGradecast,
+    /// `tree-aa` with the halving inner engine.
+    TreeAaHalving,
+    /// The `O(log D)` Nowak–Rybicki safe-area baseline.
+    Baseline,
+    /// `real-aa` on the reals (inputs mapped to vertex indices).
+    RealAa,
+}
+
+impl ProtocolKind {
+    /// All protocol kinds, in generator order.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::TreeAaGradecast,
+        ProtocolKind::TreeAaHalving,
+        ProtocolKind::Baseline,
+        ProtocolKind::RealAa,
+    ];
+
+    /// The canonical name used in corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::TreeAaGradecast => "tree-aa-gradecast",
+            ProtocolKind::TreeAaHalving => "tree-aa-halving",
+            ProtocolKind::Baseline => "baseline",
+            ProtocolKind::RealAa => "real-aa",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// One primitive adversary behaviour applied to a victim set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdvAtomKind {
+    /// Crash-stop the victims at the given round (`>= 1`).
+    Crash {
+        /// The crash round.
+        round: u32,
+    },
+    /// Selective omission with the given per-message drop probability,
+    /// stored in permille so cases stay integer-only.
+    Omission {
+        /// Drop probability in permille (0..=1000).
+        permille: u32,
+    },
+    /// Protocol-agnostic equivocation (see `sim_net::EquivocatingAdversary`).
+    Equivocate,
+    /// Rushing flakiness: each round a per-victim coin decides between
+    /// forwarding the victim's honest messages and staying silent.
+    Flaky,
+}
+
+impl AdvAtomKind {
+    /// The canonical name used in corpus files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdvAtomKind::Crash { .. } => "crash",
+            AdvAtomKind::Omission { .. } => "omission",
+            AdvAtomKind::Equivocate => "equivocate",
+            AdvAtomKind::Flaky => "flaky",
+        }
+    }
+}
+
+/// An adversary atom: a behaviour plus the party indices it controls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdvAtom {
+    /// The behaviour.
+    pub kind: AdvAtomKind,
+    /// Victim party indices (must be `< n`).
+    pub victims: Vec<usize>,
+}
+
+/// A complete, self-describing fuzz case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The master seed the case was derived from (provenance only; the
+    /// run itself depends only on the other fields).
+    pub seed: u64,
+    /// Tree generator parameters.
+    pub tree: TreeSpec,
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption budget handed to the engine.
+    pub t: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Honest input per party, as a raw index reduced modulo the vertex
+    /// count at run time (so shrinking the tree keeps inputs in range).
+    pub inputs: Vec<usize>,
+    /// Adversary strategy, composed in order.
+    pub atoms: Vec<AdvAtom>,
+}
+
+impl FuzzCase {
+    /// Checks internal consistency: party counts line up, the resilience
+    /// condition `3t < n` holds, every victim index is a real party, and
+    /// the distinct victims fit in the corruption budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if 3 * self.t >= self.n {
+            return Err(format!(
+                "resilience requires 3t < n, got t={}, n={}",
+                self.t, self.n
+            ));
+        }
+        if self.inputs.len() != self.n {
+            return Err(format!(
+                "expected {} inputs, got {}",
+                self.n,
+                self.inputs.len()
+            ));
+        }
+        let mut victims: Vec<usize> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.victims.iter().copied())
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        if let Some(&v) = victims.iter().find(|&&v| v >= self.n) {
+            return Err(format!("victim {} out of range for n={}", v, self.n));
+        }
+        if victims.len() > self.t {
+            return Err(format!(
+                "{} distinct victims exceed corruption budget t={}",
+                victims.len(),
+                self.t
+            ));
+        }
+        for atom in &self.atoms {
+            match atom.kind {
+                AdvAtomKind::Crash { round: 0 } => {
+                    return Err("crash round must be >= 1".into());
+                }
+                AdvAtomKind::Omission { permille } if permille > 1000 => {
+                    return Err(format!("omission permille {permille} > 1000"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The honest input vertices actually used for a tree with `m`
+    /// vertices: each stored index reduced modulo `m`.
+    pub fn input_vertices(&self, m: usize) -> Vec<usize> {
+        self.inputs.iter().map(|&i| i % m).collect()
+    }
+
+    /// Serializes the case to its canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let mut fields = vec![("kind".into(), Json::Str(a.kind.name().into()))];
+                match a.kind {
+                    AdvAtomKind::Crash { round } => {
+                        fields.push(("round".into(), Json::int(u64::from(round))));
+                    }
+                    AdvAtomKind::Omission { permille } => {
+                        fields.push(("permille".into(), Json::int(u64::from(permille))));
+                    }
+                    AdvAtomKind::Equivocate | AdvAtomKind::Flaky => {}
+                }
+                fields.push((
+                    "victims".into(),
+                    Json::Arr(a.victims.iter().map(|&v| Json::int(v as u64)).collect()),
+                ));
+                Json::Obj(fields)
+            })
+            .collect();
+        // Seeds are full 64-bit values, beyond the 2^53 range a JSON
+        // number can carry exactly — stored as decimal strings.
+        Json::Obj(vec![
+            ("seed".into(), Json::Str(self.seed.to_string())),
+            (
+                "tree".into(),
+                Json::Obj(vec![
+                    ("family".into(), Json::Str(self.tree.family.name().into())),
+                    ("size".into(), Json::int(self.tree.size as u64)),
+                    ("seed".into(), Json::Str(self.tree.seed.to_string())),
+                ]),
+            ),
+            ("n".into(), Json::int(self.n as u64)),
+            ("t".into(), Json::int(self.t as u64)),
+            ("protocol".into(), Json::Str(self.protocol.name().into())),
+            (
+                "inputs".into(),
+                Json::Arr(self.inputs.iter().map(|&i| Json::int(i as u64)).collect()),
+            ),
+            ("atoms".into(), Json::Arr(atoms)),
+        ])
+    }
+
+    /// Deserializes a case from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field; the
+    /// result additionally passes [`FuzzCase::validate`].
+    pub fn from_json(json: &Json) -> Result<FuzzCase, String> {
+        fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+            json.get(key)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        }
+        /// Seeds are decimal strings (see `to_json`); plain numbers are
+        /// accepted too for hand-written corpus files.
+        fn seed_value(json: &Json) -> Option<u64> {
+            match json {
+                Json::Str(s) => s.parse().ok(),
+                other => other.as_u64(),
+            }
+        }
+        let tree_json = field(json, "tree")?;
+        let family_name = field(tree_json, "family")?
+            .as_str()
+            .ok_or("tree.family must be a string")?;
+        let tree = TreeSpec {
+            family: Family::from_name(family_name)
+                .ok_or_else(|| format!("unknown tree family `{family_name}`"))?,
+            size: field(tree_json, "size")?
+                .as_usize()
+                .ok_or("tree.size must be a non-negative integer")?,
+            seed: seed_value(field(tree_json, "seed")?)
+                .ok_or("tree.seed must be a non-negative integer")?,
+        };
+        let protocol_name = field(json, "protocol")?
+            .as_str()
+            .ok_or("protocol must be a string")?;
+        let inputs = field(json, "inputs")?
+            .as_arr()
+            .ok_or("inputs must be an array")?
+            .iter()
+            .map(|v| v.as_usize().ok_or("inputs must be integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut atoms = Vec::new();
+        for atom_json in field(json, "atoms")?
+            .as_arr()
+            .ok_or("atoms must be an array")?
+        {
+            let kind_name = field(atom_json, "kind")?
+                .as_str()
+                .ok_or("atom.kind must be a string")?;
+            let kind = match kind_name {
+                "crash" => AdvAtomKind::Crash {
+                    round: field(atom_json, "round")?
+                        .as_u64()
+                        .ok_or("crash.round must be an integer")? as u32,
+                },
+                "omission" => AdvAtomKind::Omission {
+                    permille: field(atom_json, "permille")?
+                        .as_u64()
+                        .ok_or("omission.permille must be an integer")?
+                        as u32,
+                },
+                "equivocate" => AdvAtomKind::Equivocate,
+                "flaky" => AdvAtomKind::Flaky,
+                other => return Err(format!("unknown atom kind `{other}`")),
+            };
+            let victims = field(atom_json, "victims")?
+                .as_arr()
+                .ok_or("atom.victims must be an array")?
+                .iter()
+                .map(|v| v.as_usize().ok_or("victims must be integers"))
+                .collect::<Result<Vec<_>, _>>()?;
+            atoms.push(AdvAtom { kind, victims });
+        }
+        let case = FuzzCase {
+            seed: seed_value(field(json, "seed")?).ok_or("seed must be a non-negative integer")?,
+            tree,
+            n: field(json, "n")?.as_usize().ok_or("n must be an integer")?,
+            t: field(json, "t")?.as_usize().ok_or("t must be an integer")?,
+            protocol: ProtocolKind::from_name(protocol_name)
+                .ok_or_else(|| format!("unknown protocol `{protocol_name}`"))?,
+            inputs,
+            atoms,
+        };
+        case.validate()?;
+        Ok(case)
+    }
+
+    /// A stable 64-bit fingerprint of the canonical JSON form (FNV-1a),
+    /// used as the corpus file name so identical repros dedupe on disk.
+    pub fn fingerprint(&self) -> u64 {
+        let text = self.to_json().to_string();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzCase {
+        FuzzCase {
+            seed: 42,
+            tree: TreeSpec {
+                family: Family::Broom,
+                size: 9,
+                seed: 7,
+            },
+            n: 7,
+            t: 2,
+            protocol: ProtocolKind::TreeAaGradecast,
+            inputs: vec![0, 3, 8, 1, 5, 2, 60],
+            atoms: vec![
+                AdvAtom {
+                    kind: AdvAtomKind::Crash { round: 2 },
+                    victims: vec![1],
+                },
+                AdvAtom {
+                    kind: AdvAtomKind::Equivocate,
+                    victims: vec![4],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let case = sample();
+        let text = case.to_json().to_string();
+        let back = FuzzCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, case);
+        assert_eq!(back.fingerprint(), case.fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_bad_cases() {
+        let mut c = sample();
+        c.t = 3; // 3t >= n
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.inputs.pop();
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.atoms[0].victims = vec![99];
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.atoms[0].victims = vec![1, 2, 3]; // 4 distinct victims with atom[1]
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.atoms[0].kind = AdvAtomKind::Crash { round: 0 };
+        assert!(c.validate().is_err());
+
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn every_family_builds_a_tree_of_reasonable_size() {
+        for family in Family::ALL {
+            for size in [2usize, 3, 7, 16, 28] {
+                let tree = TreeSpec {
+                    family,
+                    size,
+                    seed: 11,
+                }
+                .build();
+                assert!(
+                    tree.vertex_count() >= 2,
+                    "{} size {size} built {} vertices",
+                    family.name(),
+                    tree.vertex_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_build_is_deterministic() {
+        let spec = TreeSpec {
+            family: Family::Prufer,
+            size: 20,
+            seed: 123,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        for (va, vb) in a.vertices().zip(b.vertices()) {
+            assert_eq!(a.label(va), b.label(vb));
+            assert_eq!(a.degree(va), b.degree(vb));
+            assert_eq!(a.parent(va).is_some(), b.parent(vb).is_some());
+        }
+    }
+
+    #[test]
+    fn inputs_reduce_modulo_vertex_count() {
+        let case = sample();
+        let m = case.tree.build().vertex_count();
+        let vs = case.input_vertices(m);
+        assert_eq!(vs.len(), case.n);
+        assert!(vs.iter().all(|&v| v < m));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        for p in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+    }
+}

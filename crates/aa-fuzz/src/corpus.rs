@@ -1,0 +1,151 @@
+//! The on-disk corpus of minimized repro cases.
+//!
+//! Every failing case the fuzzer minimizes is persisted as one JSON file
+//! named `case-<fingerprint>.json` under the corpus directory
+//! (`fuzz-corpus/` at the workspace root by convention). A `#[test]`
+//! replay runner re-executes every corpus file on `cargo test`, so a bug
+//! found once by fuzzing becomes a permanent tier-1 regression test.
+//!
+//! The file format is the canonical [`FuzzCase`] JSON plus a free-form
+//! `"reason"` field recording the failure the case originally exposed.
+//! Fingerprint-based names dedupe identical repros across runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::case::FuzzCase;
+use crate::json::Json;
+
+/// A corpus entry: the case plus the recorded failure reason.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusEntry {
+    /// The repro case.
+    pub case: FuzzCase,
+    /// The failure it originally exposed (free-form, informational).
+    pub reason: String,
+}
+
+/// The file name a case is stored under.
+pub fn file_name(case: &FuzzCase) -> String {
+    format!("case-{:016x}.json", case.fingerprint())
+}
+
+/// Writes `case` into `dir`, creating the directory if needed. Returns
+/// the path written. Identical cases map to the same file name, so
+/// re-saving is idempotent.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_case(dir: &Path, case: &FuzzCase, reason: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let Json::Obj(mut fields) = case.to_json() else {
+        unreachable!("FuzzCase::to_json always returns an object");
+    };
+    fields.push(("reason".into(), Json::Str(reason.into())));
+    let path = dir.join(file_name(case));
+    fs::write(&path, format!("{}\n", Json::Obj(fields)))?;
+    Ok(path)
+}
+
+/// Reads one corpus file.
+///
+/// # Errors
+///
+/// Returns a description naming the file for parse or validation errors.
+pub fn load_case(path: &Path) -> Result<CorpusEntry, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let case = FuzzCase::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+    let reason = json
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    Ok(CorpusEntry { case, reason })
+}
+
+/// Loads every `*.json` file of `dir`, sorted by file name so replay
+/// order is stable. A missing directory is an empty corpus, not an error.
+///
+/// # Errors
+///
+/// Returns the first unreadable or malformed file.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_case(&p).map(|entry| (p, entry)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{AdvAtom, AdvAtomKind, Family, ProtocolKind, TreeSpec};
+
+    fn sample() -> FuzzCase {
+        FuzzCase {
+            seed: 77,
+            tree: TreeSpec {
+                family: Family::Caterpillar,
+                size: 6,
+                seed: 1,
+            },
+            n: 4,
+            t: 1,
+            protocol: ProtocolKind::RealAa,
+            inputs: vec![0, 1, 2, 3],
+            atoms: vec![AdvAtom {
+                kind: AdvAtomKind::Omission { permille: 250 },
+                victims: vec![2],
+            }],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("aa-fuzz-corpus-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let case = sample();
+        let path = save_case(&dir, &case, "validity violated: test").unwrap();
+        let entry = load_case(&path).unwrap();
+        assert_eq!(entry.case, case);
+        assert_eq!(entry.reason, "validity violated: test");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saving_is_idempotent_and_load_dir_is_sorted() {
+        let dir = std::env::temp_dir().join("aa-fuzz-corpus-idem");
+        let _ = fs::remove_dir_all(&dir);
+        let case = sample();
+        save_case(&dir, &case, "first").unwrap();
+        save_case(&dir, &case, "second").unwrap();
+        let mut other = sample();
+        other.seed = 78;
+        save_case(&dir, &other, "third").unwrap();
+        let entries = load_dir(&dir).unwrap();
+        assert_eq!(entries.len(), 2, "identical cases must dedupe by name");
+        let names: Vec<_> = entries.iter().map(|(p, _)| p.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("aa-fuzz-corpus-missing-nope");
+        assert_eq!(load_dir(&dir).unwrap(), Vec::new());
+    }
+}

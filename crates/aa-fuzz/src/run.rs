@@ -1,0 +1,419 @@
+//! Executing a fuzz case and checking the paper's invariants.
+//!
+//! Every case runs **twice** — once with [`StepMode::Sequential`], once
+//! with [`StepMode::Parallel`] — and the two [`RunReport`]s must be equal
+//! (the determinism contract from the engine docs). The sequential report
+//! is then checked against the machine-checkable guarantees:
+//!
+//! * **round bound** — `rounds_executed ≤ bound + 1`, where `bound` is the
+//!   protocol's publicly computable round count ([`TreeAaConfig::total_rounds`],
+//!   [`NowakRybickiConfig::rounds`], [`RealAaConfig::rounds`]) and the `+1`
+//!   is the terminal processing round in which parties consume the last
+//!   messages and output;
+//! * **validity** — every honest output lies in the convex hull (interval,
+//!   for `real-aa`) of the honest inputs;
+//! * **agreement** — honest outputs are pairwise ≤ 1 apart (≤ ε for
+//!   `real-aa`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use sim_net::{
+    run_simulation_with, Adversary, EngineConfig, PartyId, Protocol, RunReport, SimConfig,
+    SimError, StepMode,
+};
+use tree_aa::{
+    check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
+    Violation,
+};
+use tree_model::{Tree, VertexId};
+
+use crate::adversary::build_adversary;
+use crate::case::{FuzzCase, ProtocolKind};
+
+/// Slack for floating-point comparisons in the `real-aa` checks.
+const REAL_TOL: f64 = 1e-9;
+
+/// Extra rounds granted beyond the protocol bound before the engine
+/// declares the run stuck — generous enough that hitting `max_rounds` is
+/// itself evidence of a round-bound violation.
+const ROUND_SLACK: u32 = 5;
+
+/// An invariant violated by a run (or a run that failed outright).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckFailure {
+    /// The engine rejected or aborted the run.
+    Sim(String),
+    /// Sequential and parallel stepping produced different reports.
+    Determinism,
+    /// The run exceeded the protocol's round bound.
+    RoundBound {
+        /// Rounds the engine actually executed.
+        executed: u32,
+        /// The public bound (excluding the terminal processing round).
+        bound: u32,
+    },
+    /// An honest output escaped the honest inputs' convex hull.
+    Validity(String),
+    /// Honest outputs are farther apart than the agreement tolerance.
+    Agreement(String),
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckFailure::Sim(reason) => write!(f, "simulation failed: {reason}"),
+            CheckFailure::Determinism => {
+                f.write_str("sequential and parallel runs produced different reports")
+            }
+            CheckFailure::RoundBound { executed, bound } => write!(
+                f,
+                "round bound violated: executed {executed} rounds, bound {bound} (+1 terminal)"
+            ),
+            CheckFailure::Validity(detail) => write!(f, "validity violated: {detail}"),
+            CheckFailure::Agreement(detail) => write!(f, "agreement violated: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+/// Summary statistics of a passing run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Vertices of the materialized tree.
+    pub vertex_count: usize,
+    /// Rounds the engine executed.
+    pub rounds_executed: u32,
+    /// The protocol's public round bound.
+    pub round_bound: u32,
+    /// Parties the adversary ended up corrupting.
+    pub corrupted: usize,
+}
+
+/// A deliberate bug injected into the checking pipeline — used to
+/// mutation-test the harness itself: a fuzzer that cannot catch a planted
+/// validity violation is not testing anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// No mutation: check the real outputs.
+    None,
+    /// Replace the first honest output with a value outside the honest
+    /// hull (a vertex off the hull, or `max + d + 1` for `real-aa`),
+    /// simulating a validity bug in the protocol.
+    SkewFirstOutput,
+}
+
+/// Runs a case and checks every invariant.
+///
+/// # Errors
+///
+/// Returns the first [`CheckFailure`] encountered.
+pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CheckFailure> {
+    run_case_mutated(case, Mutation::None)
+}
+
+/// [`run_case`] with a [`Mutation`] applied to the outputs before
+/// checking. `Mutation::None` is the production path.
+///
+/// # Errors
+///
+/// Returns the first [`CheckFailure`] encountered.
+///
+/// # Panics
+///
+/// Panics if `case` fails [`FuzzCase::validate`].
+pub fn run_case_mutated(case: &FuzzCase, mutation: Mutation) -> Result<CaseStats, CheckFailure> {
+    case.validate()
+        .expect("case must be validated before running");
+    let tree = Arc::new(case.tree.build());
+    match case.protocol {
+        ProtocolKind::TreeAaGradecast => run_tree_aa(case, &tree, EngineKind::Gradecast, mutation),
+        ProtocolKind::TreeAaHalving => run_tree_aa(case, &tree, EngineKind::Halving, mutation),
+        ProtocolKind::Baseline => run_baseline(case, &tree, mutation),
+        ProtocolKind::RealAa => run_real_aa(case, &tree, mutation),
+    }
+}
+
+/// Runs the protocol under both step modes with freshly built adversaries
+/// and checks report equality plus the round bound.
+fn run_checked<P, F>(
+    case: &FuzzCase,
+    bound: u32,
+    mut factory: F,
+) -> Result<RunReport<P::Output>, CheckFailure>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync + 'static,
+    P::Output: PartialEq + Clone,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let sim = SimConfig {
+        n: case.n,
+        t: case.t,
+        max_rounds: bound + ROUND_SLACK,
+    };
+    let mut run = |mode: StepMode| {
+        // The adversary is rebuilt per run: its RNG state is part of the
+        // strategy, so both runs must start from the same seed.
+        let adversary: Box<dyn Adversary<P::Msg>> = Box::new(build_adversary::<P::Msg>(case));
+        run_simulation_with(
+            EngineConfig {
+                sim,
+                step_mode: mode,
+            },
+            &mut factory,
+            adversary,
+        )
+    };
+    let sequential = run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+    let parallel =
+        run(StepMode::Parallel { threads: 2 }).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+    if sequential != parallel {
+        return Err(CheckFailure::Determinism);
+    }
+    if sequential.rounds_executed > bound + 1 {
+        return Err(CheckFailure::RoundBound {
+            executed: sequential.rounds_executed,
+            bound,
+        });
+    }
+    Ok(sequential)
+}
+
+fn describe(e: &SimError) -> String {
+    match e {
+        SimError::BadConfig { reason } => format!("bad config: {reason}"),
+        SimError::MaxRoundsExceeded { max_rounds } => {
+            format!("no output after max_rounds = {max_rounds}")
+        }
+    }
+}
+
+/// The honest parties' outputs, in party order.
+fn honest_outputs<O: Clone>(report: &RunReport<O>) -> Vec<O> {
+    report
+        .outputs
+        .iter()
+        .zip(&report.corrupted)
+        .filter(|(_, &corrupted)| !corrupted)
+        .map(|(o, _)| o.clone().expect("honest party finished without output"))
+        .collect()
+}
+
+fn stats<O>(report: &RunReport<O>, bound: u32, tree: &Tree) -> CaseStats {
+    CaseStats {
+        vertex_count: tree.vertex_count(),
+        rounds_executed: report.rounds_executed,
+        round_bound: bound,
+        corrupted: report.corrupted.iter().filter(|&&c| c).count(),
+    }
+}
+
+/// Applies [`Mutation::SkewFirstOutput`] to vertex outputs: swap the
+/// first honest output for a vertex off the honest hull (every tree with
+/// ≥ 2 vertices has one unless the hull is the whole tree, in which case
+/// the farthest vertex from the first output breaks agreement instead).
+fn skew_vertex_outputs(tree: &Tree, honest_inputs: &[VertexId], outputs: &mut [VertexId]) {
+    let hull = tree.convex_hull(honest_inputs);
+    let off_hull = tree.vertices().find(|&v| !hull.contains(v));
+    if let Some(v) = off_hull {
+        outputs[0] = v;
+    } else if let Some(&first) = outputs.first() {
+        let far = tree
+            .vertices()
+            .max_by_key(|&v| tree.distance(first, v))
+            .expect("non-empty tree");
+        outputs[0] = far;
+    }
+}
+
+fn check_vertex_outcome(
+    tree: &Tree,
+    honest_inputs: &[VertexId],
+    honest_outputs: &[VertexId],
+) -> Result<(), CheckFailure> {
+    check_tree_aa(tree, honest_inputs, honest_outputs).map_err(|v| match v {
+        Violation::OutsideHull { .. } => CheckFailure::Validity(v.to_string()),
+        Violation::TooFar { .. } => CheckFailure::Agreement(v.to_string()),
+        other => CheckFailure::Validity(other.to_string()),
+    })
+}
+
+fn run_tree_aa(
+    case: &FuzzCase,
+    tree: &Arc<Tree>,
+    engine: EngineKind,
+    mutation: Mutation,
+) -> Result<CaseStats, CheckFailure> {
+    let cfg = TreeAaConfig::new(case.n, case.t, engine, tree).map_err(CheckFailure::Sim)?;
+    let bound = cfg.total_rounds();
+    let verts: Vec<VertexId> = tree.vertices().collect();
+    let inputs: Vec<VertexId> = case
+        .input_vertices(verts.len())
+        .into_iter()
+        .map(|i| verts[i])
+        .collect();
+    let report = run_checked::<TreeAaParty, _>(case, bound, |id, _| {
+        TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
+    })?;
+    finish_vertex_protocol(tree, &inputs, report, bound, mutation)
+}
+
+fn run_baseline(
+    case: &FuzzCase,
+    tree: &Arc<Tree>,
+    mutation: Mutation,
+) -> Result<CaseStats, CheckFailure> {
+    let cfg = NowakRybickiConfig::new(case.n, case.t, tree).map_err(CheckFailure::Sim)?;
+    let bound = cfg.rounds();
+    let verts: Vec<VertexId> = tree.vertices().collect();
+    let inputs: Vec<VertexId> = case
+        .input_vertices(verts.len())
+        .into_iter()
+        .map(|i| verts[i])
+        .collect();
+    let report = run_checked::<NowakRybickiParty, _>(case, bound, |id, _| {
+        NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
+    })?;
+    finish_vertex_protocol(tree, &inputs, report, bound, mutation)
+}
+
+fn finish_vertex_protocol(
+    tree: &Tree,
+    inputs: &[VertexId],
+    report: RunReport<VertexId>,
+    bound: u32,
+    mutation: Mutation,
+) -> Result<CaseStats, CheckFailure> {
+    let honest_inputs: Vec<VertexId> = inputs
+        .iter()
+        .zip(&report.corrupted)
+        .filter(|(_, &c)| !c)
+        .map(|(&v, _)| v)
+        .collect();
+    let mut outputs = honest_outputs(&report);
+    if mutation == Mutation::SkewFirstOutput {
+        skew_vertex_outputs(tree, &honest_inputs, &mut outputs);
+    }
+    check_vertex_outcome(tree, &honest_inputs, &outputs)?;
+    Ok(stats(&report, bound, tree))
+}
+
+fn run_real_aa(
+    case: &FuzzCase,
+    tree: &Arc<Tree>,
+    mutation: Mutation,
+) -> Result<CaseStats, CheckFailure> {
+    use real_aa::{RealAaConfig, RealAaParty};
+    let m = tree.vertex_count();
+    let d = (m - 1) as f64;
+    let eps = 1.0;
+    let cfg = RealAaConfig::new(case.n, case.t, eps, d).map_err(CheckFailure::Sim)?;
+    let bound = cfg.rounds();
+    let inputs: Vec<f64> = case
+        .input_vertices(m)
+        .into_iter()
+        .map(|i| i as f64)
+        .collect();
+    let report = run_checked::<RealAaParty, _>(case, bound, |id, _| {
+        RealAaParty::new(id, cfg, inputs[id.index()])
+    })?;
+    let honest_inputs: Vec<f64> = inputs
+        .iter()
+        .zip(&report.corrupted)
+        .filter(|(_, &c)| !c)
+        .map(|(&v, _)| v)
+        .collect();
+    let mut outputs = honest_outputs(&report);
+    let lo = honest_inputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = honest_inputs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if mutation == Mutation::SkewFirstOutput {
+        outputs[0] = hi + d + 1.0;
+    }
+    for &o in &outputs {
+        if o < lo - REAL_TOL || o > hi + REAL_TOL {
+            return Err(CheckFailure::Validity(format!(
+                "output {o} outside honest input interval [{lo}, {hi}]"
+            )));
+        }
+    }
+    let out_lo = outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let out_hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if out_hi - out_lo > eps + REAL_TOL {
+        return Err(CheckFailure::Agreement(format!(
+            "output spread {} exceeds epsilon {eps}",
+            out_hi - out_lo
+        )));
+    }
+    Ok(stats(&report, bound, tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{AdvAtom, AdvAtomKind, Family, TreeSpec};
+
+    fn base_case(protocol: ProtocolKind) -> FuzzCase {
+        FuzzCase {
+            seed: 1,
+            tree: TreeSpec {
+                family: Family::Caterpillar,
+                size: 9,
+                seed: 2,
+            },
+            n: 7,
+            t: 2,
+            protocol,
+            inputs: vec![0, 5, 2, 9, 1, 7, 3],
+            atoms: vec![AdvAtom {
+                kind: AdvAtomKind::Equivocate,
+                victims: vec![3],
+            }],
+        }
+    }
+
+    #[test]
+    fn every_protocol_passes_under_equivocation() {
+        for protocol in ProtocolKind::ALL {
+            let case = base_case(protocol);
+            let stats =
+                run_case(&case).unwrap_or_else(|e| panic!("{} failed: {e}", protocol.name()));
+            assert!(stats.rounds_executed <= stats.round_bound + 1);
+            assert_eq!(stats.corrupted, 1);
+        }
+    }
+
+    #[test]
+    fn passive_case_passes() {
+        let mut case = base_case(ProtocolKind::TreeAaGradecast);
+        case.atoms.clear();
+        run_case(&case).unwrap();
+    }
+
+    #[test]
+    fn skew_mutation_is_caught() {
+        for protocol in ProtocolKind::ALL {
+            let case = base_case(protocol);
+            let failure = run_case_mutated(&case, Mutation::SkewFirstOutput)
+                .expect_err("mutation must be caught");
+            assert!(
+                matches!(
+                    failure,
+                    CheckFailure::Validity(_) | CheckFailure::Agreement(_)
+                ),
+                "{}: unexpected failure {failure:?}",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let case = base_case(ProtocolKind::Baseline);
+        assert_eq!(run_case(&case).unwrap(), run_case(&case).unwrap());
+    }
+}

@@ -74,6 +74,17 @@ pub enum Command {
         /// Corruption bound.
         t: usize,
     },
+    /// `fuzz`: run the deterministic adversarial property fuzzer.
+    Fuzz {
+        /// Master seed of the case stream.
+        seed: u64,
+        /// Number of cases.
+        cases: u64,
+        /// Minimize failing cases before reporting them.
+        minimize: bool,
+        /// Directory for minimized repro files (empty disables saving).
+        corpus: String,
+    },
     /// `help` or no/unknown arguments.
     Help,
 }
@@ -86,7 +97,7 @@ fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option starting with --, got `{k}`"))?;
-        if key == "dot" {
+        if key == "dot" || key == "minimize" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -152,6 +163,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             n: parse_num(req(&opts, "n")?, "n")?,
             t: parse_num(req(&opts, "t")?, "t")?,
         }),
+        "fuzz" => Ok(Command::Fuzz {
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+            cases: opts
+                .get("cases")
+                .map_or(Ok(100), |s| parse_num(s, "cases"))?,
+            minimize: opts.contains_key("minimize"),
+            corpus: opts.get("corpus").cloned().unwrap_or_default(),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command `{other}`; see `treeaa help`")),
     }
@@ -169,9 +188,18 @@ USAGE:
                 [--protocol treeaa|baseline] [--engine gradecast|halving]
                 [--adversary none|chaos|crash|omission] [--seed <S>]
   treeaa bounds --diameter <D> --n <N> --t <T>
+  treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--corpus <dir>]
 
 `run` uses one party per input label; with an adversary, the *last* t
 parties are corrupted and their input labels are ignored.
+
+`fuzz` runs K generated cases (random tree, inputs and adversary; all a
+pure function of the seed) through TreeAA, the baseline and RealAA,
+checking determinism, the round bound, validity and agreement. With
+--minimize, failing cases are shrunk before reporting; with --corpus,
+minimized repros are written there as JSON for `cargo test` replay.
+Identical seed and case count give bit-identical output. Exits non-zero
+if any case fails.
 ";
 
 fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
@@ -262,6 +290,25 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 real_aa::iterations_for(diameter, 1.0) * 3
             )
             .map_err(io)
+        }
+        Command::Fuzz {
+            seed,
+            cases,
+            minimize,
+            corpus,
+        } => {
+            let opts = aa_fuzz::FuzzOptions {
+                seed,
+                cases,
+                minimize,
+                corpus_dir: (!corpus.is_empty()).then(|| corpus.into()),
+            };
+            let violations = aa_fuzz::run_batch(&opts, out).map_err(io)?;
+            if violations == 0 {
+                Ok(())
+            } else {
+                Err(format!("{violations} invariant violation(s) found"))
+            }
         }
         Command::Run {
             tree,
@@ -533,6 +580,53 @@ mod tests {
                 "{protocol}/{engine}/{adversary}: {text}"
             );
         }
+    }
+
+    #[test]
+    fn parses_fuzz_with_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&argv("fuzz")).unwrap(),
+            Command::Fuzz {
+                seed: 0,
+                cases: 100,
+                minimize: false,
+                corpus: String::new(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "fuzz --seed 42 --cases 500 --minimize --corpus fuzz-corpus"
+            ))
+            .unwrap(),
+            Command::Fuzz {
+                seed: 42,
+                cases: 500,
+                minimize: true,
+                corpus: "fuzz-corpus".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn fuzz_runs_clean_and_is_bit_identical() {
+        let run = || {
+            let mut out = Vec::new();
+            execute(
+                Command::Fuzz {
+                    seed: 42,
+                    cases: 25,
+                    minimize: true,
+                    corpus: String::new(),
+                },
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("0 violation(s)"), "{text}");
     }
 
     #[test]

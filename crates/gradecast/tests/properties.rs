@@ -184,3 +184,121 @@ fn engineered_grade_split_zero_one() {
     // Parties 2 and 3 accept with grade 1; 4,5,6 reject with grade 0.
     assert_eq!(grades, vec![1, 1, 0, 0, 0]);
 }
+
+/// The three grade-semantics guarantees (per the gradecast lineage,
+/// arXiv:1007.1049) under the protocol-agnostic `EquivocatingAdversary`:
+/// unlike the chaos adversary above, every injected message is a
+/// well-formed message stolen from real tentative traffic, so this
+/// exercises the "plausible lies" corner rather than random noise.
+#[test]
+fn grade_semantics_hold_under_equivocation() {
+    use sim_net::EquivocatingAdversary;
+
+    for seed in 0..20u64 {
+        let n = 7;
+        let t = 2;
+        let bad = [PartyId(1), PartyId(5)];
+        let cfg = SimConfig {
+            n,
+            t,
+            max_rounds: 10,
+        };
+        let inputs: Vec<u64> = (0..n).map(|i| 100 + i as u64).collect();
+        let report = run_simulation(
+            cfg,
+            |id, nn| GradecastProtocol::new(id, nn, t, inputs[id.index()]),
+            EquivocatingAdversary::new(bad.to_vec(), seed),
+        )
+        .unwrap();
+        let honest_outs: Vec<_> = (0..n)
+            .filter(|&i| !bad.iter().any(|b| b.index() == i))
+            .map(|i| report.outputs[i].clone().expect("honest output"))
+            .collect();
+
+        for leader in 0..n {
+            if !bad.iter().any(|b| b.index() == leader) {
+                // Honest sender: every honest party outputs (v, 2).
+                for out in &honest_outs {
+                    assert_eq!(out[leader].grade, Grade::Two, "seed {seed} leader {leader}");
+                    assert_eq!(out[leader].value, Some(inputs[leader]));
+                }
+            } else {
+                // Binding: all accepted (grade >= 1) values are identical.
+                let accepted: Vec<u64> = honest_outs
+                    .iter()
+                    .filter(|o| o[leader].accepted())
+                    .map(|o| o[leader].value.expect("accepted implies value"))
+                    .collect();
+                assert!(
+                    accepted.windows(2).all(|w| w[0] == w[1]),
+                    "seed {seed}: binding violated for leader {leader}: {accepted:?}"
+                );
+                // Grade gap: any two honest grades differ by at most 1.
+                let grades: Vec<u8> = honest_outs
+                    .iter()
+                    .map(|o| o[leader].grade.as_u8())
+                    .collect();
+                let (lo, hi) = (grades.iter().min().unwrap(), grades.iter().max().unwrap());
+                assert!(
+                    hi - lo <= 1,
+                    "seed {seed}: grade gap for leader {leader}: {grades:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Grade semantics also hold when equivocation is *composed* with a
+/// crash under one shared corruption budget.
+#[test]
+fn grade_semantics_hold_under_composed_equivocation_and_crash() {
+    use sim_net::{ComposedAdversary, CrashAdversary, EquivocatingAdversary};
+
+    let n = 7;
+    let t = 2;
+    let cfg = SimConfig {
+        n,
+        t,
+        max_rounds: 10,
+    };
+    let inputs: Vec<u64> = (0..n).map(|i| 10 * i as u64).collect();
+    let adv: ComposedAdversary<GcMsg<u64>> = ComposedAdversary::new(vec![
+        Box::new(EquivocatingAdversary::new(vec![PartyId(2)], 13)),
+        Box::new(CrashAdversary {
+            crashes: vec![(PartyId(6), 2)],
+        }),
+    ]);
+    let report = run_simulation(
+        cfg,
+        |id, nn| GradecastProtocol::new(id, nn, t, inputs[id.index()]),
+        adv,
+    )
+    .unwrap();
+    assert!(report.corrupted[2] && report.corrupted[6]);
+
+    let honest_outs: Vec<_> = (0..n)
+        .filter(|&i| !report.corrupted[i])
+        .map(|i| report.outputs[i].clone().expect("honest output"))
+        .collect();
+    for leader in 0..n {
+        if !report.corrupted[leader] {
+            for out in &honest_outs {
+                assert_eq!(out[leader].grade, Grade::Two);
+                assert_eq!(out[leader].value, Some(inputs[leader]));
+            }
+        } else {
+            let accepted: Vec<u64> = honest_outs
+                .iter()
+                .filter(|o| o[leader].accepted())
+                .map(|o| o[leader].value.unwrap())
+                .collect();
+            assert!(accepted.windows(2).all(|w| w[0] == w[1]));
+            let grades: Vec<u8> = honest_outs
+                .iter()
+                .map(|o| o[leader].grade.as_u8())
+                .collect();
+            let (lo, hi) = (grades.iter().min().unwrap(), grades.iter().max().unwrap());
+            assert!(hi - lo <= 1, "leader {leader}: {grades:?}");
+        }
+    }
+}

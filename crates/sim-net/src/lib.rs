@@ -73,8 +73,8 @@ mod metrics;
 mod party;
 
 pub use adversary::{
-    Adversary, AdversaryCtx, BudgetExceeded, CrashAdversary, Passive, ScriptedAdversary,
-    SelectiveOmission, StaticByzantine,
+    Adversary, AdversaryCtx, BudgetExceeded, ComposedAdversary, CrashAdversary,
+    EquivocatingAdversary, Passive, ScriptedAdversary, SelectiveOmission, StaticByzantine,
 };
 pub use engine::{
     run_simulation, run_simulation_with, EngineConfig, RunReport, SimConfig, SimError, StepMode,

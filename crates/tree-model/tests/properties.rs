@@ -201,6 +201,127 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Exhaustive cross-checks against from-scratch reference implementations
+// (independent of everything in tree-model: LCA by ancestor walk, metric
+// by BFS over the raw adjacency lists), over a fixed stream of 200 seeded
+// random trees. proptest shrinks well but re-derives its oracles from the
+// crate under test; these loops don't.
+// ---------------------------------------------------------------------
+
+/// The 200 seeded random trees the cross-check tests iterate over.
+fn seeded_trees() -> impl Iterator<Item = Tree> {
+    (0u64..200).map(|seed| {
+        use rand::Rng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(1..40);
+        let t = if seed % 2 == 0 {
+            generate::random_prufer(n, &mut rng)
+        } else {
+            generate::random_attachment(n, &mut rng)
+        };
+        generate::relabel_shuffled(&t, &mut rng)
+    })
+}
+
+/// Reference LCA: walk `u`'s ancestor chain to the root, then walk up
+/// from `v` until hitting it — O(n), no Euler tour, no sparse table.
+fn lca_by_ancestor_walk(t: &Tree, u: VertexId, v: VertexId) -> VertexId {
+    let mut chain = vec![u];
+    let mut cur = u;
+    while let Some(p) = t.parent(cur) {
+        chain.push(p);
+        cur = p;
+    }
+    let mut cur = v;
+    loop {
+        if chain.contains(&cur) {
+            return cur;
+        }
+        cur = t.parent(cur).expect("walk reaches the root");
+    }
+}
+
+/// Reference single-source distances: plain BFS over `neighbors()`.
+fn bfs_distances(t: &Tree, src: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; t.vertex_count()];
+    dist[src.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &w in t.neighbors(u) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[u.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[test]
+fn lca_table_and_euler_tour_match_ancestor_walk_on_200_trees() {
+    for t in seeded_trees() {
+        let table = tree_model::LcaTable::new(&t);
+        let l = list_construction(&t);
+        for u in t.vertices() {
+            for v in t.vertices() {
+                let expected = lca_by_ancestor_walk(&t, u, v);
+                assert_eq!(table.lca(u, v), expected);
+                // The classic Euler-tour reduction: the shallowest list
+                // entry between two first occurrences is the LCA.
+                let (lo, hi) = {
+                    let (a, b) = (l.first_occurrence(u), l.first_occurrence(v));
+                    (a.min(b), a.max(b))
+                };
+                let shallowest = (lo..=hi)
+                    .map(|i| l.get(i))
+                    .min_by_key(|&w| t.depth(w))
+                    .expect("non-empty range");
+                assert_eq!(shallowest, expected);
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_and_diameter_match_brute_force_bfs_on_200_trees() {
+    for t in seeded_trees() {
+        let mut best = 0;
+        for u in t.vertices() {
+            let dist = bfs_distances(&t, u);
+            for v in t.vertices() {
+                assert_eq!(t.distance(u, v), dist[v.index()]);
+                best = best.max(dist[v.index()]);
+            }
+            assert_eq!(t.eccentricity(u), *dist.iter().max().expect("non-empty"));
+        }
+        assert_eq!(t.diameter(), best);
+    }
+}
+
+#[test]
+fn hull_matches_brute_force_betweenness_on_200_trees() {
+    for t in seeded_trees() {
+        use rand::Rng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(t.vertex_count() as u64);
+        let verts: Vec<VertexId> = t.vertices().collect();
+        let k = rng.gen_range(1..=verts.len().min(5));
+        let s: Vec<VertexId> = (0..k)
+            .map(|_| verts[rng.gen_range(0..verts.len())])
+            .collect();
+        let hull = t.convex_hull(&s);
+        // w ∈ <S> iff w lies on a shortest path between two members of S:
+        // d(a, w) + d(w, b) = d(a, b) for some a, b ∈ S.
+        for &w in &verts {
+            let between = s.iter().any(|&a| {
+                s.iter()
+                    .any(|&b| t.distance(a, w) + t.distance(w, b) == t.distance(a, b))
+            });
+            assert_eq!(hull.contains(w), between, "vertex {w} of hull over {s:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -1,0 +1,21 @@
+//! Replays the persisted fuzz corpus on every `cargo test`.
+//!
+//! `fuzz-corpus/` holds minimized repro cases: each entered the corpus
+//! when the fuzzer found an invariant violation (plus a few seeded
+//! exemplars), and each must pass now that the underlying bug is fixed —
+//! so every bug the fuzzer ever caught stays a permanent tier-1
+//! regression test. See the "Fuzzing & property testing" section of
+//! EXPERIMENTS.md for the full contract.
+
+use std::path::Path;
+
+#[test]
+fn fuzz_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz-corpus");
+    let replayed = aa_fuzz::replay_corpus(&dir)
+        .unwrap_or_else(|failures| panic!("corpus cases failed:\n{failures}"));
+    assert!(
+        replayed >= 3,
+        "expected at least the seeded exemplar cases, found {replayed}"
+    );
+}
