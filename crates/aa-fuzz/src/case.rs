@@ -410,13 +410,7 @@ impl FuzzCase {
     /// A stable 64-bit fingerprint of the canonical JSON form (FNV-1a),
     /// used as the corpus file name so identical repros dedupe on disk.
     pub fn fingerprint(&self) -> u64 {
-        let text = self.to_json().to_string();
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in text.bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        aa_codec::fnv1a_64(self.to_json().to_string().as_bytes())
     }
 }
 

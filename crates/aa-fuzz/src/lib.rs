@@ -10,13 +10,16 @@
 //! because the round-bound analysis is tight there), random inputs, and a
 //! random adversary composed from the `sim-net` zoo — each of which is
 //! run through `tree-aa` (both inner engines), the `O(log D)` baseline,
-//! or `real-aa` and checked against four machine-checkable invariants
+//! or `real-aa` and checked against six machine-checkable invariants
 //! (see [`run`]):
 //!
 //! 1. sequential ≡ parallel engine determinism,
 //! 2. the protocol's explicit round bound,
 //! 3. convex-hull validity,
-//! 4. 1-agreement (ε-agreement for `real-aa`).
+//! 4. 1-agreement (ε-agreement for `real-aa`),
+//! 5. byte-identical flight-recorder traces across both step modes,
+//! 6. the `aa-trace` invariant checkers (round totals, hull monotonicity,
+//!    grade semantics) plus exact trace-vs-metrics accounting.
 //!
 //! Everything is a pure function of integers: case `i` of seed `s` is
 //! reproducible from `(s, i)` alone, two identical invocations produce
@@ -43,6 +46,7 @@ pub mod gen;
 pub mod json;
 pub mod minimize;
 pub mod run;
+pub mod scenario;
 
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -53,7 +57,10 @@ pub use corpus::{load_case, load_dir, save_case, CorpusEntry};
 pub use gen::gen_case;
 pub use json::Json;
 pub use minimize::{minimize, Minimized};
-pub use run::{run_case, run_case_mutated, CaseStats, CheckFailure, Mutation};
+pub use run::{
+    run_case, run_case_mutated, run_case_traced, CaseStats, CheckFailure, Mutation, TracedCase,
+};
+pub use scenario::{record_scenario, scenario, scenario_names, SCENARIO_NAMES};
 
 /// Options of a fuzzing batch (the `cli fuzz` subcommand maps onto this).
 #[derive(Clone, Debug)]
@@ -87,7 +94,10 @@ pub fn run_batch(opts: &FuzzOptions, out: &mut dyn Write) -> io::Result<usize> {
     let mut violations = 0usize;
     for index in 0..opts.cases {
         let case = gen_case(opts.seed, index);
-        let Err(failure) = run_case(&case) else {
+        // The traced path checks the classic invariants *and* the
+        // flight-recorder contract (trace determinism, trace-level
+        // checkers, metrics accounting) on every case.
+        let Err(failure) = run_case_traced(&case) else {
             continue;
         };
         violations += 1;

@@ -19,8 +19,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use sim_net::{
-    run_simulation_with, Adversary, EngineConfig, PartyId, Protocol, RunReport, SimConfig,
-    SimError, StepMode,
+    run_simulation_traced, run_simulation_with, Adversary, EngineConfig, Metrics, PartyId,
+    Protocol, RunReport, SimConfig, SimError, StepMode, Trace,
 };
 use tree_aa::{
     check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
@@ -57,6 +57,12 @@ pub enum CheckFailure {
     Validity(String),
     /// Honest outputs are farther apart than the agreement tolerance.
     Agreement(String),
+    /// Sequential and parallel stepping produced byte-different traces
+    /// (the flight-recorder determinism contract).
+    TraceDeterminism,
+    /// A trace-level invariant checker rejected the recorded run, or the
+    /// trace's recomputed totals disagree with the engine's metrics.
+    TraceInvariant(String),
 }
 
 impl fmt::Display for CheckFailure {
@@ -72,6 +78,12 @@ impl fmt::Display for CheckFailure {
             ),
             CheckFailure::Validity(detail) => write!(f, "validity violated: {detail}"),
             CheckFailure::Agreement(detail) => write!(f, "agreement violated: {detail}"),
+            CheckFailure::TraceDeterminism => {
+                f.write_str("sequential and parallel runs produced byte-different traces")
+            }
+            CheckFailure::TraceInvariant(detail) => {
+                write!(f, "trace invariant violated: {detail}")
+            }
         }
     }
 }
@@ -89,6 +101,28 @@ pub struct CaseStats {
     pub round_bound: u32,
     /// Parties the adversary ended up corrupting.
     pub corrupted: usize,
+}
+
+/// The result of a traced run: summary statistics plus the flight
+/// recording and the metrics of both step modes (equal by the determinism
+/// check, but kept separately so accounting tests can assert it).
+#[derive(Clone, Debug)]
+pub struct TracedCase {
+    /// Summary statistics (identical to the untraced [`run_case`] result).
+    pub stats: CaseStats,
+    /// The recorded trace (byte-identical across both step modes).
+    pub trace: Trace,
+    /// Metrics of the sequential run.
+    pub seq_metrics: Metrics,
+    /// Metrics of the parallel run.
+    pub par_metrics: Metrics,
+}
+
+/// Trace artifacts threaded out of [`run_checked`] when tracing is on.
+struct TraceBundle {
+    trace: Trace,
+    seq_metrics: Metrics,
+    par_metrics: Metrics,
 }
 
 /// A deliberate bug injected into the checking pipeline — used to
@@ -124,24 +158,64 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CheckFailure> {
 ///
 /// Panics if `case` fails [`FuzzCase::validate`].
 pub fn run_case_mutated(case: &FuzzCase, mutation: Mutation) -> Result<CaseStats, CheckFailure> {
+    run_case_impl(case, mutation, false).map(|(stats, _)| stats)
+}
+
+/// Runs a case with the flight recorder on: both step modes execute under
+/// [`run_simulation_traced`], the two traces must be byte-identical, the
+/// trace must pass every [`aa_trace`] invariant checker, and its
+/// recomputed totals must equal the engine's [`Metrics`] — all **in
+/// addition to** the untraced invariants of [`run_case`].
+///
+/// # Errors
+///
+/// Returns the first [`CheckFailure`] encountered.
+///
+/// # Panics
+///
+/// Panics if `case` fails [`FuzzCase::validate`].
+pub fn run_case_traced(case: &FuzzCase) -> Result<TracedCase, CheckFailure> {
+    let (stats, bundle) = run_case_impl(case, Mutation::None, true)?;
+    let bundle = bundle.expect("traced run always yields a trace");
+    Ok(TracedCase {
+        stats,
+        trace: bundle.trace,
+        seq_metrics: bundle.seq_metrics,
+        par_metrics: bundle.par_metrics,
+    })
+}
+
+fn run_case_impl(
+    case: &FuzzCase,
+    mutation: Mutation,
+    traced: bool,
+) -> Result<(CaseStats, Option<TraceBundle>), CheckFailure> {
     case.validate()
         .expect("case must be validated before running");
     let tree = Arc::new(case.tree.build());
     match case.protocol {
-        ProtocolKind::TreeAaGradecast => run_tree_aa(case, &tree, EngineKind::Gradecast, mutation),
-        ProtocolKind::TreeAaHalving => run_tree_aa(case, &tree, EngineKind::Halving, mutation),
-        ProtocolKind::Baseline => run_baseline(case, &tree, mutation),
-        ProtocolKind::RealAa => run_real_aa(case, &tree, mutation),
+        ProtocolKind::TreeAaGradecast => {
+            run_tree_aa(case, &tree, EngineKind::Gradecast, mutation, traced)
+        }
+        ProtocolKind::TreeAaHalving => {
+            run_tree_aa(case, &tree, EngineKind::Halving, mutation, traced)
+        }
+        ProtocolKind::Baseline => run_baseline(case, &tree, mutation, traced),
+        ProtocolKind::RealAa => run_real_aa(case, &tree, mutation, traced),
     }
 }
 
 /// Runs the protocol under both step modes with freshly built adversaries
-/// and checks report equality plus the round bound.
+/// and checks report equality plus the round bound. With `traced`, both
+/// modes run under the flight recorder and the traces are additionally
+/// checked for byte-equality, the [`aa_trace`] invariants, and exact
+/// agreement with the engine's metrics.
 fn run_checked<P, F>(
     case: &FuzzCase,
     bound: u32,
     mut factory: F,
-) -> Result<RunReport<P::Output>, CheckFailure>
+    traced: bool,
+) -> Result<(RunReport<P::Output>, Option<TraceBundle>), CheckFailure>
 where
     P: Protocol + Send,
     P::Msg: Send + Sync + 'static,
@@ -153,11 +227,32 @@ where
         t: case.t,
         max_rounds: bound + ROUND_SLACK,
     };
+    if !traced {
+        let mut run = |mode: StepMode| {
+            // The adversary is rebuilt per run: its RNG state is part of
+            // the strategy, so both runs must start from the same seed.
+            let adversary: Box<dyn Adversary<P::Msg>> = Box::new(build_adversary::<P::Msg>(case));
+            run_simulation_with(
+                EngineConfig {
+                    sim,
+                    step_mode: mode,
+                },
+                &mut factory,
+                adversary,
+            )
+        };
+        let sequential = run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        let parallel =
+            run(StepMode::Parallel { threads: 2 }).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        if sequential != parallel {
+            return Err(CheckFailure::Determinism);
+        }
+        check_bound(sequential.rounds_executed, bound)?;
+        return Ok((sequential, None));
+    }
     let mut run = |mode: StepMode| {
-        // The adversary is rebuilt per run: its RNG state is part of the
-        // strategy, so both runs must start from the same seed.
         let adversary: Box<dyn Adversary<P::Msg>> = Box::new(build_adversary::<P::Msg>(case));
-        run_simulation_with(
+        run_simulation_traced(
             EngineConfig {
                 sim,
                 step_mode: mode,
@@ -166,19 +261,47 @@ where
             adversary,
         )
     };
-    let sequential = run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
-    let parallel =
+    let (sequential, seq_trace) =
+        run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+    let (parallel, par_trace) =
         run(StepMode::Parallel { threads: 2 }).map_err(|e| CheckFailure::Sim(describe(&e)))?;
     if sequential != parallel {
         return Err(CheckFailure::Determinism);
     }
-    if sequential.rounds_executed > bound + 1 {
-        return Err(CheckFailure::RoundBound {
-            executed: sequential.rounds_executed,
-            bound,
-        });
+    if seq_trace.to_canonical_string() != par_trace.to_canonical_string() {
+        return Err(CheckFailure::TraceDeterminism);
     }
-    Ok(sequential)
+    check_bound(sequential.rounds_executed, bound)?;
+    aa_trace::check_all(&seq_trace).map_err(CheckFailure::TraceInvariant)?;
+    let totals = aa_trace::recomputed_totals(&seq_trace);
+    let metrics = &sequential.metrics;
+    if totals.honest_messages != metrics.honest_messages()
+        || totals.messages() != metrics.total_messages()
+        || totals.bytes != metrics.total_bytes()
+    {
+        return Err(CheckFailure::TraceInvariant(format!(
+            "trace totals ({}/{}/{}B honest/total/bytes) disagree with engine metrics ({}/{}/{}B)",
+            totals.honest_messages,
+            totals.messages(),
+            totals.bytes,
+            metrics.honest_messages(),
+            metrics.total_messages(),
+            metrics.total_bytes(),
+        )));
+    }
+    let bundle = TraceBundle {
+        trace: seq_trace,
+        seq_metrics: sequential.metrics.clone(),
+        par_metrics: parallel.metrics,
+    };
+    Ok((sequential, Some(bundle)))
+}
+
+fn check_bound(executed: u32, bound: u32) -> Result<(), CheckFailure> {
+    if executed > bound + 1 {
+        return Err(CheckFailure::RoundBound { executed, bound });
+    }
+    Ok(())
 }
 
 fn describe(e: &SimError) -> String {
@@ -245,7 +368,8 @@ fn run_tree_aa(
     tree: &Arc<Tree>,
     engine: EngineKind,
     mutation: Mutation,
-) -> Result<CaseStats, CheckFailure> {
+    traced: bool,
+) -> Result<(CaseStats, Option<TraceBundle>), CheckFailure> {
     let cfg = TreeAaConfig::new(case.n, case.t, engine, tree).map_err(CheckFailure::Sim)?;
     let bound = cfg.total_rounds();
     let verts: Vec<VertexId> = tree.vertices().collect();
@@ -254,17 +378,22 @@ fn run_tree_aa(
         .into_iter()
         .map(|i| verts[i])
         .collect();
-    let report = run_checked::<TreeAaParty, _>(case, bound, |id, _| {
-        TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
-    })?;
-    finish_vertex_protocol(tree, &inputs, report, bound, mutation)
+    let (report, bundle) = run_checked::<TreeAaParty, _>(
+        case,
+        bound,
+        |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
+        traced,
+    )?;
+    let stats = finish_vertex_protocol(tree, &inputs, report, bound, mutation)?;
+    Ok((stats, bundle))
 }
 
 fn run_baseline(
     case: &FuzzCase,
     tree: &Arc<Tree>,
     mutation: Mutation,
-) -> Result<CaseStats, CheckFailure> {
+    traced: bool,
+) -> Result<(CaseStats, Option<TraceBundle>), CheckFailure> {
     let cfg = NowakRybickiConfig::new(case.n, case.t, tree).map_err(CheckFailure::Sim)?;
     let bound = cfg.rounds();
     let verts: Vec<VertexId> = tree.vertices().collect();
@@ -273,10 +402,14 @@ fn run_baseline(
         .into_iter()
         .map(|i| verts[i])
         .collect();
-    let report = run_checked::<NowakRybickiParty, _>(case, bound, |id, _| {
-        NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()])
-    })?;
-    finish_vertex_protocol(tree, &inputs, report, bound, mutation)
+    let (report, bundle) = run_checked::<NowakRybickiParty, _>(
+        case,
+        bound,
+        |id, _| NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
+        traced,
+    )?;
+    let stats = finish_vertex_protocol(tree, &inputs, report, bound, mutation)?;
+    Ok((stats, bundle))
 }
 
 fn finish_vertex_protocol(
@@ -304,7 +437,8 @@ fn run_real_aa(
     case: &FuzzCase,
     tree: &Arc<Tree>,
     mutation: Mutation,
-) -> Result<CaseStats, CheckFailure> {
+    traced: bool,
+) -> Result<(CaseStats, Option<TraceBundle>), CheckFailure> {
     use real_aa::{RealAaConfig, RealAaParty};
     let m = tree.vertex_count();
     let d = (m - 1) as f64;
@@ -316,9 +450,12 @@ fn run_real_aa(
         .into_iter()
         .map(|i| i as f64)
         .collect();
-    let report = run_checked::<RealAaParty, _>(case, bound, |id, _| {
-        RealAaParty::new(id, cfg, inputs[id.index()])
-    })?;
+    let (report, bundle) = run_checked::<RealAaParty, _>(
+        case,
+        bound,
+        |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+        traced,
+    )?;
     let honest_inputs: Vec<f64> = inputs
         .iter()
         .zip(&report.corrupted)
@@ -349,7 +486,7 @@ fn run_real_aa(
             out_hi - out_lo
         )));
     }
-    Ok(stats(&report, bound, tree))
+    Ok((stats(&report, bound, tree), bundle))
 }
 
 #[cfg(test)]
@@ -415,5 +552,56 @@ mod tests {
     fn run_is_reproducible() {
         let case = base_case(ProtocolKind::Baseline);
         assert_eq!(run_case(&case).unwrap(), run_case(&case).unwrap());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles_metrics() {
+        for protocol in ProtocolKind::ALL {
+            let case = base_case(protocol);
+            let traced = run_case_traced(&case)
+                .unwrap_or_else(|e| panic!("{} traced run failed: {e}", protocol.name()));
+            assert_eq!(
+                traced.stats,
+                run_case(&case).unwrap(),
+                "{}",
+                protocol.name()
+            );
+            assert_eq!(traced.seq_metrics, traced.par_metrics);
+            let totals = aa_trace::recomputed_totals(&traced.trace);
+            assert_eq!(totals.honest_messages, traced.seq_metrics.honest_messages());
+            assert_eq!(totals.messages(), traced.seq_metrics.total_messages());
+            assert_eq!(totals.bytes, traced.seq_metrics.total_bytes());
+        }
+    }
+
+    #[test]
+    fn traced_run_is_byte_reproducible() {
+        let case = base_case(ProtocolKind::TreeAaGradecast);
+        let a = run_case_traced(&case).unwrap();
+        let b = run_case_traced(&case).unwrap();
+        assert_eq!(a.trace.to_canonical_string(), b.trace.to_canonical_string());
+        assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
+    }
+
+    #[test]
+    fn traces_carry_protocol_events() {
+        let proto_labels = |case: &FuzzCase| -> std::collections::BTreeSet<String> {
+            run_case_traced(case)
+                .unwrap()
+                .trace
+                .events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    sim_net::EventKind::Proto { event, .. } => Some(event.label.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let tree_labels = proto_labels(&base_case(ProtocolKind::TreeAaGradecast));
+        assert!(tree_labels.contains("treeaa.path"), "{tree_labels:?}");
+        assert!(tree_labels.contains("treeaa.out"), "{tree_labels:?}");
+        let real_labels = proto_labels(&base_case(ProtocolKind::RealAa));
+        assert!(real_labels.contains("gc.grade"), "{real_labels:?}");
+        assert!(real_labels.contains("realaa.iter"), "{real_labels:?}");
     }
 }

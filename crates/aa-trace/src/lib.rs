@@ -1,0 +1,895 @@
+//! Deterministic flight-recorder traces for the simulation stack.
+//!
+//! A [`Trace`] is an append-only log of structured events describing one
+//! simulated run: engine events (round boundaries, every delivered send with
+//! its byte cost, adversary corruption and forwarding actions) interleaved
+//! with protocol-level events (gradecast grade assignment, RealAA hull
+//! bounds per iteration, TreeAA path selection). The engine appends events
+//! in a fixed order — party-id order within a round, senders in id order
+//! during delivery — so a trace is **bit-identical across `Sequential` and
+//! `Parallel` step modes**: same seed, same scenario, same bytes.
+//!
+//! Traces serialize through the canonical JSON codec in [`aa_codec`], which
+//! renders any value to exactly one byte string; trace equality can
+//! therefore be checked as string equality, and golden traces can be diffed
+//! event-by-event.
+//!
+//! The module also ships trace-level invariant checkers used by the fuzz
+//! harness and the conformance suite:
+//!
+//! * [`check_round_totals`] — per-round totals recorded at `RoundEnd` equal
+//!   the totals recomputed from the individual send events;
+//! * [`check_hull_monotone`] — the hull (spread) of honest parties'
+//!   per-iteration AA values never grows;
+//! * [`check_grade_semantics`] — honest gradecast grades for one leader
+//!   differ by at most one, and all accepting parties bind the same value.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use aa_codec::{fnv1a_64, Json};
+
+/// A protocol-level event emitted by a party during its `step`.
+///
+/// `label` names the event kind (`"gc.grade"`, `"realaa.iter"`,
+/// `"treeaa.path"`, ...); `fields` hold the payload in insertion order so
+/// serialization stays canonical.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtoEvent {
+    /// Event kind, dot-namespaced by protocol (e.g. `"realaa.iter"`).
+    pub label: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl ProtoEvent {
+    /// Creates an event with no fields.
+    pub fn new(label: &str) -> Self {
+        ProtoEvent {
+            label: label.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends an unsigned-integer field (builder style).
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), Json::int(value)));
+        self
+    }
+
+    /// Appends a float field (builder style).
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), Json::Num(value)));
+        self
+    }
+
+    /// Appends a string field (builder style).
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Json::Str(value.to_string())));
+        self
+    }
+
+    /// Appends a boolean field (builder style).
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), Json::Bool(value)));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One trace event kind. Party indices are raw `usize`s so this crate has
+/// no dependency on `sim-net` (which depends on us).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// The engine began a round.
+    RoundStart,
+    /// A party emitted a protocol-level event during its step.
+    Proto {
+        /// The emitting party.
+        party: usize,
+        /// The event payload.
+        event: ProtoEvent,
+    },
+    /// The adversary corrupted a party this round.
+    Corrupt {
+        /// The newly corrupted party.
+        party: usize,
+    },
+    /// The adversary forwarded a corrupted party's honest traffic.
+    Forward {
+        /// The corrupted party whose tentative outbox was delivered.
+        party: usize,
+    },
+    /// A broadcast was delivered to all `n` parties.
+    Broadcast {
+        /// The sender.
+        from: usize,
+        /// Payload size of **one** copy; the engine's accounting charges
+        /// `bytes * n` for the fan-out.
+        bytes: usize,
+        /// Whether the sender was corrupted when it sent.
+        byzantine: bool,
+    },
+    /// A unicast was delivered.
+    Unicast {
+        /// The sender.
+        from: usize,
+        /// The recipient.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+        /// Whether the sender was corrupted when it sent.
+        byzantine: bool,
+    },
+    /// An adversary-injected message was delivered.
+    Inject {
+        /// The (corrupted) party the message claims to be from.
+        from: usize,
+        /// The recipient.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// The engine finished a round; totals mirror the round's metrics.
+    RoundEnd {
+        /// Messages delivered on behalf of honest parties this round.
+        honest_messages: usize,
+        /// Messages delivered on behalf of corrupted parties this round.
+        byzantine_messages: usize,
+        /// Total bytes on the wire this round.
+        bytes: usize,
+    },
+}
+
+/// One entry of a [`Trace`]: a round number plus the event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// The 1-based round the event belongs to.
+    pub round: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Canonical JSON for this event (one flat object).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("round".to_string(), Json::int(u64::from(self.round)))];
+        let kind = |name: &str| ("kind".to_string(), Json::Str(name.to_string()));
+        match &self.kind {
+            EventKind::RoundStart => fields.push(kind("round_start")),
+            EventKind::Proto { party, event } => {
+                fields.push(kind("proto"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+                fields.push(("label".to_string(), Json::Str(event.label.clone())));
+                fields.push(("fields".to_string(), Json::Obj(event.fields.clone())));
+            }
+            EventKind::Corrupt { party } => {
+                fields.push(kind("corrupt"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+            }
+            EventKind::Forward { party } => {
+                fields.push(kind("forward"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+            }
+            EventKind::Broadcast {
+                from,
+                bytes,
+                byzantine,
+            } => {
+                fields.push(kind("broadcast"));
+                fields.push(("from".to_string(), Json::int(*from as u64)));
+                fields.push(("bytes".to_string(), Json::int(*bytes as u64)));
+                fields.push(("byz".to_string(), Json::Bool(*byzantine)));
+            }
+            EventKind::Unicast {
+                from,
+                to,
+                bytes,
+                byzantine,
+            } => {
+                fields.push(kind("unicast"));
+                fields.push(("from".to_string(), Json::int(*from as u64)));
+                fields.push(("to".to_string(), Json::int(*to as u64)));
+                fields.push(("bytes".to_string(), Json::int(*bytes as u64)));
+                fields.push(("byz".to_string(), Json::Bool(*byzantine)));
+            }
+            EventKind::Inject { from, to, bytes } => {
+                fields.push(kind("inject"));
+                fields.push(("from".to_string(), Json::int(*from as u64)));
+                fields.push(("to".to_string(), Json::int(*to as u64)));
+                fields.push(("bytes".to_string(), Json::int(*bytes as u64)));
+            }
+            EventKind::RoundEnd {
+                honest_messages,
+                byzantine_messages,
+                bytes,
+            } => {
+                fields.push(kind("round_end"));
+                fields.push(("honest".to_string(), Json::int(*honest_messages as u64)));
+                fields.push(("byz".to_string(), Json::int(*byzantine_messages as u64)));
+                fields.push(("bytes".to_string(), Json::int(*bytes as u64)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses one event object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or ill-typed field.
+    pub fn from_json(json: &Json) -> Result<TraceEvent, String> {
+        let round = req_usize(json, "round")? as u32;
+        let kind_name = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event missing `kind`")?;
+        let kind = match kind_name {
+            "round_start" => EventKind::RoundStart,
+            "proto" => {
+                let label = json
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("proto event missing `label`")?
+                    .to_string();
+                let fields = match json.get("fields") {
+                    Some(Json::Obj(fields)) => fields.clone(),
+                    _ => return Err("proto event missing `fields` object".into()),
+                };
+                EventKind::Proto {
+                    party: req_usize(json, "party")?,
+                    event: ProtoEvent { label, fields },
+                }
+            }
+            "corrupt" => EventKind::Corrupt {
+                party: req_usize(json, "party")?,
+            },
+            "forward" => EventKind::Forward {
+                party: req_usize(json, "party")?,
+            },
+            "broadcast" => EventKind::Broadcast {
+                from: req_usize(json, "from")?,
+                bytes: req_usize(json, "bytes")?,
+                byzantine: req_bool(json, "byz")?,
+            },
+            "unicast" => EventKind::Unicast {
+                from: req_usize(json, "from")?,
+                to: req_usize(json, "to")?,
+                bytes: req_usize(json, "bytes")?,
+                byzantine: req_bool(json, "byz")?,
+            },
+            "inject" => EventKind::Inject {
+                from: req_usize(json, "from")?,
+                to: req_usize(json, "to")?,
+                bytes: req_usize(json, "bytes")?,
+            },
+            "round_end" => EventKind::RoundEnd {
+                honest_messages: req_usize(json, "honest")?,
+                byzantine_messages: req_usize(json, "byz")?,
+                bytes: req_usize(json, "bytes")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        };
+        Ok(TraceEvent { round, kind })
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+fn req_usize(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("event missing integer `{key}`"))
+}
+
+fn req_bool(json: &Json, key: &str) -> Result<bool, String> {
+    match json.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("event missing boolean `{key}`")),
+    }
+}
+
+/// A full flight-recorder trace of one simulated run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption budget.
+    pub t: usize,
+    /// Free-form scenario label (`""` when not run from a named scenario).
+    pub label: String,
+    /// The event log, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(n: usize, t: usize, label: &str) -> Self {
+        Trace {
+            n,
+            t,
+            label: label.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, round: u32, kind: EventKind) {
+        self.events.push(TraceEvent { round, kind });
+    }
+
+    /// Canonical JSON for the whole trace.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".to_string(), Json::int(self.n as u64)),
+            ("t".to_string(), Json::int(self.t as u64)),
+            ("label".to_string(), Json::Str(self.label.clone())),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The canonical byte string; two traces are bit-identical iff these
+    /// strings are equal.
+    pub fn to_canonical_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// FNV-1a fingerprint of the canonical byte string.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a_64(self.to_canonical_string().as_bytes())
+    }
+
+    /// Rebuilds a trace from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed field.
+    pub fn from_json(json: &Json) -> Result<Trace, String> {
+        let n = req_usize(json, "n")?;
+        let t = req_usize(json, "t")?;
+        let label = json
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("trace missing `label`")?
+            .to_string();
+        let raw = json
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("trace missing `events` array")?;
+        let events = raw
+            .iter()
+            .enumerate()
+            .map(|(i, e)| TraceEvent::from_json(e).map_err(|m| format!("event {i}: {m}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace {
+            n,
+            t,
+            label,
+            events,
+        })
+    }
+
+    /// Parses a trace from canonical (or any) JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first schema error.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        Trace::from_json(&Json::parse(text)?)
+    }
+
+    /// The round each party was first corrupted in, if ever.
+    pub fn corruption_rounds(&self) -> BTreeMap<usize, u32> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::Corrupt { party } = e.kind {
+                out.entry(party).or_insert(e.round);
+            }
+        }
+        out
+    }
+}
+
+/// Message/byte totals recomputed from a trace's send events, mirroring the
+/// engine's accounting (a broadcast counts `n` messages and `bytes * n`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Messages charged to honest parties.
+    pub honest_messages: usize,
+    /// Messages charged to corrupted parties (including injections).
+    pub byzantine_messages: usize,
+    /// Bytes on the wire.
+    pub bytes: usize,
+}
+
+impl Totals {
+    /// All messages, honest plus byzantine.
+    pub fn messages(&self) -> usize {
+        self.honest_messages + self.byzantine_messages
+    }
+
+    fn absorb(&mut self, kind: &EventKind, n: usize) {
+        match *kind {
+            EventKind::Broadcast {
+                bytes, byzantine, ..
+            } => {
+                if byzantine {
+                    self.byzantine_messages += n;
+                } else {
+                    self.honest_messages += n;
+                }
+                self.bytes += bytes * n;
+            }
+            EventKind::Unicast {
+                bytes, byzantine, ..
+            } => {
+                if byzantine {
+                    self.byzantine_messages += 1;
+                } else {
+                    self.honest_messages += 1;
+                }
+                self.bytes += bytes;
+            }
+            EventKind::Inject { bytes, .. } => {
+                self.byzantine_messages += 1;
+                self.bytes += bytes;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Recomputes run-wide totals from the trace's individual send events.
+pub fn recomputed_totals(trace: &Trace) -> Totals {
+    let mut totals = Totals::default();
+    for e in &trace.events {
+        totals.absorb(&e.kind, trace.n);
+    }
+    totals
+}
+
+/// Checks that every round is well-bracketed (`RoundStart` ... `RoundEnd`,
+/// consecutive round numbers from 1) and that each `RoundEnd`'s totals equal
+/// the totals recomputed from the round's traced sends.
+///
+/// # Errors
+///
+/// Returns a message pinpointing the first offending round.
+pub fn check_round_totals(trace: &Trace) -> Result<(), String> {
+    let mut current: Option<(u32, Totals)> = None;
+    let mut last_closed = 0u32;
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::RoundStart => {
+                if current.is_some() {
+                    return Err(format!("round {} started inside an open round", e.round));
+                }
+                if e.round != last_closed + 1 {
+                    return Err(format!(
+                        "round {} started after round {last_closed}",
+                        e.round
+                    ));
+                }
+                current = Some((e.round, Totals::default()));
+            }
+            EventKind::RoundEnd {
+                honest_messages,
+                byzantine_messages,
+                bytes,
+            } => {
+                let (round, totals) = current
+                    .take()
+                    .ok_or_else(|| format!("round {} ended without a matching start", e.round))?;
+                if e.round != round {
+                    return Err(format!(
+                        "round {} ended while round {round} was open",
+                        e.round
+                    ));
+                }
+                let recorded = Totals {
+                    honest_messages: *honest_messages,
+                    byzantine_messages: *byzantine_messages,
+                    bytes: *bytes,
+                };
+                if recorded != totals {
+                    return Err(format!(
+                        "round {round}: RoundEnd totals {recorded:?} != recomputed {totals:?}"
+                    ));
+                }
+                last_closed = round;
+            }
+            kind => {
+                let (round, totals) = current
+                    .as_mut()
+                    .ok_or_else(|| format!("event outside any round: {e}"))?;
+                if e.round != *round {
+                    return Err(format!(
+                        "event tagged round {} inside round {round}: {e}",
+                        e.round
+                    ));
+                }
+                totals.absorb(kind, trace.n);
+            }
+        }
+    }
+    if current.is_some() {
+        return Err("trace ends inside an open round".into());
+    }
+    Ok(())
+}
+
+/// Tolerance for float comparisons in the hull checker. The per-iteration
+/// values are trimmed means of finitely many inputs; any growth beyond this
+/// is a real violation, not rounding.
+const HULL_TOL: f64 = 1e-9;
+
+/// Checks that the spread (max − min) of honest parties' per-iteration AA
+/// values is monotonically non-increasing, over the `realaa.iter` and
+/// `halving.iter` event families.
+///
+/// A party's value for iteration `k` counts as honest if the party was not
+/// yet corrupted in the round the event was emitted; since corruption is
+/// monotone, the honest set can only shrink, and each new honest value lies
+/// in the hull of the previous honest values — so the spread cannot grow.
+///
+/// # Errors
+///
+/// Returns a message naming the label, iteration, and offending spreads.
+pub fn check_hull_monotone(trace: &Trace) -> Result<(), String> {
+    let corrupted = trace.corruption_rounds();
+    for label in ["realaa.iter", "halving.iter"] {
+        // iteration -> honest values.
+        let mut by_iter: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for e in &trace.events {
+            let EventKind::Proto { party, event } = &e.kind else {
+                continue;
+            };
+            if event.label != label {
+                continue;
+            }
+            if corrupted.get(party).is_some_and(|&cr| e.round >= cr) {
+                continue;
+            }
+            let iter = event
+                .field("iter")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{label} event missing `iter`"))?;
+            let value = match event.field("value") {
+                Some(Json::Num(x)) => *x,
+                _ => return Err(format!("{label} event missing numeric `value`")),
+            };
+            by_iter.entry(iter).or_default().push(value);
+        }
+        let mut prev: Option<(u64, f64)> = None;
+        for (iter, values) in &by_iter {
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let spread = hi - lo;
+            if let Some((prev_iter, prev_spread)) = prev {
+                if spread > prev_spread + HULL_TOL {
+                    return Err(format!(
+                        "{label}: honest hull grew from {prev_spread} (iter {prev_iter}) \
+                         to {spread} (iter {iter})"
+                    ));
+                }
+            }
+            prev = Some((*iter, spread));
+        }
+    }
+    Ok(())
+}
+
+/// Checks gradecast semantics over `gc.grade` events: for each (round,
+/// leader), honest parties' grades differ by at most one, and every honest
+/// party with grade ≥ 1 binds the same value.
+///
+/// # Errors
+///
+/// Returns a message naming the round, leader, and offending grades/values.
+pub fn check_grade_semantics(trace: &Trace) -> Result<(), String> {
+    let corrupted = trace.corruption_rounds();
+    // (round, leader) -> (grades, bound values).
+    let mut groups: BTreeMap<(u32, u64), (Vec<u64>, Vec<Json>)> = BTreeMap::new();
+    for e in &trace.events {
+        let EventKind::Proto { party, event } = &e.kind else {
+            continue;
+        };
+        if event.label != "gc.grade" {
+            continue;
+        }
+        if corrupted.get(party).is_some_and(|&cr| e.round >= cr) {
+            continue;
+        }
+        let leader = event
+            .field("leader")
+            .and_then(Json::as_u64)
+            .ok_or("gc.grade event missing `leader`")?;
+        let grade = event
+            .field("grade")
+            .and_then(Json::as_u64)
+            .ok_or("gc.grade event missing `grade`")?;
+        let entry = groups.entry((e.round, leader)).or_default();
+        entry.0.push(grade);
+        if grade >= 1 {
+            let value = event
+                .field("value")
+                .cloned()
+                .ok_or("gc.grade event with grade >= 1 missing `value`")?;
+            entry.1.push(value);
+        }
+    }
+    for ((round, leader), (grades, values)) in &groups {
+        let min = grades.iter().min().expect("non-empty group");
+        let max = grades.iter().max().expect("non-empty group");
+        if max - min > 1 {
+            return Err(format!(
+                "round {round}, leader {leader}: honest grades {grades:?} differ by more than 1"
+            ));
+        }
+        if let Some(first) = values.first() {
+            if values.iter().any(|v| v != first) {
+                return Err(format!(
+                    "round {round}, leader {leader}: accepting parties bound different values \
+                     {values:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every trace-level invariant checker.
+///
+/// # Errors
+///
+/// Returns the first checker's message, prefixed with the checker name.
+pub fn check_all(trace: &Trace) -> Result<(), String> {
+    check_round_totals(trace).map_err(|m| format!("round totals: {m}"))?;
+    check_hull_monotone(trace).map_err(|m| format!("hull monotonicity: {m}"))?;
+    check_grade_semantics(trace).map_err(|m| format!("grade semantics: {m}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(trace: &mut Trace, r: u32, body: Vec<EventKind>) {
+        trace.push(r, EventKind::RoundStart);
+        let mut totals = Totals::default();
+        for kind in body {
+            totals.absorb(&kind, trace.n);
+            trace.push(r, kind);
+        }
+        trace.push(
+            r,
+            EventKind::RoundEnd {
+                honest_messages: totals.honest_messages,
+                byzantine_messages: totals.byzantine_messages,
+                bytes: totals.bytes,
+            },
+        );
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(4, 1, "sample");
+        round(
+            &mut t,
+            1,
+            vec![
+                EventKind::Proto {
+                    party: 0,
+                    event: ProtoEvent::new("realaa.iter")
+                        .u64("iter", 0)
+                        .f64("value", 0.5)
+                        .f64("spread", 1.0),
+                },
+                EventKind::Corrupt { party: 3 },
+                EventKind::Broadcast {
+                    from: 0,
+                    bytes: 12,
+                    byzantine: false,
+                },
+                EventKind::Unicast {
+                    from: 1,
+                    to: 2,
+                    bytes: 7,
+                    byzantine: false,
+                },
+                EventKind::Inject {
+                    from: 3,
+                    to: 0,
+                    bytes: 12,
+                },
+            ],
+        );
+        round(
+            &mut t,
+            2,
+            vec![EventKind::Broadcast {
+                from: 3,
+                bytes: 2,
+                byzantine: true,
+            }],
+        );
+        t
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let trace = sample_trace();
+        let text = trace.to_canonical_string();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_canonical_string(), text);
+    }
+
+    #[test]
+    fn round_totals_accept_consistent_trace() {
+        check_round_totals(&sample_trace()).unwrap();
+    }
+
+    #[test]
+    fn round_totals_catch_mismatch() {
+        let mut trace = sample_trace();
+        // Tamper with the last RoundEnd.
+        let last = trace.events.last_mut().unwrap();
+        if let EventKind::RoundEnd { bytes, .. } = &mut last.kind {
+            *bytes += 1;
+        }
+        let err = check_round_totals(&trace).unwrap_err();
+        assert!(err.contains("round 2"), "{err}");
+    }
+
+    #[test]
+    fn round_totals_catch_missing_bracket() {
+        let mut trace = sample_trace();
+        trace
+            .events
+            .retain(|e| e.kind != EventKind::RoundStart || e.round != 2);
+        assert!(check_round_totals(&trace).is_err());
+    }
+
+    #[test]
+    fn broadcast_charges_fanout() {
+        let mut trace = Trace::new(5, 1, "");
+        round(
+            &mut trace,
+            1,
+            vec![EventKind::Broadcast {
+                from: 2,
+                bytes: 10,
+                byzantine: false,
+            }],
+        );
+        let totals = recomputed_totals(&trace);
+        assert_eq!(totals.honest_messages, 5);
+        assert_eq!(totals.bytes, 50);
+    }
+
+    #[test]
+    fn hull_checker_accepts_shrinking_and_rejects_growth() {
+        let mut trace = Trace::new(4, 1, "");
+        let iter_event = |iter: u64, value: f64| EventKind::Proto {
+            party: (value * 10.0) as usize % 4,
+            event: ProtoEvent::new("realaa.iter")
+                .u64("iter", iter)
+                .f64("value", value),
+        };
+        round(
+            &mut trace,
+            1,
+            vec![
+                iter_event(0, 0.0),
+                iter_event(0, 0.4),
+                iter_event(1, 0.1),
+                iter_event(1, 0.3),
+            ],
+        );
+        check_hull_monotone(&trace).unwrap();
+
+        let mut bad = Trace::new(4, 1, "");
+        round(
+            &mut bad,
+            1,
+            vec![
+                iter_event(0, 0.0),
+                iter_event(0, 0.1),
+                iter_event(1, 0.0),
+                iter_event(1, 0.9),
+            ],
+        );
+        assert!(check_hull_monotone(&bad).is_err());
+    }
+
+    #[test]
+    fn hull_checker_ignores_corrupted_parties() {
+        let mut trace = Trace::new(4, 1, "");
+        let ev = |party: usize, iter: u64, value: f64| EventKind::Proto {
+            party,
+            event: ProtoEvent::new("realaa.iter")
+                .u64("iter", iter)
+                .f64("value", value),
+        };
+        // Party 3 is corrupted in round 1; its wild values must not count.
+        round(
+            &mut trace,
+            1,
+            vec![
+                EventKind::Corrupt { party: 3 },
+                ev(0, 0, 0.0),
+                ev(1, 0, 0.2),
+                ev(3, 0, 100.0),
+                ev(0, 1, 0.05),
+                ev(1, 1, 0.15),
+                ev(3, 1, -50.0),
+            ],
+        );
+        check_hull_monotone(&trace).unwrap();
+    }
+
+    #[test]
+    fn grade_checker_enforces_gap_and_binding() {
+        let grade_ev = |party: usize, leader: u64, grade: u64, value: &str| EventKind::Proto {
+            party,
+            event: ProtoEvent::new("gc.grade")
+                .u64("leader", leader)
+                .u64("grade", grade)
+                .str("value", value),
+        };
+        let mut good = Trace::new(4, 1, "");
+        round(
+            &mut good,
+            1,
+            vec![
+                grade_ev(0, 0, 2, "a"),
+                grade_ev(1, 0, 1, "a"),
+                grade_ev(2, 0, 2, "a"),
+            ],
+        );
+        check_grade_semantics(&good).unwrap();
+
+        let mut gap = Trace::new(4, 1, "");
+        round(
+            &mut gap,
+            1,
+            vec![grade_ev(0, 0, 2, "a"), grade_ev(1, 0, 0, "a")],
+        );
+        assert!(check_grade_semantics(&gap).is_err());
+
+        let mut split = Trace::new(4, 1, "");
+        round(
+            &mut split,
+            1,
+            vec![grade_ev(0, 0, 2, "a"), grade_ev(1, 0, 1, "b")],
+        );
+        assert!(check_grade_semantics(&split).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = sample_trace();
+        let mut b = sample_trace();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.label.push('!');
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

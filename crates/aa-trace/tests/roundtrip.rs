@@ -1,0 +1,125 @@
+//! Codec round-trip properties: any trace the event model can express
+//! must survive `to_canonical_string` → `parse` → `to_canonical_string`
+//! bit-for-bit — the contract the golden-trace suite and the corpus
+//! format depend on. Traces are expanded deterministically from a single
+//! seed (the vendored proptest has no collection strategies), so every
+//! failure is reproducible from one integer.
+
+use aa_codec::Json;
+use aa_trace::{EventKind, ProtoEvent, Trace, TraceEvent};
+use proptest::prelude::*;
+
+/// splitmix64 — deterministic seed-stream expansion.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A finite, canonical-representable f64 (integral halves).
+fn arb_f64(s: &mut u64) -> f64 {
+    (next(s) % 20_001) as f64 / 2.0 - 5_000.0
+}
+
+fn arb_json(s: &mut u64) -> Json {
+    match next(s) % 5 {
+        0 => Json::Null,
+        1 => Json::Bool(next(s).is_multiple_of(2)),
+        2 => Json::Num(arb_f64(s)),
+        3 => Json::Str(format!("s{}", next(s) % 1000)),
+        _ => Json::int(next(s) % 1_000_000),
+    }
+}
+
+fn arb_proto(s: &mut u64) -> ProtoEvent {
+    let labels = ["gc.grade", "realaa.iter", "treeaa.path", "pk.phase", "x"];
+    let mut event = ProtoEvent::new(labels[(next(s) % 5) as usize]);
+    for k in 0..next(s) % 4 {
+        event.fields.push((format!("f{k}"), arb_json(s)));
+    }
+    event
+}
+
+fn arb_kind(s: &mut u64, n: usize) -> EventKind {
+    let party = |s: &mut u64| (next(s) as usize) % n;
+    match next(s) % 8 {
+        0 => EventKind::RoundStart,
+        1 => EventKind::Proto {
+            party: party(s),
+            event: arb_proto(s),
+        },
+        2 => EventKind::Corrupt { party: party(s) },
+        3 => EventKind::Forward { party: party(s) },
+        4 => EventKind::Broadcast {
+            from: party(s),
+            bytes: (next(s) % 4096) as usize,
+            byzantine: next(s).is_multiple_of(2),
+        },
+        5 => EventKind::Unicast {
+            from: party(s),
+            to: party(s),
+            bytes: (next(s) % 4096) as usize,
+            byzantine: next(s).is_multiple_of(2),
+        },
+        6 => EventKind::Inject {
+            from: party(s),
+            to: party(s),
+            bytes: (next(s) % 4096) as usize,
+        },
+        _ => EventKind::RoundEnd {
+            honest_messages: (next(s) % 10_000) as usize,
+            byzantine_messages: (next(s) % 10_000) as usize,
+            bytes: (next(s) % (1 << 20)) as usize,
+        },
+    }
+}
+
+/// Expands a seed into a structurally arbitrary (not necessarily
+/// well-bracketed) trace — the codec must round-trip *any* event list.
+fn arb_trace(seed: u64) -> Trace {
+    let mut s = seed;
+    let n = 1 + (next(&mut s) as usize) % 16;
+    let mut trace = Trace::new(n, n / 4, &format!("seed:{seed}"));
+    let events = next(&mut s) % 40;
+    let mut round = 0u32;
+    for _ in 0..events {
+        round += (next(&mut s) % 2) as u32;
+        let kind = arb_kind(&mut s, n);
+        trace.push(round, kind);
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_encode_is_identity(seed in any::<u64>()) {
+        let trace = arb_trace(seed);
+        let text = trace.to_canonical_string();
+        let parsed = Trace::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("unparseable: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &trace);
+        prop_assert_eq!(parsed.to_canonical_string(), text);
+    }
+
+    #[test]
+    fn fingerprint_survives_the_roundtrip(seed in any::<u64>()) {
+        let trace = arb_trace(seed);
+        let parsed = Trace::parse(&trace.to_canonical_string()).unwrap();
+        prop_assert_eq!(parsed.fingerprint(), trace.fingerprint());
+    }
+
+    #[test]
+    fn event_json_roundtrips_individually(seed in any::<u64>()) {
+        let trace = arb_trace(seed);
+        for event in &trace.events {
+            let json = event.to_json();
+            let back = TraceEvent::from_json(&json)
+                .map_err(|e| TestCaseError::fail(format!("{e}: {json}")))?;
+            prop_assert_eq!(&back, event);
+        }
+    }
+}

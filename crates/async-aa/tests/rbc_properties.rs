@@ -1,0 +1,198 @@
+//! Property tests for Bracha reliable broadcast ([`RbcInstance`]):
+//! consistency, totality and validity under randomized asynchronous
+//! schedules with crashing and equivocating adversaries.
+//!
+//! The driver delivers messages from a pending pool in seeded-random
+//! order until the pool drains — a fair asynchronous schedule — so
+//! totality can be asserted exactly: if any honest party delivered, all
+//! honest parties have delivered the same value by quiescence.
+
+use std::collections::VecDeque;
+
+use async_aa::{RbcInstance, RbcMsg};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sim_net::PartyId;
+
+struct Net {
+    machines: Vec<RbcInstance<u32>>,
+    honest: Vec<bool>,
+    /// Pending (from, to, msg) deliveries, consumed in random order.
+    pool: VecDeque<(PartyId, PartyId, RbcMsg<u32>)>,
+    rng: ChaCha8Rng,
+}
+
+impl Net {
+    fn new(n: usize, t: usize, broadcaster: PartyId, byz: &[usize], seed: u64) -> Self {
+        let mut honest = vec![true; n];
+        for &b in byz {
+            honest[b] = false;
+        }
+        Net {
+            machines: (0..n)
+                .map(|_| RbcInstance::new(n, t, broadcaster))
+                .collect(),
+            honest,
+            pool: VecDeque::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// An honest party broadcasts: one copy to every party.
+    fn broadcast(&mut self, from: PartyId, msg: RbcMsg<u32>) {
+        for to in 0..self.n() {
+            self.pool.push_back((from, PartyId(to), msg.clone()));
+        }
+    }
+
+    /// Delivers pool messages in random order until quiescence. Honest
+    /// recipients may emit further broadcasts; corrupted recipients drop
+    /// everything (their traffic was injected up front).
+    fn drain(&mut self) {
+        while !self.pool.is_empty() {
+            let pick = self.rng.gen_range(0..self.pool.len());
+            let last = self.pool.len() - 1;
+            self.pool.swap(pick, last);
+            let (from, to, msg) = self.pool.pop_back().unwrap();
+            if !self.honest[to.index()] {
+                continue;
+            }
+            let (outs, _) = self.machines[to.index()].on_message(from, &msg);
+            for out in outs {
+                self.broadcast(to, out);
+            }
+        }
+    }
+
+    fn deliveries(&self) -> Vec<Option<u32>> {
+        self.machines
+            .iter()
+            .zip(&self.honest)
+            .filter(|(_, &h)| h)
+            .map(|(m, _)| m.delivered().copied())
+            .collect()
+    }
+}
+
+/// Consistency + totality by quiescence: honest deliveries are
+/// all-`None` or all-`Some(v)` for a single `v`; returns the value.
+fn assert_consistent_and_total(net: &Net, label: &str) -> Option<u32> {
+    let delivered = net.deliveries();
+    let values: Vec<u32> = delivered.iter().filter_map(|d| *d).collect();
+    if values.is_empty() {
+        return None;
+    }
+    assert!(
+        values.windows(2).all(|w| w[0] == w[1]),
+        "{label}: consistency violated: {delivered:?}"
+    );
+    assert_eq!(
+        values.len(),
+        delivered.len(),
+        "{label}: totality violated after quiescence: {delivered:?}"
+    );
+    Some(values[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Honest broadcaster, up to `t` crashed parties, random schedule:
+    /// validity — everyone honest delivers the broadcaster's value.
+    #[test]
+    fn validity_under_crashes(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = rng.gen_range(1..=3usize);
+        let n = 3 * t + 1;
+        let ncrash = rng.gen_range(0..=t);
+        // Crash the last parties; the broadcaster is party 0, honest.
+        let byz: Vec<usize> = (n - ncrash..n).collect();
+        let broadcaster = PartyId(0);
+        let value = rng.gen_range(0..100u32);
+        let mut net = Net::new(n, t, broadcaster, &byz, rng.gen());
+        net.broadcast(broadcaster, RbcMsg::Init(value));
+        net.drain();
+        prop_assert_eq!(
+            assert_consistent_and_total(&net, "crash"),
+            Some(value),
+            "honest broadcaster's value must be delivered by all honest parties"
+        );
+    }
+
+    /// The broadcaster crashes mid-Init (its value reaches only a random
+    /// prefix of the parties): agreement and totality still hold —
+    /// honest deliveries are all-or-nothing on the broadcast value.
+    #[test]
+    fn agreement_under_broadcaster_crash(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = rng.gen_range(1..=3usize);
+        let n = 3 * t + 1;
+        let broadcaster = PartyId(0);
+        let value = 7u32;
+        let reach = rng.gen_range(0..=n);
+        let mut net = Net::new(n, t, broadcaster, &[0], rng.gen());
+        for to in 0..reach {
+            net.pool.push_back((broadcaster, PartyId(to), RbcMsg::Init(value)));
+        }
+        net.drain();
+        if let Some(v) = assert_consistent_and_total(&net, "broadcaster-crash") {
+            prop_assert_eq!(v, value);
+        }
+    }
+
+    /// Byzantine equivocation: the corrupted broadcaster (plus helpers)
+    /// splits two values across the parties at every protocol step.
+    /// Consistency and totality must hold; if a value is delivered it is
+    /// one of the two equivocated values.
+    #[test]
+    fn consistency_under_equivocation(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = rng.gen_range(1..=3usize);
+        let n = 3 * t + 1;
+        let nbyz = rng.gen_range(1..=t);
+        let byz: Vec<usize> = (0..nbyz).collect(); // broadcaster included
+        let broadcaster = PartyId(0);
+        let (va, vb) = (3u32, 8u32);
+        let mut net = Net::new(n, t, broadcaster, &byz, rng.gen());
+        // Every corrupted identity plays both sides of the split: Init
+        // (broadcaster only), Echo and Ready for `va` to even-indexed
+        // parties and for `vb` to odd-indexed ones.
+        for &b in &byz {
+            for to in 0..n {
+                let v = if to % 2 == 0 { va } else { vb };
+                if b == broadcaster.index() {
+                    net.pool.push_back((PartyId(b), PartyId(to), RbcMsg::Init(v)));
+                }
+                net.pool.push_back((PartyId(b), PartyId(to), RbcMsg::Echo(v)));
+                net.pool.push_back((PartyId(b), PartyId(to), RbcMsg::Ready(v)));
+            }
+        }
+        net.drain();
+        if let Some(v) = assert_consistent_and_total(&net, "equivocate") {
+            prop_assert!(v == va || v == vb, "delivered fabricated value {v}");
+        }
+    }
+
+    /// Fabricated readies from `t` corrupted parties alone can never
+    /// cause any delivery (delivery needs `2t + 1` distinct senders).
+    #[test]
+    fn forged_readies_alone_never_deliver(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = rng.gen_range(1..=3usize);
+        let n = 3 * t + 1;
+        let byz: Vec<usize> = (0..t).collect();
+        let mut net = Net::new(n, t, PartyId(0), &byz, rng.gen());
+        for &b in &byz {
+            for to in 0..n {
+                net.pool.push_back((PartyId(b), PartyId(to), RbcMsg::Ready(13)));
+            }
+        }
+        net.drain();
+        prop_assert!(net.deliveries().iter().all(Option::is_none));
+    }
+}

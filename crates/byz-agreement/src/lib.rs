@@ -218,12 +218,22 @@ impl<V: Payload + Ord> Protocol for PhaseKingParty<V> {
                         .as_ref()
                         .filter(|(_, c)| *c >= self.cfg.n - self.cfg.t)
                         .map(|(v, _)| v.clone());
+                    let kept_own = keep.is_some();
+                    let king_spoke = king_value.is_some();
                     if let Some(b) = keep {
                         self.value = b;
                     } else if let Some(kv) = king_value {
                         self.value = kv;
                     }
                     // else: Byzantine king said nothing; keep current value.
+                    ctx.emit_with(|| {
+                        sim_net::ProtoEvent::new("pk.phase")
+                            .u64("phase", u64::from(phase - 1))
+                            .u64("king", prev_king.index() as u64)
+                            .bool("kept_own", kept_own)
+                            .bool("king_spoke", king_spoke)
+                            .str("value", &format!("{:?}", self.value))
+                    });
                     if phase >= self.cfg.phases() {
                         self.output = Some(self.value.clone());
                         return;

@@ -85,6 +85,16 @@ pub enum Command {
         /// Directory for minimized repro files (empty disables saving).
         corpus: String,
     },
+    /// `trace`: record a deterministic flight-recorder trace of a named
+    /// canonical scenario.
+    Trace {
+        /// Scenario name (see [`aa_fuzz::scenario_names`]).
+        scenario: String,
+        /// Adversary seed.
+        seed: u64,
+        /// Output file (empty writes the JSON to stdout).
+        out: String,
+    },
     /// `help` or no/unknown arguments.
     Help,
 }
@@ -171,6 +181,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             minimize: opts.contains_key("minimize"),
             corpus: opts.get("corpus").cloned().unwrap_or_default(),
         }),
+        "trace" => Ok(Command::Trace {
+            scenario: req(&opts, "scenario")?.to_string(),
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+            out: opts.get("out").cloned().unwrap_or_default(),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command `{other}`; see `treeaa help`")),
     }
@@ -189,6 +204,7 @@ USAGE:
                 [--adversary none|chaos|crash|omission] [--seed <S>]
   treeaa bounds --diameter <D> --n <N> --t <T>
   treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--corpus <dir>]
+  treeaa trace  --scenario <name> [--seed <S>] [--out <file>]
 
 `run` uses one party per input label; with an adversary, the *last* t
 parties are corrupted and their input labels are ignored.
@@ -200,6 +216,13 @@ checking determinism, the round bound, validity and agreement. With
 minimized repros are written there as JSON for `cargo test` replay.
 Identical seed and case count give bit-identical output. Exits non-zero
 if any case fails.
+
+`trace` runs a named canonical scenario (path-honest, star-crash,
+caterpillar-equivocate, broom-realaa-equivocate, path-baseline-flaky,
+star-halving-honest) under the deterministic flight recorder and emits
+the canonical trace JSON — every round, send, delivery and protocol
+decision. The trace is byte-identical across step modes and runs, so
+`(scenario, seed)` reproduces the file exactly.
 ";
 
 fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
@@ -308,6 +331,26 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Ok(())
             } else {
                 Err(format!("{violations} invariant violation(s) found"))
+            }
+        }
+        Command::Trace {
+            scenario,
+            seed,
+            out: out_path,
+        } => {
+            let trace = aa_fuzz::record_scenario(&scenario, seed)?;
+            let json = trace.to_canonical_string();
+            if out_path.is_empty() {
+                writeln!(out, "{json}").map_err(io)
+            } else {
+                std::fs::write(&out_path, format!("{json}\n")).map_err(io)?;
+                writeln!(
+                    out,
+                    "trace: {} events, fingerprint {:016x} -> {out_path}",
+                    trace.events.len(),
+                    trace.fingerprint()
+                )
+                .map_err(io)
             }
         }
         Command::Run {
@@ -627,6 +670,81 @@ mod tests {
         assert_eq!(first, run());
         let text = String::from_utf8(first).unwrap();
         assert!(text.contains("0 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn parses_trace_with_defaults() {
+        assert_eq!(
+            parse_args(&argv("trace --scenario path-honest")).unwrap(),
+            Command::Trace {
+                scenario: "path-honest".into(),
+                seed: 0,
+                out: String::new(),
+            }
+        );
+        assert!(parse_args(&argv("trace")).is_err());
+    }
+
+    #[test]
+    fn trace_emits_reproducible_canonical_json() {
+        let run = || {
+            let mut out = Vec::new();
+            execute(
+                Command::Trace {
+                    scenario: "star-halving-honest".into(),
+                    seed: 3,
+                    out: String::new(),
+                },
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let parsed = aa_fuzz::Json::parse(first.trim()).unwrap();
+        assert_eq!(
+            parsed.get("label").and_then(aa_fuzz::Json::as_str),
+            Some("star-halving-honest:3")
+        );
+    }
+
+    #[test]
+    fn trace_writes_a_file_and_reports_the_fingerprint() {
+        let dir = std::env::temp_dir().join("treeaa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("golden.trace.json");
+        let mut out = Vec::new();
+        execute(
+            Command::Trace {
+                scenario: "path-honest".into(),
+                seed: 1,
+                out: file.to_string_lossy().into_owned(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("fingerprint"), "{text}");
+        let written = std::fs::read_to_string(&file).unwrap();
+        assert!(
+            written.starts_with('{') && written.ends_with("}\n"),
+            "bad file shape"
+        );
+    }
+
+    #[test]
+    fn trace_unknown_scenario_lists_the_names() {
+        let err = execute(
+            Command::Trace {
+                scenario: "bogus".into(),
+                seed: 0,
+                out: String::new(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("caterpillar-equivocate"), "{err}");
     }
 
     #[test]

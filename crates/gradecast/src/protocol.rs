@@ -1,6 +1,6 @@
 //! A `sim-net` protocol adapter running one parallel gradecast batch.
 
-use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
+use sim_net::{Inbox, PartyId, Payload, ProtoEvent, Protocol, RoundCtx};
 
 use crate::msg::GcMsg;
 use crate::state::{GradecastOutput, ParallelGradecast};
@@ -69,7 +69,19 @@ where
                 }
             }
             4 => {
-                self.output = Some(self.gc.on_votes(&to_pairs(inbox)));
+                let outputs = self.gc.on_votes(&to_pairs(inbox));
+                for (leader, slot) in outputs.iter().enumerate() {
+                    ctx.emit_with(|| {
+                        let mut ev = ProtoEvent::new("gc.grade")
+                            .u64("leader", leader as u64)
+                            .u64("grade", u64::from(slot.grade.as_u8()));
+                        if let Some(v) = &slot.value {
+                            ev = ev.str("value", &format!("{v:?}"));
+                        }
+                        ev
+                    });
+                }
+                self.output = Some(outputs);
             }
             _ => {}
         }

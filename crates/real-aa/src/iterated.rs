@@ -149,6 +149,11 @@ impl Protocol for IteratedAaParty {
                 self.value = mid;
             }
             self.iterations_done += 1;
+            ctx.emit_with(|| {
+                sim_net::ProtoEvent::new("halving.iter")
+                    .u64("iter", u64::from(iter_tag))
+                    .f64("value", self.value)
+            });
             if self.iterations_done >= self.cfg.iterations() {
                 self.output = Some(self.value);
                 return;

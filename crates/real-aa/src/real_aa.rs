@@ -207,13 +207,30 @@ impl RealAaParty {
         &self.history
     }
 
-    fn finish_iteration(&mut self, inbox: &Inbox<RealAaMsg>, iter_tag: u32) {
+    fn finish_iteration(
+        &mut self,
+        inbox: &Inbox<RealAaMsg>,
+        iter_tag: u32,
+        ctx: &mut RoundCtx<RealAaMsg>,
+    ) {
         let votes: Vec<(PartyId, GcMsg<R64>)> = inbox
             .iter()
             .filter(|e| e.payload.iter == iter_tag)
             .map(|e| (e.from, e.payload.body.clone()))
             .collect();
         let outputs = self.gc.on_votes(&votes);
+        for (leader, out) in outputs.iter().enumerate() {
+            ctx.emit_with(|| {
+                let mut ev = sim_net::ProtoEvent::new("gc.grade")
+                    .u64("iter", u64::from(iter_tag))
+                    .u64("leader", leader as u64)
+                    .u64("grade", u64::from(out.grade.as_u8()));
+                if let Some(v) = out.value {
+                    ev = ev.f64("value", v.get());
+                }
+                ev
+            });
+        }
 
         // Build the size-n multiset: one slot per leader, the accepted
         // value for grades >= 1 and the public fill constant otherwise.
@@ -254,6 +271,16 @@ impl RealAaParty {
         // keeping the current value would preserve validity regardless.
         self.history.push(self.value);
         self.iterations_done += 1;
+        ctx.emit_with(|| {
+            let mut ev = sim_net::ProtoEvent::new("realaa.iter").u64("iter", u64::from(iter_tag));
+            if accepted_lo.is_finite() {
+                ev = ev
+                    .f64("lo", accepted_lo)
+                    .f64("hi", accepted_hi)
+                    .f64("spread", accepted_hi - accepted_lo);
+            }
+            ev.f64("value", self.value)
+        });
     }
 
     fn maybe_terminate(&mut self) -> bool {
@@ -301,7 +328,7 @@ impl Protocol for RealAaParty {
                 // Finish the previous iteration (if any), then lead the
                 // next one.
                 if iter_tag > 0 {
-                    self.finish_iteration(inbox, iter_tag - 1);
+                    self.finish_iteration(inbox, iter_tag - 1, ctx);
                     if self.maybe_terminate() {
                         return;
                     }

@@ -20,6 +20,8 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+use aa_trace::{EventKind, ProtoEvent, Trace};
+
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::mailbox::{Inbox, Outbox, Received};
 use crate::message::{Envelope, PartyId, Payload};
@@ -150,22 +152,39 @@ impl<O: Clone> RunReport<O> {
 }
 
 /// Steps every party once, sequentially, collecting outboxes in id order.
+/// When `tracing`, per-party protocol events are collected alongside (also
+/// in id order); otherwise the events vector stays empty and unallocated.
 fn step_sequential<P: Protocol>(
     parties: &mut [P],
     inboxes: &[Inbox<P::Msg>],
     round: u32,
     n: usize,
-) -> Vec<Outbox<P::Msg>> {
-    parties
-        .iter_mut()
-        .enumerate()
-        .map(|(i, party)| {
-            let mut ctx = RoundCtx::new(PartyId(i), n);
-            party.step(round, &inboxes[i], &mut ctx);
-            ctx.into_outbox()
-        })
-        .collect()
+    tracing: bool,
+) -> (Vec<Outbox<P::Msg>>, Vec<Vec<ProtoEvent>>) {
+    let mut outboxes = Vec::with_capacity(parties.len());
+    let mut events = if tracing {
+        Vec::with_capacity(parties.len())
+    } else {
+        Vec::new()
+    };
+    for (i, party) in parties.iter_mut().enumerate() {
+        let mut ctx = if tracing {
+            RoundCtx::traced(PartyId(i), n)
+        } else {
+            RoundCtx::new(PartyId(i), n)
+        };
+        party.step(round, &inboxes[i], &mut ctx);
+        if tracing {
+            events.push(ctx.take_events());
+        }
+        outboxes.push(ctx.into_outbox());
+    }
+    (outboxes, events)
 }
+
+/// What one party produces in one step: its outbox plus any protocol
+/// events it emitted while tracing.
+type StepOutput<M> = (Outbox<M>, Vec<ProtoEvent>);
 
 /// Steps every party once on `threads` scoped OS threads over index-order
 /// chunks. Each party writes its outbox into its own pre-assigned slot, so
@@ -177,7 +196,8 @@ fn step_parallel<P>(
     round: u32,
     n: usize,
     threads: usize,
-) -> Vec<Outbox<P::Msg>>
+    tracing: bool,
+) -> (Vec<Outbox<P::Msg>>, Vec<Vec<ProtoEvent>>)
 where
     P: Protocol + Send,
     P::Msg: Send + Sync,
@@ -185,7 +205,7 @@ where
     let count = parties.len();
     let threads = threads.clamp(1, count);
     let chunk = count.div_ceil(threads);
-    let mut slots: Vec<Option<Outbox<P::Msg>>> = (0..count).map(|_| None).collect();
+    let mut slots: Vec<Option<StepOutput<P::Msg>>> = (0..count).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (c, (party_chunk, slot_chunk)) in parties
             .chunks_mut(chunk)
@@ -200,17 +220,34 @@ where
                     .zip(slot_chunk.iter_mut())
                     .enumerate()
                 {
-                    let mut ctx = RoundCtx::new(PartyId(base + j), n);
+                    let mut ctx = if tracing {
+                        RoundCtx::traced(PartyId(base + j), n)
+                    } else {
+                        RoundCtx::new(PartyId(base + j), n)
+                    };
                     party.step(round, &inboxes[j], &mut ctx);
-                    *slot = Some(ctx.into_outbox());
+                    let events = ctx.take_events();
+                    *slot = Some((ctx.into_outbox(), events));
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every chunk stepped its parties"))
-        .collect()
+    // Merge in party-id order, exactly like the sequential path: the slot
+    // layout already is the id order regardless of thread scheduling.
+    let mut outboxes = Vec::with_capacity(count);
+    let mut events = if tracing {
+        Vec::with_capacity(count)
+    } else {
+        Vec::new()
+    };
+    for slot in slots {
+        let (outbox, evs) = slot.expect("every chunk stepped its parties");
+        outboxes.push(outbox);
+        if tracing {
+            events.push(evs);
+        }
+    }
+    (outboxes, events)
 }
 
 /// Runs a protocol instance against an adversary until every honest party
@@ -255,7 +292,52 @@ where
 pub fn run_simulation_with<P, A, F>(
     cfg: EngineConfig,
     factory: F,
+    adversary: A,
+) -> Result<RunReport<P::Output>, SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    run_inner(cfg, factory, adversary, None)
+}
+
+/// [`run_simulation_with`] with the flight recorder on: returns the report
+/// together with a [`Trace`] of every round boundary, delivered send,
+/// adversary action, and protocol-level event.
+///
+/// The trace is deterministic in the strongest sense: its canonical JSON is
+/// **byte-identical** across step modes, because events are appended in a
+/// fixed order derived from party ids, never from thread scheduling —
+/// round start, protocol events in party-id order, adversary actions,
+/// deliveries (broadcasts by sender id, then unicasts by sender id, then
+/// injections in injection order), round end.
+///
+/// # Errors
+///
+/// As [`run_simulation`]; the partial trace is discarded on error.
+pub fn run_simulation_traced<P, A, F>(
+    cfg: EngineConfig,
+    factory: F,
+    adversary: A,
+) -> Result<(RunReport<P::Output>, Trace), SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let mut trace = Trace::new(cfg.sim.n, cfg.sim.t, "");
+    let report = run_inner(cfg, factory, adversary, Some(&mut trace))?;
+    Ok((report, trace))
+}
+
+fn run_inner<P, A, F>(
+    cfg: EngineConfig,
+    factory: F,
     mut adversary: A,
+    mut trace: Option<&mut Trace>,
 ) -> Result<RunReport<P::Output>, SimError>
 where
     P: Protocol + Send,
@@ -300,18 +382,32 @@ where
     let mut prev_broadcasts = 0usize;
     let mut metrics = Metrics::default();
 
+    let tracing = trace.is_some();
     for round in 1..=max_rounds {
         // 1. Step every party (corrupted ones too: their tentative traffic
         //    is shown to the adversary, supporting omission/semi-honest
         //    strategies), collecting tentative outboxes in id order.
-        let tentative: Vec<Outbox<P::Msg>> = if threads > 1 {
-            step_parallel(&mut parties, &inboxes, round, n, threads)
+        let (tentative, party_events) = if threads > 1 {
+            step_parallel(&mut parties, &inboxes, round, n, threads, tracing)
         } else {
-            step_sequential(&mut parties, &inboxes, round, n)
+            step_sequential(&mut parties, &inboxes, round, n, tracing)
         };
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(round, EventKind::RoundStart);
+            for (party, events) in party_events.into_iter().enumerate() {
+                for event in events {
+                    tr.push(round, EventKind::Proto { party, event });
+                }
+            }
+        }
 
         // 2. The adversary observes everything and acts (rushing,
         //    adaptive).
+        let corrupted_before = if tracing {
+            corrupted.clone()
+        } else {
+            Vec::new()
+        };
         let mut injected: Vec<Envelope<P::Msg>> = Vec::new();
         let mut forwarded = vec![false; n];
         {
@@ -326,6 +422,18 @@ where
                 forwarded: &mut forwarded,
             };
             adversary.round(&mut actx);
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            for i in 0..n {
+                if corrupted[i] && !corrupted_before[i] {
+                    tr.push(round, EventKind::Corrupt { party: i });
+                }
+            }
+            for (i, &fwd) in forwarded.iter().enumerate() {
+                if fwd {
+                    tr.push(round, EventKind::Forward { party: i });
+                }
+            }
         }
 
         // 3. Deliver: honest tentative traffic verbatim; corrupted
@@ -347,11 +455,22 @@ where
             }
             let (unicasts, broadcasts) = outbox.into_parts();
             for payload in broadcasts {
-                rm.bytes += payload.size_bytes() * n;
+                let bytes = payload.size_bytes();
+                rm.bytes += bytes * n;
                 if corrupted[i] {
                     rm.byzantine_messages += n;
                 } else {
                     rm.honest_messages += n;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(
+                        round,
+                        EventKind::Broadcast {
+                            from: i,
+                            bytes,
+                            byzantine: corrupted[i],
+                        },
+                    );
                 }
                 shared.push(Received {
                     from: PartyId(i),
@@ -359,11 +478,23 @@ where
                 });
             }
             for env in unicasts {
-                rm.bytes += env.payload.size_bytes();
+                let bytes = env.payload.size_bytes();
+                rm.bytes += bytes;
                 if corrupted[i] {
                     rm.byzantine_messages += 1;
                 } else {
                     rm.honest_messages += 1;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(
+                        round,
+                        EventKind::Unicast {
+                            from: i,
+                            to: env.to.index(),
+                            bytes,
+                            byzantine: corrupted[i],
+                        },
+                    );
                 }
                 inboxes[env.to.index()].direct.push(Received {
                     from: env.from,
@@ -373,8 +504,19 @@ where
         }
         for env in injected {
             debug_assert!(corrupted[env.from.index()]);
-            rm.bytes += env.payload.size_bytes();
+            let bytes = env.payload.size_bytes();
+            rm.bytes += bytes;
             rm.byzantine_messages += 1;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(
+                    round,
+                    EventKind::Inject {
+                        from: env.from.index(),
+                        to: env.to.index(),
+                        bytes,
+                    },
+                );
+            }
             inboxes[env.to.index()].direct.push(Received {
                 from: env.from,
                 payload: env.payload,
@@ -384,6 +526,16 @@ where
         let shared = Arc::new(shared);
         for inbox in &mut inboxes {
             inbox.broadcasts = Arc::clone(&shared);
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(
+                round,
+                EventKind::RoundEnd {
+                    honest_messages: rm.honest_messages,
+                    byzantine_messages: rm.byzantine_messages,
+                    bytes: rm.bytes,
+                },
+            );
         }
         metrics.per_round.push(rm);
 
@@ -650,6 +802,69 @@ mod tests {
             .unwrap();
             assert_eq!(report, reference, "mode {mode:?} diverged");
         }
+    }
+
+    #[test]
+    fn traced_run_is_mode_invariant_and_reconciles_with_metrics() {
+        let sim = SimConfig {
+            n: 6,
+            t: 1,
+            max_rounds: 5,
+        };
+        let run = |mode| {
+            let adv = CrashAdversary {
+                crashes: vec![(PartyId(5), 2)],
+            };
+            run_simulation_traced(
+                EngineConfig {
+                    sim,
+                    step_mode: mode,
+                },
+                echo_factory,
+                adv,
+            )
+            .unwrap()
+        };
+        let (report_seq, trace_seq) = run(StepMode::Sequential);
+        let (report_par, trace_par) = run(StepMode::Parallel { threads: 3 });
+        assert_eq!(report_seq, report_par);
+        assert_eq!(
+            trace_seq.to_canonical_string(),
+            trace_par.to_canonical_string(),
+            "trace must be byte-identical across step modes"
+        );
+        aa_trace::check_round_totals(&trace_seq).unwrap();
+        let totals = aa_trace::recomputed_totals(&trace_seq);
+        assert_eq!(totals.honest_messages, report_seq.metrics.honest_messages());
+        assert_eq!(totals.messages(), report_seq.metrics.total_messages());
+        assert_eq!(totals.bytes, report_seq.metrics.total_bytes());
+        // The crash shows up as a corruption event in round 2.
+        assert!(trace_seq
+            .events
+            .iter()
+            .any(|e| e.round == 2 && e.kind == EventKind::Corrupt { party: 5 }));
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let sim = SimConfig {
+            n: 4,
+            t: 0,
+            max_rounds: 5,
+        };
+        let plain = run_simulation(sim, echo_factory, Passive).unwrap();
+        let (traced, trace) =
+            run_simulation_traced(EngineConfig::from(sim), echo_factory, Passive).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(trace.n, 4);
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::RoundStart)
+                .count() as u32,
+            traced.rounds_executed
+        );
     }
 
     /// A payload whose clones are observable: the engine must never clone

@@ -77,10 +77,14 @@ pub use adversary::{
     EquivocatingAdversary, Passive, ScriptedAdversary, SelectiveOmission, StaticByzantine,
 };
 pub use engine::{
-    run_simulation, run_simulation_with, EngineConfig, RunReport, SimConfig, SimError, StepMode,
-    PARALLEL_THRESHOLD,
+    run_simulation, run_simulation_traced, run_simulation_with, EngineConfig, RunReport, SimConfig,
+    SimError, StepMode, PARALLEL_THRESHOLD,
 };
 pub use mailbox::{Inbox, Outbox, Received};
 pub use message::{Envelope, PartyId, Payload};
 pub use metrics::{Metrics, RoundMetrics};
 pub use party::{step_standalone, Protocol, RoundCtx};
+
+// Flight-recorder types, re-exported so protocol crates can emit events
+// through their existing `sim-net` dependency.
+pub use aa_trace::{EventKind, ProtoEvent, Trace, TraceEvent};

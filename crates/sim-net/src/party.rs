@@ -1,5 +1,7 @@
 //! The protocol (party state machine) abstraction.
 
+use aa_trace::ProtoEvent;
+
 use crate::mailbox::{Inbox, Outbox};
 use crate::message::{Envelope, PartyId, Payload};
 
@@ -46,10 +48,12 @@ pub struct RoundCtx<M> {
     n: usize,
     unicasts: Vec<Envelope<M>>,
     broadcasts: Vec<M>,
+    tracing: bool,
+    events: Vec<ProtoEvent>,
 }
 
 impl<M: Payload> RoundCtx<M> {
-    /// Creates a standalone context.
+    /// Creates a standalone context (tracing disabled).
     ///
     /// The engine builds these internally; the constructor is public so
     /// that *composed* protocols can drive an inner protocol's `step` with
@@ -61,7 +65,42 @@ impl<M: Payload> RoundCtx<M> {
             n,
             unicasts: Vec::new(),
             broadcasts: Vec::new(),
+            tracing: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Creates a context with flight-recorder tracing enabled: protocol
+    /// events passed to [`RoundCtx::emit_with`] are collected and can be
+    /// drained with [`RoundCtx::take_events`].
+    pub fn traced(me: PartyId, n: usize) -> Self {
+        RoundCtx {
+            tracing: true,
+            ..RoundCtx::new(me, n)
+        }
+    }
+
+    /// Whether this round is being traced. Protocols rarely need this:
+    /// [`RoundCtx::emit_with`] already evaluates its closure only when
+    /// tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Records a protocol-level trace event.
+    ///
+    /// The closure is invoked **only when tracing is enabled**, so an
+    /// instrumented protocol pays nothing — not even the event's string
+    /// formatting — on ordinary untraced runs.
+    pub fn emit_with<F: FnOnce() -> ProtoEvent>(&mut self, build: F) {
+        if self.tracing {
+            self.events.push(build());
+        }
+    }
+
+    /// Drains the protocol events recorded this round (emission order).
+    pub fn take_events(&mut self) -> Vec<ProtoEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The stepping party's own id.

@@ -157,6 +157,16 @@ impl InnerAa {
             InnerAa::Halving(p) => sim_net::Protocol::output(p),
         }
     }
+
+    /// The engine's current estimate, before termination — the quantity the
+    /// flight recorder logs as the party's position after each halving
+    /// step.
+    pub fn current_value(&self) -> f64 {
+        match self {
+            InnerAa::Real(p) => p.current_value(),
+            InnerAa::Halving(p) => p.current_value(),
+        }
+    }
 }
 
 /// Re-wraps an inner outbox into the composed message type, preserving the

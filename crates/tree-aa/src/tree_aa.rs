@@ -271,6 +271,15 @@ impl Protocol for TreeAaParty {
                 .output()
                 .expect("fixed-round engine terminates at its round bound");
             let mut engine = self.begin_phase2(j);
+            ctx.emit_with(|| {
+                let path = self.path.as_ref().expect("phase 2 started");
+                let (root, vertex) = path.endpoints();
+                sim_net::ProtoEvent::new("treeaa.path")
+                    .f64("j", j)
+                    .u64("len", path.len() as u64)
+                    .u64("root", root.index() as u64)
+                    .u64("vertex", vertex.index() as u64)
+            });
             let out = engine.step(self.me, self.cfg.n, 1, &Inbox::empty());
             forward_phase(ctx, out, 2);
             self.phase2 = Some(engine);
@@ -282,8 +291,19 @@ impl Protocol for TreeAaParty {
         let engine = self.phase2.as_mut().expect("phase 2 running");
         let out = engine.step(self.me, self.cfg.n, local, &inner);
         forward_phase(ctx, out, 2);
+        ctx.emit_with(|| {
+            sim_net::ProtoEvent::new("treeaa.pos")
+                .u64("local", u64::from(local))
+                .f64("pos", engine.current_value())
+        });
         if let Some(j) = engine.output() {
             self.finish(j);
+            ctx.emit_with(|| {
+                let vertex = self.output.expect("finish sets the output");
+                sim_net::ProtoEvent::new("treeaa.out")
+                    .f64("j", j)
+                    .u64("vertex", vertex.index() as u64)
+            });
         }
     }
 
