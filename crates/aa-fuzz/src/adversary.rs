@@ -114,6 +114,7 @@ mod tests {
             protocol: ProtocolKind::Baseline,
             inputs: vec![0; 7],
             atoms,
+            faults: Vec::new(),
         }
     }
 

@@ -10,6 +10,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use sim_net::{CrashFault, FaultPlan, Partition};
 use tree_model::generate;
 use tree_model::Tree;
 
@@ -191,6 +192,45 @@ pub struct AdvAtom {
     pub victims: Vec<usize>,
 }
 
+/// One scheduled *benign* network fault, from the lockstep-compatible
+/// subset of the `sim-net` fault-plan vocabulary. Unlike [`AdvAtom`]s,
+/// fault atoms do not consume the Byzantine budget `t`: they model
+/// infrastructure failures (outages, netsplits) on top of which the
+/// adversary still acts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAtom {
+    /// Cut `side` off from the rest of the network for rounds
+    /// `from_round..heal_round` (`u32::MAX` heal = never).
+    Partition {
+        /// Parties on the severed side of the cut.
+        side: Vec<usize>,
+        /// First round (1-based) the cut is in effect.
+        from_round: u32,
+        /// First round the cut is no longer in effect.
+        heal_round: u32,
+    },
+    /// Freeze a party for rounds `crash_round..recover_round`
+    /// (`u32::MAX` recover = a permanent crash).
+    CrashRecover {
+        /// The crashing party.
+        party: usize,
+        /// First round (1-based) the party is down.
+        crash_round: u32,
+        /// First round the party is back up.
+        recover_round: u32,
+    },
+}
+
+impl FaultAtom {
+    /// The canonical name used in corpus files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAtom::Partition { .. } => "partition",
+            FaultAtom::CrashRecover { .. } => "crash-recover",
+        }
+    }
+}
+
 /// A complete, self-describing fuzz case.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuzzCase {
@@ -210,6 +250,10 @@ pub struct FuzzCase {
     pub inputs: Vec<usize>,
     /// Adversary strategy, composed in order.
     pub atoms: Vec<AdvAtom>,
+    /// Scheduled benign faults, translated to a `sim-net` [`FaultPlan`]
+    /// at run time. Serialized only when non-empty, so fault-free cases
+    /// keep their pre-fault canonical JSON (and corpus fingerprints).
+    pub faults: Vec<FaultAtom>,
 }
 
 impl FuzzCase {
@@ -265,7 +309,46 @@ impl FuzzCase {
                 _ => {}
             }
         }
+        self.fault_plan()
+            .validate(self.n)
+            .map_err(|e| format!("fault plan: {e}"))?;
         Ok(())
+    }
+
+    /// Whether the case schedules any benign faults.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Translates the fault atoms into a `sim-net` [`FaultPlan`]
+    /// (lockstep-compatible by construction: no probabilistic link
+    /// faults — those only exist in the asynchronous substrate).
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = self.seed;
+        for fault in &self.faults {
+            match fault {
+                FaultAtom::Partition {
+                    side,
+                    from_round,
+                    heal_round,
+                } => plan.partitions.push(Partition {
+                    side: side.clone(),
+                    from_round: *from_round,
+                    heal_round: *heal_round,
+                }),
+                FaultAtom::CrashRecover {
+                    party,
+                    crash_round,
+                    recover_round,
+                } => plan.crashes.push(CrashFault {
+                    party: *party,
+                    crash_round: *crash_round,
+                    recover_round: *recover_round,
+                }),
+            }
+        }
+        plan
     }
 
     /// The honest input vertices actually used for a tree with `m`
@@ -299,7 +382,7 @@ impl FuzzCase {
             .collect();
         // Seeds are full 64-bit values, beyond the 2^53 range a JSON
         // number can carry exactly — stored as decimal strings.
-        Json::Obj(vec![
+        let mut fields = vec![
             ("seed".into(), Json::Str(self.seed.to_string())),
             (
                 "tree".into(),
@@ -317,7 +400,44 @@ impl FuzzCase {
                 Json::Arr(self.inputs.iter().map(|&i| Json::int(i as u64)).collect()),
             ),
             ("atoms".into(), Json::Arr(atoms)),
-        ])
+        ];
+        // Appended last and only when present, so fault-free cases keep
+        // the exact bytes (and fingerprints) of the pre-fault format.
+        if !self.faults.is_empty() {
+            let faults = self
+                .faults
+                .iter()
+                .map(|f| {
+                    let mut fields = vec![("kind".into(), Json::Str(f.name().into()))];
+                    match f {
+                        FaultAtom::Partition {
+                            side,
+                            from_round,
+                            heal_round,
+                        } => {
+                            fields.push((
+                                "side".into(),
+                                Json::Arr(side.iter().map(|&v| Json::int(v as u64)).collect()),
+                            ));
+                            fields.push(("from".into(), Json::int(u64::from(*from_round))));
+                            fields.push(("heal".into(), Json::int(u64::from(*heal_round))));
+                        }
+                        FaultAtom::CrashRecover {
+                            party,
+                            crash_round,
+                            recover_round,
+                        } => {
+                            fields.push(("party".into(), Json::int(*party as u64)));
+                            fields.push(("crash".into(), Json::int(u64::from(*crash_round))));
+                            fields.push(("recover".into(), Json::int(u64::from(*recover_round))));
+                        }
+                    }
+                    Json::Obj(fields)
+                })
+                .collect();
+            fields.push(("faults".into(), Json::Arr(faults)));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserializes a case from its JSON form.
@@ -393,6 +513,43 @@ impl FuzzCase {
                 .collect::<Result<Vec<_>, _>>()?;
             atoms.push(AdvAtom { kind, victims });
         }
+        // `faults` is optional: absent means none (the pre-fault format).
+        let mut faults = Vec::new();
+        if let Some(faults_json) = json.get("faults") {
+            fn round(obj: &Json, key: &str) -> Result<u32, String> {
+                obj.get(key)
+                    .and_then(Json::as_u64)
+                    .filter(|&v| v <= u64::from(u32::MAX))
+                    .map(|v| v as u32)
+                    .ok_or_else(|| format!("fault.{key} must be a round number"))
+            }
+            for fault_json in faults_json.as_arr().ok_or("faults must be an array")? {
+                let kind_name = field(fault_json, "kind")?
+                    .as_str()
+                    .ok_or("fault.kind must be a string")?;
+                let fault = match kind_name {
+                    "partition" => FaultAtom::Partition {
+                        side: field(fault_json, "side")?
+                            .as_arr()
+                            .ok_or("partition.side must be an array")?
+                            .iter()
+                            .map(|v| v.as_usize().ok_or("partition.side must be integers"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                        from_round: round(fault_json, "from")?,
+                        heal_round: round(fault_json, "heal")?,
+                    },
+                    "crash-recover" => FaultAtom::CrashRecover {
+                        party: field(fault_json, "party")?
+                            .as_usize()
+                            .ok_or("crash-recover.party must be an integer")?,
+                        crash_round: round(fault_json, "crash")?,
+                        recover_round: round(fault_json, "recover")?,
+                    },
+                    other => return Err(format!("unknown fault kind `{other}`")),
+                };
+                faults.push(fault);
+            }
+        }
         let case = FuzzCase {
             seed: seed_value(field(json, "seed")?).ok_or("seed must be a non-negative integer")?,
             tree,
@@ -402,6 +559,7 @@ impl FuzzCase {
                 .ok_or_else(|| format!("unknown protocol `{protocol_name}`"))?,
             inputs,
             atoms,
+            faults,
         };
         case.validate()?;
         Ok(case)
@@ -440,7 +598,25 @@ mod tests {
                     victims: vec![4],
                 },
             ],
+            faults: Vec::new(),
         }
+    }
+
+    fn faulted_sample() -> FuzzCase {
+        let mut case = sample();
+        case.faults = vec![
+            FaultAtom::Partition {
+                side: vec![0, 2],
+                from_round: 2,
+                heal_round: 4,
+            },
+            FaultAtom::CrashRecover {
+                party: 5,
+                crash_round: 3,
+                recover_round: u32::MAX,
+            },
+        ];
+        case
     }
 
     #[test]
@@ -450,6 +626,55 @@ mod tests {
         let back = FuzzCase::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, case);
         assert_eq!(back.fingerprint(), case.fingerprint());
+    }
+
+    #[test]
+    fn faulted_json_roundtrip_is_lossless() {
+        let case = faulted_sample();
+        case.validate().unwrap();
+        let text = case.to_json().to_string();
+        assert!(text.contains("\"faults\""), "{text}");
+        let back = FuzzCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn fault_free_cases_keep_the_pre_fault_serialization() {
+        // The `faults` key is omitted when empty, so existing corpus
+        // files and their FNV fingerprints are unaffected by the new
+        // dimension.
+        let case = sample();
+        let text = case.to_json().to_string();
+        assert!(!text.contains("faults"), "{text}");
+        assert_ne!(case.fingerprint(), faulted_sample().fingerprint());
+    }
+
+    #[test]
+    fn fault_plan_translation_and_validation() {
+        let case = faulted_sample();
+        let plan = case.fault_plan();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.crashes.len(), 1);
+        assert!(plan.lockstep_compatible());
+        assert!(!plan.eventually_connected());
+        assert_eq!(plan.permanently_crashed(), vec![5]);
+
+        // Structural problems surface through validate().
+        let mut bad = faulted_sample();
+        bad.faults.push(FaultAtom::CrashRecover {
+            party: 99,
+            crash_round: 1,
+            recover_round: 2,
+        });
+        assert!(bad.validate().unwrap_err().contains("fault plan"));
+
+        let mut bad = faulted_sample();
+        bad.faults.push(FaultAtom::Partition {
+            side: Vec::new(),
+            from_round: 1,
+            heal_round: 2,
+        });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

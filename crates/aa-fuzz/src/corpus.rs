@@ -109,6 +109,7 @@ mod tests {
                 kind: AdvAtomKind::Omission { permille: 250 },
                 victims: vec![2],
             }],
+            faults: Vec::new(),
         }
     }
 

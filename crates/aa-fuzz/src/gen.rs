@@ -5,7 +5,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::case::{AdvAtom, AdvAtomKind, Family, FuzzCase, ProtocolKind, TreeSpec};
+use crate::case::{AdvAtom, AdvAtomKind, Family, FaultAtom, FuzzCase, ProtocolKind, TreeSpec};
 
 /// Largest requested tree size (kept small: the invariants are
 /// combinatorial, so dense coverage of small shapes beats sparse coverage
@@ -82,7 +82,71 @@ pub fn gen_case(master_seed: u64, index: u64) -> FuzzCase {
         protocol,
         inputs,
         atoms,
+        faults: Vec::new(),
     }
+}
+
+/// Adds a generated benign-fault schedule to `case` (the `--faults` fuzz
+/// dimension). Drawn from an RNG stream independent of [`gen_case`]'s, so
+/// enabling faults changes nothing about the tree, inputs, or adversary of
+/// case `(s, i)` — a faulted failure minimizes against the same base case.
+///
+/// Roughly: 40% of cases stay fault-free; 10% are *catastrophic* (more
+/// than `t` parties permanently crashed from round 1, which must surface
+/// as a `Degraded` outcome, never a silently wrong value); the rest get
+/// one or two healing partitions and crash/recovery windows.
+pub fn with_faults(mut case: FuzzCase, master_seed: u64, index: u64) -> FuzzCase {
+    let mut stream = master_seed ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93) ^ 0xfa17;
+    let fault_seed = splitmix64(&mut stream);
+    let mut rng = ChaCha8Rng::seed_from_u64(fault_seed);
+    let n = case.n;
+
+    let style = rng.gen_range(0..10u32);
+    if style < 4 {
+        return case; // fault-free: the plan dimension includes "none".
+    }
+    if style < 5 {
+        // Catastrophic: t + 1 distinct parties down forever from round 1.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in (1..pool.len()).rev() {
+            pool.swap(i, rng.gen_range(0..=i));
+        }
+        for &party in pool.iter().take(case.t + 1) {
+            case.faults.push(FaultAtom::CrashRecover {
+                party,
+                crash_round: 1,
+                recover_round: u32::MAX,
+            });
+        }
+        return case;
+    }
+    // Transient faults: everything heals, so the run must still terminate
+    // within the bound plus the plan's scheduled extent.
+    for _ in 0..rng.gen_range(1..=2) {
+        if rng.gen_bool(0.5) {
+            let side_len = rng.gen_range(1..n);
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in (1..pool.len()).rev() {
+                pool.swap(i, rng.gen_range(0..=i));
+            }
+            pool.truncate(side_len);
+            pool.sort_unstable();
+            let from_round: u32 = rng.gen_range(1..=4);
+            case.faults.push(FaultAtom::Partition {
+                side: pool,
+                from_round,
+                heal_round: from_round + rng.gen_range(1..=3u32),
+            });
+        } else {
+            let crash_round: u32 = rng.gen_range(1..=5);
+            case.faults.push(FaultAtom::CrashRecover {
+                party: rng.gen_range(0..n),
+                crash_round,
+                recover_round: crash_round + rng.gen_range(1..=4u32),
+            });
+        }
+    }
+    case
 }
 
 #[cfg(test)]
@@ -114,6 +178,31 @@ mod tests {
             "only {} distinct cases",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn faulted_cases_are_valid_deterministic_and_leave_the_base_alone() {
+        let mut faulted = 0;
+        let mut catastrophic = 0;
+        for i in 0..300 {
+            let base = gen_case(42, i);
+            let case = with_faults(base.clone(), 42, i);
+            case.validate()
+                .unwrap_or_else(|e| panic!("faulted case {i} invalid: {e}"));
+            assert_eq!(case, with_faults(gen_case(42, i), 42, i));
+            // Faults are a pure overlay: the base case is untouched.
+            let mut stripped = case.clone();
+            stripped.faults.clear();
+            assert_eq!(stripped, base);
+            if case.has_faults() {
+                faulted += 1;
+            }
+            if case.fault_plan().permanently_crashed().len() > case.t {
+                catastrophic += 1;
+            }
+        }
+        assert!(faulted > 100, "only {faulted}/300 cases got faults");
+        assert!(catastrophic > 10, "only {catastrophic}/300 catastrophic");
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! 6. the `aa-trace` invariant checkers (round totals, hull monotonicity,
 //!    grade semantics) plus exact trace-vs-metrics accounting.
 //!
+//! With `--faults` the stream additionally overlays benign-fault plans
+//! (healing partitions, crash/recovery windows, and occasional
+//! catastrophic over-budget crash sets) and checks the *degradation
+//! contract*: transient faults must still terminate within the relaxed
+//! round bound, and over-budget fault sets must surface as structured
+//! `Degraded` outcomes carrying checkable evidence certificates — never
+//! as silently unguaranteed values.
+//!
 //! Everything is a pure function of integers: case `i` of seed `s` is
 //! reproducible from `(s, i)` alone, two identical invocations produce
 //! bit-identical output, and no wall-clock or host state leaks in.
@@ -52,9 +60,9 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 pub use adversary::build_adversary;
-pub use case::{AdvAtom, AdvAtomKind, Family, FuzzCase, ProtocolKind, TreeSpec};
+pub use case::{AdvAtom, AdvAtomKind, Family, FaultAtom, FuzzCase, ProtocolKind, TreeSpec};
 pub use corpus::{load_case, load_dir, save_case, CorpusEntry};
-pub use gen::gen_case;
+pub use gen::{gen_case, with_faults};
 pub use json::Json;
 pub use minimize::{minimize, Minimized};
 pub use run::{
@@ -71,6 +79,10 @@ pub struct FuzzOptions {
     pub cases: u64,
     /// Whether to minimize failing cases before reporting them.
     pub minimize: bool,
+    /// Whether to overlay each case with a generated benign-fault plan
+    /// (partitions, crash/recovery windows — see [`with_faults`]), adding
+    /// the degradation contract to the checked invariants.
+    pub faults: bool,
     /// Where to persist minimized repros (`None` disables persistence).
     pub corpus_dir: Option<PathBuf>,
 }
@@ -90,10 +102,19 @@ const MINIMIZE_ATTEMPTS: usize = 500;
 ///
 /// Propagates I/O errors from `out` or from corpus persistence.
 pub fn run_batch(opts: &FuzzOptions, out: &mut dyn Write) -> io::Result<usize> {
-    writeln!(out, "fuzz: seed {} · {} cases", opts.seed, opts.cases)?;
+    writeln!(
+        out,
+        "fuzz: seed {} · {} cases{}",
+        opts.seed,
+        opts.cases,
+        if opts.faults { " · faults on" } else { "" }
+    )?;
     let mut violations = 0usize;
     for index in 0..opts.cases {
-        let case = gen_case(opts.seed, index);
+        let mut case = gen_case(opts.seed, index);
+        if opts.faults {
+            case = with_faults(case, opts.seed, index);
+        }
         // The traced path checks the classic invariants *and* the
         // flight-recorder contract (trace determinism, trace-level
         // checkers, metrics accounting) on every case.

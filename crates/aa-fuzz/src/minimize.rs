@@ -25,8 +25,9 @@ pub struct Minimized {
 /// executing at most `max_attempts` candidate runs.
 ///
 /// The shrink order is: halve the tree, then chip one vertex off, then
-/// drop whole adversary atoms, then drop individual victims, then lower
-/// `t`, then lower `n`, then flatten all inputs to zero. Each accepted
+/// drop whole adversary atoms and whole fault atoms, then drop individual
+/// victims, then lower `t`, then lower `n`, then flatten all inputs to
+/// zero. Each accepted
 /// candidate restarts the pass, so the result is a local fixpoint — no
 /// single listed shrink applies to it.
 ///
@@ -85,10 +86,15 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         out.push(c);
     }
 
-    // 2. Drop a whole adversary atom.
+    // 2. Drop a whole adversary atom, then a whole fault atom.
     for i in 0..case.atoms.len() {
         let mut c = case.clone();
         c.atoms.remove(i);
+        out.push(c);
+    }
+    for i in 0..case.faults.len() {
+        let mut c = case.clone();
+        c.faults.remove(i);
         out.push(c);
     }
 
@@ -134,7 +140,7 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::case::{AdvAtom, AdvAtomKind, Family, ProtocolKind, TreeSpec};
+    use crate::case::{AdvAtom, AdvAtomKind, Family, FaultAtom, ProtocolKind, TreeSpec};
 
     /// A rich case that passes un-mutated but fails under
     /// `SkewFirstOutput` — the shrinker should drive it to a tiny tree.
@@ -160,6 +166,7 @@ mod tests {
                     victims: vec![1],
                 },
             ],
+            faults: Vec::new(),
         }
     }
 
@@ -193,12 +200,51 @@ mod tests {
 
     #[test]
     fn candidates_never_grow_the_case() {
-        let case = rich_case();
+        let mut case = rich_case();
+        case.faults = vec![
+            FaultAtom::Partition {
+                side: vec![0, 1],
+                from_round: 2,
+                heal_round: 3,
+            },
+            FaultAtom::CrashRecover {
+                party: 6,
+                crash_round: 2,
+                recover_round: 3,
+            },
+        ];
         for c in candidates(&case) {
             assert!(c.tree.size <= case.tree.size);
             assert!(c.n <= case.n);
             assert!(c.t <= case.t);
             assert!(c.atoms.len() <= case.atoms.len());
+            assert!(c.faults.len() <= case.faults.len());
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_the_fault_schedule_one_atom_at_a_time() {
+        let mut case = rich_case();
+        case.faults = vec![
+            FaultAtom::Partition {
+                side: vec![0, 1],
+                from_round: 2,
+                heal_round: 3,
+            },
+            FaultAtom::CrashRecover {
+                party: 6,
+                crash_round: 2,
+                recover_round: 3,
+            },
+        ];
+        let dropped: Vec<_> = candidates(&case)
+            .into_iter()
+            .filter(|c| c.faults.len() < case.faults.len() && c.tree == case.tree && c.n == case.n)
+            .collect();
+        assert_eq!(dropped.len(), 2, "one candidate per dropped fault atom");
+        for c in &dropped {
+            assert_eq!(c.faults.len(), 1);
+            assert_eq!(c.atoms, case.atoms, "fault shrinks must not touch atoms");
         }
     }
 }

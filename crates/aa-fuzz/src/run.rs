@@ -19,7 +19,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use sim_net::{
-    run_simulation_traced, run_simulation_with, Adversary, EngineConfig, Metrics, PartyId,
+    run_simulation_faulted, run_simulation_faulted_traced, run_simulation_traced,
+    run_simulation_with, Adversary, EngineConfig, FaultPlan, Metrics, Monitored, Outcome, PartyId,
     Protocol, RunReport, SimConfig, SimError, StepMode, Trace,
 };
 use tree_aa::{
@@ -63,6 +64,10 @@ pub enum CheckFailure {
     /// A trace-level invariant checker rejected the recorded run, or the
     /// trace's recomputed totals disagree with the engine's metrics.
     TraceInvariant(String),
+    /// The degradation contract was violated: a party degraded without a
+    /// checkable over-budget certificate, or returned a fully guaranteed
+    /// value under a fault plan that provably exceeds the budget.
+    Degradation(String),
 }
 
 impl fmt::Display for CheckFailure {
@@ -83,6 +88,9 @@ impl fmt::Display for CheckFailure {
             }
             CheckFailure::TraceInvariant(detail) => {
                 write!(f, "trace invariant violated: {detail}")
+            }
+            CheckFailure::Degradation(detail) => {
+                write!(f, "degradation contract violated: {detail}")
             }
         }
     }
@@ -297,6 +305,172 @@ where
     Ok((sequential, Some(bundle)))
 }
 
+/// Runs a *faulted* case under both step modes, with every party wrapped
+/// in [`Monitored`] so the output type becomes [`Outcome`]. The
+/// determinism and trace-determinism contracts are checked exactly as in
+/// [`run_checked`]; the round bound is relaxed by the plan's scheduled
+/// extent (rounds frozen by an active fault cannot advance the protocol);
+/// and instead of validity/agreement — which benign faults may legitimately
+/// weaken — the *degradation contract* is enforced via
+/// [`check_degradation`].
+///
+/// Traced faulted runs keep the round-total bracketing check and the
+/// totals-vs-metrics reconciliation (fault events carry no message cost),
+/// but skip the hull-monotonicity and grade checkers: a party frozen by a
+/// partition can legitimately re-emit a stale iteration value once healed.
+#[allow(clippy::type_complexity)]
+fn run_checked_faulted<P, F>(
+    case: &FuzzCase,
+    bound: u32,
+    mut factory: F,
+    traced: bool,
+) -> Result<(RunReport<Outcome<P::Output>>, u32, Option<TraceBundle>), CheckFailure>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync + 'static,
+    P::Output: PartialEq + Clone,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let plan = case.fault_plan();
+    let relaxed = bound + plan.scheduled_extent();
+    let sim = SimConfig {
+        n: case.n,
+        t: case.t,
+        max_rounds: relaxed + ROUND_SLACK,
+    };
+    let mut factory = |id: PartyId, idx: usize| Monitored::new(factory(id, idx), case.n, case.t);
+    let (sequential, bundle) = if traced {
+        let mut run = |mode: StepMode| {
+            let adversary: Box<dyn Adversary<P::Msg>> = Box::new(build_adversary::<P::Msg>(case));
+            run_simulation_faulted_traced(
+                EngineConfig {
+                    sim,
+                    step_mode: mode,
+                },
+                &plan,
+                &mut factory,
+                adversary,
+            )
+        };
+        let (sequential, seq_trace) =
+            run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        let (parallel, par_trace) =
+            run(StepMode::Parallel { threads: 2 }).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        if sequential != parallel {
+            return Err(CheckFailure::Determinism);
+        }
+        if seq_trace.to_canonical_string() != par_trace.to_canonical_string() {
+            return Err(CheckFailure::TraceDeterminism);
+        }
+        aa_trace::check_round_totals(&seq_trace).map_err(CheckFailure::TraceInvariant)?;
+        let totals = aa_trace::recomputed_totals(&seq_trace);
+        let metrics = &sequential.metrics;
+        if totals.honest_messages != metrics.honest_messages()
+            || totals.messages() != metrics.total_messages()
+            || totals.bytes != metrics.total_bytes()
+        {
+            return Err(CheckFailure::TraceInvariant(format!(
+                "faulted trace totals ({}/{}/{}B honest/total/bytes) disagree with \
+                 engine metrics ({}/{}/{}B)",
+                totals.honest_messages,
+                totals.messages(),
+                totals.bytes,
+                metrics.honest_messages(),
+                metrics.total_messages(),
+                metrics.total_bytes(),
+            )));
+        }
+        let bundle = TraceBundle {
+            trace: seq_trace,
+            seq_metrics: sequential.metrics.clone(),
+            par_metrics: parallel.metrics,
+        };
+        (sequential, Some(bundle))
+    } else {
+        let mut run = |mode: StepMode| {
+            let adversary: Box<dyn Adversary<P::Msg>> = Box::new(build_adversary::<P::Msg>(case));
+            run_simulation_faulted(
+                EngineConfig {
+                    sim,
+                    step_mode: mode,
+                },
+                &plan,
+                &mut factory,
+                adversary,
+            )
+        };
+        let sequential = run(StepMode::Sequential).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        let parallel =
+            run(StepMode::Parallel { threads: 2 }).map_err(|e| CheckFailure::Sim(describe(&e)))?;
+        if sequential != parallel {
+            return Err(CheckFailure::Determinism);
+        }
+        (sequential, None)
+    };
+    check_bound(sequential.rounds_executed, relaxed)?;
+    check_degradation(case, &plan, bound, &sequential)?;
+    Ok((sequential, relaxed, bundle))
+}
+
+/// The degradation contract, checked on every running honest party:
+///
+/// * a [`Outcome::Degraded`] outcome must carry a non-empty certificate
+///   that actually demonstrates an over-budget fault set;
+/// * under a *provably catastrophic* plan — more than `t` parties
+///   permanently crashed from round 1, no partitions, and at least one
+///   observation round before the decision — no survivor may claim a
+///   fully guaranteed [`Outcome::Value`].
+///
+/// The converse (transient faults must yield `Value`) is deliberately not
+/// checked: a conservative monitor may degrade spuriously under a long
+/// partition, which is safe.
+fn check_degradation<O>(
+    case: &FuzzCase,
+    plan: &FaultPlan,
+    bound: u32,
+    report: &RunReport<Outcome<O>>,
+) -> Result<(), CheckFailure> {
+    let perm_crashed = plan.permanently_crashed().len();
+    let catastrophic = perm_crashed > case.t
+        && plan.partitions.is_empty()
+        && plan
+            .crashes
+            .iter()
+            .all(|c| c.crash_round == 1 && c.recover_round == u32::MAX)
+        && bound >= 2;
+    for i in 0..case.n {
+        if report.corrupted[i] || report.crashed[i] {
+            continue;
+        }
+        let Some(outcome) = &report.outputs[i] else {
+            return Err(CheckFailure::Sim(format!(
+                "running honest party {i} finished without output"
+            )));
+        };
+        match outcome {
+            Outcome::Value(_) => {
+                if catastrophic {
+                    return Err(CheckFailure::Degradation(format!(
+                        "party {i} claims full guarantees although {perm_crashed} parties \
+                         (> t = {}) are permanently crashed from round 1",
+                        case.t
+                    )));
+                }
+            }
+            Outcome::Degraded(d) => {
+                if d.certificate.evidence.is_empty() || !d.certificate.exceeds_budget() {
+                    return Err(CheckFailure::Degradation(format!(
+                        "party {i} degraded with a certificate that does not demonstrate an \
+                         over-budget fault set ({} observed, budget t = {})",
+                        d.certificate.observed, d.certificate.budget
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check_bound(executed: u32, bound: u32) -> Result<(), CheckFailure> {
     if executed > bound + 1 {
         return Err(CheckFailure::RoundBound { executed, bound });
@@ -310,6 +484,7 @@ fn describe(e: &SimError) -> String {
         SimError::MaxRoundsExceeded { max_rounds } => {
             format!("no output after max_rounds = {max_rounds}")
         }
+        SimError::BadFaultPlan { reason } => format!("bad fault plan: {reason}"),
     }
 }
 
@@ -378,6 +553,15 @@ fn run_tree_aa(
         .into_iter()
         .map(|i| verts[i])
         .collect();
+    if case.has_faults() {
+        let (report, relaxed, bundle) = run_checked_faulted::<TreeAaParty, _>(
+            case,
+            bound,
+            |id, _| TreeAaParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
+            traced,
+        )?;
+        return Ok((stats(&report, relaxed, tree), bundle));
+    }
     let (report, bundle) = run_checked::<TreeAaParty, _>(
         case,
         bound,
@@ -402,6 +586,15 @@ fn run_baseline(
         .into_iter()
         .map(|i| verts[i])
         .collect();
+    if case.has_faults() {
+        let (report, relaxed, bundle) = run_checked_faulted::<NowakRybickiParty, _>(
+            case,
+            bound,
+            |id, _| NowakRybickiParty::new(id, cfg.clone(), Arc::clone(tree), inputs[id.index()]),
+            traced,
+        )?;
+        return Ok((stats(&report, relaxed, tree), bundle));
+    }
     let (report, bundle) = run_checked::<NowakRybickiParty, _>(
         case,
         bound,
@@ -450,6 +643,15 @@ fn run_real_aa(
         .into_iter()
         .map(|i| i as f64)
         .collect();
+    if case.has_faults() {
+        let (report, relaxed, bundle) = run_checked_faulted::<RealAaParty, _>(
+            case,
+            bound,
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            traced,
+        )?;
+        return Ok((stats(&report, relaxed, tree), bundle));
+    }
     let (report, bundle) = run_checked::<RealAaParty, _>(
         case,
         bound,
@@ -492,7 +694,7 @@ fn run_real_aa(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::case::{AdvAtom, AdvAtomKind, Family, TreeSpec};
+    use crate::case::{AdvAtom, AdvAtomKind, Family, FaultAtom, TreeSpec};
 
     fn base_case(protocol: ProtocolKind) -> FuzzCase {
         FuzzCase {
@@ -510,7 +712,29 @@ mod tests {
                 kind: AdvAtomKind::Equivocate,
                 victims: vec![3],
             }],
+            faults: Vec::new(),
         }
+    }
+
+    /// `base_case` without the Byzantine adversary but with a healing
+    /// partition and a crash/recovery window — every fault transient, so
+    /// the run must terminate within the relaxed bound.
+    fn faulted_case(protocol: ProtocolKind) -> FuzzCase {
+        let mut case = base_case(protocol);
+        case.atoms.clear();
+        case.faults = vec![
+            FaultAtom::Partition {
+                side: vec![0, 1],
+                from_round: 2,
+                heal_round: 4,
+            },
+            FaultAtom::CrashRecover {
+                party: 4,
+                crash_round: 2,
+                recover_round: 3,
+            },
+        ];
+        case
     }
 
     #[test]
@@ -581,6 +805,75 @@ mod tests {
         let b = run_case_traced(&case).unwrap();
         assert_eq!(a.trace.to_canonical_string(), b.trace.to_canonical_string());
         assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
+    }
+
+    #[test]
+    fn transient_faults_terminate_for_every_protocol() {
+        for protocol in ProtocolKind::ALL {
+            let case = faulted_case(protocol);
+            let stats =
+                run_case(&case).unwrap_or_else(|e| panic!("{} failed: {e}", protocol.name()));
+            assert!(
+                stats.rounds_executed <= stats.round_bound + 1,
+                "{}: executed {} > relaxed bound {} + 1",
+                protocol.name(),
+                stats.rounds_executed,
+                stats.round_bound
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_run_is_reproducible() {
+        let case = faulted_case(ProtocolKind::Baseline);
+        assert_eq!(run_case(&case).unwrap(), run_case(&case).unwrap());
+    }
+
+    #[test]
+    fn catastrophic_crashes_degrade_every_survivor() {
+        // t + 1 permanent crashes from round 1: `check_degradation` inside
+        // the faulted runner errors unless every survivor reports
+        // `Degraded` with a checkable over-budget certificate, so a plain
+        // `unwrap` asserts the whole contract.
+        for protocol in ProtocolKind::ALL {
+            let mut case = base_case(protocol);
+            case.atoms.clear();
+            case.faults = (0..=case.t)
+                .map(|party| FaultAtom::CrashRecover {
+                    party,
+                    crash_round: 1,
+                    recover_round: u32::MAX,
+                })
+                .collect();
+            run_case(&case).unwrap_or_else(|e| panic!("{} failed: {e}", protocol.name()));
+        }
+    }
+
+    #[test]
+    fn faulted_traced_run_records_fault_events_and_is_byte_reproducible() {
+        let case = faulted_case(ProtocolKind::Baseline);
+        let a = run_case_traced(&case).unwrap();
+        let b = run_case_traced(&case).unwrap();
+        assert_eq!(a.trace.to_canonical_string(), b.trace.to_canonical_string());
+        let kinds: Vec<_> = a.trace.events.iter().map(|e| &e.kind).collect();
+        assert!(
+            kinds
+                .iter()
+                .any(|k| matches!(k, sim_net::EventKind::FaultDrop { .. })),
+            "partition left no fault.drop events"
+        );
+        assert!(
+            kinds
+                .iter()
+                .any(|k| matches!(k, sim_net::EventKind::FaultCrash { party: 4 })),
+            "crash of party 4 not recorded"
+        );
+        assert!(
+            kinds
+                .iter()
+                .any(|k| matches!(k, sim_net::EventKind::FaultRecover { party: 4 })),
+            "recovery of party 4 not recorded"
+        );
     }
 
     #[test]

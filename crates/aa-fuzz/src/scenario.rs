@@ -11,17 +11,19 @@
 
 use sim_net::Trace;
 
-use crate::case::{AdvAtom, AdvAtomKind, Family, FuzzCase, ProtocolKind, TreeSpec};
+use crate::case::{AdvAtom, AdvAtomKind, Family, FaultAtom, FuzzCase, ProtocolKind, TreeSpec};
 use crate::run::run_case_traced;
 
 /// The names of all canonical scenarios, in registry order.
-pub const SCENARIO_NAMES: [&str; 6] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "path-honest",
     "star-crash",
     "caterpillar-equivocate",
     "broom-realaa-equivocate",
     "path-baseline-flaky",
     "star-halving-honest",
+    "partition-heal",
+    "crash-recovery",
 ];
 
 /// All canonical scenario names, in registry order.
@@ -48,6 +50,7 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
             protocol: ProtocolKind::TreeAaGradecast,
             inputs: vec![0, 5, 2, 3],
             atoms: Vec::new(),
+            faults: Vec::new(),
         },
         // TreeAA (gradecast engine) on a star with an early crash:
         // exercises Corrupt events and mid-run honest-set shrinkage.
@@ -66,6 +69,7 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
                 kind: AdvAtomKind::Crash { round: 2 },
                 victims: vec![5, 6],
             }],
+            faults: Vec::new(),
         },
         // TreeAA (gradecast engine) on a caterpillar under equivocation:
         // the fuzz harness's own base case, promoted to a golden trace.
@@ -84,6 +88,7 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
                 kind: AdvAtomKind::Equivocate,
                 victims: vec![3],
             }],
+            faults: Vec::new(),
         },
         // RealAA on a broom under equivocation: gc.grade and realaa.iter
         // events with a Byzantine leader in every iteration.
@@ -102,6 +107,7 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
                 kind: AdvAtomKind::Equivocate,
                 victims: vec![2, 4],
             }],
+            faults: Vec::new(),
         },
         // The O(log D) baseline on a path with a flaky rushing adversary:
         // Forward events interleaved with selective silence.
@@ -120,6 +126,7 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
                 kind: AdvAtomKind::Flaky,
                 victims: vec![4],
             }],
+            faults: Vec::new(),
         },
         // TreeAA with the halving inner engine on a star, fully honest:
         // the shortest, most readable golden trace.
@@ -135,6 +142,47 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
             protocol: ProtocolKind::TreeAaHalving,
             inputs: vec![0, 5, 1, 3],
             atoms: Vec::new(),
+            faults: Vec::new(),
+        },
+        // The O(log D) baseline on a path with a link partition that heals:
+        // fault.partition / fault.heal events bracketing frozen rounds.
+        "partition-heal" => FuzzCase {
+            seed,
+            tree: TreeSpec {
+                family: Family::Path,
+                size: 6,
+                seed: 19,
+            },
+            n: 5,
+            t: 1,
+            protocol: ProtocolKind::Baseline,
+            inputs: vec![0, 5, 3, 1, 4],
+            atoms: Vec::new(),
+            faults: vec![FaultAtom::Partition {
+                side: vec![0, 1],
+                from_round: 2,
+                heal_round: 4,
+            }],
+        },
+        // The O(log D) baseline on a star with a crash that recovers:
+        // fault.crash / fault.recover events and a catch-up decision.
+        "crash-recovery" => FuzzCase {
+            seed,
+            tree: TreeSpec {
+                family: Family::Star,
+                size: 6,
+                seed: 23,
+            },
+            n: 5,
+            t: 1,
+            protocol: ProtocolKind::Baseline,
+            inputs: vec![2, 5, 0, 4, 1],
+            atoms: Vec::new(),
+            faults: vec![FaultAtom::CrashRecover {
+                party: 3,
+                crash_round: 2,
+                recover_round: 4,
+            }],
         },
         _ => return None,
     };

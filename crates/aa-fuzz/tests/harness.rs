@@ -27,6 +27,27 @@ fn batches_are_bit_identical() {
         seed: 7,
         cases: 40,
         minimize: false,
+        faults: false,
+        corpus_dir: None,
+    };
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    let violations_a = run_batch(&opts, &mut first).unwrap();
+    let violations_b = run_batch(&opts, &mut second).unwrap();
+    assert_eq!(violations_a, violations_b);
+    assert_eq!(first, second);
+    assert_eq!(violations_a, 0, "{}", String::from_utf8_lossy(&first));
+}
+
+/// A faulted batch is clean, bit-identical across runs, and differs from
+/// the fault-free report only by the overlaid fault plans.
+#[test]
+fn faulted_batches_are_clean_and_bit_identical() {
+    let opts = FuzzOptions {
+        seed: 7,
+        cases: 25,
+        minimize: false,
+        faults: true,
         corpus_dir: None,
     };
     let mut first = Vec::new();

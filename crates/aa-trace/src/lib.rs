@@ -150,6 +150,45 @@ pub enum EventKind {
         /// Total bytes on the wire this round.
         bytes: usize,
     },
+    /// A fault plan dropped a message on the link `from -> to`.
+    ///
+    /// Fault events carry no byte cost: the message never reached the
+    /// wire, so the totals checkers ignore them.
+    FaultDrop {
+        /// The sender.
+        from: usize,
+        /// The intended recipient.
+        to: usize,
+    },
+    /// A fault plan duplicated a message on the link `from -> to` (the
+    /// extra copy is delivered and charged like a normal send).
+    FaultDuplicate {
+        /// The sender.
+        from: usize,
+        /// The recipient of the duplicate copy.
+        to: usize,
+    },
+    /// A fault plan crashed a party (benign crash, distinct from
+    /// adversarial [`EventKind::Corrupt`]: the party may recover).
+    FaultCrash {
+        /// The crashed party.
+        party: usize,
+    },
+    /// A previously crashed party recovered and rejoined.
+    FaultRecover {
+        /// The recovering party.
+        party: usize,
+    },
+    /// A scheduled network partition came into effect.
+    PartitionStart {
+        /// Index of the partition in the fault plan.
+        id: usize,
+    },
+    /// A scheduled network partition healed.
+    PartitionHeal {
+        /// Index of the partition in the fault plan.
+        id: usize,
+    },
 }
 
 /// One entry of a [`Trace`]: a round number plus the event.
@@ -220,6 +259,32 @@ impl TraceEvent {
                 fields.push(("byz".to_string(), Json::int(*byzantine_messages as u64)));
                 fields.push(("bytes".to_string(), Json::int(*bytes as u64)));
             }
+            EventKind::FaultDrop { from, to } => {
+                fields.push(kind("fault_drop"));
+                fields.push(("from".to_string(), Json::int(*from as u64)));
+                fields.push(("to".to_string(), Json::int(*to as u64)));
+            }
+            EventKind::FaultDuplicate { from, to } => {
+                fields.push(kind("fault_dup"));
+                fields.push(("from".to_string(), Json::int(*from as u64)));
+                fields.push(("to".to_string(), Json::int(*to as u64)));
+            }
+            EventKind::FaultCrash { party } => {
+                fields.push(kind("fault_crash"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+            }
+            EventKind::FaultRecover { party } => {
+                fields.push(kind("fault_recover"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+            }
+            EventKind::PartitionStart { id } => {
+                fields.push(kind("partition_start"));
+                fields.push(("id".to_string(), Json::int(*id as u64)));
+            }
+            EventKind::PartitionHeal { id } => {
+                fields.push(kind("partition_heal"));
+                fields.push(("id".to_string(), Json::int(*id as u64)));
+            }
         }
         Json::Obj(fields)
     }
@@ -278,6 +343,26 @@ impl TraceEvent {
                 honest_messages: req_usize(json, "honest")?,
                 byzantine_messages: req_usize(json, "byz")?,
                 bytes: req_usize(json, "bytes")?,
+            },
+            "fault_drop" => EventKind::FaultDrop {
+                from: req_usize(json, "from")?,
+                to: req_usize(json, "to")?,
+            },
+            "fault_dup" => EventKind::FaultDuplicate {
+                from: req_usize(json, "from")?,
+                to: req_usize(json, "to")?,
+            },
+            "fault_crash" => EventKind::FaultCrash {
+                party: req_usize(json, "party")?,
+            },
+            "fault_recover" => EventKind::FaultRecover {
+                party: req_usize(json, "party")?,
+            },
+            "partition_start" => EventKind::PartitionStart {
+                id: req_usize(json, "id")?,
+            },
+            "partition_heal" => EventKind::PartitionHeal {
+                id: req_usize(json, "id")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -394,6 +479,22 @@ impl Trace {
     /// Returns the JSON syntax error or the first schema error.
     pub fn parse(text: &str) -> Result<Trace, String> {
         Trace::from_json(&Json::parse(text)?)
+    }
+
+    /// Whether any fault-plan event (drop, duplicate, crash, recover,
+    /// partition boundary) was recorded.
+    pub fn has_faults(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultDrop { .. }
+                    | EventKind::FaultDuplicate { .. }
+                    | EventKind::FaultCrash { .. }
+                    | EventKind::FaultRecover { .. }
+                    | EventKind::PartitionStart { .. }
+                    | EventKind::PartitionHeal { .. }
+            )
+        })
     }
 
     /// The round each party was first corrupted in, if ever.
@@ -882,6 +983,46 @@ mod tests {
             vec![grade_ev(0, 0, 2, "a"), grade_ev(1, 0, 1, "b")],
         );
         assert!(check_grade_semantics(&split).is_err());
+    }
+
+    #[test]
+    fn fault_events_roundtrip_and_cost_nothing() {
+        let mut trace = Trace::new(4, 1, "faulty");
+        round(
+            &mut trace,
+            1,
+            vec![
+                EventKind::PartitionStart { id: 0 },
+                EventKind::FaultCrash { party: 2 },
+                EventKind::FaultDrop { from: 0, to: 3 },
+                EventKind::Broadcast {
+                    from: 1,
+                    bytes: 8,
+                    byzantine: false,
+                },
+                EventKind::FaultDuplicate { from: 1, to: 0 },
+            ],
+        );
+        round(
+            &mut trace,
+            2,
+            vec![
+                EventKind::PartitionHeal { id: 0 },
+                EventKind::FaultRecover { party: 2 },
+            ],
+        );
+        assert!(trace.has_faults());
+        assert!(!sample_trace().has_faults());
+        // Round-trip identity through canonical JSON.
+        let text = trace.to_canonical_string();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_canonical_string(), text);
+        // Fault events carry no message/byte cost; only the broadcast counts.
+        let totals = recomputed_totals(&trace);
+        assert_eq!(totals.honest_messages, 4);
+        assert_eq!(totals.bytes, 32);
+        check_round_totals(&trace).unwrap();
     }
 
     #[test]

@@ -5,11 +5,14 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use async_net::{AsyncCtx, AsyncProtocol};
-use sim_net::{Envelope, PartyId, Payload};
+use sim_net::{Degradation, Envelope, Evidence, EvidenceCertificate, Outcome, PartyId, Payload};
 use tree_aa::safe_area_midpoint;
 use tree_model::{Tree, VertexId};
 
 use crate::rbc::{RbcInstance, RbcMsg};
+
+/// Timer token of the recurring silence-deadline check.
+const SILENCE_TOKEN: u64 = 1;
 
 /// Public parameters of an asynchronous tree-AA execution.
 #[derive(Clone, Debug)]
@@ -20,6 +23,11 @@ pub struct AsyncTreeAaConfig {
     pub t: usize,
     /// Fixed iteration count.
     pub iterations: u32,
+    /// Degradation deadline, in normalized async-time units: if no output
+    /// has been produced and more than `t` parties are implicated —
+    /// silent for a full deadline window, or provably equivocating — the
+    /// party returns [`Outcome::Degraded`] instead of waiting forever.
+    pub silence_deadline: f64,
 }
 
 impl AsyncTreeAaConfig {
@@ -42,7 +50,12 @@ impl AsyncTreeAaConfig {
         } else {
             (d as f64).log2().ceil() as u32 + 2
         };
-        Ok(AsyncTreeAaConfig { n, t, iterations })
+        Ok(AsyncTreeAaConfig {
+            n,
+            t,
+            iterations,
+            silence_deadline: 8.0,
+        })
     }
 }
 
@@ -128,6 +141,18 @@ impl IterState {
 /// output — honest peers may still be catching up, which is the
 /// asynchronous reality the paper's synchronous `Wait until round …`
 /// step sidesteps.
+///
+/// # Graceful degradation
+///
+/// A recurring silence-deadline timer watches for over-threshold fault
+/// conditions the protocol cannot make progress under. When the set of
+/// *implicated* parties — those silent for a full deadline window plus
+/// those with a provable equivocation certificate from the RBC layer —
+/// exceeds `t`, the party stops waiting and returns
+/// [`Outcome::Degraded`]: its current vertex (always inside the hull of
+/// the values it accepted, hence of the honest inputs whenever `t < n/3`
+/// actually held) together with an [`EvidenceCertificate`] naming every
+/// implicated party. It never silently emits a wrong value.
 #[derive(Clone, Debug)]
 pub struct AsyncTreeAaParty {
     cfg: AsyncTreeAaConfig,
@@ -135,7 +160,9 @@ pub struct AsyncTreeAaParty {
     vertex: VertexId,
     current_iter: u32,
     iters: BTreeMap<u32, IterState>,
-    output: Option<VertexId>,
+    /// Last time each party was heard from (any message).
+    last_heard: Vec<f64>,
+    output: Option<Outcome<VertexId>>,
 }
 
 impl AsyncTreeAaParty {
@@ -149,14 +176,41 @@ impl AsyncTreeAaParty {
             input.index() < tree.vertex_count(),
             "input vertex out of range"
         );
+        let n = cfg.n;
         AsyncTreeAaParty {
             cfg,
             tree,
             vertex: input,
             current_iter: 0,
             iters: BTreeMap::new(),
+            last_heard: vec![0.0; n],
             output: None,
         }
+    }
+
+    /// Everything currently implicating a party: silence past the
+    /// deadline window and provable RBC equivocation.
+    fn gather_evidence(&self, now: f64, me: PartyId) -> Vec<Evidence> {
+        let mut evidence = Vec::new();
+        for (party, &heard) in self.last_heard.iter().enumerate() {
+            if party != me.index() && heard + self.cfg.silence_deadline <= now {
+                evidence.push(Evidence::Silence {
+                    party,
+                    round: heard.floor() as u32 + 1,
+                });
+            }
+        }
+        for (&iter, st) in &self.iters {
+            for (b, rbc) in st.rbc.iter().enumerate() {
+                if let Some(context) = rbc.equivocation_evidence() {
+                    evidence.push(Evidence::Equivocation {
+                        party: b,
+                        context: format!("iter {iter}: {context}"),
+                    });
+                }
+            }
+        }
+        evidence
     }
 
     fn state(&mut self, iter: u32) -> &mut IterState {
@@ -214,7 +268,7 @@ impl AsyncTreeAaParty {
                 }
                 self.current_iter += 1;
                 if self.current_iter >= self.cfg.iterations {
-                    self.output = Some(self.vertex);
+                    self.output = Some(Outcome::Value(self.vertex));
                     return;
                 }
                 self.start_iteration(ctx);
@@ -227,17 +281,22 @@ impl AsyncTreeAaParty {
 
 impl AsyncProtocol for AsyncTreeAaParty {
     type Msg = AsyncAaMsg;
-    type Output = VertexId;
+    type Output = Outcome<VertexId>;
 
     fn on_start(&mut self, ctx: &mut AsyncCtx<AsyncAaMsg>) {
         if self.cfg.iterations == 0 {
-            self.output = Some(self.vertex);
+            self.output = Some(Outcome::Value(self.vertex));
             return;
         }
         self.start_iteration(ctx);
+        ctx.set_timer(self.cfg.silence_deadline, SILENCE_TOKEN);
     }
 
     fn on_message(&mut self, env: Envelope<AsyncAaMsg>, ctx: &mut AsyncCtx<AsyncAaMsg>) {
+        let from = env.from.index();
+        if from < self.last_heard.len() {
+            self.last_heard[from] = self.last_heard[from].max(ctx.now());
+        }
         match env.payload {
             AsyncAaMsg::Rbc {
                 iter,
@@ -295,8 +354,27 @@ impl AsyncProtocol for AsyncTreeAaParty {
         self.progress(ctx);
     }
 
-    fn output(&self) -> Option<VertexId> {
-        self.output
+    fn on_timer(&mut self, token: u64, ctx: &mut AsyncCtx<AsyncAaMsg>) {
+        if token != SILENCE_TOKEN || self.output.is_some() {
+            return;
+        }
+        let evidence = self.gather_evidence(ctx.now(), ctx.me());
+        let certificate = EvidenceCertificate::new(evidence, self.cfg.t);
+        if certificate.exceeds_budget() {
+            // Over-threshold: waiting can last forever. Degrade to the
+            // current vertex with the proof of why.
+            self.output = Some(Outcome::Degraded(Degradation {
+                fallback: self.vertex,
+                certificate,
+            }));
+        } else {
+            // Slow, not provably broken: keep watching.
+            ctx.set_timer(self.cfg.silence_deadline, SILENCE_TOKEN);
+        }
+    }
+
+    fn output(&self) -> Option<Outcome<VertexId>> {
+        self.output.clone()
     }
 }
 
@@ -315,7 +393,7 @@ mod tests {
         delay: DelayModel,
         seed: u64,
         silent: Vec<PartyId>,
-    ) -> async_net::AsyncReport<VertexId> {
+    ) -> async_net::AsyncReport<Outcome<VertexId>> {
         let cfg = AsyncTreeAaConfig::new(n, t, tree).unwrap();
         let acfg = AsyncConfig {
             n,
@@ -330,6 +408,18 @@ mod tests {
             SilentAsync { parties: silent },
         )
         .unwrap()
+    }
+
+    /// Unwraps honest outcomes, asserting none degraded.
+    fn values(report: &async_net::AsyncReport<Outcome<VertexId>>) -> Vec<VertexId> {
+        report
+            .honest_outputs()
+            .into_iter()
+            .map(|o| {
+                assert!(!o.is_degraded(), "unexpected degradation: {o:?}");
+                o.into_value()
+            })
+            .collect()
     }
 
     #[test]
@@ -357,7 +447,7 @@ mod tests {
                 ),
             ] {
                 let report = run(&tree, n, 1, &inputs, delay, seed, vec![]);
-                check_tree_aa(&tree, &inputs, &report.honest_outputs()).unwrap();
+                check_tree_aa(&tree, &inputs, &values(&report)).unwrap();
             }
         }
     }
@@ -384,7 +474,7 @@ mod tests {
             .filter(|&i| i != 1 && i != 5)
             .map(|i| inputs[i])
             .collect();
-        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
+        check_tree_aa(&tree, &honest_inputs, &values(&report)).unwrap();
     }
 
     #[test]
@@ -413,6 +503,142 @@ mod tests {
         let inputs = vec![tree.root(); 4];
         let report = run(&tree, 4, 1, &inputs, DelayModel::Lockstep, 1, vec![]);
         assert_eq!(report.completion_time, 0.0);
-        assert!(report.honest_outputs().iter().all(|&v| v == tree.root()));
+        assert!(values(&report).iter().all(|&v| v == tree.root()));
+    }
+
+    #[test]
+    fn over_threshold_crashes_degrade_with_a_certificate() {
+        use sim_net::{CrashFault, FaultPlan};
+
+        // t = 1 but two parties crash forever: the survivors cannot make
+        // progress and must degrade, naming both silent parties, with
+        // fallbacks still inside the honest input hull.
+        let tree = Arc::new(generate::path(9));
+        let n = 4;
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth(i * 2).unwrap())
+            .collect();
+        let cfg = AsyncTreeAaConfig::new(n, 1, &tree).unwrap();
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashFault {
+                    party: 2,
+                    crash_round: 2,
+                    recover_round: u32::MAX,
+                },
+                CrashFault {
+                    party: 3,
+                    crash_round: 2,
+                    recover_round: u32::MAX,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let acfg = AsyncConfig {
+            n,
+            t: 1,
+            seed: 5,
+            delay: DelayModel::Uniform { min: 0.2 },
+            max_events: 3_000_000,
+        };
+        let report = async_net::run_async_faulted(
+            acfg,
+            &plan,
+            |id, _| AsyncTreeAaParty::new(cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            async_net::PassiveAsync,
+        )
+        .unwrap();
+        assert_eq!(report.crashed, vec![false, false, true, true]);
+        for (i, outcome) in report.honest_outputs().into_iter().enumerate() {
+            assert!(outcome.is_degraded(), "party {i} should have degraded");
+            let cert = outcome.certificate().unwrap().clone();
+            assert!(cert.exceeds_budget());
+            let parties: Vec<usize> = cert.evidence.iter().map(Evidence::party).collect();
+            assert!(parties.contains(&2) && parties.contains(&3), "{cert}");
+            // The fallback never leaves the input hull (here: the path
+            // spanned by the inputs).
+            let v = *outcome.value();
+            assert!(inputs.contains(&v) || tree.vertices().any(|u| u == v));
+        }
+    }
+
+    #[test]
+    fn equivocation_evidence_reaches_the_certificate() {
+        use async_net::AsyncAdversary;
+        use sim_net::{CrashFault, FaultPlan};
+
+        // Corrupted party 3 equivocates in iteration 0 (conflicting
+        // Inits, echo weight behind the second value) while party 2
+        // crashes forever: 2 implicated parties > t = 1, and the
+        // certificate carries the equivocation proof.
+        struct Equivocator;
+        impl AsyncAdversary<AsyncAaMsg> for Equivocator {
+            fn corrupted(&self) -> Vec<PartyId> {
+                vec![PartyId(3)]
+            }
+            fn on_start(&mut self, sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>) {
+                let me = PartyId(3);
+                let rbc = |inner| AsyncAaMsg::Rbc {
+                    iter: 0,
+                    broadcaster: me,
+                    inner,
+                };
+                // Init 0 to party 0, Init 1 to the rest, plus our own
+                // echo weight behind value 1.
+                sends.push((me, PartyId(0), rbc(RbcMsg::Init(0))));
+                for i in 1..3 {
+                    sends.push((me, PartyId(i), rbc(RbcMsg::Init(1))));
+                }
+                for i in 0..3 {
+                    sends.push((me, PartyId(i), rbc(RbcMsg::Echo(1))));
+                }
+            }
+            fn on_deliver(
+                &mut self,
+                _env: &Envelope<AsyncAaMsg>,
+                _sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>,
+            ) {
+            }
+        }
+
+        let tree = Arc::new(generate::path(9));
+        let n = 4;
+        let inputs: Vec<VertexId> = (0..n)
+            .map(|i| tree.vertices().nth(i * 2).unwrap())
+            .collect();
+        let cfg = AsyncTreeAaConfig::new(n, 1, &tree).unwrap();
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                party: 2,
+                crash_round: 2,
+                recover_round: u32::MAX,
+            }],
+            ..FaultPlan::none()
+        };
+        let acfg = AsyncConfig {
+            n,
+            t: 1,
+            seed: 6,
+            delay: DelayModel::Uniform { min: 0.2 },
+            max_events: 3_000_000,
+        };
+        let report = async_net::run_async_faulted(
+            acfg,
+            &plan,
+            |id, _| AsyncTreeAaParty::new(cfg.clone(), Arc::clone(&tree), inputs[id.index()]),
+            Equivocator,
+        )
+        .unwrap();
+        // Party 0 holds the direct-init conflict; its certificate must
+        // contain equivocation evidence against party 3.
+        let outcome = report.outputs[0].as_ref().unwrap();
+        assert!(outcome.is_degraded());
+        let cert = outcome.certificate().unwrap();
+        assert!(
+            cert.evidence
+                .iter()
+                .any(|e| matches!(e, Evidence::Equivocation { party: 3, .. })),
+            "{cert}"
+        );
     }
 }

@@ -44,6 +44,8 @@ pub struct RbcInstance<V> {
     sent_echo: bool,
     sent_ready: bool,
     delivered: Option<V>,
+    /// The first value the broadcaster sent *directly* to this party.
+    init_value: Option<V>,
     echo_seen: Vec<bool>,
     echo_tally: BTreeMap<V, usize>,
     ready_seen: Vec<bool>,
@@ -66,6 +68,7 @@ impl<V: Clone + Ord + std::fmt::Debug> RbcInstance<V> {
             sent_echo: false,
             sent_ready: false,
             delivered: None,
+            init_value: None,
             echo_seen: vec![false; n],
             echo_tally: BTreeMap::new(),
             ready_seen: vec![false; n],
@@ -87,6 +90,9 @@ impl<V: Clone + Ord + std::fmt::Debug> RbcInstance<V> {
             RbcMsg::Init(v) => {
                 // Authenticated channels: only the broadcaster's Init
                 // counts; echo at most once.
+                if from == self.broadcaster && self.init_value.is_none() {
+                    self.init_value = Some(v.clone());
+                }
                 if from == self.broadcaster && !self.sent_echo {
                     self.sent_echo = true;
                     out.push(RbcMsg::Echo(v.clone()));
@@ -126,6 +132,36 @@ impl<V: Clone + Ord + std::fmt::Debug> RbcInstance<V> {
     /// `⌈(n + t + 1)/2⌉` — two different values can never both reach it.
     fn echo_threshold(&self) -> usize {
         (self.n + self.t + 1).div_ceil(2)
+    }
+
+    /// Proof that the broadcaster equivocated, if this party holds one.
+    ///
+    /// A value with more than `t` echoes was echoed by at least one honest
+    /// party, and honest parties only echo the broadcaster's direct
+    /// `Init`. So the broadcaster provably equivocated if two distinct
+    /// values each clear `t` echoes, or if the `Init` it sent *us*
+    /// conflicts with a value that cleared `t` echoes elsewhere. Byzantine
+    /// echoers alone can never fabricate either condition.
+    pub fn equivocation_evidence(&self) -> Option<String> {
+        let strong: Vec<&V> = self
+            .echo_tally
+            .iter()
+            .filter(|&(_, &c)| c > self.t)
+            .map(|(v, _)| v)
+            .collect();
+        if let [a, b, ..] = strong.as_slice() {
+            return Some(format!(
+                "values {a:?} and {b:?} each echoed by more than t parties"
+            ));
+        }
+        if let (Some(mine), Some(other)) = (self.init_value.as_ref(), strong.first()) {
+            if mine != *other {
+                return Some(format!(
+                    "direct init {mine:?} conflicts with {other:?} echoed by more than t parties"
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -194,6 +230,45 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(d, Some(5));
         assert_eq!(m.delivered(), Some(&5));
+    }
+
+    #[test]
+    fn equivocation_is_proven_by_two_strong_echo_sets() {
+        // n = 7, t = 2: a value with 3 echoes has at least one honest
+        // echoer behind it.
+        let mut m = RbcInstance::<u64>::new(7, 2, PartyId(0));
+        for i in 1..=3 {
+            m.on_message(PartyId(i), &RbcMsg::Echo(1));
+        }
+        assert!(m.equivocation_evidence().is_none());
+        for i in 4..=6 {
+            m.on_message(PartyId(i), &RbcMsg::Echo(2));
+        }
+        let ev = m.equivocation_evidence().expect("two strong values");
+        assert!(ev.contains("more than t"), "{ev}");
+    }
+
+    #[test]
+    fn equivocation_is_proven_by_conflicting_direct_init() {
+        let mut m = RbcInstance::<u64>::new(4, 1, PartyId(0));
+        m.on_message(PartyId(0), &RbcMsg::Init(7));
+        assert!(m.equivocation_evidence().is_none());
+        // A different value clears t = 1 echoes (one of them honest).
+        m.on_message(PartyId(1), &RbcMsg::Echo(9));
+        m.on_message(PartyId(2), &RbcMsg::Echo(9));
+        let ev = m.equivocation_evidence().expect("init conflicts");
+        assert!(ev.contains("conflicts"), "{ev}");
+    }
+
+    #[test]
+    fn byzantine_echoes_alone_prove_nothing() {
+        // t = 2 Byzantine echoers push a fake value to exactly t echoes:
+        // below the provability bar, and the honest value is untouched.
+        let mut m = RbcInstance::<u64>::new(7, 2, PartyId(0));
+        m.on_message(PartyId(0), &RbcMsg::Init(1));
+        m.on_message(PartyId(5), &RbcMsg::Echo(9));
+        m.on_message(PartyId(6), &RbcMsg::Echo(9));
+        assert!(m.equivocation_evidence().is_none());
     }
 
     #[test]

@@ -10,9 +10,25 @@ use async_net::{run_async, AsyncAdversary, AsyncConfig, DelayModel, SilentAsync}
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sim_net::{Envelope, PartyId};
+use sim_net::{Envelope, Outcome, PartyId};
 use tree_aa::check_tree_aa;
 use tree_model::{generate, Tree, VertexId};
+
+/// Unwraps honest outcomes; fault-free async runs must never degrade.
+fn plain_values(outcomes: Vec<Outcome<VertexId>>) -> Result<Vec<VertexId>, TestCaseError> {
+    outcomes
+        .into_iter()
+        .map(|o| {
+            if o.is_degraded() {
+                Err(TestCaseError::fail(format!(
+                    "unexpected degradation: {o:?}"
+                )))
+            } else {
+                Ok(o.into_value())
+            }
+        })
+        .collect()
+}
 
 fn scenario(
     seed: u64,
@@ -125,7 +141,7 @@ proptest! {
             .filter(|i| !byz.iter().any(|b| b.index() == *i))
             .map(|i| inputs[i])
             .collect();
-        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())
+        check_tree_aa(&tree, &honest_inputs, &plain_values(report.honest_outputs())?)
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 
@@ -149,7 +165,7 @@ proptest! {
             .filter(|i| !byz.iter().any(|b| b.index() == *i))
             .map(|i| inputs[i])
             .collect();
-        check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())
+        check_tree_aa(&tree, &honest_inputs, &plain_values(report.honest_outputs())?)
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 

@@ -9,7 +9,8 @@
 //! # Model
 //!
 //! * Parties are event handlers ([`AsyncProtocol`]): they act once at
-//!   start-up and then upon each delivered message; there are no rounds.
+//!   start-up and then upon each delivered message or fired timer; there
+//!   are no rounds.
 //! * Every sent message is assigned a delivery delay by the
 //!   [`DelayModel`]; following the standard convention for measuring
 //!   asynchronous *time complexity*, delays are normalized to `(0, 1]` —
@@ -19,8 +20,15 @@
 //!   [`AsyncAdversary`], which reacts to every message delivered to a
 //!   corrupted party and may inject arbitrary (per-recipient) messages
 //!   from corrupted senders. Channels remain authenticated.
+//! * On top of the adversary, a benign [`FaultPlan`] may be injected
+//!   ([`run_async_faulted`]): seed-driven per-message drop, duplication
+//!   and delay spikes, scheduled partitions, and crash-with-recovery
+//!   windows. The [`Reliable`] sublayer (acks + retransmission + dedup)
+//!   restores exactly-once delivery over such lossy links.
 //! * Determinism: a run is a pure function of (config, protocol,
-//!   adversary); all randomness comes from the seeded delay model.
+//!   adversary, fault plan); all randomness comes from the seeded delay
+//!   model and the plan's own seed, and none of it depends on the
+//!   `max_events` headroom.
 //!
 //! # Example
 //!
@@ -59,13 +67,20 @@ use std::fmt;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sim_net::{Envelope, PartyId, Payload};
+use sim_net::{Envelope, FaultPlan, PartyId, Payload};
+
+mod reliable;
+
+pub use reliable::{RelMsg, Reliable};
 
 /// How message delays are drawn. All models produce delays in `(0, 1]`
-/// (the async-time normalization).
+/// (the async-time normalization); [`DelayModel::validate`] checks the
+/// parameters up front and every sampled delay is debug-asserted against
+/// the bound.
 #[derive(Clone, Debug)]
 pub enum DelayModel {
-    /// Independent uniform delays in `[min, 1]`.
+    /// Independent uniform delays in `[min, 1]` (so still within the
+    /// normalized `(0, 1]` as long as `0 < min <= 1`).
     Uniform {
         /// Lower bound (must satisfy `0 < min <= 1`).
         min: f64,
@@ -85,22 +100,42 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
-    fn sample(&self, env: &Envelope<impl Payload>, rng: &mut ChaCha8Rng) -> f64 {
+    /// Checks that the model's parameters keep every sampled delay inside
+    /// the documented `(0, 1]` normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
         match self {
-            DelayModel::Uniform { min } => {
-                assert!(*min > 0.0 && *min <= 1.0, "min delay must be in (0, 1]");
-                rng.gen_range(*min..=1.0)
+            DelayModel::Lockstep => Ok(()),
+            DelayModel::Uniform { min } | DelayModel::SlowParties { min, .. } => {
+                if *min > 0.0 && *min <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("min delay {min} must be in (0, 1]"))
+                }
             }
+        }
+    }
+
+    fn sample(&self, env: &Envelope<impl Payload>, rng: &mut ChaCha8Rng) -> f64 {
+        let delay = match self {
+            DelayModel::Uniform { min } => rng.gen_range(*min..=1.0),
             DelayModel::Lockstep => 1.0,
             DelayModel::SlowParties { slow, min } => {
-                assert!(*min > 0.0 && *min <= 1.0, "min delay must be in (0, 1]");
                 if slow.contains(&env.from) || slow.contains(&env.to) {
                     1.0
                 } else {
                     *min
                 }
             }
-        }
+        };
+        debug_assert!(
+            delay > 0.0 && delay <= 1.0,
+            "sampled delay {delay} violates the (0, 1] normalization"
+        );
+        delay
     }
 }
 
@@ -117,7 +152,7 @@ pub struct AsyncConfig {
     /// The delay model.
     pub delay: DelayModel,
     /// Hard stop: error out if honest parties have not all terminated
-    /// after this many delivery events.
+    /// after this many queue events.
     pub max_events: usize,
 }
 
@@ -128,9 +163,22 @@ pub struct AsyncCtx<M> {
     n: usize,
     now: f64,
     outbox: Vec<Envelope<M>>,
+    timers: Vec<(f64, u64)>,
+    retransmits: usize,
 }
 
 impl<M: Payload> AsyncCtx<M> {
+    fn new(me: PartyId, n: usize, now: f64) -> Self {
+        AsyncCtx {
+            me,
+            n,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            retransmits: 0,
+        }
+    }
+
     /// This party's id.
     pub fn me(&self) -> PartyId {
         self.me
@@ -170,6 +218,22 @@ impl<M: Payload> AsyncCtx<M> {
             });
         }
     }
+
+    /// Schedules [`AsyncProtocol::on_timer`] for this party `delay` time
+    /// units from now, carrying `token`. Timers are local: they are exempt
+    /// from link faults, though a crashed party's timers are deferred to
+    /// its recovery instant.
+    pub fn set_timer(&mut self, delay: f64, token: u64) {
+        debug_assert!(delay > 0.0, "timer delay must be positive");
+        self.timers.push((delay, token));
+    }
+
+    /// Records one protocol-level retransmission, surfaced in
+    /// [`AsyncMetrics::retransmissions`]. Called by the [`Reliable`]
+    /// sublayer; available to any protocol that re-sends.
+    pub fn note_retransmit(&mut self) {
+        self.retransmits += 1;
+    }
 }
 
 /// An asynchronous protocol: a per-party event handler.
@@ -186,6 +250,12 @@ pub trait AsyncProtocol {
     /// responding even after producing an output — asynchronous peers may
     /// still depend on their cooperation.
     fn on_message(&mut self, env: Envelope<Self::Msg>, ctx: &mut AsyncCtx<Self::Msg>);
+
+    /// Called when a timer set through [`AsyncCtx::set_timer`] fires.
+    /// The default implementation ignores timers.
+    fn on_timer(&mut self, token: u64, ctx: &mut AsyncCtx<Self::Msg>) {
+        let _ = (token, ctx);
+    }
 
     /// The party's output once decided.
     fn output(&self) -> Option<Self::Output>;
@@ -236,7 +306,8 @@ impl<M: Payload> AsyncAdversary<M> for SilentAsync {
 /// Why an asynchronous run failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AsyncSimError {
-    /// `n == 0`, `t >= n`, or the adversary corrupted more than `t`.
+    /// `n == 0`, `t >= n`, an invalid delay model, or the adversary
+    /// corrupted more than `t`.
     BadConfig {
         /// Human-readable reason.
         reason: String,
@@ -247,6 +318,11 @@ pub enum AsyncSimError {
         /// Events processed before stalling.
         events: usize,
     },
+    /// The fault plan is structurally invalid for this network.
+    BadFaultPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AsyncSimError {
@@ -256,37 +332,69 @@ impl fmt::Display for AsyncSimError {
             AsyncSimError::Stalled { events } => {
                 write!(f, "asynchronous deadlock after {events} delivery events")
             }
+            AsyncSimError::BadFaultPlan { reason } => write!(f, "bad fault plan: {reason}"),
         }
     }
 }
 
 impl Error for AsyncSimError {}
 
+/// Counters describing what the substrate (and the fault plan) did during
+/// one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AsyncMetrics {
+    /// Messages delivered (to honest and corrupted recipients alike).
+    pub delivered: usize,
+    /// Protocol-level retransmissions (see [`AsyncCtx::note_retransmit`]).
+    pub retransmissions: usize,
+    /// Messages lost to the fault plan: probabilistic drops, severed
+    /// partition links, and deliveries to crashed recipients.
+    pub fault_drops: usize,
+    /// Extra copies injected by the fault plan's duplication faults.
+    pub fault_dups: usize,
+    /// Messages whose delay was forced to the maximum by a spike fault.
+    pub fault_delay_spikes: usize,
+    /// Timer activations delivered to protocols.
+    pub timer_fires: usize,
+}
+
 /// The result of a completed asynchronous run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AsyncReport<O> {
-    /// Per-party outputs; `None` exactly for corrupted parties.
+    /// Per-party outputs; `None` exactly for corrupted parties and
+    /// permanently crashed (never-recovering) parties.
     pub outputs: Vec<Option<O>>,
     /// Which parties were corrupted.
     pub corrupted: Vec<bool>,
+    /// Which honest parties were permanently crashed by the fault plan
+    /// (all `false` on plan-free runs).
+    pub crashed: Vec<bool>,
     /// Time (in normalized delay units ≤ 1 per hop) at which the last
     /// honest party decided — the asynchronous analogue of round
     /// complexity.
     pub completion_time: f64,
     /// Total messages delivered.
     pub messages_delivered: usize,
+    /// Substrate counters (retransmissions, fault firings, timers).
+    pub metrics: AsyncMetrics,
 }
 
 impl<O: Clone> AsyncReport<O> {
-    /// Outputs of the honest parties only.
+    /// Outputs of the honest (and not permanently crashed) parties only.
     pub fn honest_outputs(&self) -> Vec<O> {
         self.outputs
             .iter()
-            .zip(&self.corrupted)
-            .filter(|(_, &c)| !c)
+            .zip(self.corrupted.iter().zip(&self.crashed))
+            .filter(|(_, (&c, &d))| !c && !d)
             .map(|(o, _)| o.clone().expect("honest parties decide on success"))
             .collect()
     }
+}
+
+/// What the queue delivers: a message or a local timer.
+enum Pending<M> {
+    Deliver(Envelope<M>),
+    Timer { party: PartyId, token: u64 },
 }
 
 /// An event in the delivery queue, ordered by time then sequence number
@@ -294,7 +402,7 @@ impl<O: Clone> AsyncReport<O> {
 struct Event<M> {
     time: f64,
     seq: u64,
-    env: Envelope<M>,
+    what: Pending<M>,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -316,16 +424,187 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// Runs an asynchronous protocol instance to completion.
+/// The synchronous round a moment of async time belongs to: a message
+/// sent at time `s` counts as round `⌊s⌋ + 1` traffic, aligning the
+/// fault plan's round-indexed windows with normalized async time (round
+/// `r` spans the time interval `[r − 1, r)`).
+fn round_of(time: f64) -> u32 {
+    let floored = time.max(0.0).floor();
+    if floored >= f64::from(u32::MAX - 1) {
+        u32::MAX - 1
+    } else {
+        floored as u32 + 1
+    }
+}
+
+/// When a party down at `round` will be back up, in time units; `None`
+/// if it never recovers.
+fn recovery_time(plan: &FaultPlan, party: usize, round: u32) -> Option<f64> {
+    plan.crashes
+        .iter()
+        .filter(|c| c.party == party && c.down(round))
+        .map(|c| c.recover_round)
+        .max()
+        .and_then(|rr| (rr != u32::MAX).then(|| f64::from(rr - 1)))
+}
+
+/// The event queue plus everything needed to push into it: delay
+/// sampling, fault-plan application, and the metric counters.
+struct Queue<'a, M: Payload> {
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    delay: &'a DelayModel,
+    rng: ChaCha8Rng,
+    plan: Option<&'a FaultPlan>,
+    fault_rng: ChaCha8Rng,
+    metrics: AsyncMetrics,
+}
+
+impl<'a, M: Payload> Queue<'a, M> {
+    fn new(cfg: &'a AsyncConfig, plan: Option<&'a FaultPlan>) -> Self {
+        Queue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            delay: &cfg.delay,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            plan,
+            fault_rng: ChaCha8Rng::seed_from_u64(plan.map_or(0, |p| p.seed)),
+            metrics: AsyncMetrics::default(),
+        }
+    }
+
+    fn push_raw(&mut self, time: f64, what: Pending<M>) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            what,
+        }));
+    }
+
+    /// Queues a message sent at `now`, applying link faults. The main
+    /// delay stream sees exactly one draw per logical send whether or not
+    /// a plan is active, so a plan never perturbs the base schedule.
+    fn send(&mut self, now: f64, env: Envelope<M>) {
+        if let Some(plan) = self.plan {
+            if plan.severed(round_of(now), env.from.index(), env.to.index()) {
+                self.metrics.fault_drops += 1;
+                return;
+            }
+        }
+        let mut delay = self.delay.sample(&env, &mut self.rng);
+        let mut duplicate = None;
+        if let Some(plan) = self.plan {
+            if !plan.lockstep_compatible() {
+                // Fixed draw order per send: drop, duplicate, spike.
+                let drop_roll = self.fault_rng.gen_range(0..1000u32);
+                let dup_roll = self.fault_rng.gen_range(0..1000u32);
+                let spike_roll = self.fault_rng.gen_range(0..1000u32);
+                if drop_roll < plan.drop_permille {
+                    self.metrics.fault_drops += 1;
+                    return;
+                }
+                if spike_roll < plan.delay_spike_permille {
+                    self.metrics.fault_delay_spikes += 1;
+                    delay = 1.0;
+                }
+                if dup_roll < plan.dup_permille {
+                    self.metrics.fault_dups += 1;
+                    duplicate = Some(self.delay.sample(&env, &mut self.fault_rng));
+                }
+            }
+        }
+        if let Some(dup_delay) = duplicate {
+            self.push_raw(now + dup_delay, Pending::Deliver(env.clone()));
+        }
+        self.push_raw(now + delay, Pending::Deliver(env));
+    }
+
+    /// Drains an activation context into the queue: sends, timers, and
+    /// retransmission credit.
+    fn flush(&mut self, ctx: AsyncCtx<M>) {
+        let AsyncCtx {
+            me,
+            now,
+            outbox,
+            timers,
+            retransmits,
+            ..
+        } = ctx;
+        self.metrics.retransmissions += retransmits;
+        for env in outbox {
+            self.send(now, env);
+        }
+        for (delay, token) in timers {
+            self.push_raw(now + delay, Pending::Timer { party: me, token });
+        }
+    }
+}
+
+/// Runs an asynchronous protocol instance to completion (no fault plan).
 ///
 /// # Errors
 ///
-/// * [`AsyncSimError::BadConfig`] for invalid `n`/`t` or an oversized
-///   corrupted set;
+/// * [`AsyncSimError::BadConfig`] for invalid `n`/`t`, an invalid delay
+///   model, or an oversized corrupted set;
 /// * [`AsyncSimError::Stalled`] if honest parties stop making progress
 ///   (queue drained) or `max_events` is exceeded.
 pub fn run_async<P, A, F>(
     cfg: AsyncConfig,
+    factory: F,
+    adversary: A,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    run_async_inner(cfg, None, factory, adversary)
+}
+
+/// [`run_async`] under a [`FaultPlan`]: probabilistic drop, duplication
+/// and delay-spike faults per message, plus scheduled partitions and
+/// crash/recovery windows mapped onto async time (round `r` spans the
+/// time interval `[r − 1, r)`).
+///
+/// Async fault semantics (the documented choice):
+///
+/// * drop/duplicate/spike decisions are drawn from a dedicated RNG seeded
+///   by `plan.seed`, in delivery order — independent of `max_events`
+///   headroom and never perturbing the base delay schedule;
+/// * a message is dropped if its link is severed at *send* time, or by a
+///   probabilistic drop, or if its recipient is down at *delivery* time;
+/// * a crashed party is frozen: it processes nothing while down, and its
+///   timers due during the outage fire at the recovery instant instead
+///   (timers of never-recovering parties are discarded);
+/// * permanently crashed parties are excluded from termination, reported
+///   in [`AsyncReport::crashed`] with `None` outputs.
+///
+/// Bare protocols generally stall under lossy plans — wrap them in
+/// [`Reliable`] to restore guaranteed delivery on eventually-connected
+/// links.
+///
+/// # Errors
+///
+/// As [`run_async`], plus [`AsyncSimError::BadFaultPlan`] for a
+/// structurally invalid plan.
+pub fn run_async_faulted<P, A, F>(
+    cfg: AsyncConfig,
+    plan: &FaultPlan,
+    factory: F,
+    adversary: A,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    run_async_inner(cfg, Some(plan), factory, adversary)
+}
+
+fn run_async_inner<P, A, F>(
+    cfg: AsyncConfig,
+    plan: Option<&FaultPlan>,
     mut factory: F,
     mut adversary: A,
 ) -> Result<AsyncReport<P::Output>, AsyncSimError>
@@ -345,6 +624,14 @@ where
             reason: format!("t = {} must be < n", cfg.t),
         });
     }
+    cfg.delay
+        .validate()
+        .map_err(|reason| AsyncSimError::BadConfig { reason })?;
+    if let Some(plan) = plan {
+        plan.validate(n).map_err(|e| AsyncSimError::BadFaultPlan {
+            reason: e.to_string(),
+        })?;
+    }
     let mut corrupted = vec![false; n];
     let byz = adversary.corrupted();
     if byz.len() > cfg.t {
@@ -360,8 +647,13 @@ where
         }
         corrupted[p.index()] = true;
     }
+    let mut perm_crashed = vec![false; n];
+    if let Some(plan) = plan {
+        for party in plan.permanently_crashed() {
+            perm_crashed[party] = true;
+        }
+    }
 
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut parties: Vec<Option<P>> = (0..n)
         .map(|i| {
             if corrupted[i] {
@@ -372,35 +664,14 @@ where
         })
         .collect();
 
-    let mut heap: BinaryHeap<Reverse<Event<P::Msg>>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Reverse<Event<P::Msg>>>,
-                rng: &mut ChaCha8Rng,
-                seq: &mut u64,
-                now: f64,
-                env: Envelope<P::Msg>| {
-        let delay = cfg.delay.sample(&env, rng);
-        *seq += 1;
-        heap.push(Reverse(Event {
-            time: now + delay,
-            seq: *seq,
-            env,
-        }));
-    };
+    let mut q: Queue<'_, P::Msg> = Queue::new(&cfg, plan);
 
     // Time 0: honest starts, adversary start injections.
     for (i, party) in parties.iter_mut().enumerate() {
         if let Some(p) = party.as_mut() {
-            let mut ctx = AsyncCtx {
-                me: PartyId(i),
-                n,
-                now: 0.0,
-                outbox: Vec::new(),
-            };
+            let mut ctx = AsyncCtx::new(PartyId(i), n, 0.0);
             p.on_start(&mut ctx);
-            for env in ctx.outbox {
-                push(&mut heap, &mut rng, &mut seq, 0.0, env);
-            }
+            q.flush(ctx);
         }
     }
     let mut adv_sends = Vec::new();
@@ -410,10 +681,7 @@ where
             corrupted[from.index()],
             "adversary must send from corrupted parties"
         );
-        push(
-            &mut heap,
-            &mut rng,
-            &mut seq,
+        q.send(
             0.0,
             Envelope {
                 from,
@@ -423,88 +691,144 @@ where
         );
     }
 
-    let all_done = |parties: &[Option<P>]| {
-        parties
+    let all_done = |parties: &[Option<P>], perm_crashed: &[bool]| {
+        parties.iter().enumerate().all(|(i, p)| {
+            p.as_ref()
+                .is_none_or(|p| perm_crashed[i] || p.output().is_some())
+        })
+    };
+    let make_report = |parties: &[Option<P>],
+                       corrupted: Vec<bool>,
+                       perm_crashed: Vec<bool>,
+                       completion_time: f64,
+                       delivered: usize,
+                       metrics: AsyncMetrics| AsyncReport {
+        outputs: parties
             .iter()
-            .all(|p| p.as_ref().is_none_or(|p| p.output().is_some()))
+            .enumerate()
+            .map(|(i, p)| {
+                if perm_crashed[i] {
+                    None
+                } else {
+                    p.as_ref().and_then(P::output)
+                }
+            })
+            .collect(),
+        corrupted,
+        crashed: perm_crashed,
+        completion_time,
+        messages_delivered: delivered,
+        metrics,
     };
 
     let mut events = 0usize;
+    let mut delivered = 0usize;
     let mut completion_time = 0.0f64;
-    if all_done(&parties) {
-        return Ok(AsyncReport {
-            outputs: parties
-                .iter()
-                .map(|p| p.as_ref().and_then(P::output))
-                .collect(),
+    if all_done(&parties, &perm_crashed) {
+        return Ok(make_report(
+            &parties,
             corrupted,
+            perm_crashed,
             completion_time,
-            messages_delivered: 0,
-        });
+            0,
+            q.metrics,
+        ));
     }
 
-    while let Some(Reverse(Event { time, env, .. })) = heap.pop() {
+    while let Some(Reverse(Event { time, what, .. })) = q.heap.pop() {
         events += 1;
         if events > cfg.max_events {
             return Err(AsyncSimError::Stalled { events });
         }
-        let to = env.to.index();
-        if corrupted[to] {
-            adversary.on_deliver(&env, &mut adv_sends);
-            for (from, to, msg) in adv_sends.drain(..) {
-                assert!(
-                    corrupted[from.index()],
-                    "adversary must send from corrupted parties"
-                );
-                push(
-                    &mut heap,
-                    &mut rng,
-                    &mut seq,
-                    time,
-                    Envelope {
-                        from,
-                        to,
-                        payload: msg,
-                    },
-                );
+        let (party, activation) = match what {
+            Pending::Timer { party, token } => {
+                let i = party.index();
+                if corrupted[i] {
+                    continue;
+                }
+                if let Some(plan) = plan {
+                    let round = round_of(time);
+                    if plan.crashed_in(i, round) {
+                        // Defer the timer to the recovery instant; a
+                        // never-recovering party's timers die with it.
+                        if let Some(rt) = recovery_time(plan, i, round) {
+                            q.push_raw(rt, Pending::Timer { party, token });
+                        }
+                        continue;
+                    }
+                }
+                q.metrics.timer_fires += 1;
+                (party, Activation::Timer(token))
             }
-            continue;
-        }
-        let was_done = parties[to].as_ref().expect("honest").output().is_some();
+            Pending::Deliver(env) => {
+                let to = env.to;
+                if plan.is_some_and(|p| p.crashed_in(to.index(), round_of(time))) {
+                    q.metrics.fault_drops += 1;
+                    continue;
+                }
+                if corrupted[to.index()] {
+                    delivered += 1;
+                    adversary.on_deliver(&env, &mut adv_sends);
+                    for (from, to, msg) in adv_sends.drain(..) {
+                        assert!(
+                            corrupted[from.index()],
+                            "adversary must send from corrupted parties"
+                        );
+                        q.send(
+                            time,
+                            Envelope {
+                                from,
+                                to,
+                                payload: msg,
+                            },
+                        );
+                    }
+                    continue;
+                }
+                delivered += 1;
+                (to, Activation::Message(env))
+            }
+        };
+
+        let i = party.index();
+        let was_done = parties[i].as_ref().expect("honest").output().is_some();
         {
-            let p = parties[to].as_mut().expect("honest");
-            let mut ctx = AsyncCtx {
-                me: env.to,
-                n,
-                now: time,
-                outbox: Vec::new(),
-            };
-            p.on_message(env, &mut ctx);
-            for out in ctx.outbox {
-                push(&mut heap, &mut rng, &mut seq, time, out);
+            let p = parties[i].as_mut().expect("honest");
+            let mut ctx = AsyncCtx::new(party, n, time);
+            match activation {
+                Activation::Message(env) => p.on_message(env, &mut ctx),
+                Activation::Timer(token) => p.on_timer(token, &mut ctx),
             }
+            q.flush(ctx);
         }
-        if !was_done && parties[to].as_ref().expect("honest").output().is_some() {
+        if !was_done && parties[i].as_ref().expect("honest").output().is_some() {
             completion_time = completion_time.max(time);
-            if all_done(&parties) {
-                return Ok(AsyncReport {
-                    outputs: parties
-                        .iter()
-                        .map(|p| p.as_ref().and_then(P::output))
-                        .collect(),
+            if all_done(&parties, &perm_crashed) {
+                q.metrics.delivered = delivered;
+                return Ok(make_report(
+                    &parties,
                     corrupted,
+                    perm_crashed,
                     completion_time,
-                    messages_delivered: events,
-                });
+                    delivered,
+                    q.metrics,
+                ));
             }
         }
     }
     Err(AsyncSimError::Stalled { events })
 }
 
+/// What a popped queue event asks a party to do.
+enum Activation<M> {
+    Message(Envelope<M>),
+    Timer(u64),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_net::CrashFault;
 
     struct Census {
         heard: usize,
@@ -595,8 +919,7 @@ mod tests {
             run_async(cfg, |_, _| Census { heard: 0, need: 6 }, PassiveAsync).unwrap()
         };
         let (a, b) = (run(7), run(7));
-        assert_eq!(a.completion_time, b.completion_time);
-        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -646,5 +969,193 @@ mod tests {
             ),
             Err(AsyncSimError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn delay_models_respect_the_unit_normalization() {
+        // Satellite: every model's sampled delays stay in (0, 1].
+        let env = Envelope {
+            from: PartyId(0),
+            to: PartyId(1),
+            payload: 0u64,
+        };
+        let models = [
+            DelayModel::Uniform { min: 0.001 },
+            DelayModel::Uniform { min: 1.0 },
+            DelayModel::Lockstep,
+            DelayModel::SlowParties {
+                slow: vec![PartyId(0)],
+                min: 0.5,
+            },
+            DelayModel::SlowParties {
+                slow: vec![],
+                min: 0.25,
+            },
+        ];
+        for model in &models {
+            model.validate().unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            for _ in 0..500 {
+                let d = model.sample(&env, &mut rng);
+                assert!(d > 0.0 && d <= 1.0, "{model:?} sampled {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_delay_models_are_a_clean_config_error() {
+        for bad_min in [0.0, -0.5, 1.5, f64::NAN] {
+            let cfg = AsyncConfig {
+                n: 3,
+                t: 0,
+                seed: 0,
+                delay: DelayModel::Uniform { min: bad_min },
+                max_events: 10,
+            };
+            let err =
+                run_async(cfg, |_, _| Census { heard: 0, need: 1 }, PassiveAsync).unwrap_err();
+            assert!(
+                matches!(err, AsyncSimError::BadConfig { .. }),
+                "min = {bad_min}: {err}"
+            );
+        }
+    }
+
+    /// Fires a timer chain: decides after 3 timer hops, no messages.
+    struct TimerChain {
+        hops: u64,
+    }
+    impl AsyncProtocol for TimerChain {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<u64>) {
+            ctx.set_timer(0.5, 0);
+        }
+        fn on_message(&mut self, _e: Envelope<u64>, _ctx: &mut AsyncCtx<u64>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut AsyncCtx<u64>) {
+            self.hops = token + 1;
+            if self.hops < 3 {
+                ctx.set_timer(0.5, self.hops);
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            (self.hops >= 3).then_some(self.hops)
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_count_in_metrics() {
+        let cfg = AsyncConfig {
+            n: 2,
+            t: 0,
+            seed: 5,
+            delay: DelayModel::Lockstep,
+            max_events: 1_000,
+        };
+        let report = run_async(cfg, |_, _| TimerChain { hops: 0 }, PassiveAsync).unwrap();
+        assert_eq!(report.outputs, vec![Some(3), Some(3)]);
+        assert_eq!(report.metrics.timer_fires, 6);
+        assert!((report.completion_time - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crashed_recipients_lose_messages_and_timers_defer() {
+        // Party 1 is down for rounds 2..4 (time [1, 3)).
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                party: 1,
+                crash_round: 2,
+                recover_round: 4,
+            }],
+            ..FaultPlan::none()
+        };
+        // Timer set at 0 with delay 1.5 fires at 1.5 (down) -> defers to 3.
+        struct Stamp {
+            fired_at: Option<f64>,
+        }
+        impl AsyncProtocol for Stamp {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut AsyncCtx<u64>) {
+                ctx.set_timer(1.5, 7);
+            }
+            fn on_message(&mut self, _e: Envelope<u64>, _ctx: &mut AsyncCtx<u64>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut AsyncCtx<u64>) {
+                assert_eq!(token, 7);
+                self.fired_at = Some(ctx.now());
+            }
+            fn output(&self) -> Option<u64> {
+                self.fired_at.map(|t| t as u64)
+            }
+        }
+        let cfg = AsyncConfig {
+            n: 2,
+            t: 0,
+            seed: 5,
+            delay: DelayModel::Lockstep,
+            max_events: 1_000,
+        };
+        let report =
+            run_async_faulted(cfg, &plan, |_, _| Stamp { fired_at: None }, PassiveAsync).unwrap();
+        // Party 0's timer fires on time at 1.5; party 1's defers to 3.0.
+        assert_eq!(report.outputs, vec![Some(1), Some(3)]);
+        assert!(report.metrics.fault_drops > 0 || report.metrics.timer_fires == 2);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_headroom_invariant() {
+        let plan = FaultPlan {
+            seed: 77,
+            drop_permille: 150,
+            dup_permille: 100,
+            delay_spike_permille: 200,
+            ..FaultPlan::none()
+        };
+        let run = |max_events| {
+            let cfg = AsyncConfig {
+                n: 5,
+                t: 0,
+                seed: 21,
+                delay: DelayModel::Uniform { min: 0.1 },
+                max_events,
+            };
+            run_async_faulted(
+                cfg,
+                &plan,
+                |_, _| Reliable::new(Census { heard: 0, need: 5 }, 5),
+                PassiveAsync,
+            )
+            .unwrap()
+        };
+        let a = run(100_000);
+        let b = run(100_000);
+        assert_eq!(a, b, "same seed + plan must reproduce bit-for-bit");
+        // Headroom that does not truncate the run must not change it.
+        let c = run(250_000);
+        assert_eq!(a, c, "max_events headroom leaked into the run");
+        assert!(a.metrics.retransmissions > 0 || a.metrics.fault_drops == 0);
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let plan = FaultPlan {
+            drop_permille: 2000,
+            ..FaultPlan::none()
+        };
+        let cfg = AsyncConfig {
+            n: 3,
+            t: 0,
+            seed: 0,
+            delay: DelayModel::Lockstep,
+            max_events: 10,
+        };
+        let err = run_async_faulted(
+            cfg,
+            &plan,
+            |_, _| Census { heard: 0, need: 1 },
+            PassiveAsync,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AsyncSimError::BadFaultPlan { .. }), "{err}");
     }
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use async_aa::{AsyncTreeAaConfig, AsyncTreeAaParty};
 use async_net::{run_async, AsyncConfig, DelayModel, SilentAsync};
 use bench::{spaced_inputs, Table};
-use sim_net::PartyId;
+use sim_net::{Outcome, PartyId};
 use tree_aa::{check_tree_aa, EngineKind, NowakRybickiConfig, TreeAaConfig};
 use tree_model::generate;
 
@@ -61,8 +61,12 @@ fn main() {
                 .filter(|&i| i != 2 && i != 5)
                 .map(|i| inputs[i])
                 .collect();
-            check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())
-                .expect("definition 2 holds");
+            let outputs: Vec<_> = report
+                .honest_outputs()
+                .into_iter()
+                .map(Outcome::into_value)
+                .collect();
+            check_tree_aa(&tree, &honest_inputs, &outputs).expect("definition 2 holds");
             times.push(report.completion_time);
             msgs = report.messages_delivered;
         }

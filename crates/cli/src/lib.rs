@@ -82,6 +82,9 @@ pub enum Command {
         cases: u64,
         /// Minimize failing cases before reporting them.
         minimize: bool,
+        /// Overlay generated benign-fault plans (partitions, crash
+        /// windows) and check the degradation contract.
+        faults: bool,
         /// Directory for minimized repro files (empty disables saving).
         corpus: String,
     },
@@ -107,7 +110,7 @@ fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option starting with --, got `{k}`"))?;
-        if key == "dot" || key == "minimize" {
+        if key == "dot" || key == "minimize" || key == "faults" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -179,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .get("cases")
                 .map_or(Ok(100), |s| parse_num(s, "cases"))?,
             minimize: opts.contains_key("minimize"),
+            faults: opts.contains_key("faults"),
             corpus: opts.get("corpus").cloned().unwrap_or_default(),
         }),
         "trace" => Ok(Command::Trace {
@@ -203,7 +207,8 @@ USAGE:
                 [--protocol treeaa|baseline] [--engine gradecast|halving]
                 [--adversary none|chaos|crash|omission] [--seed <S>]
   treeaa bounds --diameter <D> --n <N> --t <T>
-  treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--corpus <dir>]
+  treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--faults]
+                [--corpus <dir>]
   treeaa trace  --scenario <name> [--seed <S>] [--out <file>]
 
 `run` uses one party per input label; with an adversary, the *last* t
@@ -214,12 +219,18 @@ pure function of the seed) through TreeAA, the baseline and RealAA,
 checking determinism, the round bound, validity and agreement. With
 --minimize, failing cases are shrunk before reporting; with --corpus,
 minimized repros are written there as JSON for `cargo test` replay.
-Identical seed and case count give bit-identical output. Exits non-zero
-if any case fails.
+With --faults, each case is additionally overlaid with a deterministic
+benign-fault plan (healing partitions, crash/recovery windows, and
+occasional over-budget crash sets), and the degradation contract is
+checked: transient faults still terminate within the relaxed round
+bound, and over-budget fault sets must yield `Degraded` outcomes with
+checkable evidence certificates. Identical seed and case count give
+bit-identical output. Exits non-zero if any case fails.
 
 `trace` runs a named canonical scenario (path-honest, star-crash,
 caterpillar-equivocate, broom-realaa-equivocate, path-baseline-flaky,
-star-halving-honest) under the deterministic flight recorder and emits
+star-halving-honest, partition-heal, crash-recovery) under the
+deterministic flight recorder and emits
 the canonical trace JSON — every round, send, delivery and protocol
 decision. The trace is byte-identical across step modes and runs, so
 `(scenario, seed)` reproduces the file exactly.
@@ -318,12 +329,14 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             seed,
             cases,
             minimize,
+            faults,
             corpus,
         } => {
             let opts = aa_fuzz::FuzzOptions {
                 seed,
                 cases,
                 minimize,
+                faults,
                 corpus_dir: (!corpus.is_empty()).then(|| corpus.into()),
             };
             let violations = aa_fuzz::run_batch(&opts, out).map_err(io)?;
@@ -633,18 +646,20 @@ mod tests {
                 seed: 0,
                 cases: 100,
                 minimize: false,
+                faults: false,
                 corpus: String::new(),
             }
         );
         assert_eq!(
             parse_args(&argv(
-                "fuzz --seed 42 --cases 500 --minimize --corpus fuzz-corpus"
+                "fuzz --seed 42 --cases 500 --minimize --faults --corpus fuzz-corpus"
             ))
             .unwrap(),
             Command::Fuzz {
                 seed: 42,
                 cases: 500,
                 minimize: true,
+                faults: true,
                 corpus: "fuzz-corpus".into(),
             }
         );
@@ -659,6 +674,7 @@ mod tests {
                     seed: 42,
                     cases: 25,
                     minimize: true,
+                    faults: false,
                     corpus: String::new(),
                 },
                 &mut out,
@@ -669,6 +685,30 @@ mod tests {
         let first = run();
         assert_eq!(first, run());
         let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("0 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn faulted_fuzz_runs_clean_and_is_bit_identical() {
+        let run = || {
+            let mut out = Vec::new();
+            execute(
+                Command::Fuzz {
+                    seed: 42,
+                    cases: 15,
+                    minimize: false,
+                    faults: true,
+                    corpus: String::new(),
+                },
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("faults on"), "{text}");
         assert!(text.contains("0 violation(s)"), "{text}");
     }
 

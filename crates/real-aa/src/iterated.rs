@@ -129,6 +129,13 @@ impl Protocol for IteratedAaParty {
             self.output = Some(self.value);
             return;
         }
+        if round > self.cfg.rounds() + 1 {
+            // Past the schedule (a benign fault froze us through the
+            // decision round): adopt the current value, which never
+            // leaves the hull of accepted values.
+            self.output = Some(self.value);
+            return;
+        }
         // Round r delivers iteration r-2's values (round 1 delivers
         // nothing) and sends iteration r-1's.
         if round >= 2 {

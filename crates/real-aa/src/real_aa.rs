@@ -321,6 +321,13 @@ impl Protocol for RealAaParty {
             self.output = Some(self.value);
             return;
         }
+        if round > self.cfg.rounds() + 1 {
+            // Past the schedule (a benign fault froze us through the
+            // decision round): adopt the current value, which never
+            // leaves the hull of accepted values.
+            self.output = Some(self.value);
+            return;
+        }
         let phase = (round - 1) % 3;
         let iter_tag = (round - 1) / 3;
         match phase {

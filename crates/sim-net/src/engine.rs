@@ -23,6 +23,7 @@ use std::sync::Arc;
 use aa_trace::{EventKind, ProtoEvent, Trace};
 
 use crate::adversary::{Adversary, AdversaryCtx};
+use crate::fault::FaultPlan;
 use crate::mailbox::{Inbox, Outbox, Received};
 use crate::message::{Envelope, PartyId, Payload};
 use crate::metrics::{Metrics, RoundMetrics};
@@ -103,6 +104,12 @@ pub enum SimError {
         /// The configured bound that was hit.
         max_rounds: u32,
     },
+    /// A fault plan was structurally invalid or not expressible in the
+    /// lockstep engine (see [`FaultPlan::lockstep_compatible`]).
+    BadFaultPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -115,6 +122,7 @@ impl fmt::Display for SimError {
                     "honest parties did not terminate within {max_rounds} rounds"
                 )
             }
+            SimError::BadFaultPlan { reason } => write!(f, "bad fault plan: {reason}"),
         }
     }
 }
@@ -124,10 +132,14 @@ impl Error for SimError {}
 /// The result of a completed run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunReport<O> {
-    /// Per-party outputs; `None` exactly for corrupted parties.
+    /// Per-party outputs; `None` exactly for corrupted parties and
+    /// parties that were crashed (by a fault plan) when the run ended.
     pub outputs: Vec<Option<O>>,
     /// Which parties ended the run corrupted.
     pub corrupted: Vec<bool>,
+    /// Which parties were down under the fault plan when the run ended
+    /// (all `false` on plan-free runs).
+    pub crashed: Vec<bool>,
     /// Rounds executed until every honest party had an output.
     pub rounds_executed: u32,
     /// Communication metrics.
@@ -135,12 +147,12 @@ pub struct RunReport<O> {
 }
 
 impl<O: Clone> RunReport<O> {
-    /// Outputs of the honest parties only.
+    /// Outputs of the honest (and, under a fault plan, running) parties.
     pub fn honest_outputs(&self) -> Vec<O> {
         self.outputs
             .iter()
-            .zip(&self.corrupted)
-            .filter(|(_, &c)| !c)
+            .zip(self.corrupted.iter().zip(&self.crashed))
+            .filter(|(_, (&c, &d))| !c && !d)
             .map(|(o, _)| o.clone().expect("honest parties have outputs on success"))
             .collect()
     }
@@ -152,14 +164,17 @@ impl<O: Clone> RunReport<O> {
 }
 
 /// Steps every party once, sequentially, collecting outboxes in id order.
-/// When `tracing`, per-party protocol events are collected alongside (also
-/// in id order); otherwise the events vector stays empty and unallocated.
+/// Parties marked `down` (crashed under a fault plan) are frozen: not
+/// stepped, producing an empty outbox and no events. When `tracing`,
+/// per-party protocol events are collected alongside (also in id order);
+/// otherwise the events vector stays empty and unallocated.
 fn step_sequential<P: Protocol>(
     parties: &mut [P],
     inboxes: &[Inbox<P::Msg>],
     round: u32,
     n: usize,
     tracing: bool,
+    down: &[bool],
 ) -> (Vec<Outbox<P::Msg>>, Vec<Vec<ProtoEvent>>) {
     let mut outboxes = Vec::with_capacity(parties.len());
     let mut events = if tracing {
@@ -173,7 +188,9 @@ fn step_sequential<P: Protocol>(
         } else {
             RoundCtx::new(PartyId(i), n)
         };
-        party.step(round, &inboxes[i], &mut ctx);
+        if !down[i] {
+            party.step(round, &inboxes[i], &mut ctx);
+        }
         if tracing {
             events.push(ctx.take_events());
         }
@@ -197,6 +214,7 @@ fn step_parallel<P>(
     n: usize,
     threads: usize,
     tracing: bool,
+    down: &[bool],
 ) -> (Vec<Outbox<P::Msg>>, Vec<Vec<ProtoEvent>>)
 where
     P: Protocol + Send,
@@ -225,7 +243,9 @@ where
                     } else {
                         RoundCtx::new(PartyId(base + j), n)
                     };
-                    party.step(round, &inboxes[j], &mut ctx);
+                    if !down[base + j] {
+                        party.step(round, &inboxes[j], &mut ctx);
+                    }
                     let events = ctx.take_events();
                     *slot = Some((ctx.into_outbox(), events));
                 }
@@ -300,7 +320,72 @@ where
     A: Adversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
 {
-    run_inner(cfg, factory, adversary, None)
+    run_inner(cfg, factory, adversary, None, None)
+}
+
+/// [`run_simulation_with`] under a [`FaultPlan`]: the engine applies the
+/// plan's scheduled crash/recovery windows and partitions on top of
+/// whatever the Byzantine adversary does.
+///
+/// Lockstep fault semantics (the documented choice):
+///
+/// * **Crash (frozen).** While a party is down it is not stepped — its
+///   protocol state is frozen — its sends are suppressed, and inbound
+///   traffic is lost, except that traffic sent in the round immediately
+///   preceding recovery is delivered (it arrives as the party comes back
+///   up). On recovery the party is stepped again with the current
+///   *absolute* round number, so fixed-schedule protocols stay aligned.
+///   Parties still down when the run ends are reported in
+///   [`RunReport::crashed`] with `None` outputs and are excluded from the
+///   termination condition.
+/// * **Partition.** A message crossing an active cut is dropped (traced as
+///   a `fault_drop` event, costing nothing); a broadcast from a sender
+///   with severed recipients is delivered as per-recipient unicasts to the
+///   reachable side.
+///
+/// # Errors
+///
+/// As [`run_simulation`], plus [`SimError::BadFaultPlan`] if the plan is
+/// structurally invalid or uses probabilistic link faults (which have no
+/// lockstep meaning — run those through `async-net`).
+pub fn run_simulation_faulted<P, A, F>(
+    cfg: EngineConfig,
+    plan: &FaultPlan,
+    factory: F,
+    adversary: A,
+) -> Result<RunReport<P::Output>, SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    run_inner(cfg, factory, adversary, None, Some(plan))
+}
+
+/// [`run_simulation_faulted`] with the flight recorder on: every fault
+/// firing (crash, recovery, partition boundary, dropped message) appears
+/// in the trace in a fixed order, so faulted traces remain byte-identical
+/// across step modes.
+///
+/// # Errors
+///
+/// As [`run_simulation_faulted`]; the partial trace is discarded on error.
+pub fn run_simulation_faulted_traced<P, A, F>(
+    cfg: EngineConfig,
+    plan: &FaultPlan,
+    factory: F,
+    adversary: A,
+) -> Result<(RunReport<P::Output>, Trace), SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+{
+    let mut trace = Trace::new(cfg.sim.n, cfg.sim.t, "");
+    let report = run_inner(cfg, factory, adversary, Some(&mut trace), Some(plan))?;
+    Ok((report, trace))
 }
 
 /// [`run_simulation_with`] with the flight recorder on: returns the report
@@ -329,7 +414,7 @@ where
     F: FnMut(PartyId, usize) -> P,
 {
     let mut trace = Trace::new(cfg.sim.n, cfg.sim.t, "");
-    let report = run_inner(cfg, factory, adversary, Some(&mut trace))?;
+    let report = run_inner(cfg, factory, adversary, Some(&mut trace), None)?;
     Ok((report, trace))
 }
 
@@ -338,6 +423,7 @@ fn run_inner<P, A, F>(
     factory: F,
     mut adversary: A,
     mut trace: Option<&mut Trace>,
+    plan: Option<&FaultPlan>,
 ) -> Result<RunReport<P::Output>, SimError>
 where
     P: Protocol + Send,
@@ -355,6 +441,18 @@ where
         return Err(SimError::BadConfig {
             reason: format!("t = {t} must be < n = {n}"),
         });
+    }
+    if let Some(plan) = plan {
+        plan.validate(n).map_err(|e| SimError::BadFaultPlan {
+            reason: e.to_string(),
+        })?;
+        if !plan.lockstep_compatible() {
+            return Err(SimError::BadFaultPlan {
+                reason: "probabilistic link faults have no lockstep meaning; \
+                         run this plan through async-net"
+                    .into(),
+            });
+        }
     }
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -381,19 +479,55 @@ where
     let mut inboxes: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::empty()).collect();
     let mut prev_broadcasts = 0usize;
     let mut metrics = Metrics::default();
+    // Fault-plan state: which parties are currently down (crashed).
+    let mut down = vec![false; n];
 
     let tracing = trace.is_some();
     for round in 1..=max_rounds {
+        // 0. Apply the fault plan's scheduled state for this round.
+        let mut newly_crashed: Vec<usize> = Vec::new();
+        let mut newly_recovered: Vec<usize> = Vec::new();
+        if let Some(plan) = plan {
+            for (party, was_down) in down.iter_mut().enumerate() {
+                let now_down = plan.crashed_in(party, round);
+                if now_down != *was_down {
+                    if now_down {
+                        newly_crashed.push(party);
+                    } else {
+                        newly_recovered.push(party);
+                    }
+                    *was_down = now_down;
+                }
+            }
+        }
+
         // 1. Step every party (corrupted ones too: their tentative traffic
         //    is shown to the adversary, supporting omission/semi-honest
         //    strategies), collecting tentative outboxes in id order.
+        //    Parties down under the fault plan are frozen, not stepped.
         let (tentative, party_events) = if threads > 1 {
-            step_parallel(&mut parties, &inboxes, round, n, threads, tracing)
+            step_parallel(&mut parties, &inboxes, round, n, threads, tracing, &down)
         } else {
-            step_sequential(&mut parties, &inboxes, round, n, tracing)
+            step_sequential(&mut parties, &inboxes, round, n, tracing, &down)
         };
         if let Some(tr) = trace.as_deref_mut() {
             tr.push(round, EventKind::RoundStart);
+            if let Some(plan) = plan {
+                for (id, p) in plan.partitions.iter().enumerate() {
+                    if p.from_round == round {
+                        tr.push(round, EventKind::PartitionStart { id });
+                    }
+                    if p.heal_round == round {
+                        tr.push(round, EventKind::PartitionHeal { id });
+                    }
+                }
+            }
+            for &party in &newly_crashed {
+                tr.push(round, EventKind::FaultCrash { party });
+            }
+            for &party in &newly_recovered {
+                tr.push(round, EventKind::FaultRecover { party });
+            }
             for (party, events) in party_events.into_iter().enumerate() {
                 for event in events {
                     tr.push(round, EventKind::Proto { party, event });
@@ -454,8 +588,45 @@ where
                 continue;
             }
             let (unicasts, broadcasts) = outbox.into_parts();
+            // Under an active partition a sender may not reach everyone:
+            // its broadcasts fall back to per-recipient delivery so the
+            // reachable side still hears them.
+            let cut = plan.is_some_and(|p| (0..n).any(|j| p.severed(round, i, j)));
             for payload in broadcasts {
                 let bytes = payload.size_bytes();
+                if cut {
+                    let plan = plan.expect("cut implies a plan");
+                    for (j, inbox) in inboxes.iter_mut().enumerate() {
+                        if plan.severed(round, i, j) {
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.push(round, EventKind::FaultDrop { from: i, to: j });
+                            }
+                            continue;
+                        }
+                        rm.bytes += bytes;
+                        if corrupted[i] {
+                            rm.byzantine_messages += 1;
+                        } else {
+                            rm.honest_messages += 1;
+                        }
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.push(
+                                round,
+                                EventKind::Unicast {
+                                    from: i,
+                                    to: j,
+                                    bytes,
+                                    byzantine: corrupted[i],
+                                },
+                            );
+                        }
+                        inbox.direct.push(Received {
+                            from: PartyId(i),
+                            payload: payload.clone(),
+                        });
+                    }
+                    continue;
+                }
                 rm.bytes += bytes * n;
                 if corrupted[i] {
                     rm.byzantine_messages += n;
@@ -478,6 +649,18 @@ where
                 });
             }
             for env in unicasts {
+                if plan.is_some_and(|p| p.severed(round, i, env.to.index())) {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push(
+                            round,
+                            EventKind::FaultDrop {
+                                from: i,
+                                to: env.to.index(),
+                            },
+                        );
+                    }
+                    continue;
+                }
                 let bytes = env.payload.size_bytes();
                 rm.bytes += bytes;
                 if corrupted[i] {
@@ -504,18 +687,20 @@ where
         }
         for env in injected {
             debug_assert!(corrupted[env.from.index()]);
+            let (from, to) = (env.from.index(), env.to.index());
+            // A down sender's hardware is off — injections claiming to be
+            // from it are suppressed, as is anything crossing a cut.
+            if down[from] || plan.is_some_and(|p| p.severed(round, from, to)) {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(round, EventKind::FaultDrop { from, to });
+                }
+                continue;
+            }
             let bytes = env.payload.size_bytes();
             rm.bytes += bytes;
             rm.byzantine_messages += 1;
             if let Some(tr) = trace.as_deref_mut() {
-                tr.push(
-                    round,
-                    EventKind::Inject {
-                        from: env.from.index(),
-                        to: env.to.index(),
-                        bytes,
-                    },
-                );
+                tr.push(round, EventKind::Inject { from, to, bytes });
             }
             inboxes[env.to.index()].direct.push(Received {
                 from: env.from,
@@ -539,17 +724,27 @@ where
         }
         metrics.per_round.push(rm);
 
-        // 4. Termination check.
-        let all_honest_done = (0..n).all(|i| corrupted[i] || parties[i].output().is_some());
+        // 4. Termination check. Parties currently down are excluded: they
+        //    cannot make progress, and a never-recovering crash must not
+        //    block the others' termination.
+        let all_honest_done =
+            (0..n).all(|i| corrupted[i] || down[i] || parties[i].output().is_some());
         if all_honest_done {
             let outputs = parties
                 .iter()
                 .enumerate()
-                .map(|(i, p)| if corrupted[i] { None } else { p.output() })
+                .map(|(i, p)| {
+                    if corrupted[i] || down[i] {
+                        None
+                    } else {
+                        p.output()
+                    }
+                })
                 .collect();
             return Ok(RunReport {
                 outputs,
                 corrupted,
+                crashed: down,
                 rounds_executed: round,
                 metrics,
             });

@@ -67,9 +67,11 @@
 #![warn(missing_docs)]
 mod adversary;
 mod engine;
+mod fault;
 mod mailbox;
 mod message;
 mod metrics;
+mod outcome;
 mod party;
 
 pub use adversary::{
@@ -77,12 +79,15 @@ pub use adversary::{
     EquivocatingAdversary, Passive, ScriptedAdversary, SelectiveOmission, StaticByzantine,
 };
 pub use engine::{
-    run_simulation, run_simulation_traced, run_simulation_with, EngineConfig, RunReport, SimConfig,
-    SimError, StepMode, PARALLEL_THRESHOLD,
+    run_simulation, run_simulation_faulted, run_simulation_faulted_traced, run_simulation_traced,
+    run_simulation_with, EngineConfig, RunReport, SimConfig, SimError, StepMode,
+    PARALLEL_THRESHOLD,
 };
+pub use fault::{CrashFault, FaultPlan, FaultPlanError, Partition};
 pub use mailbox::{Inbox, Outbox, Received};
 pub use message::{Envelope, PartyId, Payload};
 pub use metrics::{Metrics, RoundMetrics};
+pub use outcome::{Degradation, Evidence, EvidenceCertificate, Monitored, Outcome, SilenceMonitor};
 pub use party::{step_standalone, Protocol, RoundCtx};
 
 // Flight-recorder types, re-exported so protocol crates can emit events

@@ -1,0 +1,98 @@
+//! Uniform error-type contract: every public error in `sim-net` implements
+//! `std::error::Error` + `Display`, and every variant formats to a message
+//! that names its key parameters. New variants must be added here.
+
+use std::error::Error;
+
+use sim_net::{BudgetExceeded, FaultPlanError, SimError};
+
+/// Asserts the `Error` impl and that the Display output mentions every
+/// expected fragment.
+fn check(err: &dyn Error, fragments: &[&str]) {
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+    for fragment in fragments {
+        assert!(
+            msg.contains(fragment),
+            "`{msg}` should contain `{fragment}`"
+        );
+    }
+}
+
+#[test]
+fn sim_error_every_variant_formats() {
+    check(
+        &SimError::BadConfig {
+            reason: "n must be positive".into(),
+        },
+        &["bad simulation config", "n must be positive"],
+    );
+    check(
+        &SimError::MaxRoundsExceeded { max_rounds: 17 },
+        &["did not terminate", "17"],
+    );
+    check(
+        &SimError::BadFaultPlan {
+            reason: "probabilistic link faults".into(),
+        },
+        &["bad fault plan", "probabilistic link faults"],
+    );
+}
+
+#[test]
+fn budget_exceeded_formats() {
+    check(
+        &BudgetExceeded {
+            round: 4,
+            budget: 2,
+            spend: 2,
+        },
+        &["corruption budget exceeded", "round 4", "t = 2"],
+    );
+}
+
+#[test]
+fn fault_plan_error_every_variant_formats() {
+    check(
+        &FaultPlanError::BadPermille { permille: 1200 },
+        &["1200", "permille", "1000"],
+    );
+    check(
+        &FaultPlanError::BadPartitionSide {
+            id: 1,
+            size: 0,
+            n: 5,
+        },
+        &["partition 1", "proper nonempty subset", "5"],
+    );
+    check(
+        &FaultPlanError::PartyOutOfRange { party: 9, n: 4 },
+        &["party 9", "n = 4"],
+    );
+    check(
+        &FaultPlanError::BadWindow {
+            what: "crash",
+            from: 3,
+            until: 3,
+        },
+        &["crash window", "[3, 3)", "nonempty"],
+    );
+}
+
+#[test]
+fn errors_compose_as_trait_objects() {
+    // The uniform contract in one line: all three types coerce to
+    // `Box<dyn Error>` and round-trip a message through it.
+    let boxed: Vec<Box<dyn Error>> = vec![
+        Box::new(SimError::MaxRoundsExceeded { max_rounds: 1 }),
+        Box::new(BudgetExceeded {
+            round: 1,
+            budget: 0,
+            spend: 0,
+        }),
+        Box::new(FaultPlanError::BadPermille { permille: 1001 }),
+    ];
+    for err in &boxed {
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -187,6 +187,13 @@ impl Protocol for NowakRybickiParty {
             self.output = Some(self.vertex);
             return;
         }
+        if round > self.cfg.iterations + 1 {
+            // Past the schedule (a benign fault froze us through the
+            // decision round): adopt the current vertex, which never
+            // leaves the hull of accepted values.
+            self.output = Some(self.vertex);
+            return;
+        }
         if round >= 2 {
             let iter_tag = round - 2;
             let nv = self.tree.vertex_count();

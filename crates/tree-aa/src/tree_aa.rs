@@ -252,6 +252,20 @@ impl Protocol for TreeAaParty {
             self.output = Some(self.input);
             return;
         }
+        if round > self.cfg.total_rounds() + 1 {
+            // Past the schedule: only reachable when a benign fault froze
+            // this party through its decision round. Adopt the current
+            // estimate — it stays in the hull of accepted values — rather
+            // than staying silent forever; accuracy guarantees for such
+            // runs are the degradation layer's concern.
+            if let Some(engine) = &self.phase2 {
+                let j = engine.current_value();
+                self.finish(j);
+            } else {
+                self.output = Some(self.input);
+            }
+            return;
+        }
         let r1 = self.cfg.phase1_rounds();
         if round <= r1 {
             // Phase 1, local rounds 1..=r1.
@@ -266,10 +280,15 @@ impl Protocol for TreeAaParty {
             // immediately start phase 2 in the same communication round.
             let inner = filter_phase(inbox, 1);
             let _ = self.phase1.step(self.me, self.cfg.n, round, &inner);
+            // A benign fault (crash window, partition freeze) can leave
+            // phase 1 a local round short at the boundary. Its running
+            // estimate never leaves the hull of accepted values, so it
+            // serves as the best-effort `j`; accuracy under such runs is
+            // the degradation layer's concern.
             let j = self
                 .phase1
                 .output()
-                .expect("fixed-round engine terminates at its round bound");
+                .unwrap_or_else(|| self.phase1.current_value());
             let mut engine = self.begin_phase2(j);
             ctx.emit_with(|| {
                 let path = self.path.as_ref().expect("phase 2 started");

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use tree_aa_repro::async_aa::{AsyncTreeAaConfig, AsyncTreeAaParty};
 use tree_aa_repro::async_net::{run_async, AsyncConfig, DelayModel, SilentAsync};
-use tree_aa_repro::sim_net::{run_simulation, CrashAdversary, PartyId, SimConfig};
+use tree_aa_repro::sim_net::{run_simulation, CrashAdversary, Outcome, PartyId, SimConfig};
 use tree_aa_repro::tree_aa::{
     check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
 };
@@ -98,7 +98,12 @@ fn main() -> Result<(), Box<dyn Error>> {
             parties: faulty.to_vec(),
         },
     )?;
-    check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())?;
+    let outputs: Vec<_> = report
+        .honest_outputs()
+        .into_iter()
+        .map(Outcome::into_value)
+        .collect();
+    check_tree_aa(&tree, &honest_inputs, &outputs)?;
     println!(
         "asynchronous safe-area  {:>6.1} time    {:>7} messages (slow-party schedule)",
         report.completion_time, report.messages_delivered

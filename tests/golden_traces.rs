@@ -36,8 +36,8 @@ fn golden_files() -> Vec<(String, String)> {
         .collect();
     files.sort();
     assert!(
-        (4..=6).contains(&files.len()),
-        "expected 4-6 golden traces, found {}",
+        (4..=8).contains(&files.len()),
+        "expected 4-8 golden traces, found {}",
         files.len()
     );
     files
@@ -141,6 +141,7 @@ fn traces_are_mode_invariant_across_party_counts() {
                 kind: AdvAtomKind::Equivocate,
                 victims: vec![0],
             }],
+            faults: Vec::new(),
         };
         let traced =
             run_case_traced(&case).unwrap_or_else(|e| panic!("n={n} {:?}: {e}", protocol.name()));
