@@ -1,0 +1,271 @@
+//! The bounded-DFS driver: stateless exploration by re-execution.
+//!
+//! Each execution is a **pure function** of `(instance, assignment,
+//! script, depth)`: the protocol, adversary, and scheduler are all
+//! deterministic, so replaying a script reproduces its run bit for bit —
+//! which is what makes counterexamples replayable and reruns
+//! fingerprint-identical. The driver walks the schedule tree in
+//! depth-first order without keeping it in memory: each run records the
+//! branching factor and choice taken at every decision, and the next
+//! script is the deepest incrementable prefix (standard stateless
+//! backtracking).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use async_aa::{AsyncTreeAaConfig, AsyncTreeAaParty};
+use async_net::{run_async_explored, AsyncConfig, AsyncReport, AsyncSimError, DelayModel};
+use sim_net::Outcome;
+use tree_model::{Tree, VertexId};
+
+use crate::lattice::{LatticeAdversary, LatticeAssignment};
+use crate::sched::EnumeratingScheduler;
+
+/// One small instance to check exhaustively.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Number of parties (corrupted parties are the last `t`).
+    pub n: usize,
+    /// Corruption bound.
+    pub t: usize,
+    /// The tree the parties agree on.
+    pub tree: Arc<Tree>,
+    /// Per-party inputs (entries for corrupted parties are ignored —
+    /// their behaviour comes from the lattice assignment).
+    pub inputs: Vec<VertexId>,
+    /// Event budget per execution (guards livelocks).
+    pub max_events: usize,
+}
+
+impl Instance {
+    /// The async protocol configuration for this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ≤ 3t` (rejected earlier by [`crate::check`]).
+    pub fn async_cfg(&self) -> AsyncTreeAaConfig {
+        AsyncTreeAaConfig::new(self.n, self.t, &self.tree)
+            .expect("instance validated before exploration")
+    }
+}
+
+/// The outcome of executing one choice script.
+pub struct Execution {
+    /// The run's report, or why it ended early.
+    pub result: Result<AsyncReport<Outcome<VertexId>>, AsyncSimError>,
+    /// Awake choices available at each decision point.
+    pub branching: Vec<usize>,
+    /// Choice taken at each decision point.
+    pub taken: Vec<usize>,
+    /// The branch was cut because every pending message was asleep.
+    pub pruned_by_sleep: bool,
+    /// The branch was cut on a state visited at shallower depth.
+    pub pruned_by_visited: bool,
+    /// Deliveries in order: `(from, to, payload bytes)`.
+    pub deliveries: Vec<(usize, usize, usize)>,
+}
+
+impl Execution {
+    /// Whether this run was cut short by a pruning rule (as opposed to
+    /// completing or genuinely deadlocking).
+    pub fn pruned(&self) -> bool {
+        self.pruned_by_sleep || self.pruned_by_visited
+    }
+}
+
+/// Executes one script against `instance` under `assignment`.
+///
+/// `visited` carries state digests across the executions of one
+/// exploration; pass a fresh map to replay a script in isolation (e.g.
+/// when minimizing or replaying a counterexample).
+pub fn execute(
+    instance: &Instance,
+    assignment: &LatticeAssignment,
+    script: &[usize],
+    depth: usize,
+    visited: &mut HashMap<u64, usize>,
+) -> Execution {
+    let cfg = AsyncConfig {
+        n: instance.n,
+        t: instance.t,
+        seed: 0,
+        delay: DelayModel::Lockstep,
+        max_events: instance.max_events,
+    };
+    let aa_cfg = instance.async_cfg();
+    let tree = instance.tree.clone();
+    let inputs = instance.inputs.clone();
+    let mut sched = EnumeratingScheduler::new(depth, script, visited);
+    let result = run_async_explored(
+        &cfg,
+        None,
+        |me, _n| AsyncTreeAaParty::new(aa_cfg.clone(), tree.clone(), inputs[me.index()]),
+        LatticeAdversary::new(instance.n, assignment.clone()),
+        &mut sched,
+    );
+    Execution {
+        result,
+        branching: sched.branching,
+        taken: sched.taken,
+        pruned_by_sleep: sched.pruned_by_sleep,
+        pruned_by_visited: sched.pruned_by_visited,
+        deliveries: sched.deliveries,
+    }
+}
+
+/// Counters from one exhaustive exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Scripts executed (including pruned ones).
+    pub executions: usize,
+    /// Executions that ran to completion and were property-checked.
+    pub completed: usize,
+    /// Branches cut by the sleep-set rule.
+    pub pruned_sleep: usize,
+    /// Branches cut by the visited-state rule.
+    pub pruned_visited: usize,
+    /// The exploration stopped at the execution budget before
+    /// exhausting the schedule tree.
+    pub truncated: bool,
+}
+
+/// The result of exploring one lattice assignment.
+pub struct ExploreResult {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// First violation found: the failing script and the description.
+    pub failure: Option<(Vec<usize>, String)>,
+}
+
+/// Explores every delivery schedule of `instance` under `assignment` up
+/// to `depth` enumerated decisions, calling `classify` on every
+/// completed (non-pruned) execution. `classify` returns a violation
+/// description to stop the exploration with a failure.
+///
+/// `max_runs` bounds the number of executions; hitting it sets
+/// [`ExploreStats::truncated`] rather than erroring, so callers can
+/// report partial coverage honestly.
+pub fn explore<F>(
+    instance: &Instance,
+    assignment: &LatticeAssignment,
+    depth: usize,
+    max_runs: usize,
+    mut classify: F,
+) -> ExploreResult
+where
+    F: FnMut(&Execution, &[usize]) -> Option<String>,
+{
+    let mut stats = ExploreStats::default();
+    let mut visited: HashMap<u64, usize> = HashMap::new();
+    let mut script: Vec<usize> = Vec::new();
+    loop {
+        stats.executions += 1;
+        let exec = execute(instance, assignment, &script, depth, &mut visited);
+        if exec.pruned_by_sleep {
+            stats.pruned_sleep += 1;
+        } else if exec.pruned_by_visited {
+            stats.pruned_visited += 1;
+        } else {
+            stats.completed += 1;
+            if let Some(violation) = classify(&exec, &script) {
+                return ExploreResult {
+                    stats,
+                    failure: Some((script, violation)),
+                };
+            }
+        }
+        // Deepest incrementable decision → next script (DFS backtrack).
+        let next = (0..exec.taken.len())
+            .rev()
+            .find(|&k| exec.taken[k] + 1 < exec.branching[k]);
+        match next {
+            Some(k) => {
+                script = exec.taken[..k].to_vec();
+                script.push(exec.taken[k] + 1);
+            }
+            None => break,
+        }
+        if stats.executions >= max_runs {
+            stats.truncated = true;
+            break;
+        }
+    }
+    ExploreResult {
+        stats,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::enumerate_assignments;
+    use tree_model::generate;
+
+    fn tiny_instance(n: usize, t: usize, vertices: usize) -> Instance {
+        let tree = Arc::new(generate::path(vertices));
+        let vs: Vec<VertexId> = tree.vertices().collect();
+        let inputs = (0..n).map(|i| vs[i % vs.len()]).collect();
+        Instance {
+            n,
+            t,
+            tree,
+            inputs,
+            max_events: 200_000,
+        }
+    }
+
+    #[test]
+    fn honest_path3_explores_and_completes() {
+        // path3 has diameter 2 → a real multi-iteration protocol run
+        // (path2 would terminate at time 0 with no messages at all).
+        let instance = tiny_instance(4, 0, 3);
+        let assignment = &enumerate_assignments(0, 3)[0];
+        let result = explore(&instance, assignment, 3, 10_000, |exec, _| {
+            match &exec.result {
+                Ok(_) => None,
+                Err(e) => Some(format!("unexpected error: {e:?}")),
+            }
+        });
+        assert!(result.failure.is_none(), "{:?}", result.failure);
+        assert!(!result.stats.truncated);
+        assert!(result.stats.completed >= 1);
+        // The schedule tree branches: more than one execution happened.
+        assert!(result.stats.executions > 1);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let instance = tiny_instance(4, 0, 3);
+        let assignment = &enumerate_assignments(0, 3)[0];
+        let run = || {
+            let mut sig = Vec::new();
+            let r = explore(&instance, assignment, 3, 10_000, |exec, script| {
+                sig.push((script.to_vec(), exec.deliveries.clone()));
+                None
+            });
+            (r.stats, sig)
+        };
+        let (s1, sig1) = run();
+        let (s2, sig2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(sig1, sig2);
+    }
+
+    #[test]
+    fn classify_failure_stops_with_the_script() {
+        let instance = tiny_instance(4, 0, 3);
+        let assignment = &enumerate_assignments(0, 3)[0];
+        let mut count = 0;
+        let result = explore(&instance, assignment, 2, 10_000, |_, _| {
+            count += 1;
+            (count == 2).then(|| "synthetic violation".to_string())
+        });
+        let (script, violation) = result.failure.expect("second completed run fails");
+        assert_eq!(violation, "synthetic violation");
+        // The failing script replays to the same deliveries.
+        let mut fresh = HashMap::new();
+        let replay = execute(&instance, assignment, &script, 2, &mut fresh);
+        assert!(replay.result.is_ok());
+    }
+}

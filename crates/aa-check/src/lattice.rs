@@ -1,0 +1,255 @@
+//! The finite Byzantine message-lattice abstraction.
+//!
+//! Exhaustive checking cannot range over all `u32`-valued Byzantine
+//! messages, so corrupted parties are restricted to a finite *lattice*
+//! of behaviours that covers the adversary classes the proofs care
+//! about: total silence, a consistent (possibly off-hull) value, and
+//! split-brain equivocation backed by a forged echo. Candidate values
+//! are the extremes and the midpoint of the vertex range — the
+//! assignments that maximize hull stretch and tie-breaking pressure on
+//! small trees.
+
+use async_aa::{AsyncAaMsg, RbcMsg};
+use async_net::AsyncAdversary;
+use sim_net::{Envelope, PartyId};
+
+/// What one corrupted party does for the whole execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzBehavior {
+    /// Sends nothing at all (crash-at-start).
+    Silent,
+    /// Broadcasts the vertex consistently, like an honest party with a
+    /// chosen (possibly adversarial) input.
+    Consistent(u32),
+    /// Sends `Init(a)` to the first half of the honest parties and
+    /// `Init(b)` to the rest, plus a forged `Echo(b)` to everyone —
+    /// the split-brain attack on reliable broadcast.
+    Equivocate(u32, u32),
+}
+
+/// One point of the lattice: a behaviour for each corrupted party
+/// (corrupted parties are always the last `t` ids).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatticeAssignment {
+    /// Behaviours, indexed by corrupted-party order (party `n - t + i`).
+    pub behaviors: Vec<ByzBehavior>,
+}
+
+impl LatticeAssignment {
+    /// Compact human-readable form for reports and counterexamples.
+    pub fn describe(&self) -> String {
+        if self.behaviors.is_empty() {
+            return "no corruption".to_string();
+        }
+        self.behaviors
+            .iter()
+            .map(|b| match b {
+                ByzBehavior::Silent => "silent".to_string(),
+                ByzBehavior::Consistent(v) => format!("consistent({v})"),
+                ByzBehavior::Equivocate(a, b) => format!("equivocate({a},{b})"),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// The candidate vertex values for a tree with `m` vertices: the two
+/// extremes and the midpoint (deduplicated on tiny trees).
+pub fn candidate_values(m: usize) -> Vec<u32> {
+    let hi = (m as u32).saturating_sub(1);
+    let mut vals = vec![0, hi, hi / 2];
+    vals.sort_unstable();
+    vals.dedup();
+    vals
+}
+
+/// Every lattice assignment for `t` corrupted parties over a tree with
+/// `m` vertices — the Cartesian product of per-party behaviours.
+///
+/// Per party: `Silent`, `Consistent(v)` for each candidate, and
+/// `Equivocate(a, b)` for each unordered candidate pair `a < b`.
+/// `t = 0` yields the single empty assignment (the honest-only run).
+pub fn enumerate_assignments(t: usize, m: usize) -> Vec<LatticeAssignment> {
+    let vals = candidate_values(m);
+    let mut per_party = vec![ByzBehavior::Silent];
+    for &v in &vals {
+        per_party.push(ByzBehavior::Consistent(v));
+    }
+    for (i, &a) in vals.iter().enumerate() {
+        for &b in &vals[i + 1..] {
+            per_party.push(ByzBehavior::Equivocate(a, b));
+        }
+    }
+    let mut out = vec![LatticeAssignment {
+        behaviors: Vec::new(),
+    }];
+    for _ in 0..t {
+        let mut next = Vec::with_capacity(out.len() * per_party.len());
+        for assignment in &out {
+            for &b in &per_party {
+                let mut behaviors = assignment.behaviors.clone();
+                behaviors.push(b);
+                next.push(LatticeAssignment { behaviors });
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The adversary realizing one [`LatticeAssignment`] against the async
+/// tree-AA protocol: all traffic is injected at time 0 (iteration 0
+/// reliable-broadcast messages) and the adversary stays passive
+/// afterwards, leaving schedule exploration to the scheduler.
+#[derive(Clone, Debug)]
+pub struct LatticeAdversary {
+    n: usize,
+    assignment: LatticeAssignment,
+}
+
+impl LatticeAdversary {
+    /// Adversary for `assignment` in an `n`-party network (corrupting
+    /// the last `assignment.behaviors.len()` parties).
+    pub fn new(n: usize, assignment: LatticeAssignment) -> Self {
+        assert!(assignment.behaviors.len() < n, "cannot corrupt everyone");
+        LatticeAdversary { n, assignment }
+    }
+
+    fn honest_count(&self) -> usize {
+        self.n - self.assignment.behaviors.len()
+    }
+}
+
+impl AsyncAdversary<AsyncAaMsg> for LatticeAdversary {
+    fn corrupted(&self) -> Vec<PartyId> {
+        (self.honest_count()..self.n).map(PartyId).collect()
+    }
+
+    fn on_start(&mut self, sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>) {
+        let honest = self.honest_count();
+        let rbc = |me: PartyId, inner: RbcMsg<u32>| AsyncAaMsg::Rbc {
+            iter: 0,
+            broadcaster: me,
+            inner,
+        };
+        for (i, behavior) in self.assignment.behaviors.iter().enumerate() {
+            let me = PartyId(honest + i);
+            match *behavior {
+                ByzBehavior::Silent => {}
+                ByzBehavior::Consistent(v) => {
+                    for to in 0..honest {
+                        sends.push((me, PartyId(to), rbc(me, RbcMsg::Init(v))));
+                    }
+                }
+                ByzBehavior::Equivocate(a, b) => {
+                    for to in 0..honest {
+                        let v = if to < honest / 2 { a } else { b };
+                        sends.push((me, PartyId(to), rbc(me, RbcMsg::Init(v))));
+                        sends.push((me, PartyId(to), rbc(me, RbcMsg::Echo(b))));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        _env: &Envelope<AsyncAaMsg>,
+        _sends: &mut Vec<(PartyId, PartyId, AsyncAaMsg)>,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_deduplicate_on_tiny_trees() {
+        assert_eq!(candidate_values(1), vec![0]);
+        assert_eq!(candidate_values(2), vec![0, 1]);
+        assert_eq!(candidate_values(4), vec![0, 1, 3]);
+        assert_eq!(candidate_values(7), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn enumeration_counts_match_the_lattice_size() {
+        // t = 0: the single honest-only assignment.
+        assert_eq!(enumerate_assignments(0, 7).len(), 1);
+        // 3 candidates: 1 silent + 3 consistent + 3 pairs = 7 per party.
+        assert_eq!(enumerate_assignments(1, 7).len(), 7);
+        assert_eq!(enumerate_assignments(2, 7).len(), 49);
+        // 2 candidates (path2): 1 + 2 + 1 = 4 per party.
+        assert_eq!(enumerate_assignments(1, 2).len(), 4);
+    }
+
+    #[test]
+    fn adversary_realizes_each_behavior() {
+        let mut sends = Vec::new();
+        let mut adv = LatticeAdversary::new(
+            4,
+            LatticeAssignment {
+                behaviors: vec![ByzBehavior::Silent],
+            },
+        );
+        assert_eq!(adv.corrupted(), vec![PartyId(3)]);
+        adv.on_start(&mut sends);
+        assert!(sends.is_empty());
+
+        let mut adv = LatticeAdversary::new(
+            4,
+            LatticeAssignment {
+                behaviors: vec![ByzBehavior::Consistent(2)],
+            },
+        );
+        adv.on_start(&mut sends);
+        assert_eq!(sends.len(), 3); // one Init per honest party
+        assert!(sends.iter().all(|(from, _, m)| {
+            *from == PartyId(3)
+                && matches!(
+                    m,
+                    AsyncAaMsg::Rbc {
+                        iter: 0,
+                        inner: RbcMsg::Init(2),
+                        ..
+                    }
+                )
+        }));
+
+        sends.clear();
+        let mut adv = LatticeAdversary::new(
+            4,
+            LatticeAssignment {
+                behaviors: vec![ByzBehavior::Equivocate(0, 2)],
+            },
+        );
+        adv.on_start(&mut sends);
+        // 3 honest parties × (Init + Echo).
+        assert_eq!(sends.len(), 6);
+        let inits_a = sends
+            .iter()
+            .filter(|(_, _, m)| {
+                matches!(
+                    m,
+                    AsyncAaMsg::Rbc {
+                        inner: RbcMsg::Init(0),
+                        ..
+                    }
+                )
+            })
+            .count();
+        let inits_b = sends
+            .iter()
+            .filter(|(_, _, m)| {
+                matches!(
+                    m,
+                    AsyncAaMsg::Rbc {
+                        inner: RbcMsg::Init(2),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!((inits_a, inits_b), (1, 2)); // split at honest/2 = 1
+    }
+}

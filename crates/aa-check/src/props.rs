@@ -1,0 +1,246 @@
+//! The paper's machine-checkable properties as shared predicates.
+//!
+//! These are the single source of truth for the guarantees checked across
+//! the workspace: the fuzz harness (`aa-fuzz`), the exhaustive checker
+//! (this crate), and the cross-crate integration tests all call the same
+//! functions, so a predicate cannot silently drift between the sampling
+//! and the enumerating test stacks.
+
+use std::fmt;
+
+use sim_net::{Outcome, PartyId};
+use tree_aa::{check_tree_aa, Violation};
+use tree_model::{Tree, VertexId};
+
+/// Slack for floating-point comparisons in the real-valued checks.
+pub const REAL_TOL: f64 = 1e-9;
+
+/// A violated protocol property.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropViolation {
+    /// The run exceeded the protocol's public round (or termination)
+    /// bound.
+    RoundBound {
+        /// Rounds (or bound units) the run actually consumed.
+        executed: u32,
+        /// The public bound (excluding the terminal processing round).
+        bound: u32,
+    },
+    /// An honest output escaped the honest inputs' convex hull (interval,
+    /// for real-valued AA).
+    Validity(String),
+    /// Honest outputs are farther apart than the agreement tolerance.
+    Agreement(String),
+    /// A degraded outcome without a checkable over-budget certificate.
+    Degradation(String),
+}
+
+impl fmt::Display for PropViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropViolation::RoundBound { executed, bound } => write!(
+                f,
+                "round bound violated: executed {executed} rounds, bound {bound} (+1 terminal)"
+            ),
+            PropViolation::Validity(detail) => write!(f, "validity violated: {detail}"),
+            PropViolation::Agreement(detail) => write!(f, "agreement violated: {detail}"),
+            PropViolation::Degradation(detail) => {
+                write!(f, "degradation contract violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropViolation {}
+
+/// The round bound, with the `+1` terminal processing round in which
+/// parties consume the last messages and output.
+///
+/// # Errors
+///
+/// [`PropViolation::RoundBound`] if `executed > bound + 1`.
+pub fn check_round_bound(executed: u32, bound: u32) -> Result<(), PropViolation> {
+    if executed > bound + 1 {
+        return Err(PropViolation::RoundBound { executed, bound });
+    }
+    Ok(())
+}
+
+/// Validity and 1-agreement for vertex-valued protocols (Definition 2),
+/// splitting [`check_tree_aa`]'s verdict into the right property.
+///
+/// # Errors
+///
+/// [`PropViolation::Validity`] for hull escapes, [`PropViolation::Agreement`]
+/// for outputs more than distance 1 apart.
+pub fn check_vertex_outcome(
+    tree: &Tree,
+    honest_inputs: &[VertexId],
+    honest_outputs: &[VertexId],
+) -> Result<(), PropViolation> {
+    check_tree_aa(tree, honest_inputs, honest_outputs).map_err(|v| match v {
+        Violation::OutsideHull { .. } => PropViolation::Validity(v.to_string()),
+        Violation::TooFar { .. } => PropViolation::Agreement(v.to_string()),
+        other => PropViolation::Validity(other.to_string()),
+    })
+}
+
+/// Interval validity and ε-agreement for real-valued AA, with
+/// [`REAL_TOL`] slack.
+///
+/// # Errors
+///
+/// [`PropViolation::Validity`] for outputs outside the honest input
+/// interval, [`PropViolation::Agreement`] for spread beyond `eps`.
+pub fn check_real_outcome(
+    honest_inputs: &[f64],
+    honest_outputs: &[f64],
+    eps: f64,
+) -> Result<(), PropViolation> {
+    let lo = honest_inputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = honest_inputs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    for &o in honest_outputs {
+        if o < lo - REAL_TOL || o > hi + REAL_TOL {
+            return Err(PropViolation::Validity(format!(
+                "output {o} outside honest input interval [{lo}, {hi}]"
+            )));
+        }
+    }
+    let out_lo = honest_outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let out_hi = honest_outputs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if out_hi - out_lo > eps + REAL_TOL {
+        return Err(PropViolation::Agreement(format!(
+            "output spread {} exceeds epsilon {eps}",
+            out_hi - out_lo
+        )));
+    }
+    Ok(())
+}
+
+/// The honest parties' decided values, in party order.
+///
+/// # Panics
+///
+/// Panics if an honest (non-corrupted) slot is `None` — on a successful
+/// run every honest party has decided.
+pub fn honest_outputs<O: Clone>(outputs: &[Option<O>], corrupted: &[bool]) -> Vec<O> {
+    outputs
+        .iter()
+        .zip(corrupted)
+        .filter(|(_, &corrupted)| !corrupted)
+        .map(|(o, _)| o.clone().expect("honest party finished without output"))
+        .collect()
+}
+
+/// The values of the parties *not* in `byz`, in party order — the
+/// honest-input filter used wherever a known corrupted set is compared
+/// against the full input vector.
+pub fn honest_subset<T: Clone>(values: &[T], byz: &[PartyId]) -> Vec<T> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !byz.iter().any(|b| b.index() == *i))
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+/// The degradation contract on a single outcome: a party may refuse full
+/// guarantees only with a non-empty certificate that actually
+/// demonstrates an over-budget fault set.
+///
+/// # Errors
+///
+/// [`PropViolation::Degradation`] naming the offending party.
+pub fn check_degradation_outcome<O>(
+    party: usize,
+    outcome: &Outcome<O>,
+) -> Result<(), PropViolation> {
+    if let Outcome::Degraded(d) = outcome {
+        if d.certificate.evidence.is_empty() || !d.certificate.exceeds_budget() {
+            return Err(PropViolation::Degradation(format!(
+                "party {party} degraded with a certificate that does not demonstrate an \
+                 over-budget fault set ({} observed, budget t = {})",
+                d.certificate.observed, d.certificate.budget
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_net::{Degradation, Evidence, EvidenceCertificate};
+    use tree_model::generate;
+
+    #[test]
+    fn round_bound_allows_the_terminal_round() {
+        check_round_bound(5, 4).unwrap();
+        let err = check_round_bound(6, 4).unwrap_err();
+        assert_eq!(
+            err,
+            PropViolation::RoundBound {
+                executed: 6,
+                bound: 4
+            }
+        );
+        assert!(err.to_string().contains("bound 4"));
+    }
+
+    #[test]
+    fn vertex_outcome_splits_validity_and_agreement() {
+        let t = generate::path(9);
+        let vs: Vec<VertexId> = t.vertices().collect();
+        // Inputs span [2, 4]; an output at 8 escapes the hull.
+        let err = check_vertex_outcome(&t, &[vs[2], vs[4]], &[vs[3], vs[8]]).unwrap_err();
+        assert!(matches!(err, PropViolation::Validity(_)), "{err}");
+        // Outputs 2 and 4 are both in the hull but 2 apart.
+        let err = check_vertex_outcome(&t, &[vs[2], vs[4]], &[vs[2], vs[4]]).unwrap_err();
+        assert!(matches!(err, PropViolation::Agreement(_)), "{err}");
+        check_vertex_outcome(&t, &[vs[2], vs[4]], &[vs[3], vs[3]]).unwrap();
+    }
+
+    #[test]
+    fn real_outcome_checks_interval_and_spread() {
+        check_real_outcome(&[0.0, 4.0], &[1.0, 1.5], 1.0).unwrap();
+        let err = check_real_outcome(&[0.0, 4.0], &[5.0], 1.0).unwrap_err();
+        assert!(matches!(err, PropViolation::Validity(_)), "{err}");
+        let err = check_real_outcome(&[0.0, 4.0], &[0.5, 3.5], 1.0).unwrap_err();
+        assert!(matches!(err, PropViolation::Agreement(_)), "{err}");
+    }
+
+    #[test]
+    fn honest_filters_drop_exactly_the_corrupted() {
+        let outs = vec![Some(10), None, Some(30)];
+        assert_eq!(honest_outputs(&outs, &[false, true, false]), vec![10, 30]);
+        assert_eq!(honest_subset(&[10, 20, 30], &[PartyId(1)]), vec![10, 30]);
+    }
+
+    #[test]
+    fn degradation_contract_requires_an_over_budget_certificate() {
+        check_degradation_outcome(0, &Outcome::Value(7u32)).unwrap();
+        let good = Outcome::Degraded(Degradation {
+            fallback: 7u32,
+            certificate: EvidenceCertificate::new(
+                vec![
+                    Evidence::Silence { party: 1, round: 2 },
+                    Evidence::Silence { party: 2, round: 2 },
+                ],
+                1,
+            ),
+        });
+        check_degradation_outcome(0, &good).unwrap();
+        let bad = Outcome::Degraded(Degradation {
+            fallback: 7u32,
+            certificate: EvidenceCertificate::new(vec![], 1),
+        });
+        let err = check_degradation_outcome(3, &bad).unwrap_err();
+        assert!(err.to_string().contains("party 3"), "{err}");
+    }
+}

@@ -18,22 +18,17 @@
 use std::fmt;
 use std::sync::Arc;
 
+use aa_check::props::{self, PropViolation};
 use sim_net::{
     run_simulation_faulted, run_simulation_faulted_traced, run_simulation_traced,
     run_simulation_with, Adversary, EngineConfig, FaultPlan, Metrics, Monitored, Outcome, PartyId,
     Protocol, RunReport, SimConfig, SimError, StepMode, Trace,
 };
-use tree_aa::{
-    check_tree_aa, EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty,
-    Violation,
-};
+use tree_aa::{EngineKind, NowakRybickiConfig, NowakRybickiParty, TreeAaConfig, TreeAaParty};
 use tree_model::{Tree, VertexId};
 
 use crate::adversary::build_adversary;
 use crate::case::{FuzzCase, ProtocolKind};
-
-/// Slack for floating-point comparisons in the `real-aa` checks.
-const REAL_TOL: f64 = 1e-9;
 
 /// Extra rounds granted beyond the protocol bound before the engine
 /// declares the run stuck — generous enough that hitting `max_rounds` is
@@ -457,25 +452,30 @@ fn check_degradation<O>(
                     )));
                 }
             }
-            Outcome::Degraded(d) => {
-                if d.certificate.evidence.is_empty() || !d.certificate.exceeds_budget() {
-                    return Err(CheckFailure::Degradation(format!(
-                        "party {i} degraded with a certificate that does not demonstrate an \
-                         over-budget fault set ({} observed, budget t = {})",
-                        d.certificate.observed, d.certificate.budget
-                    )));
-                }
+            Outcome::Degraded(_) => {
+                props::check_degradation_outcome(i, outcome).map_err(from_prop)?;
             }
         }
     }
     Ok(())
 }
 
-fn check_bound(executed: u32, bound: u32) -> Result<(), CheckFailure> {
-    if executed > bound + 1 {
-        return Err(CheckFailure::RoundBound { executed, bound });
+/// Maps the shared predicate verdicts onto the fuzz harness's failure
+/// vocabulary (which additionally covers sim/determinism/trace failures
+/// the shared predicates know nothing about).
+fn from_prop(v: PropViolation) -> CheckFailure {
+    match v {
+        PropViolation::RoundBound { executed, bound } => {
+            CheckFailure::RoundBound { executed, bound }
+        }
+        PropViolation::Validity(detail) => CheckFailure::Validity(detail),
+        PropViolation::Agreement(detail) => CheckFailure::Agreement(detail),
+        PropViolation::Degradation(detail) => CheckFailure::Degradation(detail),
     }
-    Ok(())
+}
+
+fn check_bound(executed: u32, bound: u32) -> Result<(), CheckFailure> {
+    props::check_round_bound(executed, bound).map_err(from_prop)
 }
 
 fn describe(e: &SimError) -> String {
@@ -490,13 +490,7 @@ fn describe(e: &SimError) -> String {
 
 /// The honest parties' outputs, in party order.
 fn honest_outputs<O: Clone>(report: &RunReport<O>) -> Vec<O> {
-    report
-        .outputs
-        .iter()
-        .zip(&report.corrupted)
-        .filter(|(_, &corrupted)| !corrupted)
-        .map(|(o, _)| o.clone().expect("honest party finished without output"))
-        .collect()
+    props::honest_outputs(&report.outputs, &report.corrupted)
 }
 
 fn stats<O>(report: &RunReport<O>, bound: u32, tree: &Tree) -> CaseStats {
@@ -531,11 +525,7 @@ fn check_vertex_outcome(
     honest_inputs: &[VertexId],
     honest_outputs: &[VertexId],
 ) -> Result<(), CheckFailure> {
-    check_tree_aa(tree, honest_inputs, honest_outputs).map_err(|v| match v {
-        Violation::OutsideHull { .. } => CheckFailure::Validity(v.to_string()),
-        Violation::TooFar { .. } => CheckFailure::Agreement(v.to_string()),
-        other => CheckFailure::Validity(other.to_string()),
-    })
+    props::check_vertex_outcome(tree, honest_inputs, honest_outputs).map_err(from_prop)
 }
 
 fn run_tree_aa(
@@ -665,29 +655,14 @@ fn run_real_aa(
         .map(|(&v, _)| v)
         .collect();
     let mut outputs = honest_outputs(&report);
-    let lo = honest_inputs.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = honest_inputs
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
     if mutation == Mutation::SkewFirstOutput {
+        let hi = honest_inputs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         outputs[0] = hi + d + 1.0;
     }
-    for &o in &outputs {
-        if o < lo - REAL_TOL || o > hi + REAL_TOL {
-            return Err(CheckFailure::Validity(format!(
-                "output {o} outside honest input interval [{lo}, {hi}]"
-            )));
-        }
-    }
-    let out_lo = outputs.iter().copied().fold(f64::INFINITY, f64::min);
-    let out_hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if out_hi - out_lo > eps + REAL_TOL {
-        return Err(CheckFailure::Agreement(format!(
-            "output spread {} exceeds epsilon {eps}",
-            out_hi - out_lo
-        )));
-    }
+    props::check_real_outcome(&honest_inputs, &outputs, eps).map_err(from_prop)?;
     Ok((stats(&report, bound, tree), bundle))
 }
 

@@ -64,6 +64,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -71,7 +72,7 @@ use sim_net::{Envelope, FaultPlan, PartyId, Payload};
 
 mod reliable;
 
-pub use reliable::{RelMsg, Reliable};
+pub use reliable::{RelMsg, Reliable, RETRANSMIT_BIT};
 
 /// How message delays are drawn. All models produce delays in `(0, 1]`
 /// (the async-time normalization); [`DelayModel::validate`] checks the
@@ -323,6 +324,13 @@ pub enum AsyncSimError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The [`Scheduler`] cut the run short via
+    /// [`Scheduler::observe_state`] — exploration tooling pruning an
+    /// already-covered branch, not a protocol failure.
+    Aborted {
+        /// Events processed before the abort.
+        events: usize,
+    },
 }
 
 impl fmt::Display for AsyncSimError {
@@ -333,6 +341,9 @@ impl fmt::Display for AsyncSimError {
                 write!(f, "asynchronous deadlock after {events} delivery events")
             }
             AsyncSimError::BadFaultPlan { reason } => write!(f, "bad fault plan: {reason}"),
+            AsyncSimError::Aborted { events } => {
+                write!(f, "run aborted by the scheduler after {events} events")
+            }
         }
     }
 }
@@ -391,10 +402,65 @@ impl<O: Clone> AsyncReport<O> {
     }
 }
 
-/// What the queue delivers: a message or a local timer.
-enum Pending<M> {
+/// What a scheduler hands back to the run loop: a message delivery or a
+/// local timer firing.
+#[derive(Clone, Debug)]
+pub enum SchedEvent<M> {
+    /// Deliver `env` to `env.to`.
     Deliver(Envelope<M>),
-    Timer { party: PartyId, token: u64 },
+    /// Fire `party`'s timer carrying `token`.
+    Timer {
+        /// The timer's owner.
+        party: PartyId,
+        /// The token passed back to [`AsyncProtocol::on_timer`].
+        token: u64,
+    },
+}
+
+/// The pluggable event-selection policy of an asynchronous run.
+///
+/// The run loop ([`run_async_with`]) is scheduler-agnostic: it pushes
+/// every send and timer into the scheduler and activates whatever the
+/// scheduler pops next. [`SeededScheduler`] reproduces the classic
+/// seeded delay-model semantics ([`run_async`] / [`run_async_faulted`]
+/// are thin wrappers over it); exhaustive-exploration tools implement
+/// this trait to *enumerate* delivery orders instead of sampling one.
+pub trait Scheduler<M: Payload> {
+    /// Accepts a message sent at time `now`. The scheduler decides when
+    /// (and, for fault-modelling schedulers, whether) it is delivered.
+    fn push_send(&mut self, now: f64, env: Envelope<M>);
+
+    /// Accepts a timer set at time `now` to fire `delay` units later.
+    fn push_timer(&mut self, now: f64, party: PartyId, token: u64, delay: f64);
+
+    /// Re-queues an event at an absolute time (used by the run loop to
+    /// defer a crashed party's timers to its recovery instant).
+    fn push_at(&mut self, time: f64, what: SchedEvent<M>);
+
+    /// Pops the next event together with its delivery time, or `None`
+    /// when no event remains.
+    fn pop(&mut self) -> Option<(f64, SchedEvent<M>)>;
+
+    /// The substrate counters this scheduler accumulates; the run loop
+    /// also bumps `timer_fires`, `fault_drops` and `delivered` through
+    /// this access.
+    fn metrics_mut(&mut self) -> &mut AsyncMetrics;
+
+    /// Whether the run loop should report canonical state digests after
+    /// each activation (see [`run_async_explored`]). Defaults to `false`;
+    /// sampling schedulers never need them.
+    fn wants_observations(&self) -> bool {
+        false
+    }
+
+    /// Receives a digest of the global protocol state after an
+    /// activation. Returning `false` aborts the run with
+    /// [`AsyncSimError::Aborted`] — how exploration tools prune visited
+    /// branches.
+    fn observe_state(&mut self, digest: u64) -> bool {
+        let _ = digest;
+        true
+    }
 }
 
 /// An event in the delivery queue, ordered by time then sequence number
@@ -402,7 +468,7 @@ enum Pending<M> {
 struct Event<M> {
     time: f64,
     seq: u64,
-    what: Pending<M>,
+    what: SchedEvent<M>,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -448,9 +514,11 @@ fn recovery_time(plan: &FaultPlan, party: usize, round: u32) -> Option<f64> {
         .and_then(|rr| (rr != u32::MAX).then(|| f64::from(rr - 1)))
 }
 
-/// The event queue plus everything needed to push into it: delay
-/// sampling, fault-plan application, and the metric counters.
-struct Queue<'a, M: Payload> {
+/// The classic seeded scheduler: a time-ordered event queue plus
+/// everything needed to push into it — delay sampling, fault-plan
+/// application, and the metric counters. This is the [`Scheduler`] that
+/// [`run_async`] and [`run_async_faulted`] run on.
+pub struct SeededScheduler<'a, M: Payload> {
     heap: BinaryHeap<Reverse<Event<M>>>,
     seq: u64,
     delay: &'a DelayModel,
@@ -460,9 +528,11 @@ struct Queue<'a, M: Payload> {
     metrics: AsyncMetrics,
 }
 
-impl<'a, M: Payload> Queue<'a, M> {
-    fn new(cfg: &'a AsyncConfig, plan: Option<&'a FaultPlan>) -> Self {
-        Queue {
+impl<'a, M: Payload> SeededScheduler<'a, M> {
+    /// Builds the scheduler for `cfg` (and optionally a fault plan whose
+    /// link faults it applies at push time).
+    pub fn new(cfg: &'a AsyncConfig, plan: Option<&'a FaultPlan>) -> Self {
+        SeededScheduler {
             heap: BinaryHeap::new(),
             seq: 0,
             delay: &cfg.delay,
@@ -473,7 +543,7 @@ impl<'a, M: Payload> Queue<'a, M> {
         }
     }
 
-    fn push_raw(&mut self, time: f64, what: Pending<M>) {
+    fn push_raw(&mut self, time: f64, what: SchedEvent<M>) {
         self.seq += 1;
         self.heap.push(Reverse(Event {
             time,
@@ -481,11 +551,13 @@ impl<'a, M: Payload> Queue<'a, M> {
             what,
         }));
     }
+}
 
+impl<M: Payload> Scheduler<M> for SeededScheduler<'_, M> {
     /// Queues a message sent at `now`, applying link faults. The main
     /// delay stream sees exactly one draw per logical send whether or not
     /// a plan is active, so a plan never perturbs the base schedule.
-    fn send(&mut self, now: f64, env: Envelope<M>) {
+    fn push_send(&mut self, now: f64, env: Envelope<M>) {
         if let Some(plan) = self.plan {
             if plan.severed(round_of(now), env.from.index(), env.to.index()) {
                 self.metrics.fault_drops += 1;
@@ -515,29 +587,25 @@ impl<'a, M: Payload> Queue<'a, M> {
             }
         }
         if let Some(dup_delay) = duplicate {
-            self.push_raw(now + dup_delay, Pending::Deliver(env.clone()));
+            self.push_raw(now + dup_delay, SchedEvent::Deliver(env.clone()));
         }
-        self.push_raw(now + delay, Pending::Deliver(env));
+        self.push_raw(now + delay, SchedEvent::Deliver(env));
     }
 
-    /// Drains an activation context into the queue: sends, timers, and
-    /// retransmission credit.
-    fn flush(&mut self, ctx: AsyncCtx<M>) {
-        let AsyncCtx {
-            me,
-            now,
-            outbox,
-            timers,
-            retransmits,
-            ..
-        } = ctx;
-        self.metrics.retransmissions += retransmits;
-        for env in outbox {
-            self.send(now, env);
-        }
-        for (delay, token) in timers {
-            self.push_raw(now + delay, Pending::Timer { party: me, token });
-        }
+    fn push_timer(&mut self, now: f64, party: PartyId, token: u64, delay: f64) {
+        self.push_raw(now + delay, SchedEvent::Timer { party, token });
+    }
+
+    fn push_at(&mut self, time: f64, what: SchedEvent<M>) {
+        self.push_raw(time, what);
+    }
+
+    fn pop(&mut self) -> Option<(f64, SchedEvent<M>)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.what))
+    }
+
+    fn metrics_mut(&mut self) -> &mut AsyncMetrics {
+        &mut self.metrics
     }
 }
 
@@ -559,7 +627,8 @@ where
     A: AsyncAdversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
 {
-    run_async_inner(cfg, None, factory, adversary)
+    let mut sched = SeededScheduler::new(&cfg, None);
+    run_loop(&cfg, None, factory, adversary, &mut sched, None)
 }
 
 /// [`run_async`] under a [`FaultPlan`]: probabilistic drop, duplication
@@ -599,19 +668,119 @@ where
     A: AsyncAdversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
 {
-    run_async_inner(cfg, Some(plan), factory, adversary)
+    let mut sched = SeededScheduler::new(&cfg, Some(plan));
+    run_loop(&cfg, Some(plan), factory, adversary, &mut sched, None)
 }
 
-fn run_async_inner<P, A, F>(
-    cfg: AsyncConfig,
+/// Runs an asynchronous protocol on a caller-supplied [`Scheduler`] —
+/// the substrate-level entry point behind [`run_async`] and
+/// [`run_async_faulted`]. `plan` drives the run loop's crash handling
+/// (deferred timers, dropped deliveries to crashed recipients); link
+/// faults are the scheduler's own business.
+///
+/// # Errors
+///
+/// As [`run_async_faulted`], plus [`AsyncSimError::Aborted`] if the
+/// scheduler cuts the run short.
+pub fn run_async_with<P, A, F, S>(
+    cfg: &AsyncConfig,
     plan: Option<&FaultPlan>,
-    mut factory: F,
-    mut adversary: A,
+    factory: F,
+    adversary: A,
+    sched: &mut S,
 ) -> Result<AsyncReport<P::Output>, AsyncSimError>
 where
     P: AsyncProtocol,
     A: AsyncAdversary<P::Msg>,
     F: FnMut(PartyId, usize) -> P,
+    S: Scheduler<P::Msg>,
+{
+    run_loop(cfg, plan, factory, adversary, sched, None)
+}
+
+/// [`run_async_with`] for exploration: after every activation a
+/// canonical digest of the global protocol state (a deterministic hash
+/// of each party's `Debug` rendering) is reported to the scheduler via
+/// [`Scheduler::observe_state`], which may prune the run. Digests are
+/// only computed while [`Scheduler::wants_observations`] returns `true`.
+///
+/// # Errors
+///
+/// As [`run_async_with`].
+pub fn run_async_explored<P, A, F, S>(
+    cfg: &AsyncConfig,
+    plan: Option<&FaultPlan>,
+    factory: F,
+    adversary: A,
+    sched: &mut S,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol + fmt::Debug,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+    S: Scheduler<P::Msg>,
+{
+    run_loop(
+        cfg,
+        plan,
+        factory,
+        adversary,
+        sched,
+        Some(state_digest::<P>),
+    )
+}
+
+/// A deterministic (fixed-key) digest of every party's `Debug` state —
+/// stable across runs and processes, so exploration reports reproduce
+/// bit-for-bit.
+fn state_digest<P: AsyncProtocol + fmt::Debug>(parties: &[Option<P>]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for p in parties {
+        match p {
+            Some(p) => format!("{p:?}").hash(&mut h),
+            None => 0u8.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+/// Drains an activation context into the scheduler: sends, timers, and
+/// retransmission credit.
+fn flush_ctx<M: Payload, S: Scheduler<M>>(sched: &mut S, ctx: AsyncCtx<M>) {
+    let AsyncCtx {
+        me,
+        now,
+        outbox,
+        timers,
+        retransmits,
+        ..
+    } = ctx;
+    sched.metrics_mut().retransmissions += retransmits;
+    for env in outbox {
+        sched.push_send(now, env);
+    }
+    for (delay, token) in timers {
+        sched.push_timer(now, me, token, delay);
+    }
+}
+
+/// The optional state-digest hook of [`run_async_explored`]: a pure
+/// function of every party's current state (crashed slots are `None`).
+type DigestFn<P> = fn(&[Option<P>]) -> u64;
+
+fn run_loop<P, A, F, S>(
+    cfg: &AsyncConfig,
+    plan: Option<&FaultPlan>,
+    mut factory: F,
+    mut adversary: A,
+    sched: &mut S,
+    digest: Option<DigestFn<P>>,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+    S: Scheduler<P::Msg>,
 {
     let n = cfg.n;
     if n == 0 {
@@ -664,14 +833,12 @@ where
         })
         .collect();
 
-    let mut q: Queue<'_, P::Msg> = Queue::new(&cfg, plan);
-
     // Time 0: honest starts, adversary start injections.
     for (i, party) in parties.iter_mut().enumerate() {
         if let Some(p) = party.as_mut() {
             let mut ctx = AsyncCtx::new(PartyId(i), n, 0.0);
             p.on_start(&mut ctx);
-            q.flush(ctx);
+            flush_ctx(sched, ctx);
         }
     }
     let mut adv_sends = Vec::new();
@@ -681,7 +848,7 @@ where
             corrupted[from.index()],
             "adversary must send from corrupted parties"
         );
-        q.send(
+        sched.push_send(
             0.0,
             Envelope {
                 from,
@@ -731,17 +898,17 @@ where
             perm_crashed,
             completion_time,
             0,
-            q.metrics,
+            *sched.metrics_mut(),
         ));
     }
 
-    while let Some(Reverse(Event { time, what, .. })) = q.heap.pop() {
+    while let Some((time, what)) = sched.pop() {
         events += 1;
         if events > cfg.max_events {
             return Err(AsyncSimError::Stalled { events });
         }
         let (party, activation) = match what {
-            Pending::Timer { party, token } => {
+            SchedEvent::Timer { party, token } => {
                 let i = party.index();
                 if corrupted[i] {
                     continue;
@@ -752,18 +919,18 @@ where
                         // Defer the timer to the recovery instant; a
                         // never-recovering party's timers die with it.
                         if let Some(rt) = recovery_time(plan, i, round) {
-                            q.push_raw(rt, Pending::Timer { party, token });
+                            sched.push_at(rt, SchedEvent::Timer { party, token });
                         }
                         continue;
                     }
                 }
-                q.metrics.timer_fires += 1;
+                sched.metrics_mut().timer_fires += 1;
                 (party, Activation::Timer(token))
             }
-            Pending::Deliver(env) => {
+            SchedEvent::Deliver(env) => {
                 let to = env.to;
                 if plan.is_some_and(|p| p.crashed_in(to.index(), round_of(time))) {
-                    q.metrics.fault_drops += 1;
+                    sched.metrics_mut().fault_drops += 1;
                     continue;
                 }
                 if corrupted[to.index()] {
@@ -774,7 +941,7 @@ where
                             corrupted[from.index()],
                             "adversary must send from corrupted parties"
                         );
-                        q.send(
+                        sched.push_send(
                             time,
                             Envelope {
                                 from,
@@ -799,19 +966,24 @@ where
                 Activation::Message(env) => p.on_message(env, &mut ctx),
                 Activation::Timer(token) => p.on_timer(token, &mut ctx),
             }
-            q.flush(ctx);
+            flush_ctx(sched, ctx);
+        }
+        if let Some(dg) = digest {
+            if sched.wants_observations() && !sched.observe_state(dg(&parties)) {
+                return Err(AsyncSimError::Aborted { events });
+            }
         }
         if !was_done && parties[i].as_ref().expect("honest").output().is_some() {
             completion_time = completion_time.max(time);
             if all_done(&parties, &perm_crashed) {
-                q.metrics.delivered = delivered;
+                sched.metrics_mut().delivered = delivered;
                 return Ok(make_report(
                     &parties,
                     corrupted,
                     perm_crashed,
                     completion_time,
                     delivered,
-                    q.metrics,
+                    *sched.metrics_mut(),
                 ));
             }
         }
@@ -1134,6 +1306,106 @@ mod tests {
         let c = run(250_000);
         assert_eq!(a, c, "max_events headroom leaked into the run");
         assert!(a.metrics.retransmissions > 0 || a.metrics.fault_drops == 0);
+    }
+
+    /// A minimal custom [`Scheduler`]: FIFO message delivery, timers only
+    /// at quiescence — smoke-tests the pluggable run loop.
+    #[derive(Default)]
+    struct Fifo {
+        msgs: std::collections::VecDeque<Envelope<u64>>,
+        timers: std::collections::VecDeque<(f64, PartyId, u64)>,
+        now: f64,
+        metrics: AsyncMetrics,
+        observations: usize,
+        abort_after: Option<usize>,
+    }
+
+    impl Scheduler<u64> for Fifo {
+        fn push_send(&mut self, _now: f64, env: Envelope<u64>) {
+            self.msgs.push_back(env);
+        }
+        fn push_timer(&mut self, now: f64, party: PartyId, token: u64, delay: f64) {
+            self.timers.push_back((now + delay, party, token));
+        }
+        fn push_at(&mut self, time: f64, what: SchedEvent<u64>) {
+            match what {
+                SchedEvent::Deliver(env) => self.msgs.push_back(env),
+                SchedEvent::Timer { party, token } => self.timers.push_back((time, party, token)),
+            }
+        }
+        fn pop(&mut self) -> Option<(f64, SchedEvent<u64>)> {
+            self.now += 1e-6;
+            if let Some(env) = self.msgs.pop_front() {
+                return Some((self.now, SchedEvent::Deliver(env)));
+            }
+            self.timers.pop_front().map(|(due, party, token)| {
+                self.now = self.now.max(due);
+                (self.now, SchedEvent::Timer { party, token })
+            })
+        }
+        fn metrics_mut(&mut self) -> &mut AsyncMetrics {
+            &mut self.metrics
+        }
+        fn wants_observations(&self) -> bool {
+            self.abort_after.is_some()
+        }
+        fn observe_state(&mut self, _digest: u64) -> bool {
+            self.observations += 1;
+            Some(self.observations) != self.abort_after
+        }
+    }
+
+    #[test]
+    fn custom_fifo_scheduler_drives_the_run_loop() {
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 0,
+            seed: 0,
+            delay: DelayModel::Lockstep, // unused by Fifo
+            max_events: 10_000,
+        };
+        let mut sched = Fifo::default();
+        let report = run_async_with(
+            &cfg,
+            None,
+            |_, _| Census { heard: 0, need: 4 },
+            PassiveAsync,
+            &mut sched,
+        )
+        .unwrap();
+        assert_eq!(report.outputs, vec![Some(4); 4]);
+        assert_eq!(report.messages_delivered, 16);
+    }
+
+    impl fmt::Debug for Census {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Census({}/{})", self.heard, self.need)
+        }
+    }
+
+    #[test]
+    fn observing_scheduler_can_abort_the_run() {
+        let cfg = AsyncConfig {
+            n: 4,
+            t: 0,
+            seed: 0,
+            delay: DelayModel::Lockstep,
+            max_events: 10_000,
+        };
+        let mut sched = Fifo {
+            abort_after: Some(3),
+            ..Fifo::default()
+        };
+        let err = run_async_explored(
+            &cfg,
+            None,
+            |_, _| Census { heard: 0, need: 4 },
+            PassiveAsync,
+            &mut sched,
+        )
+        .unwrap_err();
+        assert_eq!(err, AsyncSimError::Aborted { events: 3 });
+        assert_eq!(sched.observations, 3);
     }
 
     #[test]

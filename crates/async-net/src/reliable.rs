@@ -28,8 +28,10 @@ use sim_net::{Envelope, PartyId, Payload};
 use crate::{AsyncCtx, AsyncProtocol};
 
 /// Timer tokens with this bit set belong to the reliability layer; inner
-/// protocols must keep their own tokens below it.
-const RETRANSMIT_BIT: u64 = 1 << 63;
+/// protocols must keep their own tokens below it. Sequence numbers wrap
+/// around below this bit, so a retransmission token can never collide
+/// with the namespace of inner-protocol tokens.
+pub const RETRANSMIT_BIT: u64 = 1 << 63;
 
 /// First retransmission timeout, in normalized delay units (a round trip
 /// costs at most 2).
@@ -98,9 +100,24 @@ impl<P: AsyncProtocol> Reliable<P> {
         }
     }
 
+    /// Like [`Reliable::new`], but starts the sender-side sequence counter
+    /// at `first_seq` instead of 0. Exists so tests (and the exhaustive
+    /// checker) can exercise the wraparound of the 63-bit sequence space
+    /// without sending 2⁶³ messages first.
+    pub fn with_initial_seq(inner: P, n: usize, first_seq: u64) -> Self {
+        let mut r = Reliable::new(inner, n);
+        r.next_seq = first_seq & !RETRANSMIT_BIT;
+        r
+    }
+
     /// Read access to the wrapped protocol.
     pub fn inner(&self) -> &P {
         &self.inner
+    }
+
+    /// The sequence number the next outgoing `Data` frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     fn backoff(attempt: u32) -> f64 {
@@ -126,7 +143,11 @@ impl<P: AsyncProtocol> Reliable<P> {
         }
         for env in inner_ctx.outbox {
             let seq = self.next_seq;
-            self.next_seq += 1;
+            // Sequence numbers live in the 63-bit space below
+            // RETRANSMIT_BIT so that `RETRANSMIT_BIT | seq` round-trips;
+            // after 2⁶³ sends the counter wraps and relies on the
+            // receivers' seen-sets having long forgotten the reused seqs.
+            self.next_seq = (self.next_seq + 1) & !RETRANSMIT_BIT;
             ctx.send(
                 env.to,
                 RelMsg::Data {
@@ -355,6 +376,107 @@ mod tests {
         assert!(report.metrics.fault_dups > 0);
         // Each party saw exactly n distinct messages despite 100% dup.
         assert_eq!(report.outputs, vec![Some(4); 4]);
+    }
+
+    fn ctx(me: usize, n: usize) -> AsyncCtx<RelMsg<u64>> {
+        AsyncCtx::new(PartyId(me), n, 0.0)
+    }
+
+    fn fresh(n: usize) -> NeedAll {
+        NeedAll {
+            heard: BTreeSet::new(),
+            n,
+        }
+    }
+
+    fn ack(from: usize, to: usize, seq: u64) -> Envelope<RelMsg<u64>> {
+        Envelope {
+            from: PartyId(from),
+            to: PartyId(to),
+            payload: RelMsg::Ack { seq },
+        }
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent_and_authenticated() {
+        let mut r = Reliable::new(fresh(3), 3);
+        let mut c = ctx(0, 3);
+        r.on_start(&mut c); // broadcast: seqs 0, 1, 2 to parties 0, 1, 2
+        assert_eq!(r.unacked.len(), 3);
+
+        // An ack from a party the data was not addressed to is ignored.
+        r.on_message(ack(2, 0, 1), &mut ctx(0, 3));
+        assert_eq!(r.unacked.len(), 3, "forged ack must not cancel traffic");
+
+        // The addressed recipient's ack clears the slot...
+        r.on_message(ack(1, 0, 1), &mut ctx(0, 3));
+        assert_eq!(r.unacked.len(), 2);
+        // ...and re-delivering the same ack (or acking an unknown seq) is
+        // a harmless no-op.
+        r.on_message(ack(1, 0, 1), &mut ctx(0, 3));
+        r.on_message(ack(1, 0, 777), &mut ctx(0, 3));
+        assert_eq!(r.unacked.len(), 2);
+
+        // A retransmit timer for the acked seq finds nothing to resend.
+        let mut c = ctx(0, 3);
+        r.on_timer(RETRANSMIT_BIT | 1, &mut c);
+        assert!(c.outbox.is_empty(), "acked messages are not retransmitted");
+    }
+
+    #[test]
+    fn sequence_numbers_wrap_below_the_retransmit_bit() {
+        let mut r = Reliable::with_initial_seq(fresh(3), 3, RETRANSMIT_BIT - 2);
+        let mut c = ctx(0, 3);
+        r.on_start(&mut c); // 3 sends: seqs 2⁶³−2, 2⁶³−1, then wrap to 0
+        let seqs: Vec<u64> = c
+            .outbox
+            .iter()
+            .map(|e| match e.payload {
+                RelMsg::Data { seq, .. } => seq,
+                RelMsg::Ack { .. } => panic!("no acks expected"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![RETRANSMIT_BIT - 2, RETRANSMIT_BIT - 1, 0]);
+        assert_eq!(r.next_seq(), 1, "counter wrapped below the timer bit");
+        // Every retransmit token keeps the namespace bit and round-trips
+        // back to its seq.
+        for (_, token) in &c.timers {
+            assert_ne!(token & RETRANSMIT_BIT, 0);
+            assert!(seqs.contains(&(token & !RETRANSMIT_BIT)));
+        }
+        // The retransmission path still works for a wrapped (seq 0) frame.
+        let mut c = ctx(0, 3);
+        r.on_timer(RETRANSMIT_BIT, &mut c); // token for seq 0
+        assert_eq!(c.outbox.len(), 1);
+        assert!(matches!(c.outbox[0].payload, RelMsg::Data { seq: 0, .. }));
+    }
+
+    #[test]
+    fn duplicate_data_is_reacked_but_delivered_once() {
+        let mut r = Reliable::new(fresh(3), 3);
+        let data = Envelope {
+            from: PartyId(1),
+            to: PartyId(0),
+            payload: RelMsg::Data {
+                seq: RETRANSMIT_BIT - 1, // near-wraparound seq on the receive path
+                inner: 42u64,
+            },
+        };
+        for round in 0..2 {
+            let mut c = ctx(0, 3);
+            r.on_message(data.clone(), &mut c);
+            let acks = c
+                .outbox
+                .iter()
+                .filter(|e| matches!(e.payload, RelMsg::Ack { seq } if seq == RETRANSMIT_BIT - 1))
+                .count();
+            assert_eq!(acks, 1, "every copy is re-acked (round {round})");
+        }
+        assert_eq!(
+            r.inner().heard.len(),
+            1,
+            "inner protocol saw the payload exactly once"
+        );
     }
 
     #[test]

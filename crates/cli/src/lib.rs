@@ -88,6 +88,26 @@ pub enum Command {
         /// Directory for minimized repro files (empty disables saving).
         corpus: String,
     },
+    /// `check`: exhaustively model-check a small instance (bounded
+    /// schedule enumeration × Byzantine message-lattice assignments).
+    Check {
+        /// Number of parties (`n > 3t`, `n <= 5`).
+        n: usize,
+        /// Corruption bound (defaults to `(n - 1) / 3`).
+        t: usize,
+        /// Tree spec: `<family><size>` (e.g. `path4`, `star5`) or a tree
+        /// file path.
+        tree: String,
+        /// `tree-aa` or `real-aa`.
+        protocol: String,
+        /// Enumerated delivery decisions per execution.
+        depth: usize,
+        /// Total execution budget across all assignments.
+        max_runs: usize,
+        /// File for the counterexample trace JSON if a check fails
+        /// (empty disables saving).
+        out: String,
+    },
     /// `trace`: record a deterministic flight-recorder trace of a named
     /// canonical scenario.
     Trace {
@@ -185,6 +205,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             faults: opts.contains_key("faults"),
             corpus: opts.get("corpus").cloned().unwrap_or_default(),
         }),
+        "check" => {
+            let n: usize = parse_num(req(&opts, "n")?, "n")?;
+            Ok(Command::Check {
+                n,
+                t: opts
+                    .get("t")
+                    .map_or(Ok(n.saturating_sub(1) / 3), |s| parse_num(s, "t"))?,
+                tree: req(&opts, "tree")?.to_string(),
+                protocol: opts
+                    .get("protocol")
+                    .cloned()
+                    .unwrap_or_else(|| "tree-aa".into()),
+                depth: opts.get("depth").map_or(Ok(3), |s| parse_num(s, "depth"))?,
+                max_runs: opts
+                    .get("max-runs")
+                    .map_or(Ok(50_000), |s| parse_num(s, "max-runs"))?,
+                out: opts.get("out").cloned().unwrap_or_default(),
+            })
+        }
         "trace" => Ok(Command::Trace {
             scenario: req(&opts, "scenario")?.to_string(),
             seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
@@ -209,6 +248,9 @@ USAGE:
   treeaa bounds --diameter <D> --n <N> --t <T>
   treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--faults]
                 [--corpus <dir>]
+  treeaa check  --n <N> --tree <familyK|file> [--t <T>]
+                [--protocol tree-aa|real-aa] [--depth <D>]
+                [--max-runs <K>] [--out <file>]
   treeaa trace  --scenario <name> [--seed <S>] [--out <file>]
 
 `run` uses one party per input label; with an adversary, the *last* t
@@ -226,6 +268,19 @@ checked: transient faults still terminate within the relaxed round
 bound, and over-budget fault sets must yield `Degraded` outcomes with
 checkable evidence certificates. Identical seed and case count give
 bit-identical output. Exits non-zero if any case fails.
+
+`check` exhaustively model-checks one small instance (n <= 5, trees of
+<= 7 vertices): every Byzantine value-assignment from a finite message
+lattice x every asynchronous delivery schedule up to --depth enumerated
+decisions, with sleep-set and visited-state pruning. Every completed
+execution is checked for validity, convex-hull containment,
+1-agreement (or eps-agreement for real-aa), the termination bound and
+the degradation contract, and a canonical run is cross-checked against
+the lockstep synchronous simulators. --tree takes a generated family
+with a trailing size (`path4`, `star5`) or a tree file. Output is
+bit-identical across reruns; on failure the minimized counterexample
+is printed and, with --out, its replayable trace JSON is saved. Exits
+non-zero on a violation.
 
 `trace` runs a named canonical scenario (path-honest, star-crash,
 caterpillar-equivocate, broom-realaa-equivocate, path-baseline-flaky,
@@ -253,6 +308,21 @@ fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
         }
         other => return Err(format!("unknown family `{other}`")),
     })
+}
+
+/// Resolves a `check` tree spec: a family name with a trailing size
+/// (`path4`, `star5`) or a path to a tree file.
+fn build_tree_spec(spec: &str) -> Result<Tree, String> {
+    let digits = spec.len() - spec.chars().rev().take_while(char::is_ascii_digit).count();
+    let (family, size) = spec.split_at(digits);
+    if !family.is_empty() && !size.is_empty() {
+        if let Ok(tree) = build_family(family, size.parse().map_err(|_| "bad size")?, 0) {
+            return Ok(tree);
+        }
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("`{spec}` is neither a tree family spec nor a readable file: {e}"))?;
+    parse_tree(&text).map_err(|e| e.to_string())
 }
 
 /// Executes a command, writing human-readable output to `out`.
@@ -344,6 +414,35 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Ok(())
             } else {
                 Err(format!("{violations} invariant violation(s) found"))
+            }
+        }
+        Command::Check {
+            n,
+            t,
+            tree,
+            protocol,
+            depth,
+            max_runs,
+            out: out_path,
+        } => {
+            let tree = Arc::new(build_tree_spec(&tree)?);
+            let protocol = aa_check::CheckProtocol::parse(&protocol)?;
+            let mut opts = aa_check::CheckOptions::new(n, t, tree, protocol);
+            opts.depth = depth;
+            opts.max_runs = max_runs;
+            let report = aa_check::check(&opts)?;
+            write!(out, "{report}").map_err(io)?;
+            writeln!(out).map_err(io)?;
+            match report.violation {
+                None => Ok(()),
+                Some(cex) => {
+                    if !out_path.is_empty() {
+                        let json = cex.trace.to_canonical_string();
+                        std::fs::write(&out_path, format!("{json}\n")).map_err(io)?;
+                        writeln!(out, "counterexample trace -> {out_path}").map_err(io)?;
+                    }
+                    Err(format!("property violation: {}", cex.violation))
+                }
             }
         }
         Command::Trace {
@@ -710,6 +809,118 @@ mod tests {
         let text = String::from_utf8(first).unwrap();
         assert!(text.contains("faults on"), "{text}");
         assert!(text.contains("0 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn parses_check_with_defaults() {
+        assert_eq!(
+            parse_args(&argv("check --n 4 --tree path4 --protocol tree-aa")).unwrap(),
+            Command::Check {
+                n: 4,
+                t: 1,
+                tree: "path4".into(),
+                protocol: "tree-aa".into(),
+                depth: 3,
+                max_runs: 50_000,
+                out: String::new(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "check --n 5 --t 1 --tree star5 --protocol real-aa --depth 2 \
+                 --max-runs 999 --out cex.json"
+            ))
+            .unwrap(),
+            Command::Check {
+                n: 5,
+                t: 1,
+                tree: "star5".into(),
+                protocol: "real-aa".into(),
+                depth: 2,
+                max_runs: 999,
+                out: "cex.json".into(),
+            }
+        );
+        assert!(parse_args(&argv("check --tree path4")).is_err());
+    }
+
+    // The acceptance invocation: `treeaa check --n 4 --tree path4
+    // --protocol tree-aa` explores exhaustively, passes, reports its
+    // explored/pruned counts, and is bit-identical across reruns.
+    #[test]
+    fn check_passes_and_is_bit_identical() {
+        let run = || {
+            let mut out = Vec::new();
+            execute(
+                Command::Check {
+                    n: 4,
+                    t: 1,
+                    tree: "path4".into(),
+                    protocol: "tree-aa".into(),
+                    depth: 2,
+                    max_runs: 50_000,
+                    out: String::new(),
+                },
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        assert!(first.contains("verdict: PASS"), "{first}");
+        assert!(first.contains("executions:"), "{first}");
+        assert!(first.contains("canonical fingerprint:"), "{first}");
+        assert!(!first.contains("[truncated"), "{first}");
+    }
+
+    #[test]
+    fn check_accepts_a_tree_file_and_rejects_bad_specs() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Gen {
+                family: "path".into(),
+                size: 4,
+                dot: false,
+                seed: 0,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("treeaa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("check.tree");
+        std::fs::write(&file, &buf).unwrap();
+        let mut out = Vec::new();
+        execute(
+            Command::Check {
+                n: 4,
+                t: 1,
+                tree: file.to_string_lossy().into_owned(),
+                protocol: "tree-aa".into(),
+                depth: 1,
+                max_runs: 10_000,
+                out: String::new(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("verdict: PASS"));
+
+        let err = execute(
+            Command::Check {
+                n: 4,
+                t: 1,
+                tree: "definitely-not-a-tree".into(),
+                protocol: "tree-aa".into(),
+                depth: 1,
+                max_runs: 10,
+                out: String::new(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("neither a tree family spec"), "{err}");
     }
 
     #[test]

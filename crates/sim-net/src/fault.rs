@@ -206,8 +206,18 @@ impl FaultPlan {
             if let Some(&party) = p.side.iter().find(|&&x| x >= n) {
                 return Err(FaultPlanError::PartyOutOfRange { party, n });
             }
-            if p.from_round == 0 || p.from_round >= p.heal_round {
+            if p.from_round == 0 {
                 return Err(FaultPlanError::BadWindow {
+                    what: "partition",
+                    from: p.from_round,
+                    until: p.heal_round,
+                });
+            }
+            // `heal_round == from_round` is an empty window — a valid
+            // no-op partition (active in no round). Only a window that
+            // heals strictly *before* it starts is malformed.
+            if p.heal_round < p.from_round {
+                return Err(FaultPlanError::ReversedWindow {
                     what: "partition",
                     from: p.from_round,
                     until: p.heal_round,
@@ -218,8 +228,17 @@ impl FaultPlan {
             if c.party >= n {
                 return Err(FaultPlanError::PartyOutOfRange { party: c.party, n });
             }
-            if c.crash_round == 0 || c.crash_round >= c.recover_round {
+            if c.crash_round == 0 {
                 return Err(FaultPlanError::BadWindow {
+                    what: "crash",
+                    from: c.crash_round,
+                    until: c.recover_round,
+                });
+            }
+            // Likewise `recover_round == crash_round` is an empty, no-op
+            // crash; `recover_round < crash_round` is reversed.
+            if c.recover_round < c.crash_round {
+                return Err(FaultPlanError::ReversedWindow {
                     what: "crash",
                     from: c.crash_round,
                     until: c.recover_round,
@@ -254,8 +273,18 @@ pub enum FaultPlanError {
         /// Number of parties.
         n: usize,
     },
-    /// A fault window is empty or starts at round 0.
+    /// A fault window starts at round 0 (rounds are 1-based).
     BadWindow {
+        /// `"partition"` or `"crash"`.
+        what: &'static str,
+        /// Start round.
+        from: u32,
+        /// End round.
+        until: u32,
+    },
+    /// A fault window ends strictly before it starts (an *empty* window,
+    /// `until == from`, is accepted as a no-op).
+    ReversedWindow {
         /// `"partition"` or `"crash"`.
         what: &'static str,
         /// Start round.
@@ -284,7 +313,19 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::BadWindow { what, from, until } => {
                 write!(
                     f,
-                    "{what} window [{from}, {until}) must start at round >= 1 and be nonempty"
+                    "{what} window [{from}, {until}) must start at round >= 1 (rounds are 1-based)"
+                )
+            }
+            FaultPlanError::ReversedWindow { what, from, until } => {
+                let (start, end) = match *what {
+                    "crash" => ("crashes", "recovers"),
+                    _ => ("starts", "heals"),
+                };
+                write!(
+                    f,
+                    "{what} window [{from}, {until}) {end} at round {until}, strictly before it \
+                     {start} at round {from}; an empty window (until == from) is the way to \
+                     express a no-op"
                 )
             }
         }
@@ -397,17 +438,86 @@ mod tests {
             out_of_range.validate(n),
             Err(FaultPlanError::PartyOutOfRange { party: 9, n })
         );
-        let empty_window = FaultPlan {
+        let round_zero = FaultPlan {
             crashes: vec![CrashFault {
                 party: 0,
-                crash_round: 3,
+                crash_round: 0,
                 recover_round: 3,
             }],
             ..FaultPlan::none()
         };
         assert!(matches!(
-            empty_window.validate(n),
+            round_zero.validate(n),
             Err(FaultPlanError::BadWindow { what: "crash", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_windows_are_valid_no_ops() {
+        // heal_round == from_round: a partition that is active in no
+        // round; recover_round == crash_round likewise for crashes.
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                side: vec![0],
+                from_round: 3,
+                heal_round: 3,
+            }],
+            crashes: vec![CrashFault {
+                party: 1,
+                crash_round: 3,
+                recover_round: 3,
+            }],
+            ..FaultPlan::none()
+        };
+        plan.validate(4).unwrap();
+        for round in 0..10 {
+            assert!(!plan.severed(round, 0, 1), "round {round}");
+            assert!(!plan.crashed_in(1, round), "round {round}");
+        }
+        assert!(plan.eventually_connected());
+        assert!(plan.permanently_crashed().is_empty());
+    }
+
+    #[test]
+    fn reversed_windows_are_rejected_with_a_precise_message() {
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                party: 0,
+                crash_round: 5,
+                recover_round: 2,
+            }],
+            ..FaultPlan::none()
+        };
+        let err = plan.validate(4).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::ReversedWindow {
+                what: "crash",
+                from: 5,
+                until: 2,
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("recovers at round 2") && msg.contains("crashes at round 5"),
+            "message must name the reversed bounds: {msg}"
+        );
+
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                side: vec![0],
+                from_round: 4,
+                heal_round: 1,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::ReversedWindow {
+                what: "partition",
+                from: 4,
+                until: 1,
+            })
         ));
     }
 

@@ -72,10 +72,26 @@ fn fault_plan_error_every_variant_formats() {
     check(
         &FaultPlanError::BadWindow {
             what: "crash",
-            from: 3,
+            from: 0,
             until: 3,
         },
-        &["crash window", "[3, 3)", "nonempty"],
+        &["crash window", "[0, 3)", "round >= 1"],
+    );
+    check(
+        &FaultPlanError::ReversedWindow {
+            what: "crash",
+            from: 5,
+            until: 2,
+        },
+        &["crash window", "recovers at round 2", "crashes at round 5"],
+    );
+    check(
+        &FaultPlanError::ReversedWindow {
+            what: "partition",
+            from: 4,
+            until: 1,
+        },
+        &["partition window", "heals at round 1", "starts at round 4"],
     );
 }
 

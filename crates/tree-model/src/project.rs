@@ -183,6 +183,83 @@ mod tests {
     }
 
     #[test]
+    fn single_vertex_tree_projection_is_identity() {
+        // The degenerate instance the exhaustive checker starts from: one
+        // vertex, the only path is trivial, and everything is a fixpoint.
+        let t = generate::path(1);
+        let v = t.vertices().next().unwrap();
+        let path = t.path(v, v);
+        assert_eq!(path.vertices(), &[v]);
+        let table = ProjectionTable::new(&t, &path);
+        assert_eq!(table.project(v), v);
+        assert_eq!(table.position(v), 0);
+        // The hull of the whole (one-vertex) tree is the vertex itself,
+        // and projecting it onto the diameter path is the identity.
+        let hull = t.convex_hull(&[v]);
+        assert!(hull.contains(v));
+        assert_eq!(hull.len(), 1);
+    }
+
+    #[test]
+    fn two_vertex_path_projection_is_identity() {
+        let t = generate::path(2);
+        let vs: Vec<_> = t.vertices().collect();
+        let (a, b) = (vs[0], vs[1]);
+        // Full path, both orientations: both endpoints are their own
+        // projections with consistent positions.
+        for (u, w) in [(a, b), (b, a)] {
+            let path = t.path(u, w);
+            let table = ProjectionTable::new(&t, &path);
+            assert_eq!(table.project(u), u);
+            assert_eq!(table.project(w), w);
+            assert_eq!(table.position(u), 0);
+            assert_eq!(table.position(w), 1);
+        }
+        // Trivial sub-path: the other endpoint projects onto it.
+        let path = t.path(a, a);
+        let table = ProjectionTable::new(&t, &path);
+        assert_eq!(table.project(b), a);
+        assert_eq!(table.position(b), 0);
+        // Hull projection is the identity on this degenerate tree.
+        let hull = t.convex_hull(&[a, b]);
+        let dpath = t.path(a, b);
+        let table = ProjectionTable::new(&t, &dpath);
+        for v in hull.iter() {
+            assert_eq!(table.project(v), v);
+        }
+    }
+
+    #[test]
+    fn star_center_absorbs_every_off_path_leaf() {
+        // star(6): center v0000 (index 0) with 5 leaves. The path between
+        // two leaves is leaf–center–leaf; every other leaf projects to the
+        // center, never to a path endpoint.
+        let t = generate::star(6);
+        let vs: Vec<_> = t.vertices().collect();
+        let center = vs[0];
+        assert_eq!(t.degree(center), 5);
+        let path = t.path(vs[1], vs[4]);
+        assert_eq!(path.vertices(), &[vs[1], center, vs[4]]);
+        let table = ProjectionTable::new(&t, &path);
+        assert_eq!(table.project(center), center);
+        assert_eq!(table.position(center), 1);
+        for &leaf in &vs[1..] {
+            if leaf == vs[1] || leaf == vs[4] {
+                assert_eq!(table.project(leaf), leaf);
+            } else {
+                assert_eq!(table.project(leaf), center, "off-path leaf {leaf}");
+                assert_eq!(table.position(leaf), 1);
+            }
+        }
+        // A trivial path at the center: the whole star collapses onto it.
+        let at_center = t.path(center, center);
+        let table = ProjectionTable::new(&t, &at_center);
+        for v in t.vertices() {
+            assert_eq!(table.project(v), center);
+        }
+    }
+
+    #[test]
     fn single_vertex_path() {
         let t = figure3();
         let v2 = t.vertex("v2").unwrap();

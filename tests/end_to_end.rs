@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use aa_check::props::honest_subset;
 use tree_aa_repro::sim_net::{
     run_simulation, CrashAdversary, PartyId, Passive, SelectiveOmission, SimConfig,
 };
@@ -80,10 +81,7 @@ fn tree_aa_all_families_under_chaos() {
             adv,
         )
         .unwrap();
-        let honest_inputs: Vec<VertexId> = (0..n)
-            .filter(|i| !byz.iter().any(|b| b.index() == *i))
-            .map(|i| inputs[i])
-            .collect();
+        let honest_inputs = honest_subset(&inputs, &byz);
         check_tree_aa(&tree, &honest_inputs, &report.honest_outputs())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
@@ -109,10 +107,7 @@ fn tree_aa_under_crash_and_omission() {
         },
     )
     .unwrap();
-    let honest_inputs: Vec<VertexId> = (0..n)
-        .filter(|&i| i != 2 && i != 6)
-        .map(|i| inputs[i])
-        .collect();
+    let honest_inputs = honest_subset(&inputs, &[PartyId(2), PartyId(6)]);
     check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
 
     // Selective omission for the whole run.
@@ -128,10 +123,7 @@ fn tree_aa_under_crash_and_omission() {
             adv,
         )
         .unwrap();
-        let honest_inputs: Vec<VertexId> = (0..n)
-            .filter(|&i| i != 0 && i != 3)
-            .map(|i| inputs[i])
-            .collect();
+        let honest_inputs = honest_subset(&inputs, &[PartyId(0), PartyId(3)]);
         check_tree_aa(&tree, &honest_inputs, &report.honest_outputs()).unwrap();
     }
 }
