@@ -1,0 +1,402 @@
+//! Chunked, auto-vectorizable reduction kernels for the AA hot loops.
+//!
+//! `RealAA`'s trimmed-mean update, the accepted-hull min/max scans, and the
+//! batched gradecast tallies all reduce large dense arrays once per party
+//! per round. At n = 4096 those reductions dominate the per-round local
+//! work, so this crate provides them as *chunked* kernels written so the
+//! compiler's auto-vectorizer turns the lane loops into SIMD, plus a
+//! `#[cfg]`-gated explicit SSE2 path for the f64 sum on `x86_64` (where it
+//! measurably pays and the baseline ISA makes it unconditionally safe).
+//!
+//! # The kernel contract
+//!
+//! Every kernel has a scalar reference implementation (`*_ref`) that
+//! performs **the same floating-point operations in the same association
+//! order**; kernels are *bit-identical* to their references on every input
+//! they accept (NaN-free for the f64 kernels). This is what lets the
+//! protocol stack adopt them without perturbing a single recorded trace:
+//!
+//! * Reductions over fewer than [`CHUNK_DISPATCH`] elements use the plain
+//!   left-to-right order every pre-existing call site used, so all small
+//!   instances (golden traces, the model checker, the fuzz corpus) compute
+//!   byte-for-byte the values they always did.
+//! * Reductions at or above [`CHUNK_DISPATCH`] elements switch to a fixed
+//!   [`LANES`]-accumulator association (lane `j` folds elements
+//!   `j, j+LANES, …`; lanes combine pairwise, then the tail folds in
+//!   left-to-right). The association is part of the contract — scalar
+//!   reference, auto-vectorized chunked loop, and the explicit-SIMD path
+//!   all produce identical bits because IEEE-754 addition is deterministic
+//!   once the order is fixed.
+//!
+//! Min/max kernels use strict `<` / `>` comparisons (first extremum wins),
+//! never `f64::min`/`f64::max`, so their tie behaviour on `±0.0` is fully
+//! specified rather than left to whichever `minnum` lowering the backend
+//! picks for a given vector width.
+
+#![warn(missing_docs)]
+
+/// Element count at which the f64 reductions switch from the historical
+/// left-to-right order to the chunked [`LANES`]-accumulator order.
+///
+/// Every pre-scaling workload in this repository (golden traces at
+/// n ≤ 64, the aa-check instances at n ≤ 5, the fuzz corpus) reduces
+/// fewer elements than this, so the switch cannot perturb any recorded
+/// artifact; the n ∈ {1024, 4096} scale path always exceeds it.
+pub const CHUNK_DISPATCH: usize = 128;
+
+/// Number of independent accumulator lanes in the chunked f64 kernels
+/// (8 f64 lanes = two 256-bit or four 128-bit vector registers).
+pub const LANES: usize = 8;
+
+/// Combines 8 lane accumulators pairwise: `((l0+l1)+(l2+l3)) +
+/// ((l4+l5)+(l6+l7))`. Shared by every sum path so they agree bitwise.
+#[inline]
+fn combine_lanes(acc: &[f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Strict left-to-right f64 sum — the historical small-input order.
+#[inline]
+fn sum_sequential(xs: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &x in xs {
+        s += x;
+    }
+    s
+}
+
+/// Scalar reference for [`sum_f64`]: same dispatch, same lane association,
+/// no explicit SIMD. Kernel and reference are bit-identical on every
+/// input.
+pub fn sum_f64_ref(xs: &[f64]) -> f64 {
+    if xs.len() < CHUNK_DISPATCH {
+        return sum_sequential(xs);
+    }
+    let mut acc = [0.0f64; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        // One scalar add per lane per chunk; the auto-vectorizer may or
+        // may not vectorize this reference, but either way the operation
+        // order — and therefore the result bits — is the same.
+        for j in 0..LANES {
+            acc[j] += chunk[j];
+        }
+    }
+    let mut s = combine_lanes(&acc);
+    for &x in tail {
+        s += x;
+    }
+    s
+}
+
+/// Sums `xs` (NaN-free): left-to-right below [`CHUNK_DISPATCH`], the
+/// chunked [`LANES`]-lane association at or above it. Bit-identical to
+/// [`sum_f64_ref`] everywhere.
+pub fn sum_f64(xs: &[f64]) -> f64 {
+    if xs.len() < CHUNK_DISPATCH {
+        return sum_sequential(xs);
+    }
+    // SSE2 is part of the x86_64 baseline: no runtime detection needed,
+    // the gate is purely an ISA availability cfg.
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { simd::sum_chunked_sse2(xs) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        sum_f64_ref(xs)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{combine_lanes, LANES};
+    use std::arch::x86_64::{_mm_add_pd, _mm_loadu_pd, _mm_setzero_pd, _mm_storeu_pd};
+
+    /// Chunked sum over four 2-wide SSE2 accumulators holding lanes
+    /// `(0,1) (2,3) (4,5) (6,7)`; combined through [`combine_lanes`] so
+    /// the bits match the scalar reference exactly.
+    ///
+    /// # Safety
+    ///
+    /// SSE2 is unconditionally available on `x86_64`; the pointer
+    /// arithmetic stays within `xs`.
+    pub(super) unsafe fn sum_chunked_sse2(xs: &[f64]) -> f64 {
+        let chunks = xs.chunks_exact(LANES);
+        let tail = chunks.remainder();
+        let mut v = [_mm_setzero_pd(); 4];
+        for chunk in chunks {
+            let p = chunk.as_ptr();
+            for (i, acc) in v.iter_mut().enumerate() {
+                *acc = _mm_add_pd(*acc, _mm_loadu_pd(p.add(2 * i)));
+            }
+        }
+        let mut acc = [0.0f64; LANES];
+        for (i, reg) in v.iter().enumerate() {
+            _mm_storeu_pd(acc.as_mut_ptr().add(2 * i), *reg);
+        }
+        let mut s = combine_lanes(&acc);
+        for &x in tail {
+            s += x;
+        }
+        s
+    }
+}
+
+/// Scalar reference for [`min_max_f64`]: one strict-comparison pass,
+/// first extremum wins. NaN-free inputs only (a NaN never compares `<`
+/// or `>`, so it would simply be skipped — callers enforce finiteness).
+pub fn min_max_f64_ref(xs: &[f64]) -> Option<(f64, f64)> {
+    let (&first, rest) = xs.split_first()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &x in rest {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Min and max of `xs` (NaN-free) in one chunked pass, or `None` on empty
+/// input. Bit-identical to [`min_max_f64_ref`]: strict comparisons are
+/// order-insensitive on totally ordered inputs, and ties (equal bits, or
+/// `±0.0` which never satisfies `<`/`>` against its twin) keep the
+/// earliest element in both implementations.
+pub fn min_max_f64(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() < CHUNK_DISPATCH {
+        return min_max_f64_ref(xs);
+    }
+    let mut lo = [xs[0]; LANES];
+    let mut hi = [xs[0]; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for j in 0..LANES {
+            let x = chunk[j];
+            if x < lo[j] {
+                lo[j] = x;
+            }
+            if x > hi[j] {
+                hi[j] = x;
+            }
+        }
+    }
+    let mut l = lo[0];
+    let mut h = hi[0];
+    for j in 1..LANES {
+        if lo[j] < l {
+            l = lo[j];
+        }
+        if hi[j] > h {
+            h = hi[j];
+        }
+    }
+    for &x in tail {
+        if x < l {
+            l = x;
+        }
+        if x > h {
+            h = x;
+        }
+    }
+    // `±0.0` caveat: strict comparisons never distinguish the signed
+    // zeros, so when zero is an extremum both implementations keep the
+    // *first* zero they visit — and the lane traversal visits elements in
+    // a different order than the reference. Canonicalize to the first
+    // zero in slice order (what the reference reports) so the
+    // bit-identity contract stays unconditional.
+    if l == 0.0 {
+        l = first_zero(xs);
+    }
+    if h == 0.0 {
+        h = first_zero(xs);
+    }
+    Some((l, h))
+}
+
+/// First signed zero in slice order — the bit pattern the sequential
+/// reference reports when zero is an extremum.
+fn first_zero(xs: &[f64]) -> f64 {
+    xs.iter().copied().find(|&x| x == 0.0).unwrap_or(0.0)
+}
+
+/// Scalar reference for [`min_max_usize`].
+pub fn min_max_usize_ref(xs: &[usize]) -> Option<(usize, usize)> {
+    let (&first, rest) = xs.split_first()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &x in rest {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Min and max of a position slice in one chunked pass, or `None` on
+/// empty input. Integer comparisons are exact, so kernel and reference
+/// agree on every input unconditionally.
+pub fn min_max_usize(xs: &[usize]) -> Option<(usize, usize)> {
+    if xs.len() < CHUNK_DISPATCH {
+        return min_max_usize_ref(xs);
+    }
+    let mut lo = [xs[0]; LANES];
+    let mut hi = [xs[0]; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for j in 0..LANES {
+            let x = chunk[j];
+            lo[j] = lo[j].min(x);
+            hi[j] = hi[j].max(x);
+        }
+    }
+    let mut l = lo[0];
+    let mut h = hi[0];
+    for j in 1..LANES {
+        l = l.min(lo[j]);
+        h = h.max(hi[j]);
+    }
+    for &x in tail {
+        l = l.min(x);
+        h = h.max(x);
+    }
+    Some((l, h))
+}
+
+/// Scalar reference for [`eq_count_u64`].
+pub fn eq_count_u64_ref(vals: &[u64], cands: &[u64], counts: &mut [u32]) -> usize {
+    assert_eq!(vals.len(), cands.len());
+    assert_eq!(vals.len(), counts.len());
+    let mut mismatches = 0;
+    for i in 0..vals.len() {
+        if vals[i] == cands[i] {
+            counts[i] += 1;
+        } else {
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+/// The batched-gradecast tally kernel: for every slot `i`, increments
+/// `counts[i]` when `vals[i] == cands[i]`, and returns how many slots
+/// mismatched (0 on the honest fast path, telling the caller it can skip
+/// the slow per-slot divergence handling entirely).
+///
+/// Branch-free over [`LANES`]-wide chunks so the auto-vectorizer turns
+/// the compare/accumulate into packed integer ops; exact (integer)
+/// semantics, so kernel ≡ reference on every input.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn eq_count_u64(vals: &[u64], cands: &[u64], counts: &mut [u32]) -> usize {
+    assert_eq!(vals.len(), cands.len());
+    assert_eq!(vals.len(), counts.len());
+    let n = vals.len();
+    let mut mismatches = 0usize;
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            let eq = vals[i + j] == cands[i + j];
+            counts[i + j] += u32::from(eq);
+            mismatches += usize::from(!eq);
+        }
+        i += LANES;
+    }
+    while i < n {
+        let eq = vals[i] == cands[i];
+        counts[i] += u32::from(eq);
+        mismatches += usize::from(!eq);
+        i += 1;
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        assert_eq!(sum_f64(&[]), 0.0);
+        assert_eq!(sum_f64(&[2.5]), 2.5);
+        assert_eq!(min_max_f64(&[]), None);
+        assert_eq!(min_max_f64(&[7.0]), Some((7.0, 7.0)));
+        assert_eq!(min_max_usize(&[]), None);
+        assert_eq!(min_max_usize(&[3]), Some((3, 3)));
+    }
+
+    #[test]
+    fn small_sum_is_left_to_right() {
+        // 0.1 + 0.2 + 0.3 depends on association; the small path must use
+        // the historical left-to-right order exactly.
+        let xs = [0.1, 0.2, 0.3];
+        assert_eq!(sum_f64(&xs).to_bits(), ((0.1f64 + 0.2) + 0.3).to_bits());
+    }
+
+    #[test]
+    fn large_sum_matches_reference_bits() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e3).collect();
+        assert_eq!(sum_f64(&xs).to_bits(), sum_f64_ref(&xs).to_bits());
+    }
+
+    #[test]
+    fn large_sum_uses_the_lane_association() {
+        let xs: Vec<f64> = (0..CHUNK_DISPATCH).map(|i| 0.1 * i as f64).collect();
+        let mut acc = [0.0f64; LANES];
+        for chunk in xs.chunks_exact(LANES) {
+            for j in 0..LANES {
+                acc[j] += chunk[j];
+            }
+        }
+        assert_eq!(sum_f64(&xs).to_bits(), combine_lanes(&acc).to_bits());
+    }
+
+    #[test]
+    fn min_max_finds_extrema_wherever_they_sit() {
+        for pos in [0usize, 1, 200, 255] {
+            let mut xs = vec![5.0; 256];
+            xs[pos] = -9.0;
+            xs[255 - pos] = 9.0;
+            let (lo, hi) = min_max_f64(&xs).unwrap();
+            assert_eq!((lo, hi), (-9.0, 9.0));
+        }
+    }
+
+    #[test]
+    fn signed_zero_min_is_canonical() {
+        let mut xs = vec![1.0; 300];
+        xs[13] = 0.0;
+        xs[250] = -0.0;
+        let (lo, _) = min_max_f64(&xs).unwrap();
+        let (rlo, _) = min_max_f64_ref(&xs).unwrap();
+        assert_eq!(lo.to_bits(), rlo.to_bits());
+    }
+
+    #[test]
+    fn eq_count_counts_and_reports_mismatches() {
+        let vals = [1u64, 2, 3, 4, 5, 6, 7, 8, 9];
+        let cands = [1u64, 0, 3, 4, 5, 0, 7, 8, 9];
+        let mut counts = [0u32; 9];
+        let mism = eq_count_u64(&vals, &cands, &mut counts);
+        assert_eq!(mism, 2);
+        assert_eq!(counts, [1, 0, 1, 1, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn eq_count_rejects_length_mismatch() {
+        let mut counts = [0u32; 2];
+        let _ = eq_count_u64(&[1, 2, 3], &[1, 2, 3], &mut counts);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the kernel contract: every chunked/SIMD kernel is
+//! bit-identical to its scalar reference on every input it accepts
+//! (NaN-free for the f64 kernels), across the edge shapes the protocol
+//! stack actually produces — n ∈ {1, 2, odd, 4096}, dispatch-boundary
+//! lengths, signed zeros, and adversarially repeated values.
+
+use aa_kernels::{
+    eq_count_u64, eq_count_u64_ref, min_max_f64, min_max_f64_ref, min_max_usize, min_max_usize_ref,
+    sum_f64, sum_f64_ref, CHUNK_DISPATCH, LANES,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// The length shapes that matter: tiny, the dispatch boundary ±1, odd
+/// sizes that leave a ragged tail, and the full n=4096 scale target.
+const EDGE_LENS: [usize; 12] = [
+    1,
+    2,
+    3,
+    7,
+    CHUNK_DISPATCH - 1,
+    CHUNK_DISPATCH,
+    CHUNK_DISPATCH + 1,
+    CHUNK_DISPATCH + LANES - 1,
+    255,
+    1021,
+    4095,
+    4096,
+];
+
+/// A NaN-free f64 vector: mixed magnitudes, signed zeros, repeats.
+fn arb_floats() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..EDGE_LENS.len(), any::<u64>()).prop_map(|(li, seed)| {
+        let n = EDGE_LENS[li];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| match rng.gen_range(0u8..8) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::from(rng.gen_range(-4i32..=4)),
+                3 => rng.gen_range(-1.0f64..1.0) * 1e-12,
+                4 => rng.gen_range(-1.0f64..1.0) * 1e12,
+                _ => rng.gen_range(-1.0f64..1.0),
+            })
+            .collect()
+    })
+}
+
+fn arb_usizes() -> impl Strategy<Value = Vec<usize>> {
+    (0usize..EDGE_LENS.len(), any::<u64>()).prop_map(|(li, seed)| {
+        let n = EDGE_LENS[li];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0usize..10_000)).collect()
+    })
+}
+
+/// Tally-shaped input: slot values, candidate values biased to collide
+/// with them (the honest all-match fast path plus Byzantine divergence),
+/// and a pre-existing count vector.
+fn arb_tally() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u32>)> {
+    (0usize..EDGE_LENS.len(), any::<u64>()).prop_map(|(li, seed)| {
+        let n = EDGE_LENS[li];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let cands: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..16)).collect();
+        let vals: Vec<u64> = cands
+            .iter()
+            .map(|&c| {
+                if rng.gen_range(0u8..4) == 0 {
+                    rng.gen_range(0u64..16)
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..100)).collect();
+        (vals, cands, counts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sum_kernel_is_bit_identical_to_reference(xs in arb_floats()) {
+        prop_assert_eq!(sum_f64(&xs).to_bits(), sum_f64_ref(&xs).to_bits());
+    }
+
+    #[test]
+    fn min_max_f64_kernel_is_bit_identical_to_reference(xs in arb_floats()) {
+        let k = min_max_f64(&xs).expect("non-empty");
+        let r = min_max_f64_ref(&xs).expect("non-empty");
+        prop_assert_eq!(k.0.to_bits(), r.0.to_bits());
+        prop_assert_eq!(k.1.to_bits(), r.1.to_bits());
+    }
+
+    #[test]
+    fn min_max_usize_kernel_matches_reference(xs in arb_usizes()) {
+        prop_assert_eq!(min_max_usize(&xs), min_max_usize_ref(&xs));
+    }
+
+    #[test]
+    fn eq_count_kernel_matches_reference((vals, cands, counts) in arb_tally()) {
+        let mut k_counts = counts.clone();
+        let mut r_counts = counts;
+        let k = eq_count_u64(&vals, &cands, &mut k_counts);
+        let r = eq_count_u64_ref(&vals, &cands, &mut r_counts);
+        prop_assert_eq!(k, r);
+        prop_assert_eq!(k_counts, r_counts);
+    }
+
+    #[test]
+    fn small_sums_preserve_the_historical_order(seed in any::<u64>()) {
+        // Below the dispatch threshold the kernel must reproduce the exact
+        // left-to-right fold every pre-scaling call site used.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..CHUNK_DISPATCH);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+        let naive: f64 = xs.iter().sum();
+        prop_assert_eq!(sum_f64(&xs).to_bits(), naive.to_bits());
+    }
+}

@@ -1,0 +1,835 @@
+//! Batched parallel gradecast: the subquadratic-bytes scale path.
+//!
+//! [`ParallelGradecast`](crate::ParallelGradecast) is faithful to the
+//! textbook protocol but pays O(n³) batch bytes per round: every party
+//! broadcasts one `Echo`/`Vote` message *per instance*, so n² broadcasts
+//! fan out to n recipients each. This module keeps the protocol's
+//! decisions bit-for-bit identical while flattening the encoding: each
+//! party broadcasts **one** message per phase carrying a struct-of-arrays
+//! view of all n instances — a presence bitmap (⌈n/8⌉ wire bytes) plus a
+//! dense vector of per-leader entries — wrapped in an [`Arc`] so cloning
+//! a batch out of an inbox never copies the arrays.
+//!
+//! Two levers cut the bytes:
+//!
+//! * **Shared framing.** The per-message tag + leader-id overhead (5 of
+//!   the 13 bytes of a `GcMsg::<u64>::Echo`) is paid once per batch, not
+//!   once per instance.
+//! * **Votes by hash.** A vote batch carries a 4-byte hash per instance
+//!   instead of the value. Soundness: a vote key can only reach grade
+//!   relevance (> t votes) if some honest party voted it, which needs
+//!   n − t matching echoes, of which ≥ n − 2t came from honest parties —
+//!   and those honest echo broadcasts reached *every* party, so every
+//!   honest receiver already holds the voted value in its echo tally
+//!   with count ≥ n − 2t > t and can resolve the hash locally. Keys that
+//!   resolve to nothing can never exceed t votes and grade `Zero` in
+//!   both protocols. Resolution is exact when [`GcValue::bits64`] is
+//!   injective and [`GcValue::hash32`] collision-free on the candidate
+//!   set; a 32-bit collision between two tallied candidates degrades the
+//!   argmax to collision-resistance (documented, not silent: both
+//!   protocols still only ever output values some party echoed).
+//!
+//! The tallies themselves are struct-of-arrays (`u64` key per leader +
+//! `u32` count per leader), so absorbing a full honest batch is one
+//! [`aa_kernels::eq_count_u64`] sweep; divergent (Byzantine) slots fall
+//! back to a per-slot path backed by a `BTreeMap` overflow table.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sim_net::{PartyId, Payload};
+
+use crate::state::{Grade, GradecastOutput};
+
+/// A value batched gradecast can tally in struct-of-arrays form.
+///
+/// `bits64` must be **injective** on the values a deployment actually
+/// gradecasts: the batch tallies compare 64-bit keys, not values, so two
+/// distinct values mapping to the same key would be merged. Both wire
+/// types in this repository qualify exactly (`u64` is the identity,
+/// `real-aa`'s `R64` uses the IEEE-754 bit pattern, injective on finite
+/// reals).
+pub trait GcValue: Clone + Ord + std::fmt::Debug {
+    /// An injective 64-bit encoding of the value.
+    fn bits64(&self) -> u64;
+
+    /// The 32-bit key vote batches carry on the wire: a fixed avalanche
+    /// mix of [`GcValue::bits64`] (splitmix64 finalizer, xor-folded).
+    fn hash32(&self) -> u32 {
+        let z = self.bits64().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z >> 32) ^ z) as u32
+    }
+}
+
+impl GcValue for u64 {
+    fn bits64(&self) -> u64 {
+        *self
+    }
+}
+
+/// Wire bytes of an n-slot presence bitmap.
+fn bitmap_bytes(n: usize) -> usize {
+    n.div_ceil(8)
+}
+
+/// A struct-of-arrays view of per-leader slots: a presence bitmap plus
+/// a dense vector of entries in leader order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcSlots<T> {
+    present: Vec<bool>,
+    entries: Vec<T>,
+}
+
+impl<T> GcSlots<T> {
+    /// Builds slots from a per-leader option vector.
+    pub fn from_options(slots: Vec<Option<T>>) -> Self {
+        let mut present = Vec::with_capacity(slots.len());
+        let mut entries = Vec::new();
+        for slot in slots {
+            present.push(slot.is_some());
+            if let Some(v) = slot {
+                entries.push(v);
+            }
+        }
+        GcSlots { present, entries }
+    }
+
+    /// Number of leader slots (present or not).
+    pub fn n(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Whether every slot is present (the honest-path fast case).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.present.len()
+    }
+
+    /// Iterates `(leader, entry)` over the present slots in leader order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(l, _)| l)
+            .zip(self.entries.iter())
+    }
+
+    /// Wire bytes of the bitmap plus per-entry payloads as sized by `f`.
+    fn wire_bytes_with(&self, f: impl Fn(&T) -> usize) -> usize {
+        bitmap_bytes(self.n()) + self.entries.iter().map(f).sum::<usize>()
+    }
+}
+
+/// A batched gradecast message: one broadcast per sender per phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GcBatchMsg<V> {
+    /// Round 1: the leader's own value (identical to the unbatched wire).
+    Lead(V),
+    /// Round 2: this sender's echo for every leader it heard, as one
+    /// `Arc`-shared struct-of-arrays batch.
+    Echoes(Arc<GcSlots<V>>),
+    /// Round 3: this sender's vote for every leader that reached the
+    /// echo threshold — 4 bytes per instance ([`GcValue::hash32`]).
+    Votes(Arc<GcSlots<u32>>),
+}
+
+impl<V: Payload> Payload for GcBatchMsg<V> {
+    fn size_bytes(&self) -> usize {
+        // Tag byte + batch body. Entry payloads are sized through their
+        // own `Payload` impls, exactly like the unbatched messages, so
+        // trace byte accounting reconciles without special cases.
+        match self {
+            GcBatchMsg::Lead(v) => 1 + v.size_bytes(),
+            GcBatchMsg::Echoes(slots) => 1 + slots.wire_bytes_with(Payload::size_bytes),
+            GcBatchMsg::Votes(slots) => 1 + slots.wire_bytes_with(|_| 4),
+        }
+    }
+}
+
+/// One batch of `n` parallel gradecast instances over the batched wire
+/// format — the drop-in scale-path replacement for
+/// [`ParallelGradecast`](crate::ParallelGradecast), with the same phase
+/// API, muting semantics, thresholds, and deterministic argmax, verified
+/// equivalent by the tests in this module.
+#[derive(Clone, Debug)]
+pub struct BatchGradecast<V> {
+    me: PartyId,
+    n: usize,
+    t: usize,
+    muted: Vec<bool>,
+    /// Per leader: the lead value received (first lead wins).
+    leads: Vec<Option<V>>,
+
+    /// Per sender: whether an echo batch was already absorbed.
+    echo_from: Vec<bool>,
+    /// Per leader: whether an echo candidate exists (`echo_cnt` and
+    /// `echo_bits` are meaningful only where this is set).
+    echo_set: Vec<bool>,
+    /// Leaders still without a candidate (fast path requires 0).
+    echo_missing: usize,
+    /// Per leader: `bits64` of the first value echoed for it.
+    echo_bits: Vec<u64>,
+    /// Per leader: distinct-sender echo count for the first value.
+    echo_cnt: Vec<u32>,
+    /// Per leader: the first value echoed for it.
+    echo_val: Vec<Option<V>>,
+    /// Rare path: `(leader, bits64)` → (value, count) for second and
+    /// further distinct values — only Byzantine equivocation lands here.
+    echo_overflow: BTreeMap<(usize, u64), (V, u32)>,
+
+    /// Per sender: whether a vote batch was already absorbed.
+    vote_from: Vec<bool>,
+    /// Per leader: whether a vote candidate hash exists.
+    vote_set: Vec<bool>,
+    /// Leaders still without a vote candidate.
+    vote_missing: usize,
+    /// Per leader: the first vote hash seen (widened for the kernel).
+    vote_bits: Vec<u64>,
+    /// Per leader: distinct-sender vote count for the first hash.
+    vote_cnt: Vec<u32>,
+    /// Rare path: `(leader, hash)` → count for further distinct hashes.
+    vote_overflow: BTreeMap<(usize, u32), u32>,
+
+    /// Reused per-batch key buffer for the kernel sweep.
+    scratch: Vec<u64>,
+}
+
+impl<V: GcValue> BatchGradecast<V> {
+    /// Creates a batch for party `me` out of `n` with corruption bound
+    /// `t`, with no leaders muted.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` and `me < n`, as
+    /// [`ParallelGradecast::new`](crate::ParallelGradecast::new).
+    pub fn new(me: PartyId, n: usize, t: usize) -> Self {
+        Self::with_muted(me, n, t, vec![false; n])
+    }
+
+    /// Creates a batch with an initial muted set (carried over between
+    /// `RealAA` iterations).
+    ///
+    /// # Panics
+    ///
+    /// As [`BatchGradecast::new`]; additionally requires
+    /// `muted.len() == n`.
+    pub fn with_muted(me: PartyId, n: usize, t: usize, muted: Vec<bool>) -> Self {
+        assert!(n > 3 * t, "gradecast requires n > 3t (n = {n}, t = {t})");
+        assert!(me.index() < n, "party id out of range");
+        assert_eq!(muted.len(), n, "muted set must cover all parties");
+        BatchGradecast {
+            me,
+            n,
+            t,
+            muted,
+            leads: vec![None; n],
+            echo_from: vec![false; n],
+            echo_set: vec![false; n],
+            echo_missing: n,
+            echo_bits: vec![0; n],
+            echo_cnt: vec![0; n],
+            echo_val: vec![None; n],
+            echo_overflow: BTreeMap::new(),
+            vote_from: vec![false; n],
+            vote_set: vec![false; n],
+            vote_missing: n,
+            vote_bits: vec![0; n],
+            vote_cnt: vec![0; n],
+            vote_overflow: BTreeMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// This party's id.
+    pub fn me(&self) -> PartyId {
+        self.me
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Corruption bound.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Stops relaying for `leader`.
+    pub fn mute(&mut self, leader: PartyId) {
+        self.muted[leader.index()] = true;
+    }
+
+    /// Whether `leader` is muted here.
+    pub fn is_muted(&self, leader: PartyId) -> bool {
+        self.muted[leader.index()]
+    }
+
+    /// The muted set, for carrying into the next batch.
+    pub fn muted(&self) -> &[bool] {
+        &self.muted
+    }
+
+    /// Phase 1: the message this party broadcasts as leader of its own
+    /// instance.
+    pub fn lead_msg(&self, value: V) -> GcBatchMsg<V> {
+        GcBatchMsg::Lead(value)
+    }
+
+    /// Phase 2: consume round-1 leads, return the echo batch to
+    /// broadcast. Leads from muted leaders are ignored and get no slot.
+    pub fn on_leads<'a, I>(&mut self, inbox: I) -> GcBatchMsg<V>
+    where
+        I: IntoIterator<Item = (PartyId, &'a GcBatchMsg<V>)>,
+        V: 'a,
+    {
+        for (from, msg) in inbox {
+            if let GcBatchMsg::Lead(v) = msg {
+                let leader = from.index();
+                if !self.muted[leader] && self.leads[leader].is_none() {
+                    self.leads[leader] = Some(v.clone());
+                }
+            }
+        }
+        let slots: Vec<Option<V>> = self.leads.clone();
+        GcBatchMsg::Echoes(Arc::new(GcSlots::from_options(slots)))
+    }
+
+    /// Phase 3: consume round-2 echo batches, return the vote batch to
+    /// broadcast. A vote slot for leader `ℓ` is present iff `n − t`
+    /// distinct parties echoed one value for `ℓ` and `ℓ` is not muted.
+    pub fn on_echoes<'a, I>(&mut self, inbox: I) -> GcBatchMsg<V>
+    where
+        I: IntoIterator<Item = (PartyId, &'a GcBatchMsg<V>)>,
+        V: 'a,
+    {
+        for (from, msg) in inbox {
+            if let GcBatchMsg::Echoes(slots) = msg {
+                self.absorb_echoes(from.index(), slots);
+            }
+        }
+        let mut votes: Vec<Option<u32>> = vec![None; self.n];
+        for (l, vote) in votes.iter_mut().enumerate() {
+            if self.muted[l] {
+                continue;
+            }
+            // At most one value can reach n − t distinct echoes (two
+            // would need 2(n − t) > n senders), so checking the first
+            // candidate then the overflow table is order-independent.
+            if self.echo_set[l] && self.echo_cnt[l] as usize >= self.n - self.t {
+                *vote = Some(
+                    self.echo_val[l]
+                        .as_ref()
+                        .expect("set implies value")
+                        .hash32(),
+                );
+            } else {
+                *vote = self
+                    .echo_overflow
+                    .range((l, 0)..=(l, u64::MAX))
+                    .find(|(_, (_, c))| *c as usize >= self.n - self.t)
+                    .map(|(_, (v, _))| v.hash32());
+            }
+        }
+        GcBatchMsg::Votes(Arc::new(GcSlots::from_options(votes)))
+    }
+
+    /// Phase 4: consume round-3 vote batches and produce the output for
+    /// every leader (muted ones too — muting suppresses relaying, not
+    /// evaluation, exactly as in the unbatched machine).
+    pub fn on_votes<'a, I>(&mut self, inbox: I) -> Vec<GradecastOutput<V>>
+    where
+        I: IntoIterator<Item = (PartyId, &'a GcBatchMsg<V>)>,
+        V: 'a,
+    {
+        for (from, msg) in inbox {
+            if let GcBatchMsg::Votes(slots) = msg {
+                self.absorb_votes(from.index(), slots);
+            }
+        }
+        (0..self.n).map(|l| self.grade_leader(l)).collect()
+    }
+
+    /// Folds one sender's echo batch into the per-leader tallies: a
+    /// single kernel sweep when the batch is full and every leader
+    /// already has a candidate key, per-slot otherwise.
+    fn absorb_echoes(&mut self, sender: usize, slots: &GcSlots<V>) {
+        if slots.n() != self.n || self.echo_from[sender] {
+            return;
+        }
+        self.echo_from[sender] = true;
+        if slots.is_full() && self.echo_missing == 0 {
+            self.scratch.clear();
+            self.scratch.extend(slots.iter().map(|(_, v)| v.bits64()));
+            let mismatches =
+                aa_kernels::eq_count_u64(&self.scratch, &self.echo_bits, &mut self.echo_cnt);
+            if mismatches > 0 {
+                // Rare (Byzantine) path: find the divergent slots and
+                // route them through the overflow table. The kernel
+                // already counted the matching slots.
+                for (l, v) in slots.iter() {
+                    if v.bits64() != self.echo_bits[l] {
+                        self.bump_echo_overflow(l, v);
+                    }
+                }
+            }
+            return;
+        }
+        for (l, v) in slots.iter() {
+            let bits = v.bits64();
+            if !self.echo_set[l] {
+                self.echo_set[l] = true;
+                self.echo_missing -= 1;
+                self.echo_bits[l] = bits;
+                self.echo_cnt[l] = 1;
+                self.echo_val[l] = Some(v.clone());
+            } else if self.echo_bits[l] == bits {
+                self.echo_cnt[l] += 1;
+            } else {
+                self.bump_echo_overflow(l, v);
+            }
+        }
+    }
+
+    fn bump_echo_overflow(&mut self, leader: usize, v: &V) {
+        self.echo_overflow
+            .entry((leader, v.bits64()))
+            .or_insert_with(|| (v.clone(), 0))
+            .1 += 1;
+    }
+
+    /// Folds one sender's vote batch into the per-leader hash tallies,
+    /// mirroring [`BatchGradecast::absorb_echoes`].
+    fn absorb_votes(&mut self, sender: usize, slots: &GcSlots<u32>) {
+        if slots.n() != self.n || self.vote_from[sender] {
+            return;
+        }
+        self.vote_from[sender] = true;
+        if slots.is_full() && self.vote_missing == 0 {
+            self.scratch.clear();
+            self.scratch
+                .extend(slots.iter().map(|(_, &h)| u64::from(h)));
+            let mismatches =
+                aa_kernels::eq_count_u64(&self.scratch, &self.vote_bits, &mut self.vote_cnt);
+            if mismatches > 0 {
+                for (l, &h) in slots.iter() {
+                    if u64::from(h) != self.vote_bits[l] {
+                        *self.vote_overflow.entry((l, h)).or_insert(0) += 1;
+                    }
+                }
+            }
+            return;
+        }
+        for (l, &h) in slots.iter() {
+            if !self.vote_set[l] {
+                self.vote_set[l] = true;
+                self.vote_missing -= 1;
+                self.vote_bits[l] = u64::from(h);
+                self.vote_cnt[l] = 1;
+            } else if self.vote_bits[l] == u64::from(h) {
+                self.vote_cnt[l] += 1;
+            } else {
+                *self.vote_overflow.entry((l, h)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Resolves a vote hash for `leader` to the value it binds: among
+    /// the echo-tallied candidates matching the hash, the one with the
+    /// highest echo count (smallest value on ties — deterministic, and
+    /// the > t-echo dominance argument in the module docs makes the
+    /// count tie unreachable for grade-relevant keys).
+    fn resolve_hash(&self, leader: usize, hash: u32) -> Option<(V, u32)> {
+        let mut best: Option<(V, u32)> = None;
+        let cand = self.echo_set[leader].then(|| {
+            (
+                self.echo_val[leader].clone().expect("set implies value"),
+                self.echo_cnt[leader],
+            )
+        });
+        let overflow = self
+            .echo_overflow
+            .range((leader, 0)..=(leader, u64::MAX))
+            .map(|(_, (v, c))| (v.clone(), *c));
+        for (v, c) in cand.into_iter().chain(overflow) {
+            if v.hash32() != hash {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bv, bc)) => c > *bc || (c == *bc && v < *bv),
+            };
+            if better {
+                best = Some((v, c));
+            }
+        }
+        best
+    }
+
+    /// Applies the unbatched machine's exact grading rule to `leader`'s
+    /// resolved vote tally.
+    fn grade_leader(&self, leader: usize) -> GradecastOutput<V> {
+        // Gather (hash, count) pairs, resolve each to a value, then run
+        // the reference argmax (max count, smallest value on ties).
+        // Unresolvable hashes carry ≤ t votes (see module docs) and
+        // cannot influence the outcome, so dropping them is exact.
+        let first =
+            self.vote_set[leader].then(|| (self.vote_bits[leader] as u32, self.vote_cnt[leader]));
+        let overflow = self
+            .vote_overflow
+            .range((leader, 0)..=(leader, u32::MAX))
+            .map(|(&(_, h), &c)| (h, c));
+        let mut best: Option<(V, u32)> = None;
+        for (hash, count) in first.into_iter().chain(overflow) {
+            let Some((value, _)) = self.resolve_hash(leader, hash) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((bv, bc)) => count > *bc || (count == *bc && value < *bv),
+            };
+            if better {
+                best = Some((value, count));
+            }
+        }
+        match best {
+            Some((v, c)) if c as usize >= self.n - self.t => GradecastOutput {
+                value: Some(v),
+                grade: Grade::Two,
+            },
+            Some((v, c)) if c as usize > self.t => GradecastOutput {
+                value: Some(v),
+                grade: Grade::One,
+            },
+            _ => GradecastOutput {
+                value: None,
+                grade: Grade::Zero,
+            },
+        }
+    }
+}
+
+/// A `sim-net` protocol adapter running one batched parallel gradecast —
+/// the scale-path counterpart of
+/// [`GradecastProtocol`](crate::GradecastProtocol), with the same round
+/// structure, outputs, and `gc.grade` trace events.
+#[derive(Clone, Debug)]
+pub struct BatchGradecastProtocol<V> {
+    value: V,
+    gc: BatchGradecast<V>,
+    output: Option<Vec<GradecastOutput<V>>>,
+}
+
+impl<V: GcValue> BatchGradecastProtocol<V> {
+    /// Creates the party state machine for `me` with input `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` (see [`BatchGradecast::new`]).
+    pub fn new(me: PartyId, n: usize, t: usize, value: V) -> Self {
+        BatchGradecastProtocol {
+            value,
+            gc: BatchGradecast::new(me, n, t),
+            output: None,
+        }
+    }
+
+    /// Mutes `leader` before the run starts.
+    pub fn mute(&mut self, leader: PartyId) {
+        self.gc.mute(leader);
+    }
+}
+
+impl<V> sim_net::Protocol for BatchGradecastProtocol<V>
+where
+    V: GcValue + Send + Sync,
+    GcBatchMsg<V>: Payload,
+{
+    type Msg = GcBatchMsg<V>;
+    type Output = Vec<GradecastOutput<V>>;
+
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: &sim_net::Inbox<Self::Msg>,
+        ctx: &mut sim_net::RoundCtx<Self::Msg>,
+    ) {
+        // Batches arrive `Arc`-shared, so feeding the state machine by
+        // reference out of the inbox copies nothing.
+        let received = || inbox.iter().map(|e| (e.from, &e.payload));
+        match round {
+            1 => ctx.broadcast(self.gc.lead_msg(self.value.clone())),
+            2 => {
+                let batch = self.gc.on_leads(received());
+                ctx.broadcast(batch);
+            }
+            3 => {
+                let batch = self.gc.on_echoes(received());
+                ctx.broadcast(batch);
+            }
+            4 => {
+                let outputs = self.gc.on_votes(received());
+                for (leader, slot) in outputs.iter().enumerate() {
+                    ctx.emit_with(|| {
+                        let mut ev = sim_net::ProtoEvent::new("gc.grade")
+                            .u64("leader", leader as u64)
+                            .u64("grade", u64::from(slot.grade.as_u8()));
+                        if let Some(v) = &slot.value {
+                            ev = ev.str("value", &format!("{v:?}"));
+                        }
+                        ev
+                    });
+                }
+                self.output = Some(outputs);
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::GcMsg;
+    use crate::state::ParallelGradecast;
+
+    /// Drives `n` machines of both implementations through identical
+    /// scenarios (scripted per-recipient leads for equivocation, per-party
+    /// silence for crashes) and asserts every output is equal.
+    struct Scenario {
+        n: usize,
+        t: usize,
+        /// `lead[sender][recipient]`: the lead value `recipient` receives
+        /// from `sender` (None = silent toward that recipient).
+        leads: Vec<Vec<Option<u64>>>,
+        /// Parties that never send echoes/votes.
+        silent: Vec<bool>,
+        /// Leaders muted at every party.
+        muted: Vec<bool>,
+    }
+
+    fn run_reference(s: &Scenario) -> Vec<Vec<GradecastOutput<u64>>> {
+        let mut ms: Vec<ParallelGradecast<u64>> = (0..s.n)
+            .map(|i| ParallelGradecast::with_muted(PartyId(i), s.n, s.t, s.muted.clone()))
+            .collect();
+        // Echoes/votes are broadcast, so every recipient sees one shared
+        // list.
+        let mut echoes: Vec<(PartyId, GcMsg<u64>)> = Vec::new();
+        for (r, m) in ms.iter_mut().enumerate() {
+            let inbox: Vec<(PartyId, GcMsg<u64>)> = (0..s.n)
+                .filter_map(|snd| s.leads[snd][r].map(|v| (PartyId(snd), GcMsg::Lead(v))))
+                .collect();
+            let out = m.on_leads(&inbox);
+            if !s.silent[r] {
+                echoes.extend(out.into_iter().map(|msg| (PartyId(r), msg)));
+            }
+        }
+        let mut votes: Vec<(PartyId, GcMsg<u64>)> = Vec::new();
+        for (r, m) in ms.iter_mut().enumerate() {
+            let out = m.on_echoes(&echoes);
+            if !s.silent[r] {
+                votes.extend(out.into_iter().map(|msg| (PartyId(r), msg)));
+            }
+        }
+        ms.iter_mut().map(|m| m.on_votes(&votes)).collect()
+    }
+
+    fn run_batched(s: &Scenario) -> Vec<Vec<GradecastOutput<u64>>> {
+        let mut ms: Vec<BatchGradecast<u64>> = (0..s.n)
+            .map(|i| BatchGradecast::with_muted(PartyId(i), s.n, s.t, s.muted.clone()))
+            .collect();
+        let mut echo_batches: Vec<(PartyId, GcBatchMsg<u64>)> = Vec::new();
+        for (r, m) in ms.iter_mut().enumerate() {
+            let inbox: Vec<(PartyId, GcBatchMsg<u64>)> = (0..s.n)
+                .filter_map(|snd| s.leads[snd][r].map(|v| (PartyId(snd), GcBatchMsg::Lead(v))))
+                .collect();
+            let batch = m.on_leads(inbox.iter().map(|(p, msg)| (*p, msg)));
+            if !s.silent[r] {
+                echo_batches.push((PartyId(r), batch));
+            }
+        }
+        let mut vote_batches: Vec<(PartyId, GcBatchMsg<u64>)> = Vec::new();
+        for (r, m) in ms.iter_mut().enumerate() {
+            let batch = m.on_echoes(echo_batches.iter().map(|(p, msg)| (*p, msg)));
+            if !s.silent[r] {
+                vote_batches.push((PartyId(r), batch));
+            }
+        }
+        ms.iter_mut()
+            .map(|m| m.on_votes(vote_batches.iter().map(|(p, msg)| (*p, msg))))
+            .collect()
+    }
+
+    fn assert_equivalent(s: &Scenario) {
+        let reference = run_reference(s);
+        let batched = run_batched(s);
+        assert_eq!(reference, batched);
+    }
+
+    fn honest_leads(n: usize) -> Vec<Vec<Option<u64>>> {
+        (0..n).map(|snd| vec![Some(100 + snd as u64); n]).collect()
+    }
+
+    #[test]
+    fn equivalent_all_honest() {
+        let n = 7;
+        let s = Scenario {
+            n,
+            t: 2,
+            leads: honest_leads(n),
+            silent: vec![false; n],
+            muted: vec![false; n],
+        };
+        assert_equivalent(&s);
+        for out in run_batched(&s) {
+            for (l, slot) in out.iter().enumerate() {
+                assert_eq!(slot.grade, Grade::Two);
+                assert_eq!(slot.value, Some(100 + l as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_with_crashed_parties() {
+        let n = 7;
+        let mut leads = honest_leads(n);
+        // Party 3 crashed before leading; party 5 led but stays silent
+        // afterwards.
+        for slot in leads[3].iter_mut() {
+            *slot = None;
+        }
+        let mut silent = vec![false; n];
+        silent[3] = true;
+        silent[5] = true;
+        let s = Scenario {
+            n,
+            t: 2,
+            leads,
+            silent,
+            muted: vec![false; n],
+        };
+        assert_equivalent(&s);
+    }
+
+    #[test]
+    fn equivalent_with_equivocating_leader() {
+        let n = 7;
+        let mut leads = honest_leads(n);
+        // Leader 0 equivocates: 111 to the first half, 222 to the rest.
+        for (r, slot) in leads[0].iter_mut().enumerate() {
+            *slot = Some(if r <= n / 2 { 111 } else { 222 });
+        }
+        let s = Scenario {
+            n,
+            t: 2,
+            leads,
+            silent: vec![false; n],
+            muted: vec![false; n],
+        };
+        assert_equivalent(&s);
+        // And the binding property holds on the batched side.
+        let outs = run_batched(&s);
+        let mut bound = None;
+        for out in &outs {
+            if out[0].accepted() {
+                let v = out[0].value.unwrap();
+                assert_eq!(*bound.get_or_insert(v), v);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_with_muted_leader() {
+        let n = 7;
+        let mut muted = vec![false; n];
+        muted[2] = true;
+        let s = Scenario {
+            n,
+            t: 2,
+            leads: honest_leads(n),
+            silent: vec![false; n],
+            muted,
+        };
+        assert_equivalent(&s);
+        for out in run_batched(&s) {
+            assert_eq!(out[2].grade, Grade::Zero);
+        }
+    }
+
+    #[test]
+    fn duplicate_batches_from_same_sender_count_once() {
+        let n = 4;
+        let mut m = BatchGradecast::<u64>::new(PartyId(0), n, 1);
+        let votes = GcBatchMsg::Votes(Arc::new(GcSlots::from_options(vec![
+            None,
+            Some(9u64.hash32()),
+            None,
+            None,
+        ])));
+        let out = m.on_votes([
+            (PartyId(2), &votes),
+            (PartyId(2), &votes),
+            (PartyId(2), &votes),
+        ]);
+        // One distinct vote < t + 1, so grade 0 (and the hash resolves to
+        // nothing anyway without echoes — either way Zero, like the
+        // reference).
+        assert_eq!(out[1].grade, Grade::Zero);
+    }
+
+    #[test]
+    fn batch_bytes_beat_unbatched_by_2x_at_n1024() {
+        // The acceptance-criterion ratio, computed from the same
+        // `Payload::size_bytes` accounting the engine traces: per sender
+        // and per batch, unbatched gradecast broadcasts n echoes + n
+        // votes of 13 bytes each, the batched wire sends one echo batch
+        // and one vote batch.
+        let n = 1024usize;
+        let unbatched_echo: usize = (0..n)
+            .map(|l| GcMsg::Echo(PartyId(l), 7u64).size_bytes())
+            .sum();
+        let unbatched_vote: usize = (0..n)
+            .map(|l| GcMsg::Vote(PartyId(l), 7u64).size_bytes())
+            .sum();
+        let echo_batch = GcBatchMsg::Echoes(Arc::new(GcSlots::from_options(
+            (0..n).map(|_| Some(7u64)).collect(),
+        )))
+        .size_bytes();
+        let vote_batch = GcBatchMsg::<u64>::Votes(Arc::new(GcSlots::from_options(
+            (0..n).map(|_| Some(7u64.hash32())).collect(),
+        )))
+        .size_bytes();
+        let unbatched = unbatched_echo + unbatched_vote;
+        let batched = echo_batch + vote_batch;
+        assert!(
+            unbatched >= 2 * batched,
+            "expected ≥ 2x byte reduction, got {unbatched} vs {batched}"
+        );
+    }
+
+    #[test]
+    fn slot_sizes_account_bitmap_and_entries() {
+        // 10 slots, 3 present u64 entries: 2 bitmap bytes + 3 × 8.
+        let mut slots = vec![None; 10];
+        slots[1] = Some(1u64);
+        slots[4] = Some(2u64);
+        slots[9] = Some(3u64);
+        let msg = GcBatchMsg::Echoes(Arc::new(GcSlots::from_options(slots)));
+        assert_eq!(msg.size_bytes(), 1 + 2 + 24);
+    }
+
+    #[test]
+    fn hash32_is_stable_and_spread() {
+        // Pin the mixer so recorded traces stay replayable: a silent
+        // change to `hash32` would alter vote-batch contents.
+        assert_eq!(0u64.hash32(), 0x5d7c_35e6);
+        assert_eq!(1u64.hash32(), 0x3a1c_2af7);
+        assert_ne!(1u64.hash32(), 2u64.hash32());
+    }
+}

@@ -60,11 +60,22 @@
 //! }
 //! ```
 
+//!
+//! # Scaling
+//!
+//! [`ParallelGradecast`] sends one `Echo`/`Vote` broadcast per instance —
+//! O(n³) batch bytes per round once fan-out is counted. [`BatchGradecast`]
+//! is the semantically equivalent scale path: one struct-of-arrays
+//! broadcast per sender per phase (see the [`batch`] module docs), used by
+//! `real-aa`'s batched party for n ∈ {1024, 4096} runs.
+
 #![warn(missing_docs)]
+pub mod batch;
 mod msg;
 mod protocol;
 mod state;
 
+pub use batch::{BatchGradecast, BatchGradecastProtocol, GcBatchMsg, GcSlots, GcValue};
 pub use msg::GcMsg;
 pub use protocol::GradecastProtocol;
 pub use state::{Grade, GradecastOutput, ParallelGradecast};

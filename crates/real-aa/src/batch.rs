@@ -1,0 +1,433 @@
+//! The batched-wire `RealAA` party: the n ∈ {1024, 4096} scale path.
+//!
+//! [`RealAaParty`](crate::RealAaParty) broadcasts one gradecast message
+//! per instance per round — n² broadcasts per echo/vote round across the
+//! network, O(n³) delivered bytes. [`RealAaBatchParty`] runs the *same*
+//! protocol — same round schedule, same grading, muting, fill rule,
+//! trimmed-mean update (literally the same shared iteration core, so the
+//! value trajectories are bit-identical) — over
+//! [`BatchGradecast`]'s struct-of-arrays wire format: one `Arc`-shared
+//! batch broadcast per sender per round, quadratic delivered bytes. See
+//! `gradecast::batch` for the encoding and the vote-by-hash soundness
+//! argument.
+
+use gradecast::{BatchGradecast, GcBatchMsg};
+use sim_net::{Inbox, PartyId, Payload, Protocol, RoundCtx};
+
+use crate::real_aa::{apply_iteration, RealAaConfig};
+use crate::value::R64;
+
+/// A batched `RealAA` wire message: a gradecast batch tagged with its
+/// iteration. Messages with tags other than the receiver's current phase
+/// are ignored, exactly like the unbatched wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RealAaBatchMsg {
+    /// Iteration index (0-based).
+    pub iter: u32,
+    /// The batched gradecast body.
+    pub body: GcBatchMsg<R64>,
+}
+
+impl Payload for RealAaBatchMsg {
+    fn size_bytes(&self) -> usize {
+        4 + self.body.size_bytes()
+    }
+}
+
+/// One party of `RealAA(ε)` over the batched wire.
+///
+/// Iteration pipelining is identical to [`RealAaParty`](crate::RealAaParty):
+/// iteration `i` occupies rounds `3i+1..=3i+3`, votes are consumed at the
+/// start of round `3i+4`, and the protocol uses exactly `3R` communication
+/// rounds. Emits the same `gc.grade` and `realaa.iter` trace events.
+#[derive(Clone, Debug)]
+pub struct RealAaBatchParty {
+    cfg: RealAaConfig,
+    me: PartyId,
+    value: f64,
+    muted: Vec<bool>,
+    gc: BatchGradecast<R64>,
+    iterations_done: u32,
+    output: Option<f64>,
+    last_accepted_spread: f64,
+    history: Vec<f64>,
+}
+
+impl RealAaBatchParty {
+    /// Creates the party with its input value.
+    ///
+    /// # Panics
+    ///
+    /// As [`RealAaParty::new`](crate::RealAaParty::new): `input` must be
+    /// finite and `me` in range.
+    pub fn new(me: PartyId, cfg: RealAaConfig, input: f64) -> Self {
+        assert!(input.is_finite(), "honest inputs must be finite");
+        assert!(me.index() < cfg.n, "party id out of range");
+        let muted = vec![false; cfg.n];
+        let gc = BatchGradecast::with_muted(me, cfg.n, cfg.t, muted.clone());
+        RealAaBatchParty {
+            cfg,
+            me,
+            value: input,
+            muted,
+            gc,
+            iterations_done: 0,
+            output: None,
+            last_accepted_spread: f64::INFINITY,
+            history: vec![input],
+        }
+    }
+
+    /// The party's current value.
+    pub fn current_value(&self) -> f64 {
+        self.value
+    }
+
+    /// How many parties this party has muted so far.
+    pub fn muted_count(&self) -> usize {
+        self.muted.iter().filter(|&&m| m).count()
+    }
+
+    /// The party's value trajectory (`[0]` = input, `[i]` = value after
+    /// iteration `i`).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    fn finish_iteration(
+        &mut self,
+        inbox: &Inbox<RealAaBatchMsg>,
+        iter_tag: u32,
+        ctx: &mut RoundCtx<RealAaBatchMsg>,
+    ) {
+        let outputs = self.gc.on_votes(
+            inbox
+                .iter()
+                .filter(|e| e.payload.iter == iter_tag)
+                .map(|e| (e.from, &e.payload.body)),
+        );
+        for (leader, out) in outputs.iter().enumerate() {
+            ctx.emit_with(|| {
+                let mut ev = sim_net::ProtoEvent::new("gc.grade")
+                    .u64("iter", u64::from(iter_tag))
+                    .u64("leader", leader as u64)
+                    .u64("grade", u64::from(out.grade.as_u8()));
+                if let Some(v) = out.value {
+                    ev = ev.f64("value", v.get());
+                }
+                ev
+            });
+        }
+        let outcome = apply_iteration(&self.cfg, &outputs, &mut self.muted);
+        self.last_accepted_spread = if outcome.accepted_lo.is_finite() {
+            outcome.accepted_hi - outcome.accepted_lo
+        } else {
+            f64::INFINITY
+        };
+        if let Some(mean) = outcome.new_value {
+            self.value = mean;
+        }
+        self.history.push(self.value);
+        self.iterations_done += 1;
+        ctx.emit_with(|| {
+            let mut ev = sim_net::ProtoEvent::new("realaa.iter").u64("iter", u64::from(iter_tag));
+            if outcome.accepted_lo.is_finite() {
+                ev = ev
+                    .f64("lo", outcome.accepted_lo)
+                    .f64("hi", outcome.accepted_hi)
+                    .f64("spread", outcome.accepted_hi - outcome.accepted_lo);
+            }
+            ev.f64("value", self.value)
+        });
+    }
+
+    fn maybe_terminate(&mut self) -> bool {
+        let fixed_done = self.iterations_done >= self.cfg.iterations();
+        let early = self.cfg.early_stopping
+            && self.iterations_done >= 1
+            && self.last_accepted_spread <= self.cfg.eps;
+        if fixed_done || early {
+            self.output = Some(self.value);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn start_iteration(&mut self, ctx: &mut RoundCtx<RealAaBatchMsg>, iter_tag: u32) {
+        self.gc = BatchGradecast::with_muted(self.me, self.cfg.n, self.cfg.t, self.muted.clone());
+        ctx.broadcast(RealAaBatchMsg {
+            iter: iter_tag,
+            body: self.gc.lead_msg(R64::new(self.value)),
+        });
+    }
+}
+
+impl Protocol for RealAaBatchParty {
+    type Msg = RealAaBatchMsg;
+    type Output = f64;
+
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: &Inbox<RealAaBatchMsg>,
+        ctx: &mut RoundCtx<RealAaBatchMsg>,
+    ) {
+        if self.output.is_some() {
+            return;
+        }
+        if round == 1 && self.cfg.iterations() == 0 {
+            self.output = Some(self.value);
+            return;
+        }
+        if round > self.cfg.rounds() + 1 {
+            self.output = Some(self.value);
+            return;
+        }
+        let phase = (round - 1) % 3;
+        let iter_tag = (round - 1) / 3;
+        let tagged = |tag: u32| {
+            inbox
+                .iter()
+                .filter(move |e| e.payload.iter == tag)
+                .map(|e| (e.from, &e.payload.body))
+        };
+        match phase {
+            0 => {
+                if iter_tag > 0 {
+                    self.finish_iteration(inbox, iter_tag - 1, ctx);
+                    if self.maybe_terminate() {
+                        return;
+                    }
+                }
+                self.start_iteration(ctx, iter_tag);
+            }
+            1 => {
+                let batch = self.gc.on_leads(tagged(iter_tag));
+                ctx.broadcast(RealAaBatchMsg {
+                    iter: iter_tag,
+                    body: batch,
+                });
+            }
+            _ => {
+                let batch = self.gc.on_echoes(tagged(iter_tag));
+                ctx.broadcast(RealAaBatchMsg {
+                    iter: iter_tag,
+                    body: batch,
+                });
+            }
+        }
+    }
+
+    fn output(&self) -> Option<f64> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real_aa::{RealAaMsg, RealAaParty};
+    use gradecast::GcMsg;
+    use sim_net::{
+        run_simulation, run_simulation_traced, AdversaryCtx, CrashAdversary, EngineConfig,
+        EventKind, Passive, SimConfig, StaticByzantine, StepMode,
+    };
+
+    fn sim(n: usize, t: usize, rounds: u32) -> SimConfig {
+        SimConfig {
+            n,
+            t,
+            max_rounds: 10 + rounds,
+        }
+    }
+
+    /// Runs compat and batched parties on identical inputs under
+    /// adversaries with identical semantics and asserts outputs, rounds,
+    /// and protocol-event streams all match.
+    fn assert_equivalent<A1, A2>(cfg: RealAaConfig, inputs: &[f64], adv_compat: A1, adv_batch: A2)
+    where
+        A1: sim_net::Adversary<RealAaMsg>,
+        A2: sim_net::Adversary<RealAaBatchMsg>,
+    {
+        let (compat, compat_trace) = run_simulation_traced(
+            EngineConfig::from(sim(cfg.n, cfg.t, cfg.rounds())),
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            adv_compat,
+        )
+        .unwrap();
+        let (batched, batched_trace) = run_simulation_traced(
+            EngineConfig::from(sim(cfg.n, cfg.t, cfg.rounds())),
+            |id, _| RealAaBatchParty::new(id, cfg, inputs[id.index()]),
+            adv_batch,
+        )
+        .unwrap();
+        assert_eq!(compat.outputs, batched.outputs);
+        assert_eq!(compat.rounds_executed, batched.rounds_executed);
+        assert_eq!(compat.corrupted, batched.corrupted);
+        // The wire differs (that's the point) but the protocol-level
+        // event streams — grades, iteration summaries — must be
+        // identical, which also pins the value trajectories.
+        let protos = |tr: &sim_net::Trace| {
+            tr.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Proto { .. }))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(protos(&compat_trace), protos(&batched_trace));
+    }
+
+    #[test]
+    fn equivalent_to_compat_all_honest() {
+        let cfg = RealAaConfig::new(7, 2, 0.5, 10.0).unwrap();
+        let inputs = [2.0, 9.0, 5.0, 7.0, 3.0, 8.0, 4.0];
+        assert_equivalent(cfg, &inputs, Passive, Passive);
+    }
+
+    #[test]
+    fn equivalent_to_compat_under_crashes() {
+        let cfg = RealAaConfig::new(7, 2, 0.5, 10.0).unwrap();
+        let inputs = [2.0, 9.0, 5.0, 7.0, 3.0, 8.0, 4.0];
+        let crashes = || CrashAdversary {
+            crashes: vec![(PartyId(1), 2), (PartyId(4), 5)],
+        };
+        assert_equivalent(cfg, &inputs, crashes(), crashes());
+    }
+
+    #[test]
+    fn equivalent_to_compat_under_lead_equivocation() {
+        // Leader 0 equivocates its round-1 lead: 0.0 to the first half,
+        // 100.0 to the rest — the same Byzantine behaviour expressed on
+        // each wire format.
+        let cfg = RealAaConfig::new(7, 2, 0.5, 100.0).unwrap();
+        let inputs = [50.0, 20.0, 80.0, 40.0, 60.0, 30.0, 70.0];
+        let compat_adv = StaticByzantine {
+            parties: vec![PartyId(0)],
+            behave: |ctx: &mut AdversaryCtx<'_, RealAaMsg>| {
+                if ctx.round() == 1 {
+                    for i in 1..7 {
+                        let v = if i <= 3 { 0.0 } else { 100.0 };
+                        ctx.send(
+                            PartyId(0),
+                            PartyId(i),
+                            RealAaMsg {
+                                iter: 0,
+                                body: GcMsg::Lead(R64::new(v)),
+                            },
+                        );
+                    }
+                }
+            },
+        };
+        let batch_adv = StaticByzantine {
+            parties: vec![PartyId(0)],
+            behave: |ctx: &mut AdversaryCtx<'_, RealAaBatchMsg>| {
+                if ctx.round() == 1 {
+                    for i in 1..7 {
+                        let v = if i <= 3 { 0.0 } else { 100.0 };
+                        ctx.send(
+                            PartyId(0),
+                            PartyId(i),
+                            RealAaBatchMsg {
+                                iter: 0,
+                                body: GcBatchMsg::Lead(R64::new(v)),
+                            },
+                        );
+                    }
+                }
+            },
+        };
+        assert_equivalent(cfg, &inputs, compat_adv, batch_adv);
+    }
+
+    #[test]
+    fn batched_bytes_at_least_2x_smaller() {
+        // The acceptance criterion measured end-to-end through the
+        // engine's byte accounting (which the traces reconcile against),
+        // not just the per-message arithmetic.
+        let n = 64;
+        let t = 21;
+        let cfg = RealAaConfig::new(n, t, 1.0, 2.0).unwrap();
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let compat = run_simulation(
+            sim(n, t, cfg.rounds()),
+            |id, _| RealAaParty::new(id, cfg, inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        let batched = run_simulation(
+            sim(n, t, cfg.rounds()),
+            |id, _| RealAaBatchParty::new(id, cfg, inputs[id.index()]),
+            Passive,
+        )
+        .unwrap();
+        assert_eq!(compat.outputs, batched.outputs);
+        let (old, new) = (compat.metrics.total_bytes(), batched.metrics.total_bytes());
+        assert!(
+            old >= 2 * new,
+            "expected ≥ 2x byte reduction, got {old} vs {new}"
+        );
+    }
+
+    #[test]
+    fn step_modes_agree_with_byte_identical_traces_n256() {
+        // Kernel fast paths genuinely engage here: full echo batches at
+        // n = 256 take the eq_count sweep and the trimmed slice has
+        // n − 2t = 172 ≥ 128 elements, exercising the chunked sum.
+        let n = 256;
+        let t = 42;
+        let cfg = RealAaConfig::new(n, t, 1.0, 2.0).unwrap();
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 17) as f64 / 8.0).collect();
+        let run = |mode| {
+            run_simulation_traced(
+                EngineConfig {
+                    sim: sim(n, t, cfg.rounds()),
+                    step_mode: mode,
+                },
+                |id, _| RealAaBatchParty::new(id, cfg, inputs[id.index()]),
+                CrashAdversary {
+                    crashes: vec![(PartyId(3), 2)],
+                },
+            )
+            .unwrap()
+        };
+        let (ref_report, ref_trace) = run(StepMode::Sequential);
+        let ref_bytes = ref_trace.to_canonical_string();
+        for mode in [
+            StepMode::Parallel { threads: 3 },
+            StepMode::Parallel { threads: 0 },
+        ] {
+            let (report, trace) = run(mode);
+            assert_eq!(report, ref_report, "mode {mode:?} diverged");
+            assert_eq!(
+                trace.to_canonical_string(),
+                ref_bytes,
+                "mode {mode:?} trace not byte-identical"
+            );
+        }
+        // Trace byte accounting reconciles with the metrics.
+        aa_trace::check_round_totals(&ref_trace).unwrap();
+        let totals = aa_trace::recomputed_totals(&ref_trace);
+        assert_eq!(totals.bytes, ref_report.metrics.total_bytes());
+    }
+
+    #[test]
+    fn batch_message_sizes_are_deep() {
+        use std::sync::Arc;
+        // Lead: 4 iter + 1 tag + 8 value.
+        let lead = RealAaBatchMsg {
+            iter: 0,
+            body: GcBatchMsg::Lead(R64::new(1.0)),
+        };
+        assert_eq!(lead.size_bytes(), 4 + 9);
+        // Full 8-slot echo batch: 4 iter + 1 tag + 1 bitmap + 8 × 8.
+        let echoes = RealAaBatchMsg {
+            iter: 1,
+            body: GcBatchMsg::Echoes(Arc::new(gradecast::GcSlots::from_options(
+                (0..8).map(|i| Some(R64::new(i as f64))).collect(),
+            ))),
+        };
+        assert_eq!(echoes.size_bytes(), 4 + 1 + 1 + 64);
+    }
+}

@@ -71,12 +71,14 @@
 
 #![warn(missing_docs)]
 pub mod adversary;
+mod batch;
 mod iterated;
 mod multiset;
 mod real_aa;
 mod rounds;
 mod value;
 
+pub use batch::{RealAaBatchMsg, RealAaBatchParty};
 pub use iterated::{IteratedAaConfig, IteratedAaParty, PlainValueMsg};
 pub use multiset::{trimmed, trimmed_mean, trimmed_midpoint};
 pub use real_aa::{RealAaConfig, RealAaMsg, RealAaParty};

@@ -18,12 +18,18 @@ pub fn trimmed(values: &mut [f64], t: usize) -> &[f64] {
 
 /// The mean of the trimmed multiset (`RealAA`'s update rule), or `None`
 /// when trimming leaves nothing.
+///
+/// The sum runs through [`aa_kernels::sum_f64`]: below the kernel's
+/// dispatch threshold it is the exact left-to-right fold this function
+/// always used (so recorded traces at small n are unchanged), above it
+/// the chunked auto-vectorized association takes over for the n ≥ 1024
+/// scale path — deterministically, with the same bits on every host.
 pub fn trimmed_mean(values: &mut [f64], t: usize) -> Option<f64> {
     let s = trimmed(values, t);
     if s.is_empty() {
         None
     } else {
-        Some(s.iter().sum::<f64>() / s.len() as f64)
+        Some(aa_kernels::sum_f64(s) / s.len() as f64)
     }
 }
 

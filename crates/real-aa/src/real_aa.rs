@@ -140,6 +140,65 @@ impl Payload for RealAaMsg {
     }
 }
 
+/// The numeric outcome of one completed iteration.
+pub(crate) struct IterationOutcome {
+    /// The trimmed mean to adopt; `None` only off the honest path (the
+    /// caller keeps its current value, preserving validity).
+    pub new_value: Option<f64>,
+    /// Minimum accepted value (`+∞` when nothing was accepted).
+    pub accepted_lo: f64,
+    /// Maximum accepted value (`−∞` when nothing was accepted).
+    pub accepted_hi: f64,
+}
+
+/// The numeric core of one completed iteration — multiset construction
+/// with the fill rule, muting, accepted-range scan, trimmed mean — shared
+/// verbatim by [`RealAaParty`] and the batched party so their value
+/// trajectories are bit-identical by construction.
+///
+/// The accepted-range scan and the trimmed-mean sum run through the
+/// `aa-kernels` chunked kernels: exact left-to-right/streaming semantics
+/// below the dispatch threshold (recorded small-n traces unchanged),
+/// auto-vectorized at the n ≥ 1024 scale sizes.
+pub(crate) fn apply_iteration(
+    cfg: &RealAaConfig,
+    outputs: &[gradecast::GradecastOutput<R64>],
+    muted: &mut [bool],
+) -> IterationOutcome {
+    // Build the size-n multiset: one slot per leader, the accepted value
+    // for grades >= 1 and the public fill constant otherwise. Keeping
+    // every honest multiset at exactly n entries is essential: two honest
+    // multisets then differ in at most t_i *replacements* (the leaders
+    // burned this iteration), and the trimmed means of equal-size
+    // multisets differing in k replacements diverge by at most
+    // k * range / (n - 2t) — the envelope behind Theorem 3. (With
+    // variable-size multisets, one planted extreme value shifts the whole
+    // trim window and the divergence can reach range/2.)
+    let mut multiset: Vec<f64> = Vec::with_capacity(cfg.n);
+    let mut accepted: Vec<f64> = Vec::with_capacity(cfg.n);
+    for (leader, out) in outputs.iter().enumerate() {
+        // Acceptance is purely grade-based; muting below only affects
+        // future relaying (see crate docs).
+        if out.accepted() {
+            let v = out.value.expect("accepted implies value").get();
+            multiset.push(v);
+            accepted.push(v);
+        } else if !cfg.ablate_variable_multisets {
+            multiset.push(cfg.fill_value);
+        }
+        if out.grade <= Grade::One && !cfg.ablate_no_muting {
+            muted[leader] = true;
+        }
+    }
+    let (accepted_lo, accepted_hi) =
+        aa_kernels::min_max_f64(&accepted).unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
+    IterationOutcome {
+        new_value: trimmed_mean(&mut multiset, cfg.t),
+        accepted_lo,
+        accepted_hi,
+    }
+}
+
 /// One party of the `RealAA(ε)` protocol.
 ///
 /// Iteration `i` (0-based) occupies rounds `3i+1` (lead), `3i+2` (echo) and
@@ -232,39 +291,13 @@ impl RealAaParty {
             });
         }
 
-        // Build the size-n multiset: one slot per leader, the accepted
-        // value for grades >= 1 and the public fill constant otherwise.
-        // Keeping every honest multiset at exactly n entries is essential:
-        // two honest multisets then differ in at most t_i *replacements*
-        // (the leaders burned this iteration), and the trimmed means of
-        // equal-size multisets differing in k replacements diverge by at
-        // most k * range / (n - 2t) — the envelope behind Theorem 3.
-        // (With variable-size multisets, one planted extreme value shifts
-        // the whole trim window and the divergence can reach range/2.)
-        let mut multiset: Vec<f64> = Vec::with_capacity(self.cfg.n);
-        let mut accepted_lo = f64::INFINITY;
-        let mut accepted_hi = f64::NEG_INFINITY;
-        for (leader, out) in outputs.iter().enumerate() {
-            // Acceptance is purely grade-based; muting below only affects
-            // future relaying (see crate docs).
-            if out.accepted() {
-                let v = out.value.expect("accepted implies value").get();
-                multiset.push(v);
-                accepted_lo = accepted_lo.min(v);
-                accepted_hi = accepted_hi.max(v);
-            } else if !self.cfg.ablate_variable_multisets {
-                multiset.push(self.cfg.fill_value);
-            }
-            if out.grade <= Grade::One && !self.cfg.ablate_no_muting {
-                self.muted[leader] = true;
-            }
-        }
-        self.last_accepted_spread = if accepted_lo.is_finite() {
-            accepted_hi - accepted_lo
+        let outcome = apply_iteration(&self.cfg, &outputs, &mut self.muted);
+        self.last_accepted_spread = if outcome.accepted_lo.is_finite() {
+            outcome.accepted_hi - outcome.accepted_lo
         } else {
             f64::INFINITY
         };
-        if let Some(mean) = trimmed_mean(&mut multiset, self.cfg.t) {
+        if let Some(mean) = outcome.new_value {
             self.value = mean;
         }
         // else: unreachable (the multiset always has n > 3t > 2t entries);
@@ -273,11 +306,11 @@ impl RealAaParty {
         self.iterations_done += 1;
         ctx.emit_with(|| {
             let mut ev = sim_net::ProtoEvent::new("realaa.iter").u64("iter", u64::from(iter_tag));
-            if accepted_lo.is_finite() {
+            if outcome.accepted_lo.is_finite() {
                 ev = ev
-                    .f64("lo", accepted_lo)
-                    .f64("hi", accepted_hi)
-                    .f64("spread", accepted_hi - accepted_lo);
+                    .f64("lo", outcome.accepted_lo)
+                    .f64("hi", outcome.accepted_hi)
+                    .f64("spread", outcome.accepted_hi - outcome.accepted_lo);
             }
             ev.f64("value", self.value)
         });

@@ -55,9 +55,10 @@ pub enum StepMode {
     Auto,
     /// Always one party after another — the reference path.
     Sequential,
-    /// Always concurrent over index-order chunks on `threads` OS threads
-    /// (clamped to `1..=n`). `threads: 0` means one thread per available
-    /// core.
+    /// Always concurrent on `threads` OS threads (clamped to `1..=n`)
+    /// which self-schedule over the party range in grain-sized chunks
+    /// claimed from a shared atomic cursor. `threads: 0` means one thread
+    /// per available core.
     Parallel {
         /// Worker thread count; `0` = number of available cores.
         threads: usize,
@@ -65,9 +66,38 @@ pub enum StepMode {
 }
 
 /// Network size at which [`StepMode::Auto`] starts stepping in parallel
-/// (when more than one core is available): below this, thread spawn
-/// overhead dominates the per-round work.
-pub const PARALLEL_THRESHOLD: usize = 64;
+/// (when more than one core is available).
+///
+/// Derived from measurement rather than guessed (the previous value, 64,
+/// was a guess). On the reference host (`rustc -O`, Linux), a scoped
+/// worker pool costs 104 µs to spawn+join 2 threads and 167 µs for 4 —
+/// an upper bound, since the 1-core host serializes the spawns. Against
+/// that, one round of the *cheapest* conceivable stepping work (every
+/// party scans an inbox of n 8-byte broadcasts) measures 12 µs at n=256,
+/// 189 µs at n=1024, and 2.9 ms at n=4096 — so a degenerate scan-only
+/// protocol only breaks even near n ≈ 2048. But the protocols this
+/// engine exists to run sit 10–100× above that floor: the recorded
+/// RealAA substrate spends ~440 ms per round at n=256, dwarfing pool
+/// cost from roughly n ≥ 128. The threshold is set between the two
+/// measured crossovers, biased toward the protocol suite; workloads at
+/// either degenerate end can always pin `Sequential` or
+/// `Parallel { threads }` explicitly.
+pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// Worker-thread count [`StepMode::Auto`] resolves to for `n` parties on
+/// a host with `cores` available cores: 1 (sequential) below
+/// [`PARALLEL_THRESHOLD`] or on a single core, one thread per core
+/// (clamped to `n`) otherwise.
+///
+/// Exposed as a pure function of `(n, cores)` so the resolution rule is
+/// testable independently of the host the tests run on.
+pub fn auto_threads(n: usize, cores: usize) -> usize {
+    if cores <= 1 || n < PARALLEL_THRESHOLD {
+        1
+    } else {
+        cores.min(n)
+    }
+}
 
 /// Engine parameters beyond the protocol-visible [`SimConfig`].
 ///
@@ -203,10 +233,42 @@ fn step_sequential<P: Protocol>(
 /// events it emitted while tracing.
 type StepOutput<M> = (Outbox<M>, Vec<ProtoEvent>);
 
-/// Steps every party once on `threads` scoped OS threads over index-order
-/// chunks. Each party writes its outbox into its own pre-assigned slot, so
-/// the collected order is the party-id order no matter how the threads are
-/// scheduled.
+/// A raw pointer a scoped worker may carry across its thread boundary.
+///
+/// Safety rationale for the `Send`/`Sync` impls: the stepping loop hands
+/// out party indices through an atomic cursor that yields each index to
+/// exactly one worker, so no two threads ever materialise references to
+/// the same element behind this pointer, and the owning scope outlives
+/// every worker.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derives would bound on `T: Copy`, but the pointer is
+// copyable regardless of what it points to.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// How many grain-sized chunks the party range is split into per worker,
+/// on average. More slices = better load balance when step costs are
+/// skewed (work-stealing via the shared cursor), fewer = less cursor
+/// contention; 8 is comfortably past the point where either effect
+/// matters for inbox-scanning protocols.
+const GRAIN_SLICES_PER_THREAD: usize = 8;
+
+/// Steps every party once on `threads` scoped OS threads that
+/// self-schedule over the party range: workers repeatedly claim the next
+/// grain-sized chunk of indices from a shared atomic cursor, so a worker
+/// stuck on an expensive party stops claiming and the others absorb the
+/// remainder (work stealing without per-thread deques — the shared queue
+/// *is* the steal target). Each party writes its outbox into its own
+/// pre-assigned slot, so the collected order is the party-id order no
+/// matter how chunks land on threads.
 fn step_parallel<P>(
     parties: &mut [P],
     inboxes: &[Inbox<P::Msg>],
@@ -220,34 +282,51 @@ where
     P: Protocol + Send,
     P::Msg: Send + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let count = parties.len();
     let threads = threads.clamp(1, count);
-    let chunk = count.div_ceil(threads);
+    if threads == 1 {
+        return step_sequential(parties, inboxes, round, n, tracing, down);
+    }
+    let grain = count.div_ceil(threads * GRAIN_SLICES_PER_THREAD).max(1);
     let mut slots: Vec<Option<StepOutput<P::Msg>>> = (0..count).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let parties_base = SendPtr(parties.as_mut_ptr());
+    let slots_base = SendPtr(slots.as_mut_ptr());
     std::thread::scope(|scope| {
-        for (c, (party_chunk, slot_chunk)) in parties
-            .chunks_mut(chunk)
-            .zip(slots.chunks_mut(chunk))
-            .enumerate()
-        {
-            let base = c * chunk;
-            let inboxes = &inboxes[base..base + party_chunk.len()];
+        for _ in 0..threads {
+            let cursor = &cursor;
             scope.spawn(move || {
-                for (j, (party, slot)) in party_chunk
-                    .iter_mut()
-                    .zip(slot_chunk.iter_mut())
-                    .enumerate()
-                {
-                    let mut ctx = if tracing {
-                        RoundCtx::traced(PartyId(base + j), n)
-                    } else {
-                        RoundCtx::new(PartyId(base + j), n)
-                    };
-                    if !down[base + j] {
-                        party.step(round, &inboxes[j], &mut ctx);
+                // Capture the `SendPtr` wrappers whole: edition-2021
+                // disjoint capture would otherwise move just the raw
+                // pointer fields, which are not `Send`.
+                let (parties_base, slots_base) = (parties_base, slots_base);
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= count {
+                        break;
                     }
-                    let events = ctx.take_events();
-                    *slot = Some((ctx.into_outbox(), events));
+                    let end = (start + grain).min(count);
+                    for i in start..end {
+                        // SAFETY: `i` lies in a [start, end) range
+                        // obtained from a fetch_add on the shared cursor,
+                        // so this worker is the only one to touch index
+                        // `i`; both buffers live on the caller's stack
+                        // past the scope.
+                        let (party, slot) =
+                            unsafe { (&mut *parties_base.0.add(i), &mut *slots_base.0.add(i)) };
+                        let mut ctx = if tracing {
+                            RoundCtx::traced(PartyId(i), n)
+                        } else {
+                            RoundCtx::new(PartyId(i), n)
+                        };
+                        if !down[i] {
+                            party.step(round, &inboxes[i], &mut ctx);
+                        }
+                        let events = ctx.take_events();
+                        *slot = Some((ctx.into_outbox(), events));
+                    }
                 }
             });
         }
@@ -261,7 +340,7 @@ where
         Vec::new()
     };
     for slot in slots {
-        let (outbox, evs) = slot.expect("every chunk stepped its parties");
+        let (outbox, evs) = slot.expect("the cursor covered every index");
         outboxes.push(outbox);
         if tracing {
             events.push(evs);
@@ -460,13 +539,7 @@ where
         StepMode::Sequential => 1,
         StepMode::Parallel { threads: 0 } => cores,
         StepMode::Parallel { threads } => threads,
-        StepMode::Auto => {
-            if n >= PARALLEL_THRESHOLD && cores > 1 {
-                cores
-            } else {
-                1
-            }
-        }
+        StepMode::Auto => auto_threads(n, cores),
     };
 
     let mut factory = factory;
@@ -961,6 +1034,24 @@ mod tests {
         };
         let (a, b) = (run(), run());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_resolves_sequential_below_threshold_parallel_above() {
+        // On a multi-core host, Auto switches exactly at the measured
+        // threshold…
+        assert_eq!(auto_threads(PARALLEL_THRESHOLD - 1, 8), 1);
+        assert_eq!(auto_threads(PARALLEL_THRESHOLD, 8), 8);
+        assert_eq!(auto_threads(4 * PARALLEL_THRESHOLD, 2), 2);
+        // …never runs more workers than parties…
+        assert_eq!(
+            auto_threads(PARALLEL_THRESHOLD, 2 * PARALLEL_THRESHOLD),
+            PARALLEL_THRESHOLD
+        );
+        // …and stays sequential on a single core at any size, where a
+        // worker pool can only add overhead.
+        assert_eq!(auto_threads(1, 1), 1);
+        assert_eq!(auto_threads(4096, 1), 1);
     }
 
     #[test]

@@ -141,10 +141,8 @@ impl Tree {
     pub fn eccentricity(&self, v: VertexId) -> usize {
         let mut dist = vec![usize::MAX; self.vertex_count()];
         dist[v.index()] = 0;
-        let mut best = 0;
         let mut queue = std::collections::VecDeque::from([v]);
         while let Some(u) = queue.pop_front() {
-            best = best.max(dist[u.index()]);
             for &w in self.neighbors(u) {
                 if dist[w.index()] == usize::MAX {
                     dist[w.index()] = dist[u.index()] + 1;
@@ -152,17 +150,18 @@ impl Tree {
                 }
             }
         }
-        best
+        // The tree is connected, so BFS visits everything and the array
+        // holds no `usize::MAX` sentinels; the max scan over it is a flat
+        // kernel sweep rather than a per-pop comparison.
+        aa_kernels::min_max_usize(&dist).map_or(0, |(_, hi)| hi)
     }
 
     /// The height of the tree as rooted at the canonical root: the depth
     /// of the deepest vertex. This bounds the length of every
     /// `PathsFinder` output path.
     pub fn height(&self) -> usize {
-        self.vertices()
-            .map(|v| self.depth(v) as usize)
-            .max()
-            .unwrap_or(0)
+        let depths: Vec<usize> = self.vertices().map(|v| self.depth(v) as usize).collect();
+        aa_kernels::min_max_usize(&depths).map_or(0, |(_, hi)| hi)
     }
 
     /// A centroid of the tree: a vertex whose removal leaves components of
@@ -266,6 +265,20 @@ mod centroid_tests {
             assert!(t.vertices().any(|v| t.depth(v) as usize == h));
             assert!(h <= t.diameter().max(1));
         }
+    }
+
+    #[test]
+    fn kernel_scans_match_naive_above_chunk_threshold() {
+        // path(300) makes the dist/depth arrays longer than the kernel's
+        // chunk-dispatch threshold, so the lane-folded sweep (not the
+        // small-slice fallback) must reproduce the sequential extrema.
+        let t = generate::path(300);
+        for v in t.vertices().step_by(37) {
+            let naive = t.vertices().map(|u| t.distance(v, u)).max().unwrap();
+            assert_eq!(t.eccentricity(v), naive);
+        }
+        let naive_h = t.vertices().map(|v| t.depth(v) as usize).max().unwrap();
+        assert_eq!(t.height(), naive_h);
     }
 
     #[test]
