@@ -769,6 +769,146 @@ pub fn check_all(trace: &Trace) -> Result<(), String> {
     Ok(())
 }
 
+/// The virtual-time sort key of a `vt`/`pseq`-stamped proto event:
+/// `(vt, party, pseq)`. Virtual-time recordings (async-net's
+/// `AsyncRecorder`, the real-socket nodes in `crates/net`) stamp every
+/// proto event with these fields; sorting by this key turns any
+/// interleaving — one global in-process log, or n per-process logs — into
+/// the same canonical sequence.
+///
+/// # Errors
+///
+/// Returns a message if the event lacks the `vt`/`pseq` stamps (i.e. it
+/// did not come from a virtual-time recording).
+fn vt_key(event: &TraceEvent) -> Result<(f64, usize, u64), String> {
+    let EventKind::Proto { party, event } = &event.kind else {
+        return Err(format!("not a proto event: {event}"));
+    };
+    let vt = match event.field("vt") {
+        Some(Json::Num(x)) => *x,
+        _ => {
+            return Err(format!(
+                "proto event `{}` missing numeric `vt` stamp (not a virtual-time recording)",
+                event.label
+            ))
+        }
+    };
+    let pseq = event
+        .field("pseq")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("proto event `{}` missing `pseq` stamp", event.label))?;
+    Ok((vt, *party, pseq))
+}
+
+/// Extracts a trace's protocol events in canonical virtual-time order —
+/// sorted by `(vt, party, pseq)`. This is the projection the differential
+/// gate compares: engine/transport bookkeeping (fault drops, round
+/// markers) is excluded, emission interleaving is normalized away.
+///
+/// # Errors
+///
+/// Returns a message if any proto event lacks the `vt`/`pseq` stamps.
+pub fn proto_projection(trace: &Trace) -> Result<Vec<TraceEvent>, String> {
+    let mut keyed: Vec<((f64, usize, u64), TraceEvent)> = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Proto { .. }))
+        .map(|e| vt_key(e).map(|k| (k, e.clone())))
+        .collect::<Result<_, _>>()?;
+    keyed.sort_by(|((ta, pa, sa), _), ((tb, pb, sb), _)| {
+        ta.total_cmp(tb).then(pa.cmp(pb)).then(sa.cmp(sb))
+    });
+    Ok(keyed.into_iter().map(|(_, e)| e).collect())
+}
+
+/// Merges the per-process traces of one networked run into a single
+/// canonical trace: headers must agree, proto events are sorted globally
+/// by `(vt, party, pseq)`, and non-proto events (transport `fault_drop`s)
+/// follow, sorted by round then canonical rendering. Two reruns of the
+/// same deterministic schedule merge to bit-identical traces.
+///
+/// # Errors
+///
+/// Returns a message on header mismatch or a missing `vt`/`pseq` stamp.
+pub fn merge_traces(traces: &[Trace]) -> Result<Trace, String> {
+    let first = traces.first().ok_or("cannot merge zero traces")?;
+    let mut merged = Trace::new(first.n, first.t, &first.label);
+    for (i, t) in traces.iter().enumerate() {
+        if (t.n, t.t, &t.label) != (first.n, first.t, &first.label) {
+            return Err(format!(
+                "trace {i} header (n={}, t={}, label={:?}) disagrees with trace 0 \
+                 (n={}, t={}, label={:?})",
+                t.n, t.t, t.label, first.n, first.t, first.label
+            ));
+        }
+    }
+    let combined = Trace {
+        n: first.n,
+        t: first.t,
+        label: first.label.clone(),
+        events: traces.iter().flat_map(|t| t.events.clone()).collect(),
+    };
+    merged.events = proto_projection(&combined)?;
+    let mut rest: Vec<TraceEvent> = combined
+        .events
+        .iter()
+        .filter(|e| !matches!(e.kind, EventKind::Proto { .. }))
+        .cloned()
+        .collect();
+    rest.sort_by(|a, b| {
+        a.round
+            .cmp(&b.round)
+            .then_with(|| a.to_json().to_string().cmp(&b.to_json().to_string()))
+    });
+    merged.events.extend(rest);
+    Ok(merged)
+}
+
+/// The differential gate: checks that two virtual-time recordings contain
+/// **identical protocol events** — same events, same payloads, same
+/// canonical `(vt, party, pseq)` order — and returns how many events were
+/// reconciled. `reference` is typically the in-process async-net run,
+/// `networked` the merged per-process trace of a real-socket cluster run
+/// of the same seed and topology.
+///
+/// # Errors
+///
+/// Returns a message naming the first diverging event index with both
+/// canonical renderings (or the missing/extra tail), or a stamp/header
+/// extraction failure.
+pub fn reconcile_proto(reference: &Trace, networked: &Trace) -> Result<usize, String> {
+    if (reference.n, reference.t) != (networked.n, networked.t) {
+        return Err(format!(
+            "header mismatch: reference (n={}, t={}) vs networked (n={}, t={})",
+            reference.n, reference.t, networked.n, networked.t
+        ));
+    }
+    let a = proto_projection(reference)?;
+    let b = proto_projection(networked)?;
+    for (i, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        let (ra, rb) = (ea.to_json().to_string(), eb.to_json().to_string());
+        if ra != rb {
+            return Err(format!(
+                "first divergence at proto event {i}:\n  reference: {ra}\n  networked: {rb}"
+            ));
+        }
+    }
+    if a.len() != b.len() {
+        let (longer, who) = if a.len() > b.len() {
+            (&a, "reference")
+        } else {
+            (&b, "networked")
+        };
+        return Err(format!(
+            "{} has {} extra proto event(s), first: {}",
+            who,
+            longer.len() - a.len().min(b.len()),
+            longer[a.len().min(b.len())]
+        ));
+    }
+    Ok(a.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1032,5 +1172,118 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.label.push('!');
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// A `vt`/`pseq`-stamped proto event, as virtual-time recorders emit.
+    fn stamped(party: usize, vt: f64, pseq: u64, iter: u64) -> TraceEvent {
+        TraceEvent {
+            round: vt.floor() as u32 + 1,
+            kind: EventKind::Proto {
+                party,
+                event: ProtoEvent::new("treeaa.iter")
+                    .u64("iter", iter)
+                    .f64("vt", vt)
+                    .u64("pseq", pseq),
+            },
+        }
+    }
+
+    #[test]
+    fn proto_projection_sorts_by_vt_party_pseq() {
+        let mut t = Trace::new(3, 0, "vt");
+        for e in [
+            stamped(2, 1.5, 0, 0),
+            stamped(0, 0.5, 1, 1),
+            stamped(0, 0.5, 0, 0),
+            stamped(1, 0.5, 0, 0),
+        ] {
+            t.events.push(e);
+        }
+        t.events.push(TraceEvent {
+            round: 1,
+            kind: EventKind::FaultDrop { from: 0, to: 1 },
+        });
+        let proj = proto_projection(&t).unwrap();
+        assert_eq!(proj.len(), 4, "non-proto events excluded");
+        let keys: Vec<_> = proj.iter().map(|e| vt_key(e).unwrap()).collect();
+        assert_eq!(
+            keys,
+            vec![(0.5, 0, 0), (0.5, 0, 1), (0.5, 1, 0), (1.5, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn unstamped_proto_events_are_rejected() {
+        let mut t = Trace::new(2, 0, "");
+        t.push(
+            1,
+            EventKind::Proto {
+                party: 0,
+                event: ProtoEvent::new("gc.grade").u64("grade", 2),
+            },
+        );
+        let err = proto_projection(&t).unwrap_err();
+        assert!(err.contains("vt"), "{err}");
+    }
+
+    #[test]
+    fn merge_is_order_invariant_and_header_checked() {
+        let mut a = Trace::new(2, 0, "cluster");
+        a.events.push(stamped(0, 0.7, 0, 0));
+        a.events.push(stamped(0, 1.7, 1, 1));
+        let mut b = Trace::new(2, 0, "cluster");
+        b.events.push(stamped(1, 0.6, 0, 0));
+        b.events.push(TraceEvent {
+            round: 1,
+            kind: EventKind::FaultDrop { from: 0, to: 1 },
+        });
+        let ab = merge_traces(&[a.clone(), b.clone()]).unwrap();
+        let ba = merge_traces(&[b.clone(), a.clone()]).unwrap();
+        assert_eq!(
+            ab.to_canonical_string(),
+            ba.to_canonical_string(),
+            "merge must not depend on input order"
+        );
+        // Proto events first (sorted), transport events after.
+        assert!(matches!(
+            ab.events[0].kind,
+            EventKind::Proto { party: 1, .. }
+        ));
+        assert!(matches!(
+            ab.events.last().unwrap().kind,
+            EventKind::FaultDrop { .. }
+        ));
+
+        let mut other = Trace::new(3, 0, "cluster");
+        other.events.push(stamped(2, 0.9, 0, 0));
+        assert!(merge_traces(&[a, other]).is_err(), "header mismatch");
+    }
+
+    #[test]
+    fn reconcile_accepts_equal_and_pinpoints_divergence() {
+        let mut reference = Trace::new(2, 0, "ref");
+        reference.events.push(stamped(0, 0.5, 0, 0));
+        reference.events.push(stamped(1, 0.9, 0, 0));
+        // Same events recorded across two per-process traces.
+        let mut p0 = Trace::new(2, 0, "ref");
+        p0.events.push(stamped(0, 0.5, 0, 0));
+        let mut p1 = Trace::new(2, 0, "ref");
+        p1.events.push(stamped(1, 0.9, 0, 0));
+        let merged = merge_traces(&[p0, p1]).unwrap();
+        assert_eq!(reconcile_proto(&reference, &merged).unwrap(), 2);
+
+        // A diverging payload is named with its index.
+        let mut tampered = merged.clone();
+        if let EventKind::Proto { event, .. } = &mut tampered.events[1].kind {
+            event.fields[0].1 = Json::int(99);
+        }
+        let err = reconcile_proto(&reference, &tampered).unwrap_err();
+        assert!(err.contains("event 1"), "{err}");
+
+        // A missing event is reported as an extra on the other side.
+        let mut short = merged.clone();
+        short.events.pop();
+        let err = reconcile_proto(&reference, &short).unwrap_err();
+        assert!(err.contains("reference has 1 extra"), "{err}");
     }
 }

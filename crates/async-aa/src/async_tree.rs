@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use async_net::{AsyncCtx, AsyncProtocol};
+use async_net::{AsyncCtx, AsyncProtocol, ProtoEvent};
 use sim_net::{Degradation, Envelope, Evidence, EvidenceCertificate, Outcome, PartyId, Payload};
 use tree_aa::safe_area_midpoint;
 use tree_model::{Tree, VertexId};
@@ -259,6 +259,7 @@ impl AsyncTreeAaParty {
             if st.report_sent && st.witness_count(n) >= n - t {
                 // Advance: safe-area midpoint of everything accepted.
                 let accepted: Vec<u32> = st.accepted.iter().filter_map(|v| *v).collect();
+                let accepted_count = accepted.len();
                 let received: Vec<VertexId> = accepted
                     .into_iter()
                     .filter_map(|v| self.vertex_from_index(v))
@@ -267,8 +268,20 @@ impl AsyncTreeAaParty {
                     self.vertex = mid;
                 }
                 self.current_iter += 1;
+                let vertex = self.vertex.index() as u64;
+                ctx.emit_with(|| {
+                    ProtoEvent::new("treeaa.iter")
+                        .u64("iter", u64::from(iter))
+                        .u64("vertex", vertex)
+                        .u64("accepted", accepted_count as u64)
+                });
                 if self.current_iter >= self.cfg.iterations {
                     self.output = Some(Outcome::Value(self.vertex));
+                    ctx.emit_with(|| {
+                        ProtoEvent::new("treeaa.out")
+                            .u64("vertex", vertex)
+                            .bool("degraded", false)
+                    });
                     return;
                 }
                 self.start_iteration(ctx);
@@ -286,6 +299,12 @@ impl AsyncProtocol for AsyncTreeAaParty {
     fn on_start(&mut self, ctx: &mut AsyncCtx<AsyncAaMsg>) {
         if self.cfg.iterations == 0 {
             self.output = Some(Outcome::Value(self.vertex));
+            let vertex = self.vertex.index() as u64;
+            ctx.emit_with(|| {
+                ProtoEvent::new("treeaa.out")
+                    .u64("vertex", vertex)
+                    .bool("degraded", false)
+            });
             return;
         }
         self.start_iteration(ctx);
@@ -367,6 +386,12 @@ impl AsyncProtocol for AsyncTreeAaParty {
                 fallback: self.vertex,
                 certificate,
             }));
+            let vertex = self.vertex.index() as u64;
+            ctx.emit_with(|| {
+                ProtoEvent::new("treeaa.out")
+                    .u64("vertex", vertex)
+                    .bool("degraded", true)
+            });
         } else {
             // Slow, not provably broken: keep watching.
             ctx.set_timer(self.cfg.silence_deadline, SILENCE_TOKEN);

@@ -71,8 +71,11 @@ use rand_chacha::ChaCha8Rng;
 use sim_net::{Envelope, FaultPlan, PartyId, Payload};
 
 mod reliable;
+mod virtual_time;
 
+pub use aa_trace::ProtoEvent;
 pub use reliable::{RelMsg, Reliable, RETRANSMIT_BIT};
+pub use virtual_time::{link_delay, splitmix64, AsyncRecorder, VKey, VirtualScheduler};
 
 /// How message delays are drawn. All models produce delays in `(0, 1]`
 /// (the async-time normalization); [`DelayModel::validate`] checks the
@@ -166,6 +169,24 @@ pub struct AsyncCtx<M> {
     outbox: Vec<Envelope<M>>,
     timers: Vec<(f64, u64)>,
     retransmits: usize,
+    events: Vec<ProtoEvent>,
+    tracing: bool,
+}
+
+/// Everything an activation produced, for transports that drive
+/// [`AsyncProtocol`] handlers outside the in-process run loop (the real
+/// TCP nodes in `crates/net`). Obtained via [`AsyncCtx::into_parts`].
+#[derive(Debug)]
+pub struct CtxParts<M> {
+    /// Messages sent during the activation, in send order.
+    pub outbox: Vec<Envelope<M>>,
+    /// Timers set during the activation, as `(delay, token)`.
+    pub timers: Vec<(f64, u64)>,
+    /// Protocol events emitted during the activation (empty unless the
+    /// context was created with tracing enabled).
+    pub events: Vec<ProtoEvent>,
+    /// Retransmissions credited via [`AsyncCtx::note_retransmit`].
+    pub retransmits: usize,
 }
 
 impl<M: Payload> AsyncCtx<M> {
@@ -177,6 +198,29 @@ impl<M: Payload> AsyncCtx<M> {
             outbox: Vec::new(),
             timers: Vec::new(),
             retransmits: 0,
+            events: Vec::new(),
+            tracing: false,
+        }
+    }
+
+    /// A context for driving a protocol handler outside the in-process run
+    /// loop — the transport seam used by the real-socket backend. Collect
+    /// the resulting sends/timers/events with [`AsyncCtx::into_parts`].
+    #[must_use]
+    pub fn external(me: PartyId, n: usize, now: f64, tracing: bool) -> Self {
+        let mut ctx = AsyncCtx::new(me, n, now);
+        ctx.tracing = tracing;
+        ctx
+    }
+
+    /// Consumes the context into its accumulated effects.
+    #[must_use]
+    pub fn into_parts(self) -> CtxParts<M> {
+        CtxParts {
+            outbox: self.outbox,
+            timers: self.timers,
+            events: self.events,
+            retransmits: self.retransmits,
         }
     }
 
@@ -234,6 +278,15 @@ impl<M: Payload> AsyncCtx<M> {
     /// sublayer; available to any protocol that re-sends.
     pub fn note_retransmit(&mut self) {
         self.retransmits += 1;
+    }
+
+    /// Emits a protocol-level trace event. Zero-cost when the run is not
+    /// recorded: the closure is only evaluated under an active
+    /// [`AsyncRecorder`] (mirroring `sim_net::RoundCtx::emit_with`).
+    pub fn emit_with(&mut self, f: impl FnOnce() -> ProtoEvent) {
+        if self.tracing {
+            self.events.push(f());
+        }
     }
 }
 
@@ -494,7 +547,8 @@ impl<M> Ord for Event<M> {
 /// sent at time `s` counts as round `⌊s⌋ + 1` traffic, aligning the
 /// fault plan's round-indexed windows with normalized async time (round
 /// `r` spans the time interval `[r − 1, r)`).
-fn round_of(time: f64) -> u32 {
+#[must_use]
+pub fn round_of(time: f64) -> u32 {
     let floored = time.max(0.0).floor();
     if floored >= f64::from(u32::MAX - 1) {
         u32::MAX - 1
@@ -628,7 +682,7 @@ where
     F: FnMut(PartyId, usize) -> P,
 {
     let mut sched = SeededScheduler::new(&cfg, None);
-    run_loop(&cfg, None, factory, adversary, &mut sched, None)
+    run_loop(&cfg, None, factory, adversary, &mut sched, None, None)
 }
 
 /// [`run_async`] under a [`FaultPlan`]: probabilistic drop, duplication
@@ -669,7 +723,7 @@ where
     F: FnMut(PartyId, usize) -> P,
 {
     let mut sched = SeededScheduler::new(&cfg, Some(plan));
-    run_loop(&cfg, Some(plan), factory, adversary, &mut sched, None)
+    run_loop(&cfg, Some(plan), factory, adversary, &mut sched, None, None)
 }
 
 /// Runs an asynchronous protocol on a caller-supplied [`Scheduler`] —
@@ -695,7 +749,32 @@ where
     F: FnMut(PartyId, usize) -> P,
     S: Scheduler<P::Msg>,
 {
-    run_loop(cfg, plan, factory, adversary, sched, None)
+    run_loop(cfg, plan, factory, adversary, sched, None, None)
+}
+
+/// [`run_async_with`] plus flight recording: protocol events emitted via
+/// [`AsyncCtx::emit_with`] are captured into `recorder`, stamped with
+/// their virtual time and per-party emission ordinal. Pair with a
+/// [`VirtualScheduler`] to produce the in-process reference trace the
+/// real-socket differential gate compares against.
+///
+/// # Errors
+///
+/// As [`run_async_with`].
+pub fn run_async_recorded<P, A, F, S>(
+    cfg: &AsyncConfig,
+    factory: F,
+    adversary: A,
+    sched: &mut S,
+    recorder: &mut AsyncRecorder,
+) -> Result<AsyncReport<P::Output>, AsyncSimError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+    F: FnMut(PartyId, usize) -> P,
+    S: Scheduler<P::Msg>,
+{
+    run_loop(cfg, None, factory, adversary, sched, None, Some(recorder))
 }
 
 /// [`run_async_with`] for exploration: after every activation a
@@ -727,6 +806,7 @@ where
         adversary,
         sched,
         Some(state_digest::<P>),
+        None,
     )
 }
 
@@ -744,17 +824,27 @@ fn state_digest<P: AsyncProtocol + fmt::Debug>(parties: &[Option<P>]) -> u64 {
     h.finish()
 }
 
-/// Drains an activation context into the scheduler: sends, timers, and
-/// retransmission credit.
-fn flush_ctx<M: Payload, S: Scheduler<M>>(sched: &mut S, ctx: AsyncCtx<M>) {
+/// Drains an activation context into the scheduler: sends, timers,
+/// retransmission credit, and (when recording) emitted protocol events.
+fn flush_ctx<M: Payload, S: Scheduler<M>>(
+    sched: &mut S,
+    ctx: AsyncCtx<M>,
+    recorder: Option<&mut AsyncRecorder>,
+) {
     let AsyncCtx {
         me,
         now,
         outbox,
         timers,
         retransmits,
+        events,
         ..
     } = ctx;
+    if let Some(rec) = recorder {
+        for event in events {
+            rec.record_proto(now, me.index(), event);
+        }
+    }
     sched.metrics_mut().retransmissions += retransmits;
     for env in outbox {
         sched.push_send(now, env);
@@ -775,6 +865,7 @@ fn run_loop<P, A, F, S>(
     mut adversary: A,
     sched: &mut S,
     digest: Option<DigestFn<P>>,
+    mut recorder: Option<&mut AsyncRecorder>,
 ) -> Result<AsyncReport<P::Output>, AsyncSimError>
 where
     P: AsyncProtocol,
@@ -834,11 +925,13 @@ where
         .collect();
 
     // Time 0: honest starts, adversary start injections.
+    let tracing = recorder.is_some();
     for (i, party) in parties.iter_mut().enumerate() {
         if let Some(p) = party.as_mut() {
             let mut ctx = AsyncCtx::new(PartyId(i), n, 0.0);
+            ctx.tracing = tracing;
             p.on_start(&mut ctx);
-            flush_ctx(sched, ctx);
+            flush_ctx(sched, ctx, recorder.as_deref_mut());
         }
     }
     let mut adv_sends = Vec::new();
@@ -962,11 +1055,12 @@ where
         {
             let p = parties[i].as_mut().expect("honest");
             let mut ctx = AsyncCtx::new(party, n, time);
+            ctx.tracing = tracing;
             match activation {
                 Activation::Message(env) => p.on_message(env, &mut ctx),
                 Activation::Timer(token) => p.on_timer(token, &mut ctx),
             }
-            flush_ctx(sched, ctx);
+            flush_ctx(sched, ctx, recorder.as_deref_mut());
         }
         if let Some(dg) = digest {
             if sched.wants_observations() && !sched.observe_state(dg(&parties)) {

@@ -132,8 +132,10 @@ impl<P: AsyncProtocol> Reliable<P> {
         f: impl FnOnce(&mut P, &mut AsyncCtx<P::Msg>),
     ) {
         let mut inner_ctx = AsyncCtx::new(ctx.me, ctx.n, ctx.now);
+        inner_ctx.tracing = ctx.tracing;
         f(&mut self.inner, &mut inner_ctx);
         ctx.retransmits += inner_ctx.retransmits;
+        ctx.events.append(&mut inner_ctx.events);
         for (delay, token) in inner_ctx.timers {
             debug_assert!(
                 token & RETRANSMIT_BIT == 0,

@@ -118,6 +118,55 @@ pub enum Command {
         /// Output file (empty writes the JSON to stdout).
         out: String,
     },
+    /// `serve`: run one party of a real networked deployment — a TCP
+    /// process speaking the MAC-authenticated wire protocol of the
+    /// `net` crate.
+    Serve {
+        /// Tree spec: `<family><size>` (e.g. `path9`) or a tree file.
+        tree: String,
+        /// Comma-separated input vertex labels (one per party).
+        inputs: String,
+        /// This process's party index in `0..n`.
+        party_id: usize,
+        /// Corruption bound.
+        t: usize,
+        /// Seed of the shared content-keyed delay schedule.
+        seed: u64,
+        /// Delay floor / conservative lookahead.
+        min_delay: f64,
+        /// Shared MAC secret (all processes of a deployment must agree).
+        secret: u64,
+        /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+        bind: String,
+        /// Comma-separated peer addresses, index-aligned with party ids;
+        /// empty reads a `PEERS a0,...,an-1` line from stdin after the
+        /// `PORT` line is printed.
+        peers: String,
+        /// File for this node's canonical trace JSON (empty disables).
+        trace_out: String,
+    },
+    /// `cluster`: launch `n` local `serve` processes on loopback,
+    /// referee their outcomes, and optionally run the differential
+    /// trace gate against the in-process reference simulator.
+    Cluster {
+        /// Tree spec: `<family><size>` (e.g. `path9`) or a tree file.
+        tree: String,
+        /// Comma-separated input vertex labels (one per party).
+        inputs: String,
+        /// Corruption bound.
+        t: usize,
+        /// Seed of the shared content-keyed delay schedule.
+        seed: u64,
+        /// Delay floor / conservative lookahead.
+        min_delay: f64,
+        /// Shared MAC secret.
+        secret: u64,
+        /// Number of repeated runs (load driver).
+        runs: u64,
+        /// Check every run's merged trace against the in-process
+        /// reference, event for event.
+        gate: bool,
+    },
     /// `help` or no/unknown arguments.
     Help,
 }
@@ -130,7 +179,7 @@ fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option starting with --, got `{k}`"))?;
-        if key == "dot" || key == "minimize" || key == "faults" {
+        if key == "dot" || key == "minimize" || key == "faults" || key == "gate" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -224,6 +273,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 out: opts.get("out").cloned().unwrap_or_default(),
             })
         }
+        "serve" => Ok(Command::Serve {
+            tree: req(&opts, "tree")?.to_string(),
+            inputs: req(&opts, "inputs")?.to_string(),
+            party_id: parse_num(req(&opts, "party-id")?, "party-id")?,
+            t: opts.get("t").map_or(Ok(1), |s| parse_num(s, "t"))?,
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+            min_delay: opts
+                .get("min-delay")
+                .map_or(Ok(0.5), |s| parse_num(s, "min-delay"))?,
+            secret: opts
+                .get("secret")
+                .map_or(Ok(0), |s| parse_num(s, "secret"))?,
+            bind: opts
+                .get("bind")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:0".into()),
+            peers: opts.get("peers").cloned().unwrap_or_default(),
+            trace_out: opts.get("trace-out").cloned().unwrap_or_default(),
+        }),
+        "cluster" => Ok(Command::Cluster {
+            tree: req(&opts, "tree")?.to_string(),
+            inputs: req(&opts, "inputs")?.to_string(),
+            t: opts.get("t").map_or(Ok(1), |s| parse_num(s, "t"))?,
+            seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
+            min_delay: opts
+                .get("min-delay")
+                .map_or(Ok(0.5), |s| parse_num(s, "min-delay"))?,
+            secret: opts
+                .get("secret")
+                .map_or(Ok(0), |s| parse_num(s, "secret"))?,
+            runs: opts.get("runs").map_or(Ok(1), |s| parse_num(s, "runs"))?,
+            gate: opts.contains_key("gate"),
+        }),
         "trace" => Ok(Command::Trace {
             scenario: req(&opts, "scenario")?.to_string(),
             seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
@@ -252,6 +334,13 @@ USAGE:
                 [--protocol tree-aa|real-aa] [--depth <D>]
                 [--max-runs <K>] [--out <file>]
   treeaa trace  --scenario <name> [--seed <S>] [--out <file>]
+  treeaa serve  --tree <familyK|file> --inputs <l1,l2,...> --party-id <I>
+                [--t <T>] [--seed <S>] [--min-delay <F>] [--secret <K>]
+                [--bind <addr:port>] [--peers <a0,a1,...>]
+                [--trace-out <file>]
+  treeaa cluster --tree <familyK|file> --inputs <l1,l2,...> [--t <T>]
+                [--seed <S>] [--min-delay <F>] [--secret <K>]
+                [--runs <R>] [--gate]
 
 `run` uses one party per input label; with an adversary, the *last* t
 parties are corrupted and their input labels are ignored.
@@ -289,6 +378,26 @@ deterministic flight recorder and emits
 the canonical trace JSON — every round, send, delivery and protocol
 decision. The trace is byte-identical across step modes and runs, so
 `(scenario, seed)` reproduces the file exactly.
+
+`serve` runs one party of a real multi-process deployment: it binds a
+TCP listener, prints `PORT <p>`, learns the full index-aligned address
+vector from --peers or from a `PEERS a0,...,an-1` stdin line, completes
+the MAC-authenticated handshakes, prints `READY`, executes the async
+tree-AA protocol under conservative virtual-time synchronisation, and
+prints one final machine-readable `OUTCOME` line. All processes of a
+deployment must be launched with identical --tree/--inputs/--t/--seed/
+--min-delay (a fingerprint in the handshake rejects mismatches) and the
+same --secret.
+
+`cluster` is the local launcher and referee: it spawns n `serve`
+processes on 127.0.0.1 ephemeral ports (n = number of input labels),
+wires them up over the PORT/PEERS protocol, waits for the outcomes, and
+checks 1-agreement inside the input hull. With --gate it additionally
+runs the in-process reference simulator on the same case and demands
+that the merged networked trace reconciles with the reference trace
+event for event — the differential gate. --runs repeats the whole
+deployment as a load driver; every run must pass. Exits non-zero on any
+disagreement, degradation, or gate divergence.
 ";
 
 fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
@@ -323,6 +432,194 @@ fn build_tree_spec(spec: &str) -> Result<Tree, String> {
     let text = std::fs::read_to_string(spec)
         .map_err(|e| format!("`{spec}` is neither a tree family spec nor a readable file: {e}"))?;
     parse_tree(&text).map_err(|e| e.to_string())
+}
+
+/// Builds the fully pinned networked-execution case shared by `serve`
+/// processes, the `cluster` launcher, and the in-process reference run.
+/// Every process of a deployment derives the same case (and thus the
+/// same handshake fingerprint) from the same arguments.
+fn build_gate_case(
+    tree_spec: &str,
+    inputs: &str,
+    t: usize,
+    seed: u64,
+    min_delay: f64,
+) -> Result<net::GateCase, String> {
+    let tree = build_tree_spec(tree_spec)?;
+    let input_ids: Vec<VertexId> = inputs
+        .split(',')
+        .map(str::trim)
+        .map(|l| {
+            tree.vertex(l)
+                .ok_or_else(|| format!("unknown vertex label `{l}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if !(min_delay > 0.0 && min_delay <= 1.0) {
+        return Err(format!("--min-delay must be in (0, 1], got {min_delay}"));
+    }
+    let case = net::GateCase {
+        tree: Arc::new(tree),
+        inputs: input_ids,
+        t,
+        seed,
+        min_delay,
+        label: format!("serve-{seed}"),
+    };
+    case.protocol_config()?;
+    Ok(case)
+}
+
+/// Parses the comma-separated, index-aligned peer address vector.
+fn parse_peer_addrs(list: &str, n: usize) -> Result<Vec<std::net::SocketAddr>, String> {
+    let addrs: Vec<std::net::SocketAddr> = list
+        .split(',')
+        .map(str::trim)
+        .map(|a| {
+            a.parse()
+                .map_err(|e| format!("bad peer address `{a}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if addrs.len() != n {
+        return Err(format!(
+            "expected {n} peer addresses (one per party), got {}",
+            addrs.len()
+        ));
+    }
+    Ok(addrs)
+}
+
+/// One parsed `OUTCOME` line printed by a `serve` process.
+#[derive(Debug)]
+struct ServeOutcome {
+    party: usize,
+    vertex: String,
+    degraded: bool,
+    over_budget: bool,
+    retx: u64,
+}
+
+fn parse_outcome_line(line: &str) -> Result<ServeOutcome, String> {
+    let rest = line
+        .trim()
+        .strip_prefix("OUTCOME ")
+        .ok_or_else(|| format!("not an OUTCOME line: `{line}`"))?;
+    let mut o = ServeOutcome {
+        party: usize::MAX,
+        vertex: String::new(),
+        degraded: false,
+        over_budget: false,
+        retx: 0,
+    };
+    for field in rest.split_whitespace() {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed OUTCOME field `{field}`"))?;
+        match k {
+            "party" => o.party = parse_num(v, "party")?,
+            "vertex" => o.vertex = v.to_string(),
+            "degraded" => o.degraded = parse_num(v, "degraded")?,
+            "over_budget" => o.over_budget = parse_num(v, "over_budget")?,
+            "retx" => o.retx = parse_num(v, "retx")?,
+            _ => {}
+        }
+    }
+    if o.party == usize::MAX || o.vertex.is_empty() {
+        return Err(format!("incomplete OUTCOME line: `{line}`"));
+    }
+    Ok(o)
+}
+
+/// Everything needed to launch one `serve` child of a cluster run.
+struct ClusterSpec<'a> {
+    exe: &'a std::path::Path,
+    tree: &'a str,
+    inputs: &'a str,
+    t: usize,
+    seed: u64,
+    min_delay: f64,
+    secret: u64,
+}
+
+/// Launches `n` `serve` processes on loopback, wires them over the
+/// PORT/PEERS protocol, and collects their outcomes (and traces, when
+/// `trace_files` names one file per party).
+fn run_cluster_once(
+    spec: &ClusterSpec<'_>,
+    n: usize,
+    trace_files: Option<&[std::path::PathBuf]>,
+) -> Result<Vec<ServeOutcome>, String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, Stdio};
+
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    let mut stdouts = Vec::with_capacity(n);
+    let spawn_err = |i: usize, e: &dyn std::fmt::Display| format!("party {i}: {e}");
+    for i in 0..n {
+        let mut cmd = std::process::Command::new(spec.exe);
+        cmd.arg("serve")
+            .args(["--tree", spec.tree])
+            .args(["--inputs", spec.inputs])
+            .args(["--party-id", &i.to_string()])
+            .args(["--t", &spec.t.to_string()])
+            .args(["--seed", &spec.seed.to_string()])
+            .args(["--min-delay", &spec.min_delay.to_string()])
+            .args(["--secret", &spec.secret.to_string()])
+            .args(["--bind", "127.0.0.1:0"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if let Some(files) = trace_files {
+            cmd.args(["--trace-out", &files[i].to_string_lossy()]);
+        }
+        let mut child = cmd.spawn().map_err(|e| spawn_err(i, &e))?;
+        stdouts.push(BufReader::new(child.stdout.take().expect("piped stdout")));
+        children.push(child);
+    }
+    // Kill everything on any error so a partial deployment can't linger.
+    let result = (|| {
+        let mut ports = Vec::with_capacity(n);
+        for (i, rd) in stdouts.iter_mut().enumerate() {
+            let mut line = String::new();
+            rd.read_line(&mut line).map_err(|e| spawn_err(i, &e))?;
+            let port = line
+                .trim()
+                .strip_prefix("PORT ")
+                .ok_or_else(|| format!("party {i}: expected a PORT line, got `{line}`"))?;
+            ports.push(format!("127.0.0.1:{port}"));
+        }
+        let peers = ports.join(",");
+        for (i, child) in children.iter_mut().enumerate() {
+            let stdin = child.stdin.as_mut().expect("piped stdin");
+            writeln!(stdin, "PEERS {peers}").map_err(|e| spawn_err(i, &e))?;
+        }
+        let mut outcomes = Vec::with_capacity(n);
+        for (i, rd) in stdouts.iter_mut().enumerate() {
+            loop {
+                let mut line = String::new();
+                if rd.read_line(&mut line).map_err(|e| spawn_err(i, &e))? == 0 {
+                    return Err(format!("party {i}: exited without an OUTCOME line"));
+                }
+                if line.starts_with("OUTCOME ") {
+                    outcomes.push(parse_outcome_line(&line)?);
+                    break;
+                }
+            }
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            let status = child.wait().map_err(|e| spawn_err(i, &e))?;
+            if !status.success() {
+                return Err(format!("party {i}: exited with {status}"));
+            }
+        }
+        outcomes.sort_by_key(|o| o.party);
+        Ok(outcomes)
+    })();
+    if result.is_err() {
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    result
 }
 
 /// Executes a command, writing human-readable output to `out`.
@@ -595,6 +892,153 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Ok(()) => writeln!(out, "verified: validity + 1-agreement hold").map_err(io),
                 Err(v) => Err(format!("PROPERTY VIOLATION: {v}")),
             }
+        }
+        Command::Serve {
+            tree,
+            inputs,
+            party_id,
+            t,
+            seed,
+            min_delay,
+            secret,
+            bind,
+            peers,
+            trace_out,
+        } => {
+            let case = build_gate_case(&tree, &inputs, t, seed, min_delay)?;
+            let n = case.n();
+            if party_id >= n {
+                return Err(format!("--party-id {party_id} out of range (n = {n})"));
+            }
+            let listener = std::net::TcpListener::bind(&bind).map_err(io)?;
+            let port = listener.local_addr().map_err(io)?.port();
+            writeln!(out, "PORT {port}").map_err(io)?;
+            out.flush().map_err(io)?;
+            let peer_list = if peers.is_empty() {
+                let mut line = String::new();
+                std::io::stdin().read_line(&mut line).map_err(io)?;
+                line.trim()
+                    .strip_prefix("PEERS ")
+                    .ok_or_else(|| format!("expected `PEERS a0,...` on stdin, got `{line}`"))?
+                    .to_string()
+            } else {
+                peers
+            };
+            let addrs = parse_peer_addrs(&peer_list, n)?;
+            let cfg = net::node_config(&case, party_id, addrs, secret);
+            let party = case.party(party_id);
+            // READY must reach the launcher the moment the links are up
+            // (crash tests kill victims on it), so it bypasses `out` and
+            // goes straight to the process stdout — the same stream in a
+            // real `serve` process.
+            let report = net::run_node(&cfg, listener, party, || {
+                use std::io::Write as _;
+                let mut so = std::io::stdout();
+                let _ = writeln!(so, "READY");
+                let _ = so.flush();
+            })
+            .map_err(|e| format!("party {party_id}: {e}"))?;
+            if !trace_out.is_empty() {
+                let json = report.trace.to_canonical_string();
+                std::fs::write(&trace_out, format!("{json}\n")).map_err(io)?;
+            }
+            let outcome = report
+                .output
+                .ok_or_else(|| format!("party {party_id} terminated without an output"))?;
+            let over_budget = match &outcome {
+                sim_net::Outcome::Degraded(d) => d.certificate.exceeds_budget(),
+                sim_net::Outcome::Value(_) => false,
+            };
+            writeln!(
+                out,
+                "OUTCOME party={party_id} vertex={} degraded={} over_budget={} retx={} vtime={:.3}",
+                case.tree.label(*outcome.value()),
+                outcome.is_degraded(),
+                over_budget,
+                report.stats.retransmissions,
+                report.vtime,
+            )
+            .map_err(io)?;
+            out.flush().map_err(io)
+        }
+        Command::Cluster {
+            tree,
+            inputs,
+            t,
+            seed,
+            min_delay,
+            secret,
+            runs,
+            gate,
+        } => {
+            let case = build_gate_case(&tree, &inputs, t, seed, min_delay)?;
+            let n = case.n();
+            let exe = std::env::current_exe().map_err(io)?;
+            let spec = ClusterSpec {
+                exe: &exe,
+                tree: &tree,
+                inputs: &inputs,
+                t,
+                seed,
+                min_delay,
+                secret,
+            };
+            let reference = if gate {
+                Some(case.reference_run()?)
+            } else {
+                None
+            };
+            for run in 0..runs {
+                let trace_files: Option<Vec<std::path::PathBuf>> = gate.then(|| {
+                    let dir = std::env::temp_dir();
+                    (0..n)
+                        .map(|i| {
+                            dir.join(format!(
+                                "treeaa-cluster-{}-{run}-{i}.trace.json",
+                                std::process::id()
+                            ))
+                        })
+                        .collect()
+                });
+                let outcomes = run_cluster_once(&spec, n, trace_files.as_deref())
+                    .map_err(|e| format!("run {run}: {e}"))?;
+                for o in &outcomes {
+                    if o.degraded {
+                        return Err(format!(
+                            "run {run}: party {} degraded on a clean deployment",
+                            o.party
+                        ));
+                    }
+                }
+                let outputs: Vec<VertexId> = outcomes
+                    .iter()
+                    .map(|o| {
+                        case.tree
+                            .vertex(&o.vertex)
+                            .ok_or_else(|| format!("run {run}: unknown output `{}`", o.vertex))
+                    })
+                    .collect::<Result<_, _>>()?;
+                check_tree_aa(&case.tree, &case.inputs, &outputs)
+                    .map_err(|v| format!("run {run}: PROPERTY VIOLATION: {v}"))?;
+                let labels: Vec<&str> = outcomes.iter().map(|o| o.vertex.as_str()).collect();
+                writeln!(out, "run {run}: outputs {} (verified)", labels.join(" ")).map_err(io)?;
+                if let (Some(reference), Some(files)) = (&reference, &trace_files) {
+                    let traces = files
+                        .iter()
+                        .map(|f| {
+                            let text = std::fs::read_to_string(f).map_err(io)?;
+                            let _ = std::fs::remove_file(f);
+                            aa_trace::Trace::parse(&text)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let merged = aa_trace::merge_traces(&traces)?;
+                    let reconciled = net::differential_gate(&reference.trace, &merged)
+                        .map_err(|e| format!("run {run}: differential gate FAILED: {e}"))?;
+                    writeln!(out, "run {run}: gate reconciled {reconciled} proto events")
+                        .map_err(io)?;
+                }
+            }
+            writeln!(out, "cluster: {runs} run(s) passed on {n} processes").map_err(io)
         }
     }
 }
@@ -996,6 +1440,101 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("caterpillar-equivocate"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        assert_eq!(
+            parse_args(&argv(
+                "serve --tree path9 --inputs a,b,c,d --party-id 2 --seed 9"
+            ))
+            .unwrap(),
+            Command::Serve {
+                tree: "path9".into(),
+                inputs: "a,b,c,d".into(),
+                party_id: 2,
+                t: 1,
+                seed: 9,
+                min_delay: 0.5,
+                secret: 0,
+                bind: "127.0.0.1:0".into(),
+                peers: String::new(),
+                trace_out: String::new(),
+            }
+        );
+        let err = parse_args(&argv("serve --tree path9 --inputs a,b")).unwrap_err();
+        assert!(err.contains("--party-id"), "{err}");
+    }
+
+    #[test]
+    fn parses_cluster_with_gate_flag() {
+        assert_eq!(
+            parse_args(&argv(
+                "cluster --tree path9 --inputs a,b,c,d --runs 5 --gate --secret 77"
+            ))
+            .unwrap(),
+            Command::Cluster {
+                tree: "path9".into(),
+                inputs: "a,b,c,d".into(),
+                t: 1,
+                seed: 0,
+                min_delay: 0.5,
+                secret: 77,
+                runs: 5,
+                gate: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments_cleanly() {
+        let err = execute(
+            Command::Serve {
+                tree: "path9".into(),
+                inputs: "v0000,v0003,v0006,v0008".into(),
+                party_id: 9,
+                t: 1,
+                seed: 0,
+                min_delay: 0.5,
+                secret: 0,
+                bind: "127.0.0.1:0".into(),
+                peers: "x".into(),
+                trace_out: String::new(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        let err = execute(
+            Command::Cluster {
+                tree: "path9".into(),
+                inputs: "v0000,nope".into(),
+                t: 1,
+                seed: 0,
+                min_delay: 0.5,
+                secret: 0,
+                runs: 1,
+                gate: false,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown vertex label"), "{err}");
+    }
+
+    #[test]
+    fn outcome_lines_roundtrip_through_the_parser() {
+        let o = parse_outcome_line(
+            "OUTCOME party=2 vertex=v0003 degraded=true over_budget=true retx=7 vtime=16.000",
+        )
+        .unwrap();
+        assert_eq!(o.party, 2);
+        assert_eq!(o.vertex, "v0003");
+        assert!(o.degraded && o.over_budget);
+        assert_eq!(o.retx, 7);
+        assert!(parse_outcome_line("READY").is_err());
+        assert!(parse_outcome_line("OUTCOME party=1").is_err());
     }
 
     #[test]

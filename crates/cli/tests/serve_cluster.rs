@@ -1,0 +1,107 @@
+//! End-to-end multi-process deployment: the `treeaa cluster` launcher
+//! spawns real `treeaa serve` OS processes on loopback, referees their
+//! outcomes, and runs the differential trace gate against the
+//! in-process reference simulator.
+
+use std::process::Command;
+
+fn treeaa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_treeaa"))
+}
+
+fn cluster_args(seed: u64, runs: u64) -> Vec<String> {
+    [
+        "cluster",
+        "--tree",
+        "path9",
+        "--inputs",
+        "v0000,v0003,v0006,v0008",
+        "--t",
+        "1",
+        "--seed",
+        &seed.to_string(),
+        "--runs",
+        &runs.to_string(),
+        "--gate",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+/// n = 4 processes on ephemeral loopback ports: outputs agree inside
+/// the input hull and the merged networked trace reconciles with the
+/// reference event for event — across repeated deployments of the same
+/// case (the load-driver path).
+#[test]
+fn cluster_of_four_processes_passes_the_differential_gate() {
+    let out = treeaa()
+        .args(cluster_args(5, 3))
+        .output()
+        .expect("launch cluster");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "cluster failed:\n{stdout}\n{stderr}");
+    for run in 0..3 {
+        assert!(
+            stdout.contains(&format!("run {run}: gate reconciled ")),
+            "run {run} missing a gate line:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("3 run(s) passed on 4 processes"),
+        "{stdout}"
+    );
+}
+
+/// Two full deployments of the same seed — fresh processes, fresh
+/// sockets — produce bit-identical referee output: same outcomes, same
+/// reconciled-event counts.
+#[test]
+fn networked_deployments_are_bit_identical_across_reruns() {
+    let run = || {
+        let out = treeaa()
+            .args(cluster_args(11, 1))
+            .output()
+            .expect("launch cluster");
+        assert!(
+            out.status.success(),
+            "cluster failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        String::from_utf8_lossy(&first),
+        String::from_utf8_lossy(&second),
+        "reruns of the same seed diverged"
+    );
+}
+
+/// Mismatched configurations must be refused at the handshake, not
+/// silently diverge: a cluster whose children disagree on the seed can
+/// never form (checked here through the config-fingerprint error path
+/// of a lone `serve` given the wrong peer count).
+#[test]
+fn serve_rejects_a_malformed_peer_vector() {
+    let out = treeaa()
+        .args([
+            "serve",
+            "--tree",
+            "path9",
+            "--inputs",
+            "v0000,v0003,v0006,v0008",
+            "--party-id",
+            "0",
+            "--peers",
+            "127.0.0.1:1,127.0.0.1:2",
+        ])
+        .output()
+        .expect("launch serve");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expected 4 peer addresses"), "{stderr}");
+}

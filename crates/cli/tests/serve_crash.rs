@@ -1,0 +1,157 @@
+//! Crash-fault integration tests against real `treeaa serve` OS
+//! processes: victims are SIGKILLed right after their `READY` line.
+//!
+//! * 1 of 4 killed (within the budget `t = 1`): the survivors keep
+//!   retransmitting until the dead peer is declared, then terminate
+//!   non-degraded with outputs that 1-agree inside the input hull.
+//! * 2 of 4 killed (over budget): the survivors' silence deadline
+//!   fires and they terminate `Degraded` with an over-budget evidence
+//!   certificate.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+use tree_model::VertexId;
+
+const INPUT_LABELS: [&str; 4] = ["v0000", "v0003", "v0006", "v0008"];
+
+/// One parsed `OUTCOME` line.
+#[derive(Debug)]
+struct Outcome {
+    vertex: String,
+    degraded: bool,
+    over_budget: bool,
+    retx: u64,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|f| f.strip_prefix(key).and_then(|f| f.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{line}`"))
+}
+
+/// Spawns the 4-process deployment, waits until every node is READY,
+/// SIGKILLs `kills`, and returns the survivors' outcomes (indexed by
+/// party, `None` for victims).
+fn deploy_and_kill(seed: u64, kills: &[usize]) -> Vec<Option<Outcome>> {
+    let n = INPUT_LABELS.len();
+    let mut children: Vec<Child> = Vec::new();
+    let mut stdouts: Vec<BufReader<ChildStdout>> = Vec::new();
+    for i in 0..n {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_treeaa"))
+            .args([
+                "serve",
+                "--tree",
+                "path9",
+                "--inputs",
+                &INPUT_LABELS.join(","),
+                "--party-id",
+                &i.to_string(),
+                "--t",
+                "1",
+                "--seed",
+                &seed.to_string(),
+                "--bind",
+                "127.0.0.1:0",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        stdouts.push(BufReader::new(child.stdout.take().expect("piped stdout")));
+        children.push(child);
+    }
+
+    let mut line = String::new();
+    let mut ports = Vec::new();
+    for rd in &mut stdouts {
+        line.clear();
+        rd.read_line(&mut line).expect("PORT line");
+        let port = line.trim().strip_prefix("PORT ").expect("PORT line");
+        ports.push(format!("127.0.0.1:{port}"));
+    }
+    let peers = ports.join(",");
+    for child in &mut children {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        writeln!(stdin, "PEERS {peers}").expect("send peers");
+    }
+    for rd in &mut stdouts {
+        line.clear();
+        rd.read_line(&mut line).expect("READY line");
+        assert_eq!(line.trim(), "READY", "unexpected: {line}");
+    }
+    // Every link is up and the protocol is starting — crash the victims.
+    for &k in kills {
+        children[k].kill().expect("SIGKILL victim");
+    }
+
+    let mut outcomes = Vec::new();
+    for (i, rd) in stdouts.iter_mut().enumerate() {
+        if kills.contains(&i) {
+            outcomes.push(None);
+            continue;
+        }
+        let outcome = loop {
+            line.clear();
+            assert!(
+                rd.read_line(&mut line).expect("read") > 0,
+                "party {i} exited without an OUTCOME line"
+            );
+            if line.starts_with("OUTCOME ") {
+                break Outcome {
+                    vertex: field(&line, "vertex").to_string(),
+                    degraded: field(&line, "degraded").parse().unwrap(),
+                    over_budget: field(&line, "over_budget").parse().unwrap(),
+                    retx: field(&line, "retx").parse().unwrap(),
+                };
+            }
+        };
+        outcomes.push(Some(outcome));
+        let status = children[i].wait().expect("wait");
+        assert!(status.success(), "party {i} exited with {status}");
+    }
+    for &k in kills {
+        let _ = children[k].wait();
+    }
+    outcomes
+}
+
+#[test]
+fn one_crash_survivors_terminate_in_hull_via_retransmission() {
+    let outcomes = deploy_and_kill(5, &[3]);
+    let tree = tree_model::generate::path(9);
+    let inputs: Vec<VertexId> = INPUT_LABELS
+        .iter()
+        .map(|l| tree.vertex(l).expect("input label"))
+        .collect();
+    let mut outputs = Vec::new();
+    let mut total_retx = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        let Some(o) = o.as_ref() else { continue };
+        assert!(!o.degraded, "party {i}: a single crash is within budget");
+        assert!(!o.over_budget, "party {i}");
+        outputs.push(tree.vertex(&o.vertex).expect("output label"));
+        total_retx += o.retx;
+    }
+    assert_eq!(outputs.len(), 3);
+    // The crash is benign, so the victim's input still bounds the hull.
+    tree_aa::check_tree_aa(&tree, &inputs, &outputs)
+        .expect("survivors must 1-agree inside the input hull");
+    assert!(
+        total_retx > 0,
+        "survivors must have retransmitted to the dead peer"
+    );
+}
+
+#[test]
+fn two_crashes_exceed_the_budget_and_degrade_with_certificates() {
+    let outcomes = deploy_and_kill(7, &[2, 3]);
+    for (i, o) in outcomes.iter().enumerate() {
+        let Some(o) = o.as_ref() else { continue };
+        assert!(o.degraded, "party {i}: 2 silent parties > t = 1");
+        assert!(
+            o.over_budget,
+            "party {i}: the certificate must implicate more parties than the budget"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! An in-process loopback cluster: `n` real TCP nodes, one thread each.
+//!
+//! This is the harness the integration tests and the differential gate
+//! drive. It is *not* a simulator — every byte goes through the kernel's
+//! loopback TCP stack, with real reader/writer threads, real handshakes,
+//! and the full MAC/replay machinery. Port assignment is race-free: all
+//! `n` listeners are bound on ephemeral ports **before** any node
+//! starts, so the full address vector is known up front (the
+//! multi-process `treeaa cluster` launcher replays the same idea over
+//! stdin/stdout).
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+
+use aa_trace::{merge_traces, Trace};
+use sim_net::Outcome;
+use tree_model::VertexId;
+
+use crate::gate::GateCase;
+use crate::node::{run_node, NetStats, NodeConfig, NodeReport};
+
+/// What a loopback cluster run produced.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-party outcomes.
+    pub outcomes: Vec<Outcome<VertexId>>,
+    /// All nodes' traces merged into one canonical trace (see
+    /// [`aa_trace::merge_traces`]).
+    pub merged_trace: Trace,
+    /// Per-node transport counters.
+    pub stats: Vec<NetStats>,
+    /// Per-node final virtual times.
+    pub vtimes: Vec<f64>,
+}
+
+/// Builds the `NodeConfig` for party `me` of `case` — shared between
+/// the thread cluster here and the `treeaa serve` process entry point.
+#[must_use]
+pub fn node_config(case: &GateCase, me: usize, peers: Vec<SocketAddr>, secret: u64) -> NodeConfig {
+    let mut cfg = NodeConfig::new(
+        me,
+        case.n(),
+        case.t,
+        peers,
+        secret,
+        case.config_fp(),
+        case.seed,
+    );
+    cfg.min_delay = case.min_delay;
+    cfg.label = case.label.clone();
+    cfg
+}
+
+/// Runs `case` as `n` threads over real loopback sockets and merges the
+/// results.
+///
+/// # Errors
+///
+/// The first node failure (handshake, timeout, stall) or trace-merge
+/// inconsistency, as text.
+pub fn run_local_cluster(case: &GateCase, secret: u64) -> Result<ClusterReport, String> {
+    let n = case.n();
+    case.protocol_config()?;
+    let listeners = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
+    let peers = listeners
+        .iter()
+        .map(TcpListener::local_addr)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
+
+    let mut handles = Vec::with_capacity(n);
+    for (me, listener) in listeners.into_iter().enumerate() {
+        let cfg = node_config(case, me, peers.clone(), secret);
+        let party = case.party(me);
+        handles.push(thread::spawn(move || {
+            run_node(&cfg, listener, party, || {})
+        }));
+    }
+
+    let mut reports: Vec<NodeReport<Outcome<VertexId>>> = Vec::with_capacity(n);
+    let mut errors = Vec::new();
+    for (me, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(report)) => reports.push(report),
+            Ok(Err(e)) => errors.push(format!("node {me}: {e}")),
+            Err(_) => errors.push(format!("node {me}: panicked")),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+
+    let outcomes = reports
+        .iter()
+        .enumerate()
+        .map(|(me, r)| r.output.clone().ok_or(me))
+        .collect::<Result<Vec<_>, usize>>()
+        .map_err(|me| format!("node {me} terminated without an output"))?;
+    let traces: Vec<Trace> = reports.iter().map(|r| r.trace.clone()).collect();
+    let merged_trace = merge_traces(&traces)?;
+    Ok(ClusterReport {
+        outcomes,
+        merged_trace,
+        stats: reports.iter().map(|r| r.stats).collect(),
+        vtimes: reports.iter().map(|r| r.vtime).collect(),
+    })
+}

@@ -1,0 +1,365 @@
+//! Binary serialization for protocol messages.
+//!
+//! The simulators pass messages by value; real sockets need bytes. The
+//! codec is deliberately boring: little-endian fixed-width integers, one
+//! tag byte per enum, length-prefixed sequences — a format simple enough
+//! to audit against the decoder by eye. Decoding is total: any byte
+//! string either parses or returns [`CodecError`]; it never panics and
+//! never reads out of bounds, which the property tests in
+//! `tests/frame_props.rs` hammer on.
+
+use std::fmt;
+
+use async_aa::{AsyncAaMsg, RbcMsg};
+use async_net::RelMsg;
+use sim_net::PartyId;
+
+/// A decode failure. Carries just enough context to report which layer
+/// rejected the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// Bytes remained after a complete top-level value.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A length field announced more elements than the buffer could hold.
+    BadLength {
+        /// The announced element count.
+        announced: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated value"),
+            CodecError::BadTag { what, tag } => write!(f, "bad tag {tag:#04x} for {what}"),
+            CodecError::TrailingBytes { extra } => write!(f, "{extra} trailing byte(s)"),
+            CodecError::BadLength { announced } => {
+                write!(f, "length {announced} exceeds remaining input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// A type with a canonical byte encoding. Encoding is infallible;
+/// decoding is total and allocation-bounded by the input length.
+pub trait WireCodec: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the cursor.
+    ///
+    /// # Errors
+    ///
+    /// A [`CodecError`] describing the first malformed element.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a complete value, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireCodec::decode`], plus [`CodecError::TrailingBytes`] if
+    /// the value does not consume the whole input.
+    fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() > 0 {
+            return Err(CodecError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl WireCodec for RbcMsg<u32> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let (tag, v) = match self {
+            RbcMsg::Init(v) => (0u8, *v),
+            RbcMsg::Echo(v) => (1u8, *v),
+            RbcMsg::Ready(v) => (2u8, *v),
+        };
+        out.push(tag);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.u8()?;
+        let v = r.u32()?;
+        match tag {
+            0 => Ok(RbcMsg::Init(v)),
+            1 => Ok(RbcMsg::Echo(v)),
+            2 => Ok(RbcMsg::Ready(v)),
+            tag => Err(CodecError::BadTag {
+                what: "RbcMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for AsyncAaMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AsyncAaMsg::Rbc {
+                iter,
+                broadcaster,
+                inner,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&iter.to_le_bytes());
+                out.extend_from_slice(&(broadcaster.index() as u32).to_le_bytes());
+                inner.encode(out);
+            }
+            AsyncAaMsg::Report { iter, entries } => {
+                out.push(1);
+                out.extend_from_slice(&iter.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (p, v) in entries {
+                    out.extend_from_slice(&p.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => {
+                let iter = r.u32()?;
+                let broadcaster = PartyId(r.u32()? as usize);
+                let inner = RbcMsg::decode(r)?;
+                Ok(AsyncAaMsg::Rbc {
+                    iter,
+                    broadcaster,
+                    inner,
+                })
+            }
+            1 => {
+                let iter = r.u32()?;
+                let count = r.u32()? as usize;
+                // 8 bytes per entry: reject impossible counts before
+                // allocating.
+                if count > r.remaining() / 8 {
+                    return Err(CodecError::BadLength { announced: count });
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push((r.u32()?, r.u32()?));
+                }
+                Ok(AsyncAaMsg::Report { iter, entries })
+            }
+            tag => Err(CodecError::BadTag {
+                what: "AsyncAaMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<M: WireCodec> WireCodec for RelMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RelMsg::Data { seq, inner } => {
+                out.push(0);
+                out.extend_from_slice(&seq.to_le_bytes());
+                inner.encode(out);
+            }
+            RelMsg::Ack { seq } => {
+                out.push(1);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => {
+                let seq = r.u64()?;
+                let inner = M::decode(r)?;
+                Ok(RelMsg::Data { seq, inner })
+            }
+            1 => Ok(RelMsg::Ack { seq: r.u64()? }),
+            tag => Err(CodecError::BadTag {
+                what: "RelMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: WireCodec + PartialEq + std::fmt::Debug>(msg: M) {
+        let bytes = msg.to_bytes();
+        assert_eq!(M::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip() {
+        roundtrip(0xdead_beef_u64 << 32);
+        roundtrip(RbcMsg::Init(7u32));
+        roundtrip(RbcMsg::Echo(0));
+        roundtrip(RbcMsg::Ready(u32::MAX));
+        roundtrip(AsyncAaMsg::Rbc {
+            iter: 3,
+            broadcaster: PartyId(2),
+            inner: RbcMsg::Ready(5),
+        });
+        roundtrip(AsyncAaMsg::Report {
+            iter: 0,
+            entries: vec![],
+        });
+        roundtrip(AsyncAaMsg::Report {
+            iter: 9,
+            entries: vec![(0, 4), (3, 1), (u32::MAX, 0)],
+        });
+        roundtrip(RelMsg::Data {
+            seq: 42,
+            inner: AsyncAaMsg::Rbc {
+                iter: 1,
+                broadcaster: PartyId(0),
+                inner: RbcMsg::Init(2),
+            },
+        });
+        roundtrip(RelMsg::<AsyncAaMsg>::Ack { seq: u64::MAX });
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = RbcMsg::Init(1u32).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            RbcMsg::<u32>::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tags_and_truncation_are_rejected() {
+        assert_eq!(
+            RbcMsg::<u32>::from_bytes(&[9, 0, 0, 0, 0]),
+            Err(CodecError::BadTag {
+                what: "RbcMsg",
+                tag: 9
+            })
+        );
+        assert_eq!(
+            RbcMsg::<u32>::from_bytes(&[0, 1, 2]),
+            Err(CodecError::Truncated)
+        );
+        assert_eq!(AsyncAaMsg::from_bytes(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn absurd_report_length_is_rejected_before_allocation() {
+        // tag 1, iter, count = u32::MAX, no entries.
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            AsyncAaMsg::from_bytes(&bytes),
+            Err(CodecError::BadLength {
+                announced: u32::MAX as usize
+            })
+        );
+    }
+}

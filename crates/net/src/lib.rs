@@ -1,0 +1,41 @@
+//! Real-socket transport for the asynchronous tree-AA stack.
+//!
+//! The simulators in this workspace execute every party in one process
+//! under a scheduler they control. This crate runs the *same* protocol
+//! objects — `Reliable<AsyncTreeAaParty>` behind the unchanged
+//! [`async_net::AsyncProtocol`] traits — across real TCP connections,
+//! one OS process (or thread) per party, and still reproduces the
+//! in-process schedule bit for bit. The layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed framing with an incremental,
+//!   desync-proof decoder;
+//! * [`mac`] — SipHash-2-4 under pairwise keys from a cluster secret;
+//! * [`codec`] — total binary codecs for the protocol messages;
+//! * [`wire`] — the authenticated [`wire::WrapperMsg`] envelope
+//!   (handshake, data, virtual-time promises, completion);
+//! * [`node`] — the per-party TCP node: connect/accept with peer
+//!   handshakes, per-peer send queues, capped-backoff reconnects, and a
+//!   conservative virtual-time main loop;
+//! * [`cluster`] — an in-process loopback cluster (n nodes, n threads,
+//!   real sockets) used by the tests and the differential gate;
+//! * [`gate`] — the differential trace gate: a networked run's merged
+//!   trace must reconcile event-for-event with the in-process
+//!   [`async_net::VirtualScheduler`] reference run of the same seed.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod frame;
+pub mod gate;
+pub mod mac;
+pub mod node;
+pub mod wire;
+
+pub use cluster::{node_config, run_local_cluster, ClusterReport};
+pub use codec::{CodecError, Reader, WireCodec};
+pub use frame::{frame, FrameBuffer, FrameError, MAX_FRAME, PREFIX_LEN};
+pub use gate::{differential_gate, GateCase, ReferenceRun};
+pub use mac::{pair_key, siphash24, MacKey};
+pub use node::{run_node, NetError, NetStats, NodeConfig, NodeReport, ReconnectPolicy};
+pub use wire::{FrameKind, HelloBody, WrapperMsg, WIRE_VERSION};

@@ -1,0 +1,1194 @@
+//! A real TCP node driving an [`AsyncProtocol`] deterministically.
+//!
+//! Each node owns one OS process (or thread, in the loopback cluster),
+//! talks to its peers over plain `TcpStream`s carrying MAC-authenticated
+//! [`WrapperMsg`] envelopes, and replays — bit for bit — the schedule the
+//! in-process [`async_net::VirtualScheduler`] would produce for the same
+//! `(n, seed, min_delay)`. The trick is conservative virtual-time
+//! synchronization (Chandy–Misra–Bryant null messages):
+//!
+//! * Every Data frame carries its virtual send time and its
+//!   content-keyed virtual delivery time `vdeliver = vsend +`
+//!   [`async_net::link_delay`], computed from the per-link Data ordinal
+//!   `lseq` that travels in the envelope.
+//! * For each peer the node maintains a **watermark** `L_j`: a proven
+//!   lower bound such that every Data frame still to arrive from `j` has
+//!   `vdeliver > L_j`. A Data or Done frame with send time `s` raises it
+//!   to `s + min_delay` (the sender's clock is monotone and every delay
+//!   strictly exceeds `min_delay`); a Null frame raises it to the
+//!   explicit promise it carries.
+//! * Pending events (arrived Data, local timers, self-deliveries) are
+//!   processed in the global [`VKey`] order, but only while their time is
+//!   at most `bound = min_j L_j` — so no event can ever arrive "in the
+//!   past", and the node's activation order equals the reference
+//!   schedule restricted to this party.
+//! * After draining, the node promises `bound + min_delay` to its peers:
+//!   any later activation happens strictly after `bound`, so any later
+//!   Data has `vdeliver > bound + min_delay`. Mutual promises advance
+//!   idle nodes by `min_delay` per exchange, which is what lets silence
+//!   timers fire even when crashed peers send nothing.
+//!
+//! Termination: a node that produced its output broadcasts a Done frame
+//! and keeps cooperating (acks, echo relays) until every peer is done or
+//! dead, then tears the links down. Connection loss triggers capped-
+//! backoff reconnects by the dialing side (`i` dials every `j < i`);
+//! a peer unreachable past the policy's deadline is declared dead and
+//! excluded from the bound, leaving protocol-level degradation to the
+//! silence-evidence machinery above the transport.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use aa_trace::Trace;
+use async_net::{link_delay, AsyncCtx, AsyncProtocol, AsyncRecorder, VKey};
+use sim_net::{Envelope, PartyId};
+
+use crate::codec::WireCodec;
+use crate::frame::{frame, FrameBuffer, MAX_FRAME, PREFIX_LEN};
+use crate::mac::{pair_key, MacKey};
+use crate::wire::{FrameKind, HelloBody, WrapperMsg, WIRE_VERSION};
+
+/// Reconnection behaviour after a link drops.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconnectPolicy {
+    /// Dial attempts before giving up on a peer.
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_delay_ms: u64,
+    /// Cap on the per-attempt delay.
+    pub max_delay_ms: u64,
+    /// A peer disconnected for this long is declared dead even on the
+    /// accepting side (which cannot dial).
+    pub dead_after_ms: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: 4,
+            base_delay_ms: 25,
+            max_delay_ms: 400,
+            dead_after_ms: 1500,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    fn backoff(&self, attempt: u32) -> Duration {
+        let ms = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Everything a node needs to join a cluster.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's party index.
+    pub me: usize,
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption bound (recorded in the trace header).
+    pub t: usize,
+    /// Peer addresses, indexed by party; `peers[me]` is ignored.
+    pub peers: Vec<SocketAddr>,
+    /// Shared cluster secret the pairwise MAC keys derive from.
+    pub secret: u64,
+    /// Fingerprint of the run configuration, checked in the handshake.
+    pub config_fp: u64,
+    /// Seed of the deterministic delay schedule.
+    pub seed: u64,
+    /// Per-link lookahead; must match the reference run's delay floor.
+    pub min_delay: f64,
+    /// Trace label.
+    pub label: String,
+    /// Reconnect policy.
+    pub reconnect: ReconnectPolicy,
+    /// How long to wait for all links to come up initially.
+    pub handshake_timeout: Duration,
+    /// Hard wall-clock cap on the whole run.
+    pub wall_timeout: Duration,
+    /// Hard cap on processed virtual events (runaway guard).
+    pub max_events: u64,
+}
+
+impl NodeConfig {
+    /// A configuration with the transport defaults (`min_delay` 0.5,
+    /// 10 s handshake, 60 s wall cap, 2 M events).
+    #[must_use]
+    pub fn new(
+        me: usize,
+        n: usize,
+        t: usize,
+        peers: Vec<SocketAddr>,
+        secret: u64,
+        config_fp: u64,
+        seed: u64,
+    ) -> Self {
+        NodeConfig {
+            me,
+            n,
+            t,
+            peers,
+            secret,
+            config_fp,
+            seed,
+            min_delay: 0.5,
+            label: "net".into(),
+            reconnect: ReconnectPolicy::default(),
+            handshake_timeout: Duration::from_secs(10),
+            wall_timeout: Duration::from_secs(60),
+            max_events: 2_000_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.me >= self.n {
+            return Err(NetError::Config(format!(
+                "me = {} out of range for n = {}",
+                self.me, self.n
+            )));
+        }
+        if self.peers.len() != self.n {
+            return Err(NetError::Config(format!(
+                "expected {} peer addresses, got {}",
+                self.n,
+                self.peers.len()
+            )));
+        }
+        if !(0.0..1.0).contains(&self.min_delay) {
+            return Err(NetError::Config(format!(
+                "min_delay {} outside [0, 1)",
+                self.min_delay
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A transport-level failure of a node run.
+#[derive(Clone, Debug)]
+pub enum NetError {
+    /// The configuration is internally inconsistent.
+    Config(String),
+    /// A socket operation failed irrecoverably.
+    Io(String),
+    /// The cluster's links did not all come up (or a peer presented a
+    /// mismatching configuration fingerprint / wire version).
+    Handshake(String),
+    /// The wall-clock cap elapsed before termination.
+    WallTimeout {
+        /// Elapsed time when the run was abandoned.
+        elapsed_ms: u64,
+    },
+    /// The event cap was hit — the run stopped making real progress.
+    Stalled {
+        /// Events processed when the run was abandoned.
+        events: u64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Config(m) => write!(f, "config error: {m}"),
+            NetError::Io(m) => write!(f, "io error: {m}"),
+            NetError::Handshake(m) => write!(f, "handshake failed: {m}"),
+            NetError::WallTimeout { elapsed_ms } => {
+                write!(f, "wall-clock timeout after {elapsed_ms} ms")
+            }
+            NetError::Stalled { events } => write!(f, "stalled after {events} events"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// Transport counters, reported per node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Data/Done/Hello frames sent.
+    pub frames_sent: u64,
+    /// Authenticated frames received (all kinds).
+    pub frames_received: u64,
+    /// Null (virtual-time promise) frames sent.
+    pub nulls_sent: u64,
+    /// Payload bytes enqueued to writers.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Frames rejected for a bad MAC.
+    pub rejected_mac: u64,
+    /// Frames rejected as replays (stale `wire_seq`).
+    pub rejected_replay: u64,
+    /// Frames rejected as structurally malformed.
+    pub rejected_malformed: u64,
+    /// Successful reconnects.
+    pub reconnects: u64,
+    /// Protocol-level retransmissions (from the `Reliable` layer).
+    pub retransmissions: u64,
+    /// Peers declared dead.
+    pub dead_peers: u64,
+    /// Data frames dropped because the link was down when sending.
+    pub send_drops: u64,
+}
+
+/// What a completed (or degraded-but-terminated) node run produced.
+#[derive(Clone, Debug)]
+pub struct NodeReport<O> {
+    /// The protocol's output, if it decided.
+    pub output: Option<O>,
+    /// This node's recorded trace (its own proto events + transport
+    /// drops), ready for [`aa_trace::merge_traces`].
+    pub trace: Trace,
+    /// Transport counters.
+    pub stats: NetStats,
+    /// Final virtual time.
+    pub vtime: f64,
+}
+
+/// Per-peer shared state, written by reader/acceptor/reconnect threads
+/// and drained by the main loop.
+#[derive(Debug)]
+struct PeerSt {
+    inbox: VecDeque<WrapperMsg>,
+    /// Lower bound on future Data `vdeliver` from this peer.
+    watermark: f64,
+    /// Highest authenticated incoming `wire_seq` (replay filter).
+    last_auth: Option<u64>,
+    /// Next outgoing `wire_seq` on this link.
+    out_wire_seq: u64,
+    /// Highest promise already sent to this peer.
+    last_promised: f64,
+    done: bool,
+    dead: bool,
+    connected: bool,
+    reconnecting: bool,
+    down_since: Option<Instant>,
+    /// Rejections not yet recorded in the trace (count since last drain).
+    pending_drops: u64,
+    tx: Option<mpsc::Sender<Vec<u8>>>,
+}
+
+impl PeerSt {
+    fn new() -> Self {
+        PeerSt {
+            inbox: VecDeque::new(),
+            watermark: 0.0,
+            last_auth: None,
+            out_wire_seq: 0,
+            last_promised: 0.0,
+            done: false,
+            dead: false,
+            connected: false,
+            reconnecting: false,
+            down_since: None,
+            pending_drops: 0,
+            tx: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    peers: Vec<PeerSt>,
+    stats: NetStats,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Stream clones registered for unblocking shutdown.
+    streams: Mutex<Vec<TcpStream>>,
+    /// Writer threads: joined *before* the sockets are torn down so
+    /// queued frames (the final Done) still reach the wire.
+    writer_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Reader and reconnect threads: unblocked by the socket shutdown
+    /// and the shutdown flag, joined last.
+    aux_handles: Mutex<Vec<JoinHandle<()>>>,
+    me: usize,
+    n: usize,
+    secret: u64,
+    min_delay: f64,
+}
+
+impl Shared {
+    fn key(&self, peer: usize) -> MacKey {
+        pair_key(self.secret, self.me, peer)
+    }
+}
+
+/// A locally pending virtual event.
+enum LocalEv<M> {
+    Deliver(Envelope<M>),
+    Timer(u64),
+}
+
+struct Pend<M> {
+    key: VKey,
+    what: LocalEv<M>,
+}
+
+impl<M> PartialEq for Pend<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Pend<M> {}
+impl<M> PartialOrd for Pend<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pend<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Reads exactly one frame from `stream` (which must have a read
+/// timeout set), failing on EOF, timeout, or framing errors.
+///
+/// This must consume EXACTLY the frame's bytes, never more: the peer's
+/// first protocol frames can already sit behind the Hello in the socket
+/// buffer (the peer registers the link the moment its Hello response is
+/// written, and may start the protocol before we finish reading it). A
+/// buffered read here would swallow those frames and silently lose
+/// them — forcing retransmissions that shift the whole delay schedule.
+fn read_one_frame(stream: &mut TcpStream) -> Result<Vec<u8>, NetError> {
+    let mut prefix = [0u8; PREFIX_LEN];
+    stream.read_exact(&mut prefix).map_err(map_handshake_eof)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Handshake(format!(
+            "oversized handshake frame ({len} bytes)"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(map_handshake_eof)?;
+    Ok(payload)
+}
+
+fn map_handshake_eof(e: io::Error) -> NetError {
+    if e.kind() == ErrorKind::UnexpectedEof {
+        NetError::Handshake("connection closed mid-handshake".into())
+    } else {
+        NetError::from(e)
+    }
+}
+
+fn make_hello(shared: &Shared, cfg_fp: u64, peer: usize) -> WrapperMsg {
+    let wire_seq = {
+        let mut inner = shared.inner.lock().expect("net lock");
+        let p = &mut inner.peers[peer];
+        let s = p.out_wire_seq;
+        p.out_wire_seq += 1;
+        s
+    };
+    WrapperMsg {
+        kind: FrameKind::Hello,
+        from: shared.me as u32,
+        to: peer as u32,
+        wire_seq,
+        lseq: 0,
+        vsend: 0.0,
+        vdeliver: 0.0,
+        body: HelloBody {
+            config_fp: cfg_fp,
+            version: WIRE_VERSION,
+        }
+        .to_bytes(),
+        mac: 0,
+    }
+    .signed(shared.key(peer))
+}
+
+/// Authenticates an incoming Hello against `expected_from` (or any peer
+/// if `None`), returning the sender. Updates the replay filter.
+fn check_hello(
+    shared: &Shared,
+    cfg_fp: u64,
+    msg: &WrapperMsg,
+    expected_from: Option<usize>,
+) -> Result<usize, NetError> {
+    if msg.kind != FrameKind::Hello {
+        return Err(NetError::Handshake("first frame is not a Hello".into()));
+    }
+    let from = msg.from as usize;
+    if from >= shared.n || from == shared.me || msg.to != shared.me as u32 {
+        return Err(NetError::Handshake(format!(
+            "hello addressed {} -> {}",
+            msg.from, msg.to
+        )));
+    }
+    if let Some(exp) = expected_from {
+        if from != exp {
+            return Err(NetError::Handshake(format!(
+                "expected hello from {exp}, got {from}"
+            )));
+        }
+    }
+    if !msg.verify(shared.key(from)) {
+        return Err(NetError::Handshake(format!(
+            "hello from {from} failed authentication"
+        )));
+    }
+    let hello = HelloBody::from_bytes(&msg.body).map_err(|e| NetError::Handshake(e.to_string()))?;
+    if hello.version != WIRE_VERSION {
+        return Err(NetError::Handshake(format!(
+            "peer {from} speaks wire version {}, expected {WIRE_VERSION}",
+            hello.version
+        )));
+    }
+    if hello.config_fp != cfg_fp {
+        return Err(NetError::Handshake(format!(
+            "peer {from} runs configuration {:#018x}, expected {cfg_fp:#018x}",
+            hello.config_fp
+        )));
+    }
+    {
+        let mut inner = shared.inner.lock().expect("net lock");
+        let p = &mut inner.peers[from];
+        if p.last_auth.is_some_and(|s| msg.wire_seq <= s) {
+            return Err(NetError::Handshake(format!("replayed hello from {from}")));
+        }
+        p.last_auth = Some(msg.wire_seq);
+    }
+    Ok(from)
+}
+
+/// Wires a freshly handshaken stream into the node: registers clones
+/// for shutdown, spawns the writer and reader threads, marks the peer
+/// connected.
+fn register_connection(
+    shared: &Arc<Shared>,
+    peer: usize,
+    stream: TcpStream,
+) -> Result<(), NetError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(NetError::Handshake("node shutting down".into()));
+    }
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(None)?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let reader_stream = stream.try_clone()?;
+    let writer_stream = stream.try_clone()?;
+    shared.streams.lock().expect("net lock").push(stream);
+
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    {
+        let mut inner = shared.inner.lock().expect("net lock");
+        let p = &mut inner.peers[peer];
+        p.tx = Some(tx);
+        p.connected = true;
+        p.down_since = None;
+    }
+
+    let sh = Arc::clone(shared);
+    let writer = thread::spawn(move || writer_loop(&sh, peer, writer_stream, &rx));
+    let sh = Arc::clone(shared);
+    let reader = thread::spawn(move || reader_loop(&sh, peer, reader_stream));
+    shared.writer_handles.lock().expect("net lock").push(writer);
+    shared.aux_handles.lock().expect("net lock").push(reader);
+    shared.cv.notify_all();
+    Ok(())
+}
+
+fn mark_disconnected(shared: &Shared, peer: usize) {
+    let mut inner = shared.inner.lock().expect("net lock");
+    let p = &mut inner.peers[peer];
+    if p.connected {
+        p.connected = false;
+        p.tx = None;
+        p.down_since = Some(Instant::now());
+    }
+    drop(inner);
+    shared.cv.notify_all();
+}
+
+fn writer_loop(shared: &Shared, peer: usize, mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>) {
+    while let Ok(bytes) = rx.recv() {
+        if stream.write_all(&bytes).is_err() {
+            mark_disconnected(shared, peer);
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn reader_loop(shared: &Shared, peer: usize, mut stream: TcpStream) {
+    let key = shared.key(peer);
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 65536];
+    'conn: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let k = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => k,
+        };
+        fb.push(&buf[..k]);
+        loop {
+            match fb.next_frame() {
+                Ok(Some(payload)) => handle_frame(shared, peer, key, &payload),
+                Ok(None) => break,
+                // Oversized prefix: the stream is garbage; cut the link
+                // (the reconnect machinery takes over).
+                Err(_) => {
+                    reject(shared, peer, |s| &mut s.rejected_malformed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break 'conn;
+                }
+            }
+        }
+    }
+    mark_disconnected(shared, peer);
+}
+
+/// Counts a rejected frame: bumps the chosen counter and queues a
+/// `fault_drop` trace record for the main loop.
+fn reject(shared: &Shared, peer: usize, counter: impl FnOnce(&mut NetStats) -> &mut u64) {
+    let mut inner = shared.inner.lock().expect("net lock");
+    *counter(&mut inner.stats) += 1;
+    inner.peers[peer].pending_drops += 1;
+    drop(inner);
+    shared.cv.notify_all();
+}
+
+/// Authenticates and sorts one incoming frame. Rejected frames are
+/// counted and traced, never delivered.
+fn handle_frame(shared: &Shared, peer: usize, key: MacKey, payload: &[u8]) {
+    let Ok(msg) = WrapperMsg::decode(payload) else {
+        reject(shared, peer, |s| &mut s.rejected_malformed);
+        return;
+    };
+    if msg.from != peer as u32 || msg.to != shared.me as u32 || msg.kind == FrameKind::Hello {
+        reject(shared, peer, |s| &mut s.rejected_malformed);
+        return;
+    }
+    if !msg.verify(key) {
+        reject(shared, peer, |s| &mut s.rejected_mac);
+        return;
+    }
+    let mut inner = shared.inner.lock().expect("net lock");
+    let stale = inner.peers[peer]
+        .last_auth
+        .is_some_and(|s| msg.wire_seq <= s);
+    if stale {
+        inner.stats.rejected_replay += 1;
+        inner.peers[peer].pending_drops += 1;
+        drop(inner);
+        shared.cv.notify_all();
+        return;
+    }
+    inner.peers[peer].last_auth = Some(msg.wire_seq);
+    inner.stats.frames_received += 1;
+    inner.stats.bytes_received += payload.len() as u64 + 4;
+    let min_delay = shared.min_delay;
+    let p = &mut inner.peers[peer];
+    match msg.kind {
+        FrameKind::Data => {
+            // Future Data is sent at a clock ≥ vsend with delay > min.
+            p.watermark = p.watermark.max(msg.vsend + min_delay);
+            p.inbox.push_back(msg);
+        }
+        FrameKind::Null => {
+            // The promise IS the bound; no extra lookahead on top.
+            p.watermark = p.watermark.max(msg.vsend);
+        }
+        FrameKind::Done => {
+            p.done = true;
+            p.watermark = p.watermark.max(msg.vsend + min_delay);
+        }
+        FrameKind::Hello => unreachable!("filtered above"),
+    }
+    drop(inner);
+    shared.cv.notify_all();
+}
+
+/// Dials `peer`, performs the mutual Hello exchange, and registers the
+/// connection.
+///
+/// `patience` is how long to wait for the peer's Hello response. The
+/// initial bring-up passes the whole handshake budget: once our Hello
+/// is written the peer may register this connection at any moment, so
+/// abandoning it early and redialing would let the peer send the first
+/// protocol frames into a dead socket — losing them, forcing a
+/// retransmission, and (fatally for the differential gate) shifting
+/// the delay schedule. Reconnects mid-run use a short patience instead;
+/// a lost frame there is already the fault path `Reliable` covers.
+fn dial_handshake(
+    shared: &Arc<Shared>,
+    cfg: &NodeConfig,
+    peer: usize,
+    patience: Duration,
+) -> Result<(), NetError> {
+    let mut stream = TcpStream::connect_timeout(&cfg.peers[peer], Duration::from_millis(500))?;
+    stream.set_nodelay(true).ok();
+    let hello = make_hello(shared, cfg.config_fp, peer);
+    stream.write_all(&frame(&hello.encode()))?;
+    stream.set_read_timeout(Some(patience))?;
+    let payload = read_one_frame(&mut stream)?;
+    let msg = WrapperMsg::decode(&payload).map_err(|e| NetError::Handshake(e.to_string()))?;
+    check_hello(shared, cfg.config_fp, &msg, Some(peer))?;
+    register_connection(shared, peer, stream)
+}
+
+/// One accepted connection: identify the dialer by its Hello, answer
+/// with ours, register.
+fn accept_handshake(
+    shared: &Arc<Shared>,
+    cfg: &NodeConfig,
+    mut stream: TcpStream,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let payload = read_one_frame(&mut stream)?;
+    let msg = WrapperMsg::decode(&payload).map_err(|e| NetError::Handshake(e.to_string()))?;
+    let peer = check_hello(shared, cfg.config_fp, &msg, None)?;
+    if peer < shared.me {
+        // Canonical direction: the higher index dials the lower.
+        return Err(NetError::Handshake(format!(
+            "peer {peer} must accept our dial, not dial us"
+        )));
+    }
+    let hello = make_hello(shared, cfg.config_fp, peer);
+    stream.write_all(&frame(&hello.encode()))?;
+    register_connection(shared, peer, stream)
+}
+
+/// Background reconnect attempts for a dialed peer; declares it dead
+/// when the policy is exhausted.
+fn reconnect_loop(shared: &Arc<Shared>, cfg: &NodeConfig, peer: usize) {
+    for attempt in 0..cfg.reconnect.attempts {
+        thread::sleep(cfg.reconnect.backoff(attempt));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if dial_handshake(shared, cfg, peer, Duration::from_secs(2)).is_ok() {
+            let mut inner = shared.inner.lock().expect("net lock");
+            inner.stats.reconnects += 1;
+            inner.peers[peer].reconnecting = false;
+            drop(inner);
+            shared.cv.notify_all();
+            return;
+        }
+    }
+    let mut inner = shared.inner.lock().expect("net lock");
+    let p = &mut inner.peers[peer];
+    p.reconnecting = false;
+    if !p.dead && !p.connected {
+        p.dead = true;
+        inner.stats.dead_peers += 1;
+    }
+    drop(inner);
+    shared.cv.notify_all();
+}
+
+/// Runs the protocol over real sockets until global termination.
+///
+/// `listener` must already be bound (bind first, share the address,
+/// then start the cluster — this is what makes port assignment
+/// race-free). `on_ready` fires once every link is up, right before
+/// virtual time starts.
+///
+/// # Errors
+///
+/// [`NetError`] on configuration, handshake, wall-clock, or event-cap
+/// failures. Peer crashes are *not* errors: the node keeps going and
+/// lets the protocol degrade.
+///
+/// # Panics
+///
+/// Panics if an internal lock is poisoned (a helper thread panicked).
+pub fn run_node<P, R>(
+    cfg: &NodeConfig,
+    listener: TcpListener,
+    proto: P,
+    on_ready: R,
+) -> Result<NodeReport<P::Output>, NetError>
+where
+    P: AsyncProtocol,
+    P::Msg: WireCodec,
+    R: FnOnce(),
+{
+    cfg.validate()?;
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            peers: (0..cfg.n).map(|_| PeerSt::new()).collect(),
+            stats: NetStats::default(),
+        }),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        streams: Mutex::new(Vec::new()),
+        writer_handles: Mutex::new(Vec::new()),
+        aux_handles: Mutex::new(Vec::new()),
+        me: cfg.me,
+        n: cfg.n,
+        secret: cfg.secret,
+        min_delay: cfg.min_delay,
+    });
+
+    // Lifetime acceptor: serves both the initial handshakes from higher
+    // peers and any re-dials after a drop.
+    listener.set_nonblocking(true)?;
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        thread::spawn(move || loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Handshake concurrently: a serial acceptor would
+                    // block peer k's Hello behind peer j's, long enough
+                    // for k to give up a connection we then register —
+                    // and the first frames written into it are lost.
+                    stream.set_nonblocking(false).ok();
+                    let sh = Arc::clone(&shared);
+                    let hcfg = cfg.clone();
+                    let h = thread::spawn(move || {
+                        let _ = accept_handshake(&sh, &hcfg, stream);
+                    });
+                    shared.aux_handles.lock().expect("net lock").push(h);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(3))
+                }
+                Err(_) => thread::sleep(Duration::from_millis(3)),
+            }
+        })
+    };
+
+    let result = drive_node(cfg, &shared, proto, on_ready);
+
+    // Teardown: close writer channels and join the writers first so
+    // queued frames (the final Done) are flushed, then tear down the
+    // sockets to unblock readers, then join everything else.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    {
+        let mut inner = shared.inner.lock().expect("net lock");
+        for p in &mut inner.peers {
+            p.tx = None;
+        }
+    }
+    shared.cv.notify_all();
+    let writers = std::mem::take(&mut *shared.writer_handles.lock().expect("net lock"));
+    for h in writers {
+        let _ = h.join();
+    }
+    for s in shared.streams.lock().expect("net lock").iter() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    let aux = std::mem::take(&mut *shared.aux_handles.lock().expect("net lock"));
+    for h in aux {
+        let _ = h.join();
+    }
+    let _ = acceptor.join();
+    result
+}
+
+/// The virtual-time main loop (see the module docs for the invariants).
+#[allow(clippy::too_many_lines)]
+fn drive_node<P, R>(
+    cfg: &NodeConfig,
+    shared: &Arc<Shared>,
+    mut proto: P,
+    on_ready: R,
+) -> Result<NodeReport<P::Output>, NetError>
+where
+    P: AsyncProtocol,
+    P::Msg: WireCodec,
+    R: FnOnce(),
+{
+    let me = cfg.me;
+    let n = cfg.n;
+    let start = Instant::now();
+
+    // Initial link bring-up: dial lower peers (retrying while the
+    // cluster boots), wait for higher peers to dial us.
+    for peer in 0..me {
+        loop {
+            match dial_handshake(shared, cfg, peer, cfg.handshake_timeout) {
+                Ok(()) => break,
+                Err(_) if start.elapsed() < cfg.handshake_timeout => {
+                    thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    {
+        let mut inner = shared.inner.lock().expect("net lock");
+        loop {
+            let up = (0..n)
+                .filter(|&j| j != me)
+                .filter(|&j| inner.peers[j].connected)
+                .count();
+            if up == n - 1 {
+                break;
+            }
+            if start.elapsed() >= cfg.handshake_timeout {
+                return Err(NetError::Handshake(format!("only {up}/{} links up", n - 1)));
+            }
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(inner, Duration::from_millis(20))
+                .expect("net lock");
+            inner = guard;
+        }
+    }
+    on_ready();
+
+    let mut pending: BinaryHeap<Reverse<Pend<P::Msg>>> = BinaryHeap::new();
+    let mut recorder = AsyncRecorder::new(n, cfg.t, &cfg.label);
+    let mut vnow = 0.0f64;
+    let mut timer_seq = 0u64;
+    // Per-destination Data ordinals for my outgoing links (incl. self).
+    let mut out_lseq = vec![0u64; n];
+    let mut done_sent = false;
+    let mut events_processed = 0u64;
+    let mut retransmissions = 0u64;
+    // Schedule debugging: dump every processed event key to stderr.
+    let debug_events = std::env::var_os("TREEAA_NET_DEBUG").is_some();
+
+    // A reusable closure would borrow too much; plain fn with the lot.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_parts<M: WireCodec + sim_net::Payload>(
+        ctx: AsyncCtx<M>,
+        vnow: f64,
+        cfg: &NodeConfig,
+        shared: &Shared,
+        pending: &mut BinaryHeap<Reverse<Pend<M>>>,
+        recorder: &mut AsyncRecorder,
+        out_lseq: &mut [u64],
+        timer_seq: &mut u64,
+        retransmissions: &mut u64,
+    ) {
+        let me = cfg.me;
+        let parts = ctx.into_parts();
+        for event in parts.events {
+            recorder.record_proto(vnow, me, event);
+        }
+        if parts.retransmits > 0 && std::env::var_os("TREEAA_NET_DEBUG").is_some() {
+            eprintln!("RETX node={me} t={vnow:.17} count={}", parts.retransmits);
+        }
+        *retransmissions += parts.retransmits as u64;
+        for (delay, token) in parts.timers {
+            let ts = *timer_seq;
+            *timer_seq += 1;
+            pending.push(Reverse(Pend {
+                key: VKey {
+                    time: vnow + delay,
+                    class: 1,
+                    a: me as u64,
+                    b: ts,
+                    c: token,
+                },
+                what: LocalEv::Timer(token),
+            }));
+        }
+        for env in parts.outbox {
+            let to = env.to.index();
+            let lseq = out_lseq[to];
+            out_lseq[to] += 1;
+            let delay = link_delay(cfg.seed, me, to, lseq, cfg.min_delay);
+            let vdeliver = vnow + delay;
+            if to == me {
+                pending.push(Reverse(Pend {
+                    key: VKey {
+                        time: vdeliver,
+                        class: 0,
+                        a: me as u64,
+                        b: me as u64,
+                        c: lseq,
+                    },
+                    what: LocalEv::Deliver(env),
+                }));
+                continue;
+            }
+            let body = env.payload.to_bytes();
+            let mut inner = shared.inner.lock().expect("net lock");
+            let p = &mut inner.peers[to];
+            let wire_seq = p.out_wire_seq;
+            p.out_wire_seq += 1;
+            let tx = p.tx.clone();
+            match tx {
+                Some(tx) => {
+                    let msg = WrapperMsg {
+                        kind: FrameKind::Data,
+                        from: me as u32,
+                        to: to as u32,
+                        wire_seq,
+                        lseq,
+                        vsend: vnow,
+                        vdeliver,
+                        body,
+                        mac: 0,
+                    }
+                    .signed(pair_key(cfg.secret, me, to));
+                    let bytes = frame(&msg.encode());
+                    inner.stats.frames_sent += 1;
+                    inner.stats.bytes_sent += bytes.len() as u64;
+                    drop(inner);
+                    // A send error is surfaced by the writer thread.
+                    let _ = tx.send(bytes);
+                }
+                None => {
+                    // Link down: the frame is lost; Reliable retransmits.
+                    inner.stats.send_drops += 1;
+                }
+            }
+        }
+    }
+
+    // Control-frame sender (Null / Done).
+    let send_ctl = |kind: FrameKind, to: usize, vsend: f64, inner: &mut Inner| {
+        let p = &mut inner.peers[to];
+        let wire_seq = p.out_wire_seq;
+        p.out_wire_seq += 1;
+        if let Some(tx) = p.tx.clone() {
+            let msg = WrapperMsg {
+                kind,
+                from: me as u32,
+                to: to as u32,
+                wire_seq,
+                lseq: 0,
+                vsend,
+                vdeliver: vsend,
+                body: Vec::new(),
+                mac: 0,
+            }
+            .signed(pair_key(cfg.secret, me, to));
+            let bytes = frame(&msg.encode());
+            if kind == FrameKind::Null {
+                inner.stats.nulls_sent += 1;
+            } else {
+                inner.stats.frames_sent += 1;
+            }
+            inner.stats.bytes_sent += bytes.len() as u64;
+            let _ = tx.send(bytes);
+        }
+    };
+
+    // Virtual time starts: the protocol's one-shot start activation.
+    let mut ctx = AsyncCtx::external(PartyId(me), n, 0.0, true);
+    proto.on_start(&mut ctx);
+    apply_parts(
+        ctx,
+        0.0,
+        cfg,
+        shared,
+        &mut pending,
+        &mut recorder,
+        &mut out_lseq,
+        &mut timer_seq,
+        &mut retransmissions,
+    );
+
+    loop {
+        if start.elapsed() > cfg.wall_timeout {
+            return Err(NetError::WallTimeout {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            });
+        }
+
+        // Drain shared state and snapshot the bound in ONE critical
+        // section. The two must be atomic: a frame arriving between a
+        // drain and a later bound computation would already have raised
+        // its peer's watermark while still sitting undrained in the
+        // inbox, letting the bound overtake its delivery time — and an
+        // unrelated pending event could then be processed out of order.
+        // With the atomic snapshot, every frame received after it has
+        // `vdeliver` strictly above the snapshot watermark (FIFO links,
+        // monotone sender clocks, delays > min_delay), hence above the
+        // bound used for this processing pass.
+        let mut frames = Vec::new();
+        let mut drops = Vec::new();
+        let (bound, all_peers_finished) = {
+            let mut inner = shared.inner.lock().expect("net lock");
+            for j in (0..n).filter(|&j| j != me) {
+                let p = &mut inner.peers[j];
+                while let Some(m) = p.inbox.pop_front() {
+                    frames.push(m);
+                }
+                if p.pending_drops > 0 {
+                    drops.push((j, p.pending_drops));
+                    p.pending_drops = 0;
+                }
+            }
+            let mut bound = f64::INFINITY;
+            let mut finished = true;
+            for j in (0..n).filter(|&j| j != me) {
+                let p = &inner.peers[j];
+                if !p.dead {
+                    bound = bound.min(p.watermark);
+                }
+                finished &= p.done || p.dead;
+            }
+            (bound, finished)
+        };
+        let mut activity = !frames.is_empty() || !drops.is_empty();
+        for (j, k) in drops {
+            for _ in 0..k {
+                recorder.record_drop(vnow, j, me);
+            }
+        }
+        for m in frames {
+            match P::Msg::from_bytes(&m.body) {
+                Ok(payload) => pending.push(Reverse(Pend {
+                    key: VKey {
+                        time: m.vdeliver,
+                        class: 0,
+                        a: u64::from(m.from),
+                        b: me as u64,
+                        c: m.lseq,
+                    },
+                    what: LocalEv::Deliver(Envelope {
+                        from: PartyId(m.from as usize),
+                        to: PartyId(me),
+                        payload,
+                    }),
+                })),
+                Err(_) => {
+                    recorder.record_drop(vnow, m.from as usize, me);
+                    shared
+                        .inner
+                        .lock()
+                        .expect("net lock")
+                        .stats
+                        .rejected_malformed += 1;
+                }
+            }
+        }
+
+        // Process the safe prefix in the global VKey order.
+        while pending.peek().is_some_and(|Reverse(p)| p.key.time <= bound) {
+            let Reverse(ev) = pending.pop().expect("peeked");
+            vnow = ev.key.time;
+            events_processed += 1;
+            if events_processed > cfg.max_events {
+                return Err(NetError::Stalled {
+                    events: events_processed,
+                });
+            }
+            if debug_events {
+                eprintln!(
+                    "EV node={me} t={:.17} class={} a={} b={} c={}",
+                    ev.key.time, ev.key.class, ev.key.a, ev.key.b, ev.key.c
+                );
+            }
+            let mut ctx = AsyncCtx::external(PartyId(me), n, vnow, true);
+            match ev.what {
+                LocalEv::Deliver(env) => proto.on_message(env, &mut ctx),
+                LocalEv::Timer(token) => proto.on_timer(token, &mut ctx),
+            }
+            apply_parts(
+                ctx,
+                vnow,
+                cfg,
+                shared,
+                &mut pending,
+                &mut recorder,
+                &mut out_lseq,
+                &mut timer_seq,
+                &mut retransmissions,
+            );
+            activity = true;
+        }
+
+        // Output reached: tell everyone, once.
+        if !done_sent && proto.output().is_some() {
+            let mut inner = shared.inner.lock().expect("net lock");
+            for j in (0..n).filter(|&j| j != me) {
+                send_ctl(FrameKind::Done, j, vnow, &mut inner);
+            }
+            done_sent = true;
+            activity = true;
+        }
+
+        if done_sent && all_peers_finished {
+            break;
+        }
+
+        // Promise the new bound: any future Data from us is strictly
+        // beyond `bound + min_delay` (activations happen after `bound`,
+        // delays strictly exceed `min_delay`).
+        if bound.is_finite() {
+            let promise = bound + cfg.min_delay;
+            let mut inner = shared.inner.lock().expect("net lock");
+            for j in (0..n).filter(|&j| j != me) {
+                let wants = {
+                    let p = &inner.peers[j];
+                    p.connected && !p.dead && promise > p.last_promised
+                };
+                if wants {
+                    send_ctl(FrameKind::Null, j, promise, &mut inner);
+                    inner.peers[j].last_promised = promise;
+                }
+            }
+        }
+
+        // Liveness bookkeeping: promote silent links to dead, kick
+        // reconnects for peers we dial.
+        {
+            let mut inner = shared.inner.lock().expect("net lock");
+            for j in (0..n).filter(|&j| j != me) {
+                let p = &mut inner.peers[j];
+                if p.connected || p.dead {
+                    continue;
+                }
+                let down_for = p.down_since.map_or(Duration::ZERO, |t| t.elapsed());
+                if down_for >= Duration::from_millis(cfg.reconnect.dead_after_ms) {
+                    p.dead = true;
+                    p.reconnecting = false;
+                    inner.stats.dead_peers += 1;
+                } else if j < me && !p.reconnecting {
+                    p.reconnecting = true;
+                    let sh = Arc::clone(shared);
+                    let th_cfg = cfg.clone();
+                    let handle = thread::spawn(move || reconnect_loop(&sh, &th_cfg, j));
+                    shared.aux_handles.lock().expect("net lock").push(handle);
+                }
+            }
+        }
+
+        if !activity {
+            let inner = shared.inner.lock().expect("net lock");
+            let _ = shared
+                .cv
+                .wait_timeout(inner, Duration::from_millis(3))
+                .expect("net lock");
+        }
+    }
+
+    let mut stats = {
+        let inner = shared.inner.lock().expect("net lock");
+        inner.stats
+    };
+    stats.retransmissions = retransmissions;
+    Ok(NodeReport {
+        output: proto.output(),
+        trace: recorder.into_trace(),
+        stats,
+        vtime: vnow,
+    })
+}

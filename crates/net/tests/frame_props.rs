@@ -1,0 +1,128 @@
+//! Frame-codec properties: the length-prefixed framing layer must
+//! round-trip arbitrary payloads under arbitrary chunking, and must
+//! reject truncated, oversized, or garbage-prefixed input without
+//! panicking or desyncing. Payloads are expanded deterministically from
+//! seeds (the vendored proptest has no collection strategies), so every
+//! failure reproduces from a few integers.
+
+use net::{frame, FrameBuffer, FrameError, MAX_FRAME, PREFIX_LEN};
+use proptest::prelude::*;
+
+/// splitmix64 — deterministic seed-stream expansion.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A payload of `len` pseudo-random bytes derived from `seed`.
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed;
+    (0..len).map(|_| (next(&mut s) & 0xff) as u8).collect()
+}
+
+/// Feeds `bytes` into `fb` in pseudo-random chunks derived from `seed`.
+fn push_chunked(fb: &mut FrameBuffer, bytes: &[u8], seed: u64) {
+    let mut s = seed;
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let k = 1 + (next(&mut s) as usize) % 97;
+        let end = (pos + k).min(bytes.len());
+        fb.push(&bytes[pos..end]);
+        pos = end;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of frames survives any chunking bit-for-bit, in
+    /// order.
+    #[test]
+    fn roundtrip_any_payloads_any_chunking(seed in any::<u64>(), chunk_seed in any::<u64>()) {
+        let mut s = seed;
+        let count = 1 + (next(&mut s) as usize) % 8;
+        let payloads: Vec<Vec<u8>> = (0..count)
+            .map(|i| payload(seed ^ i as u64, (next(&mut s) as usize) % 2048))
+            .collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&frame(p));
+        }
+
+        let mut fb = FrameBuffer::new();
+        push_chunked(&mut fb, &wire, chunk_seed);
+        for expect in &payloads {
+            let got = fb.next_frame().expect("well-formed stream").expect("complete frame");
+            prop_assert_eq!(&got, expect);
+        }
+        prop_assert!(fb.next_frame().expect("clean tail").is_none());
+        prop_assert_eq!(fb.pending(), 0);
+    }
+
+    /// Truncation is never an error: a partial frame simply stays
+    /// incomplete, and the missing tail completes it.
+    #[test]
+    fn truncated_frames_wait_without_error(seed in any::<u64>(), cut in any::<u64>()) {
+        let p = payload(seed, 1 + (seed as usize) % 1024);
+        let wire = frame(&p);
+        // Cut strictly inside the frame (possibly inside the prefix).
+        let cut = 1 + (cut as usize) % (wire.len() - 1);
+
+        let mut fb = FrameBuffer::new();
+        fb.push(&wire[..cut]);
+        prop_assert!(fb.next_frame().expect("truncation is not an error").is_none());
+        fb.push(&wire[cut..]);
+        prop_assert_eq!(fb.next_frame().unwrap().unwrap(), p);
+    }
+
+    /// A prefix announcing more than `MAX_FRAME` is rejected — and the
+    /// buffer stays poisoned: garbage can never desync the decoder into
+    /// mis-framing later input.
+    #[test]
+    fn oversized_prefix_rejected_and_poisons(seed in any::<u64>()) {
+        let oversized = MAX_FRAME as u32 + 1 + (seed % 1024) as u32;
+        let mut fb = FrameBuffer::new();
+        fb.push(&oversized.to_be_bytes());
+        fb.push(&payload(seed, 32));
+        prop_assert!(matches!(fb.next_frame(), Err(FrameError::Oversized { .. })));
+        // Even a well-formed frame afterwards must not be accepted.
+        fb.push(&frame(b"hello"));
+        prop_assert!(fb.next_frame().is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder: every outcome is a
+    /// clean wait, a bounded-length "frame" of garbage bytes (for the
+    /// MAC layer to reject), or a poisoning error.
+    #[test]
+    fn garbage_never_panics_or_overreads(seed in any::<u64>(), chunk_seed in any::<u64>()) {
+        let junk = payload(seed, (seed as usize) % 4096);
+        let mut fb = FrameBuffer::new();
+        push_chunked(&mut fb, &junk, chunk_seed);
+        let mut consumed = 0usize;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(p)) => {
+                    prop_assert!(p.len() <= MAX_FRAME);
+                    consumed += PREFIX_LEN + p.len();
+                    prop_assert!(consumed <= junk.len());
+                }
+                Ok(None) => break,
+                Err(FrameError::Oversized { announced }) => {
+                    prop_assert!(announced > MAX_FRAME);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `frame` and `FrameBuffer` agree on the prefix convention exactly.
+#[test]
+fn prefix_is_big_endian_length() {
+    let f = frame(b"abc");
+    assert_eq!(&f[..PREFIX_LEN], &3u32.to_be_bytes());
+    assert_eq!(&f[PREFIX_LEN..], b"abc");
+}
