@@ -123,6 +123,11 @@ pub enum ProtocolKind {
     Baseline,
     /// `real-aa` on the reals (inputs mapped to vertex indices).
     RealAa,
+    /// `real-aa` bundled: `k` in-flight instances amortized over one
+    /// gradecast wire. Deliberately **not** in [`ProtocolKind::ALL`] so
+    /// fixed-seed generator distributions are unchanged; reachable by
+    /// name and through the canonical `bundle-k4-*` scenarios.
+    BundledRealAa,
 }
 
 impl ProtocolKind {
@@ -141,11 +146,15 @@ impl ProtocolKind {
             ProtocolKind::TreeAaHalving => "tree-aa-halving",
             ProtocolKind::Baseline => "baseline",
             ProtocolKind::RealAa => "real-aa",
+            ProtocolKind::BundledRealAa => "bundled-real-aa",
         }
     }
 
     /// Parses a canonical name back into a kind.
     pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        if name == ProtocolKind::BundledRealAa.name() {
+            return Some(ProtocolKind::BundledRealAa);
+        }
         ProtocolKind::ALL.into_iter().find(|p| p.name() == name)
     }
 }
@@ -756,6 +765,12 @@ mod tests {
         for p in ProtocolKind::ALL {
             assert_eq!(ProtocolKind::from_name(p.name()), Some(p));
         }
+        // Off-generator kind: resolvable by name, absent from ALL.
+        assert_eq!(
+            ProtocolKind::from_name("bundled-real-aa"),
+            Some(ProtocolKind::BundledRealAa)
+        );
+        assert!(!ProtocolKind::ALL.contains(&ProtocolKind::BundledRealAa));
         assert_eq!(Family::from_name("nope"), None);
     }
 }

@@ -205,6 +205,7 @@ fn run_case_impl(
         }
         ProtocolKind::Baseline => run_baseline(case, &tree, mutation, traced),
         ProtocolKind::RealAa => run_real_aa(case, &tree, mutation, traced),
+        ProtocolKind::BundledRealAa => run_bundled_real_aa(case, &tree, mutation, traced),
     }
 }
 
@@ -663,6 +664,63 @@ fn run_real_aa(
         outputs[0] = hi + d + 1.0;
     }
     props::check_real_outcome(&honest_inputs, &outputs, eps).map_err(from_prop)?;
+    Ok((stats(&report, bound, tree), bundle))
+}
+
+/// How many instances a `bundled-real-aa` case carries on its one wire.
+const BUNDLE_K: usize = 4;
+
+fn run_bundled_real_aa(
+    case: &FuzzCase,
+    tree: &Arc<Tree>,
+    mutation: Mutation,
+    traced: bool,
+) -> Result<(CaseStats, Option<TraceBundle>), CheckFailure> {
+    use real_aa::{BundledAaParty, RealAaConfig};
+    let m = tree.vertex_count();
+    let d = (m - 1) as f64;
+    let eps = 1.0;
+    let cfg = RealAaConfig::new(case.n, case.t, eps, d).map_err(CheckFailure::Sim)?;
+    let bound = cfg.rounds();
+    let base = case.input_vertices(m);
+    let n = case.n;
+    // Instance j rotates the case's vertex inputs by j: the k bundled
+    // instances agree on different values while sharing one wire.
+    let inputs_for =
+        |p: usize| -> Vec<f64> { (0..BUNDLE_K).map(|j| base[(p + j) % n] as f64).collect() };
+    if case.has_faults() {
+        let (report, relaxed, bundle) = run_checked_faulted::<BundledAaParty, _>(
+            case,
+            bound,
+            |id, _| BundledAaParty::new(id, cfg, inputs_for(id.index())).expect("k >= 1"),
+            traced,
+        )?;
+        return Ok((stats(&report, relaxed, tree), bundle));
+    }
+    let (report, bundle) = run_checked::<BundledAaParty, _>(
+        case,
+        bound,
+        |id, _| BundledAaParty::new(id, cfg, inputs_for(id.index())).expect("k >= 1"),
+        traced,
+    )?;
+    let mut outputs = honest_outputs(&report);
+    if mutation == Mutation::SkewFirstOutput {
+        let hi = (0..n)
+            .filter(|&p| !report.corrupted[p])
+            .map(|p| inputs_for(p)[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        outputs[0][0] = hi + d + 1.0;
+    }
+    // Every bundled instance must satisfy the RealAA outcome contract
+    // independently.
+    for j in 0..BUNDLE_K {
+        let honest_inputs_j: Vec<f64> = (0..n)
+            .filter(|&p| !report.corrupted[p])
+            .map(|p| inputs_for(p)[j])
+            .collect();
+        let outputs_j: Vec<f64> = outputs.iter().map(|o| o[j]).collect();
+        props::check_real_outcome(&honest_inputs_j, &outputs_j, eps).map_err(from_prop)?;
+    }
     Ok((stats(&report, bound, tree), bundle))
 }
 

@@ -15,7 +15,7 @@ use crate::case::{AdvAtom, AdvAtomKind, Family, FaultAtom, FuzzCase, ProtocolKin
 use crate::run::run_case_traced;
 
 /// The names of all canonical scenarios, in registry order.
-pub const SCENARIO_NAMES: [&str; 8] = [
+pub const SCENARIO_NAMES: [&str; 10] = [
     "path-honest",
     "star-crash",
     "caterpillar-equivocate",
@@ -24,6 +24,8 @@ pub const SCENARIO_NAMES: [&str; 8] = [
     "star-halving-honest",
     "partition-heal",
     "crash-recovery",
+    "bundle-k4-honest",
+    "bundle-k4-crash",
 ];
 
 /// All canonical scenario names, in registry order.
@@ -183,6 +185,43 @@ pub fn scenario(name: &str, seed: u64) -> Option<FuzzCase> {
                 crash_round: 2,
                 recover_round: 4,
             }],
+        },
+        // Bundled RealAA — 4 instances amortized over one gradecast
+        // wire — on a broom, fully honest: per-instance gc.grade and
+        // realaa.iter events keyed by `inst`.
+        "bundle-k4-honest" => FuzzCase {
+            seed,
+            tree: TreeSpec {
+                family: Family::Broom,
+                size: 8,
+                seed: 29,
+            },
+            n: 4,
+            t: 1,
+            protocol: ProtocolKind::BundledRealAa,
+            inputs: vec![0, 6, 3, 5],
+            atoms: Vec::new(),
+            faults: Vec::new(),
+        },
+        // Bundled RealAA with an early crash: one crashed sender goes
+        // silent in every bundled instance at once, so all four
+        // instances mute it in the same iteration.
+        "bundle-k4-crash" => FuzzCase {
+            seed,
+            tree: TreeSpec {
+                family: Family::Caterpillar,
+                size: 9,
+                seed: 31,
+            },
+            n: 7,
+            t: 2,
+            protocol: ProtocolKind::BundledRealAa,
+            inputs: vec![0, 5, 2, 8, 1, 7, 3],
+            atoms: vec![AdvAtom {
+                kind: AdvAtomKind::Crash { round: 2 },
+                victims: vec![5, 6],
+            }],
+            faults: Vec::new(),
         },
         _ => return None,
     };

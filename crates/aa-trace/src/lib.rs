@@ -699,16 +699,19 @@ pub fn check_hull_monotone(trace: &Trace) -> Result<(), String> {
 }
 
 /// Checks gradecast semantics over `gc.grade` events: for each (round,
-/// leader), honest parties' grades differ by at most one, and every honest
-/// party with grade ≥ 1 binds the same value.
+/// instance, leader), honest parties' grades differ by at most one, and
+/// every honest party with grade ≥ 1 binds the same value. The optional
+/// `inst` field separates bundled AA instances sharing a round; events
+/// without it (every single-instance protocol) group under instance 0.
 ///
 /// # Errors
 ///
 /// Returns a message naming the round, leader, and offending grades/values.
 pub fn check_grade_semantics(trace: &Trace) -> Result<(), String> {
+    /// Honest grades and bound values for one (round, instance, leader).
+    type GradeGroup = (Vec<u64>, Vec<Json>);
     let corrupted = trace.corruption_rounds();
-    // (round, leader) -> (grades, bound values).
-    let mut groups: BTreeMap<(u32, u64), (Vec<u64>, Vec<Json>)> = BTreeMap::new();
+    let mut groups: BTreeMap<(u32, u64, u64), GradeGroup> = BTreeMap::new();
     for e in &trace.events {
         let EventKind::Proto { party, event } = &e.kind else {
             continue;
@@ -723,11 +726,12 @@ pub fn check_grade_semantics(trace: &Trace) -> Result<(), String> {
             .field("leader")
             .and_then(Json::as_u64)
             .ok_or("gc.grade event missing `leader`")?;
+        let inst = event.field("inst").and_then(Json::as_u64).unwrap_or(0);
         let grade = event
             .field("grade")
             .and_then(Json::as_u64)
             .ok_or("gc.grade event missing `grade`")?;
-        let entry = groups.entry((e.round, leader)).or_default();
+        let entry = groups.entry((e.round, inst, leader)).or_default();
         entry.0.push(grade);
         if grade >= 1 {
             let value = event
@@ -737,19 +741,20 @@ pub fn check_grade_semantics(trace: &Trace) -> Result<(), String> {
             entry.1.push(value);
         }
     }
-    for ((round, leader), (grades, values)) in &groups {
+    for ((round, inst, leader), (grades, values)) in &groups {
         let min = grades.iter().min().expect("non-empty group");
         let max = grades.iter().max().expect("non-empty group");
         if max - min > 1 {
             return Err(format!(
-                "round {round}, leader {leader}: honest grades {grades:?} differ by more than 1"
+                "round {round}, instance {inst}, leader {leader}: honest grades {grades:?} \
+                 differ by more than 1"
             ));
         }
         if let Some(first) = values.first() {
             if values.iter().any(|v| v != first) {
                 return Err(format!(
-                    "round {round}, leader {leader}: accepting parties bound different values \
-                     {values:?}"
+                    "round {round}, instance {inst}, leader {leader}: accepting parties bound \
+                     different values {values:?}"
                 ));
             }
         }
@@ -1123,6 +1128,43 @@ mod tests {
             vec![grade_ev(0, 0, 2, "a"), grade_ev(1, 0, 1, "b")],
         );
         assert!(check_grade_semantics(&split).is_err());
+    }
+
+    #[test]
+    fn grade_checker_separates_bundle_instances() {
+        let grade_ev =
+            |party: usize, inst: u64, leader: u64, grade: u64, value: &str| EventKind::Proto {
+                party,
+                event: ProtoEvent::new("gc.grade")
+                    .u64("inst", inst)
+                    .u64("leader", leader)
+                    .u64("grade", grade)
+                    .str("value", value),
+            };
+        // Same round, same leader, different bundled instances binding
+        // different values: legal — instances are independent gradecasts.
+        let mut good = Trace::new(4, 1, "");
+        round(
+            &mut good,
+            4,
+            vec![
+                grade_ev(0, 0, 1, 2, "a"),
+                grade_ev(1, 0, 1, 2, "a"),
+                grade_ev(0, 1, 1, 2, "b"),
+                grade_ev(1, 1, 1, 2, "b"),
+            ],
+        );
+        check_grade_semantics(&good).unwrap();
+
+        // But a split *within* one instance is still caught.
+        let mut split = Trace::new(4, 1, "");
+        round(
+            &mut split,
+            4,
+            vec![grade_ev(0, 1, 1, 2, "a"), grade_ev(1, 1, 1, 2, "b")],
+        );
+        let err = check_grade_semantics(&split).unwrap_err();
+        assert!(err.contains("instance 1"), "unexpected message: {err}");
     }
 
     #[test]

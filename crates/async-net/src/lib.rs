@@ -239,6 +239,14 @@ impl<M: Payload> AsyncCtx<M> {
         self.now
     }
 
+    /// Whether this activation is being recorded. Protocols rarely need
+    /// this — [`AsyncCtx::emit_with`] already gates on it — but adapters
+    /// that drive an inner synchronous protocol (real-aa's bundled party)
+    /// use it to pick a traced inner context up front.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Sends `msg` to `to` (delivered after a model-chosen delay).
     ///
     /// # Panics

@@ -167,6 +167,27 @@ pub enum Command {
         /// reference, event for event.
         gate: bool,
     },
+    /// `bench`: measure bundled many-instance AA throughput against
+    /// independent single-instance runs, with a differential output gate.
+    Bench {
+        /// Number of in-flight AA instances sharing one gradecast wire.
+        bundle: usize,
+        /// Number of parties.
+        n: usize,
+        /// Corruption bound.
+        t: usize,
+        /// `sim` (in-process synchronous engine) or `tcp` (real loopback
+        /// deployment through the `net` crate).
+        transport: String,
+        /// Cap on independent baseline runs actually timed; the baseline
+        /// total is linearly extrapolated when `bundle` exceeds it.
+        baseline_cap: usize,
+        /// Minimum required bundled-vs-independent speedup; exits
+        /// non-zero below it (0 disables the gate).
+        min_speedup: f64,
+        /// JSON report file (empty writes the JSON to stdout).
+        out: String,
+    },
     /// `help` or no/unknown arguments.
     Help,
 }
@@ -306,6 +327,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             runs: opts.get("runs").map_or(Ok(1), |s| parse_num(s, "runs"))?,
             gate: opts.contains_key("gate"),
         }),
+        "bench" => Ok(Command::Bench {
+            bundle: parse_num(req(&opts, "bundle")?, "bundle")?,
+            n: opts.get("n").map_or(Ok(4), |s| parse_num(s, "n"))?,
+            t: opts.get("t").map_or(Ok(1), |s| parse_num(s, "t"))?,
+            transport: opts
+                .get("transport")
+                .cloned()
+                .unwrap_or_else(|| "sim".into()),
+            baseline_cap: opts
+                .get("baseline-cap")
+                .map_or(Ok(64), |s| parse_num(s, "baseline-cap"))?,
+            min_speedup: opts
+                .get("min-speedup")
+                .map_or(Ok(0.0), |s| parse_num(s, "min-speedup"))?,
+            out: opts.get("out").cloned().unwrap_or_default(),
+        }),
         "trace" => Ok(Command::Trace {
             scenario: req(&opts, "scenario")?.to_string(),
             seed: opts.get("seed").map_or(Ok(0), |s| parse_num(s, "seed"))?,
@@ -325,7 +362,7 @@ USAGE:
                 --size <K> [--seed <S>] [--dot]
   treeaa info   --tree <file>
   treeaa run    --tree <file> --inputs <l1,l2,...> [--t <T>]
-                [--protocol treeaa|baseline] [--engine gradecast|halving]
+                [--protocol treeaa|baseline] [--engine gradecast|gradecast-batched|halving]
                 [--adversary none|chaos|crash|omission] [--seed <S>]
   treeaa bounds --diameter <D> --n <N> --t <T>
   treeaa fuzz   [--seed <S>] [--cases <K>] [--minimize] [--faults]
@@ -334,6 +371,8 @@ USAGE:
                 [--protocol tree-aa|real-aa] [--depth <D>]
                 [--max-runs <K>] [--out <file>]
   treeaa trace  --scenario <name> [--seed <S>] [--out <file>]
+  treeaa bench  --bundle <K> [--n <N>] [--t <T>] [--transport sim|tcp]
+                [--baseline-cap <C>] [--min-speedup <X>] [--out <file>]
   treeaa serve  --tree <familyK|file> --inputs <l1,l2,...> --party-id <I>
                 [--t <T>] [--seed <S>] [--min-delay <F>] [--secret <K>]
                 [--bind <addr:port>] [--peers <a0,a1,...>]
@@ -378,6 +417,22 @@ deterministic flight recorder and emits
 the canonical trace JSON — every round, send, delivery and protocol
 decision. The trace is byte-identical across step modes and runs, so
 `(scenario, seed)` reproduces the file exactly.
+
+`bench` measures amortized many-instance throughput: one run of the
+bundled party (--bundle K instances sharing each gradecast round's
+struct-of-arrays wire) against K independent single-instance runs on
+the same inputs. --transport sim times the in-process synchronous
+engine (CPU-bound amortization); --transport tcp times real loopback
+deployments through the `net` crate — n MAC-authenticated TCP
+processes per run — where each independent instance also pays its own
+handshakes, round pacing, and per-message syscalls, the costs bundling
+amortizes. At most --baseline-cap independent runs are timed and the
+baseline total is linearly extrapolated beyond that (the per-run cost
+is constant). Every timed independent run's outputs must be
+bit-identical to the matching bundled instance — any divergence is an
+error, so the bench doubles as a differential gate. Emits a JSON
+report (agreements/sec for both sides and the speedup); with
+--min-speedup X, exits non-zero if the speedup falls below X.
 
 `serve` runs one party of a real multi-process deployment: it binds a
 TCP listener, prints `PORT <p>`, learns the full index-aligned address
@@ -622,6 +677,291 @@ fn run_cluster_once(
     result
 }
 
+/// Result of one bundled-vs-independent throughput comparison.
+#[derive(Debug)]
+pub struct BundleBenchReport {
+    /// `sim` or `tcp`.
+    pub transport: String,
+    /// Instances bundled onto one wire.
+    pub k: usize,
+    /// Parties / corruption bound of every run.
+    pub n: usize,
+    /// Corruption bound.
+    pub t: usize,
+    /// Synchronous rounds each run executes (no early stopping).
+    pub rounds: u32,
+    /// Wall-clock seconds of the single bundled simulation.
+    pub bundled_secs: f64,
+    /// Bundled agreements per second (`k / bundled_secs`).
+    pub bundled_rate: f64,
+    /// Independent baseline runs actually timed (`min(k, cap)`).
+    pub timed: usize,
+    /// Wall-clock seconds of the timed independent runs.
+    pub independent_secs: f64,
+    /// Independent agreements per second (`timed / independent_secs`).
+    pub independent_rate: f64,
+    /// Linear extrapolation of the full k-run independent baseline.
+    pub independent_total_secs_extrapolated: f64,
+    /// `bundled_rate / independent_rate`.
+    pub speedup: f64,
+}
+
+impl BundleBenchReport {
+    /// Renders the report as a self-describing JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"transport\": \"{}\",\n  \"k\": {},\n  \"n\": {},\n  \"t\": {},\n  \
+             \"rounds\": {},\n  \
+             \"bundled\": {{ \"wall_s\": {:.6}, \"agreements_per_sec\": {:.1} }},\n  \
+             \"independent\": {{ \"runs_timed\": {}, \"wall_s\": {:.6}, \
+             \"agreements_per_sec\": {:.1}, \"extrapolated_total_s\": {:.3} }},\n  \
+             \"speedup\": {:.2}\n}}",
+            self.transport,
+            self.k,
+            self.n,
+            self.t,
+            self.rounds,
+            self.bundled_secs,
+            self.bundled_rate,
+            self.timed,
+            self.independent_secs,
+            self.independent_rate,
+            self.independent_total_secs_extrapolated,
+            self.speedup,
+        )
+    }
+}
+
+/// Deterministic per-(party, instance) bench input in `[0, 8)`.
+fn bench_input(p: usize, j: usize) -> f64 {
+    ((p * 31 + j * 17 + 3) % 101) as f64 / 100.0 * 8.0
+}
+
+/// Times one bundled k-instance run against `min(k, baseline_cap)`
+/// independent single-instance runs on identical inputs, demanding
+/// bit-identical outputs for every timed pair (the differential gate).
+fn run_bundle_bench(
+    k: usize,
+    n: usize,
+    t: usize,
+    transport: &str,
+    baseline_cap: usize,
+) -> Result<BundleBenchReport, String> {
+    if k == 0 {
+        return Err("--bundle must be at least 1".into());
+    }
+    if baseline_cap == 0 {
+        return Err("--baseline-cap must be at least 1".into());
+    }
+    match transport {
+        "sim" => run_bundle_bench_sim(k, n, t, baseline_cap),
+        "tcp" => run_bundle_bench_tcp(k, n, t, baseline_cap),
+        other => Err(format!("unknown transport `{other}`; use sim or tcp")),
+    }
+}
+
+fn run_bundle_bench_sim(
+    k: usize,
+    n: usize,
+    t: usize,
+    baseline_cap: usize,
+) -> Result<BundleBenchReport, String> {
+    // No early stopping: every instance runs the full round count, so
+    // both sides time an identical, deterministic workload.
+    let cfg = real_aa::RealAaConfig::new(n, t, 0.5, 8.0)?;
+    let sim = SimConfig {
+        n,
+        t,
+        max_rounds: cfg.rounds() + 8,
+    };
+
+    let start = std::time::Instant::now();
+    let bundled = run_simulation(
+        sim,
+        |id, _n| {
+            let inputs = (0..k).map(|j| bench_input(id.index(), j)).collect();
+            real_aa::BundledAaParty::new(id, cfg, inputs).expect("k >= 1 checked above")
+        },
+        Passive,
+    )
+    .map_err(|e| format!("bundled run failed: {e}"))?;
+    let bundled_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let bundled_outputs = bundled.honest_outputs();
+    if bundled_outputs.len() != n {
+        return Err("bundled run lost a party".into());
+    }
+
+    let timed = k.min(baseline_cap);
+    let start = std::time::Instant::now();
+    let mut solo_outputs: Vec<Vec<f64>> = Vec::with_capacity(timed);
+    for j in 0..timed {
+        let report = run_simulation(
+            sim,
+            |id, _n| real_aa::RealAaBatchParty::new(id, cfg, bench_input(id.index(), j)),
+            Passive,
+        )
+        .map_err(|e| format!("independent run {j} failed: {e}"))?;
+        solo_outputs.push(report.honest_outputs());
+    }
+    let independent_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Differential gate: each timed independent run must reproduce its
+    // bundled instance bit for bit.
+    for (j, solo) in solo_outputs.iter().enumerate() {
+        for (p, &v) in solo.iter().enumerate() {
+            let b = bundled_outputs[p][j];
+            if b.to_bits() != v.to_bits() {
+                return Err(format!(
+                    "differential gate: instance {j} party {p} diverged \
+                     (bundled {b}, independent {v})"
+                ));
+            }
+        }
+    }
+
+    let bundled_rate = k as f64 / bundled_secs;
+    let independent_rate = timed as f64 / independent_secs;
+    Ok(BundleBenchReport {
+        transport: "sim".into(),
+        k,
+        n,
+        t,
+        rounds: cfg.rounds(),
+        bundled_secs,
+        bundled_rate,
+        timed,
+        independent_secs,
+        independent_rate,
+        independent_total_secs_extrapolated: independent_secs / timed as f64 * k as f64,
+        speedup: bundled_rate / independent_rate,
+    })
+}
+
+/// One real loopback deployment of `Reliable<BundledAaParty>`: n TCP
+/// processes (threads) on ephemeral 127.0.0.1 ports, MAC-authenticated
+/// handshakes, conservative virtual-time synchronisation. Returns every
+/// party's per-instance outputs.
+fn run_tcp_bundle_deployment(
+    cfg: real_aa::RealAaConfig,
+    inputs: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>, String> {
+    let n = cfg.n;
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bench bind: {e}")))
+        .collect::<Result<_, _>>()?;
+    let peers: Vec<std::net::SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().map_err(|e| format!("bench addr: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut handles = Vec::with_capacity(n);
+    for (me, listener) in listeners.into_iter().enumerate() {
+        let mut node_cfg = net::NodeConfig::new(me, n, cfg.t, peers.clone(), 0xbe9c_b09d, 0xb1, 7);
+        node_cfg.label = "bench-bundle".into();
+        let party = async_net::Reliable::new(
+            real_aa::BundledAaParty::new(sim_net::PartyId(me), cfg, inputs[me].clone())
+                .map_err(|e| e.to_string())?,
+            n,
+        );
+        handles.push(std::thread::spawn(move || {
+            net::run_node(&node_cfg, listener, party, || {})
+        }));
+    }
+    let mut outputs = Vec::with_capacity(n);
+    for (me, h) in handles.into_iter().enumerate() {
+        let report = h
+            .join()
+            .map_err(|_| format!("bench node {me} panicked"))?
+            .map_err(|e| format!("bench node {me}: {e}"))?;
+        if report.stats.rejected_malformed != 0 || report.stats.rejected_mac != 0 {
+            return Err(format!("bench node {me} rejected wire messages"));
+        }
+        outputs.push(
+            report
+                .output
+                .ok_or_else(|| format!("bench node {me} had no output"))?,
+        );
+    }
+    Ok(outputs)
+}
+
+fn run_bundle_bench_tcp(
+    k: usize,
+    n: usize,
+    t: usize,
+    baseline_cap: usize,
+) -> Result<BundleBenchReport, String> {
+    let cfg = real_aa::RealAaConfig::new(n, t, 0.5, 8.0)?;
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|p| (0..k).map(|j| bench_input(p, j)).collect())
+        .collect();
+
+    let start = std::time::Instant::now();
+    let bundled_outputs = run_tcp_bundle_deployment(cfg, &inputs)?;
+    let bundled_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Differential gate, part 1: the networked run must reproduce the
+    // in-process synchronous engine bit for bit.
+    let reference = run_simulation(
+        SimConfig {
+            n,
+            t,
+            max_rounds: cfg.rounds() + 8,
+        },
+        |id, _n| {
+            real_aa::BundledAaParty::new(id, cfg, inputs[id.index()].clone())
+                .expect("k >= 1 checked above")
+        },
+        Passive,
+    )
+    .map_err(|e| format!("reference run failed: {e}"))?
+    .honest_outputs();
+    if bundled_outputs != reference {
+        return Err("differential gate: networked bundle diverged from the engine".into());
+    }
+
+    // Independent baseline: one full deployment per instance (its own
+    // sockets, handshakes, and round pacing), carrying exactly one
+    // instance.
+    let timed = k.min(baseline_cap);
+    let start = std::time::Instant::now();
+    // `j` indexes instances (inputs AND expected outputs), not a slice.
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..timed {
+        let solo_inputs: Vec<Vec<f64>> = (0..n).map(|p| vec![bench_input(p, j)]).collect();
+        let solo = run_tcp_bundle_deployment(cfg, &solo_inputs)?;
+        // Differential gate, part 2: a deployment carrying only
+        // instance j must reproduce the bundled instance j bit for bit.
+        for (p, out) in solo.iter().enumerate() {
+            if out[0].to_bits() != bundled_outputs[p][j].to_bits() {
+                return Err(format!(
+                    "differential gate: instance {j} party {p} diverged \
+                     (bundled {}, independent {})",
+                    bundled_outputs[p][j], out[0]
+                ));
+            }
+        }
+    }
+    let independent_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let bundled_rate = k as f64 / bundled_secs;
+    let independent_rate = timed as f64 / independent_secs;
+    Ok(BundleBenchReport {
+        transport: "tcp".into(),
+        k,
+        n,
+        t,
+        rounds: cfg.rounds(),
+        bundled_secs,
+        bundled_rate,
+        timed,
+        independent_secs,
+        independent_rate,
+        independent_total_secs_extrapolated: independent_secs / timed as f64 * k as f64,
+        speedup: bundled_rate / independent_rate,
+    })
+}
+
 /// Executes a command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -742,6 +1082,37 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 }
             }
         }
+        Command::Bench {
+            bundle,
+            n,
+            t,
+            transport,
+            baseline_cap,
+            min_speedup,
+            out: out_path,
+        } => {
+            let report = run_bundle_bench(bundle, n, t, &transport, baseline_cap)?;
+            let json = report.to_json();
+            if out_path.is_empty() {
+                writeln!(out, "{json}").map_err(io)?;
+            } else {
+                std::fs::write(&out_path, format!("{json}\n")).map_err(io)?;
+            }
+            writeln!(
+                out,
+                "bench: k={bundle} bundled {:.1} agreements/s, independent {:.1} \
+                 agreements/s, speedup {:.2}x (baseline timed {} of {} runs)",
+                report.bundled_rate, report.independent_rate, report.speedup, report.timed, bundle
+            )
+            .map_err(io)?;
+            if min_speedup > 0.0 && report.speedup < min_speedup {
+                return Err(format!(
+                    "speedup gate failed: {:.2}x < required {min_speedup}x",
+                    report.speedup
+                ));
+            }
+            Ok(())
+        }
         Command::Trace {
             scenario,
             seed,
@@ -784,6 +1155,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 .collect::<Result<_, _>>()?;
             let engine = match engine.as_str() {
                 "gradecast" => EngineKind::Gradecast,
+                "gradecast-batched" => EngineKind::GradecastBatched,
                 "halving" => EngineKind::Halving,
                 other => return Err(format!("unknown engine `{other}`")),
             };
@@ -1083,6 +1455,96 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_bench_with_defaults() {
+        let cmd = parse_args(&argv("bench --bundle 100")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                bundle: 100,
+                n: 4,
+                t: 1,
+                transport: "sim".into(),
+                baseline_cap: 64,
+                min_speedup: 0.0,
+                out: String::new(),
+            }
+        );
+        let cmd = parse_args(&argv(
+            "bench --bundle 17 --n 7 --t 2 --transport tcp --baseline-cap 5 \
+             --min-speedup 1.5 --out b.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                bundle: 17,
+                n: 7,
+                t: 2,
+                transport: "tcp".into(),
+                baseline_cap: 5,
+                min_speedup: 1.5,
+                out: "b.json".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn bench_times_both_sides_and_passes_the_differential_gate() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Bench {
+                bundle: 8,
+                n: 4,
+                t: 1,
+                transport: "sim".into(),
+                baseline_cap: 3,
+                min_speedup: 0.0,
+                out: String::new(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"k\": 8"), "{text}");
+        assert!(text.contains("\"runs_timed\": 3"), "{text}");
+        assert!(text.contains("\"speedup\""), "{text}");
+        assert!(text.contains("bench: k=8"), "{text}");
+    }
+
+    #[test]
+    fn bench_rejects_an_empty_bundle_and_gates_on_min_speedup() {
+        let err = execute(
+            Command::Bench {
+                bundle: 0,
+                n: 4,
+                t: 1,
+                transport: "sim".into(),
+                baseline_cap: 64,
+                min_speedup: 0.0,
+                out: String::new(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--bundle"), "{err}");
+        // An impossible gate must fail the command after printing the report.
+        let err = execute(
+            Command::Bench {
+                bundle: 2,
+                n: 4,
+                t: 1,
+                transport: "sim".into(),
+                baseline_cap: 1,
+                min_speedup: 1e12,
+                out: String::new(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("speedup gate failed"), "{err}");
     }
 
     #[test]

@@ -116,8 +116,15 @@ impl<T> GcSlots<T> {
             .zip(self.entries.iter())
     }
 
+    /// Whether `slot` is present. Out-of-range slots are absent.
+    pub fn is_present(&self, slot: usize) -> bool {
+        self.present.get(slot).copied().unwrap_or(false)
+    }
+
     /// Wire bytes of the bitmap plus per-entry payloads as sized by `f`.
-    fn wire_bytes_with(&self, f: impl Fn(&T) -> usize) -> usize {
+    /// Public so nested batch formats (the bundled wire in
+    /// [`crate::bundle`]) can size inner slots recursively.
+    pub fn wire_bytes_with(&self, f: impl Fn(&T) -> usize) -> usize {
         bitmap_bytes(self.n()) + self.entries.iter().map(f).sum::<usize>()
     }
 }
@@ -242,6 +249,34 @@ impl<V: GcValue> BatchGradecast<V> {
         }
     }
 
+    /// Resets every tally to the freshly-constructed state with a new
+    /// muted set, reusing the existing buffers. Equivalent to
+    /// `*self = BatchGradecast::with_muted(me, n, t, muted.to_vec())`
+    /// without the thirteen heap allocations — the lever that lets a
+    /// bundle of many instances recycle its cores every iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `muted.len() == n`.
+    pub fn reset_with_muted(&mut self, muted: &[bool]) {
+        assert_eq!(muted.len(), self.n, "muted set must cover all parties");
+        self.muted.copy_from_slice(muted);
+        self.leads.fill(None);
+        self.echo_from.fill(false);
+        self.echo_set.fill(false);
+        self.echo_missing = self.n;
+        self.echo_bits.fill(0);
+        self.echo_cnt.fill(0);
+        self.echo_val.fill(None);
+        self.echo_overflow.clear();
+        self.vote_from.fill(false);
+        self.vote_set.fill(false);
+        self.vote_missing = self.n;
+        self.vote_bits.fill(0);
+        self.vote_cnt.fill(0);
+        self.vote_overflow.clear();
+    }
+
     /// This party's id.
     pub fn me(&self) -> PartyId {
         self.me
@@ -287,14 +322,35 @@ impl<V: GcValue> BatchGradecast<V> {
     {
         for (from, msg) in inbox {
             if let GcBatchMsg::Lead(v) = msg {
-                let leader = from.index();
-                if !self.muted[leader] && self.leads[leader].is_none() {
-                    self.leads[leader] = Some(v.clone());
-                }
+                self.absorb_lead(from, v);
             }
         }
-        let slots: Vec<Option<V>> = self.leads.clone();
-        GcBatchMsg::Echoes(Arc::new(GcSlots::from_options(slots)))
+        GcBatchMsg::Echoes(Arc::new(self.echo_slots()))
+    }
+
+    /// Absorbs one round-1 lead from `from` (first lead per leader wins;
+    /// muted leaders are ignored). The absorb half of
+    /// [`BatchGradecast::on_leads`], public so the bundled wire in
+    /// [`crate::bundle`] can feed many instances from one message.
+    pub fn absorb_lead(&mut self, from: PartyId, v: &V) {
+        let leader = from.index();
+        if !self.muted[leader] && self.leads[leader].is_none() {
+            self.leads[leader] = Some(v.clone());
+        }
+    }
+
+    /// The echo slots this party would broadcast after absorbing leads:
+    /// the produce half of [`BatchGradecast::on_leads`].
+    pub fn echo_slots(&self) -> GcSlots<V> {
+        let mut present = Vec::with_capacity(self.n);
+        let mut entries = Vec::with_capacity(self.n);
+        for lead in &self.leads {
+            present.push(lead.is_some());
+            if let Some(v) = lead {
+                entries.push(v.clone());
+            }
+        }
+        GcSlots { present, entries }
     }
 
     /// Phase 3: consume round-2 echo batches, return the vote batch to
@@ -307,33 +363,44 @@ impl<V: GcValue> BatchGradecast<V> {
     {
         for (from, msg) in inbox {
             if let GcBatchMsg::Echoes(slots) = msg {
-                self.absorb_echoes(from.index(), slots);
+                self.absorb_echo_slots(from, slots);
             }
         }
-        let mut votes: Vec<Option<u32>> = vec![None; self.n];
-        for (l, vote) in votes.iter_mut().enumerate() {
+        GcBatchMsg::Votes(Arc::new(self.vote_slots()))
+    }
+
+    /// The vote slots this party would broadcast after absorbing echoes:
+    /// the produce half of [`BatchGradecast::on_echoes`].
+    pub fn vote_slots(&self) -> GcSlots<u32> {
+        let mut present = Vec::with_capacity(self.n);
+        let mut entries = Vec::with_capacity(self.n);
+        for l in 0..self.n {
             if self.muted[l] {
+                present.push(false);
                 continue;
             }
             // At most one value can reach n − t distinct echoes (two
             // would need 2(n − t) > n senders), so checking the first
             // candidate then the overflow table is order-independent.
-            if self.echo_set[l] && self.echo_cnt[l] as usize >= self.n - self.t {
-                *vote = Some(
+            let vote = if self.echo_set[l] && self.echo_cnt[l] as usize >= self.n - self.t {
+                Some(
                     self.echo_val[l]
                         .as_ref()
                         .expect("set implies value")
                         .hash32(),
-                );
+                )
             } else {
-                *vote = self
-                    .echo_overflow
+                self.echo_overflow
                     .range((l, 0)..=(l, u64::MAX))
                     .find(|(_, (_, c))| *c as usize >= self.n - self.t)
-                    .map(|(_, (v, _))| v.hash32());
+                    .map(|(_, (v, _))| v.hash32())
+            };
+            present.push(vote.is_some());
+            if let Some(h) = vote {
+                entries.push(h);
             }
         }
-        GcBatchMsg::Votes(Arc::new(GcSlots::from_options(votes)))
+        GcSlots { present, entries }
     }
 
     /// Phase 4: consume round-3 vote batches and produce the output for
@@ -346,15 +413,35 @@ impl<V: GcValue> BatchGradecast<V> {
     {
         for (from, msg) in inbox {
             if let GcBatchMsg::Votes(slots) = msg {
-                self.absorb_votes(from.index(), slots);
+                self.absorb_vote_slots(from, slots);
             }
         }
+        self.grade_all()
+    }
+
+    /// Grades every leader: the produce half of
+    /// [`BatchGradecast::on_votes`].
+    pub fn grade_all(&self) -> Vec<GradecastOutput<V>> {
         (0..self.n).map(|l| self.grade_leader(l)).collect()
+    }
+
+    /// [`BatchGradecast::grade_all`] into a caller-owned buffer
+    /// (cleared first), so a bundle grading many instances per round
+    /// allocates nothing.
+    pub fn grade_into(&self, out: &mut Vec<GradecastOutput<V>>) {
+        out.clear();
+        out.extend((0..self.n).map(|l| self.grade_leader(l)));
     }
 
     /// Folds one sender's echo batch into the per-leader tallies: a
     /// single kernel sweep when the batch is full and every leader
-    /// already has a candidate key, per-slot otherwise.
+    /// already has a candidate key, per-slot otherwise. The absorb half
+    /// of [`BatchGradecast::on_echoes`]; duplicate batches from the same
+    /// sender are ignored.
+    pub fn absorb_echo_slots(&mut self, sender: PartyId, slots: &GcSlots<V>) {
+        self.absorb_echoes(sender.index(), slots);
+    }
+
     fn absorb_echoes(&mut self, sender: usize, slots: &GcSlots<V>) {
         if slots.n() != self.n || self.echo_from[sender] {
             return;
@@ -401,7 +488,12 @@ impl<V: GcValue> BatchGradecast<V> {
     }
 
     /// Folds one sender's vote batch into the per-leader hash tallies,
-    /// mirroring [`BatchGradecast::absorb_echoes`].
+    /// mirroring [`BatchGradecast::absorb_echo_slots`]. The absorb half
+    /// of [`BatchGradecast::on_votes`].
+    pub fn absorb_vote_slots(&mut self, sender: PartyId, slots: &GcSlots<u32>) {
+        self.absorb_votes(sender.index(), slots);
+    }
+
     fn absorb_votes(&mut self, sender: usize, slots: &GcSlots<u32>) {
         if slots.n() != self.n || self.vote_from[sender] {
             return;

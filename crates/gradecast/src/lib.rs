@@ -71,11 +71,13 @@
 
 #![warn(missing_docs)]
 pub mod batch;
+pub mod bundle;
 mod msg;
 mod protocol;
 mod state;
 
 pub use batch::{BatchGradecast, BatchGradecastProtocol, GcBatchMsg, GcSlots, GcValue};
+pub use bundle::{BundleError, BundleGradecast, GcBundleMsg};
 pub use msg::GcMsg;
 pub use protocol::GradecastProtocol;
 pub use state::{Grade, GradecastOutput, ParallelGradecast};

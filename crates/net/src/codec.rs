@@ -9,9 +9,12 @@
 //! `tests/frame_props.rs` hammer on.
 
 use std::fmt;
+use std::sync::Arc;
 
 use async_aa::{AsyncAaMsg, RbcMsg};
 use async_net::RelMsg;
+use gradecast::{GcBundleMsg, GcSlots};
+use real_aa::{BundledAaMsg, R64};
 use sim_net::PartyId;
 
 /// A decode failure. Carries just enough context to report which layer
@@ -37,6 +40,13 @@ pub enum CodecError {
         /// The announced element count.
         announced: usize,
     },
+    /// A field held bits with no canonical meaning (non-finite float,
+    /// nonzero bitmap padding). Rejected so every value has exactly one
+    /// encoding and decode never constructs an invalid domain value.
+    BadValue {
+        /// The type whose invariant the bytes violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -48,6 +58,7 @@ impl fmt::Display for CodecError {
             CodecError::BadLength { announced } => {
                 write!(f, "length {announced} exceeds remaining input")
             }
+            CodecError::BadValue { what } => write!(f, "non-canonical bytes for {what}"),
         }
     }
 }
@@ -253,6 +264,119 @@ impl WireCodec for AsyncAaMsg {
     }
 }
 
+impl WireCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl WireCodec for R64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.get().to_bits().to_le_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // `R64::new` panics on non-finite input; decode must stay total,
+        // so the check happens here on the raw bits.
+        let x = f64::from_bits(r.u64()?);
+        if !x.is_finite() {
+            return Err(CodecError::BadValue { what: "R64" });
+        }
+        Ok(R64::new(x))
+    }
+}
+
+impl<T: WireCodec> WireCodec for GcSlots<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let n = self.n();
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for (slot, _) in self.iter() {
+            bitmap[slot / 8] |= 1 << (slot % 8);
+        }
+        out.extend_from_slice(&bitmap);
+        for (_, v) in self.iter() {
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.u32()? as usize;
+        // The bitmap alone needs ⌈n/8⌉ bytes: reject impossible widths
+        // before allocating anything proportional to `n`.
+        if n.div_ceil(8) > r.remaining() {
+            return Err(CodecError::BadLength { announced: n });
+        }
+        let bitmap = r.bytes(n.div_ceil(8))?.to_vec();
+        // Padding bits past slot n−1 must be zero so encode∘decode is
+        // the identity on bytes, not just on values.
+        for pad in n..bitmap.len() * 8 {
+            if bitmap[pad / 8] & (1 << (pad % 8)) != 0 {
+                return Err(CodecError::BadValue {
+                    what: "GcSlots padding",
+                });
+            }
+        }
+        let mut slots = Vec::with_capacity(n);
+        for slot in 0..n {
+            if bitmap[slot / 8] & (1 << (slot % 8)) != 0 {
+                slots.push(Some(T::decode(r)?));
+            } else {
+                slots.push(None);
+            }
+        }
+        Ok(GcSlots::from_options(slots))
+    }
+}
+
+impl WireCodec for GcBundleMsg<R64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GcBundleMsg::Leads(s) => {
+                out.push(0);
+                s.encode(out);
+            }
+            GcBundleMsg::Echoes(s) => {
+                out.push(1);
+                s.encode(out);
+            }
+            GcBundleMsg::Votes(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(GcBundleMsg::Leads(Arc::new(GcSlots::decode(r)?))),
+            1 => Ok(GcBundleMsg::Echoes(Arc::new(GcSlots::decode(r)?))),
+            2 => Ok(GcBundleMsg::Votes(Arc::new(GcSlots::decode(r)?))),
+            tag => Err(CodecError::BadTag {
+                what: "GcBundleMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for BundledAaMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.iter.to_le_bytes());
+        self.body.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let iter = r.u32()?;
+        let body = GcBundleMsg::decode(r)?;
+        Ok(BundledAaMsg { iter, body })
+    }
+}
+
 impl<M: WireCodec> WireCodec for RelMsg<M> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -347,6 +471,89 @@ mod tests {
             Err(CodecError::Truncated)
         );
         assert_eq!(AsyncAaMsg::from_bytes(&[]), Err(CodecError::Truncated));
+    }
+
+    fn slots<T: Clone>(opts: &[Option<T>]) -> GcSlots<T> {
+        GcSlots::from_options(opts.to_vec())
+    }
+
+    #[test]
+    fn bundle_messages_roundtrip() {
+        roundtrip(R64::new(-0.5));
+        roundtrip(3u32);
+        roundtrip(slots(&[Some(R64::new(1.0)), None, Some(R64::new(-2.5))]));
+        roundtrip(slots::<u32>(&[None, None]));
+        roundtrip(GcBundleMsg::Leads(Arc::new(slots(&[
+            Some(R64::new(0.25)),
+            None,
+        ]))));
+        roundtrip(GcBundleMsg::Echoes(Arc::new(slots(&[
+            Some(slots(&[Some(R64::new(7.0)), None, Some(R64::new(0.0))])),
+            None,
+            Some(slots(&[None, None, None])),
+        ]))));
+        roundtrip(GcBundleMsg::Votes(Arc::new(slots(&[
+            None,
+            Some(slots(&[Some(0xdead_u32), Some(1), None])),
+        ]))));
+        roundtrip(RelMsg::Data {
+            seq: 7,
+            inner: BundledAaMsg {
+                iter: 2,
+                body: GcBundleMsg::Leads(Arc::new(slots(&[Some(R64::new(4.0))]))),
+            },
+        });
+    }
+
+    #[test]
+    fn non_finite_reals_are_rejected_not_panicked_on() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                R64::from_bytes(&bad.to_bits().to_le_bytes()),
+                Err(CodecError::BadValue { what: "R64" })
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_bitmap_padding_is_rejected() {
+        // n = 3 with the unused high bits of the bitmap byte set: the
+        // same value as a clean encoding, so canonicality demands a
+        // rejection.
+        let mut bytes = 3u32.to_le_bytes().to_vec();
+        bytes.push(0b1111_1000);
+        assert_eq!(
+            GcSlots::<u32>::from_bytes(&bytes),
+            Err(CodecError::BadValue {
+                what: "GcSlots padding"
+            })
+        );
+    }
+
+    #[test]
+    fn absurd_slot_count_is_rejected_before_allocation() {
+        let bytes = u32::MAX.to_le_bytes().to_vec();
+        assert_eq!(
+            GcSlots::<R64>::from_bytes(&bytes),
+            Err(CodecError::BadLength {
+                announced: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn bundle_tags_are_checked() {
+        assert_eq!(
+            GcBundleMsg::<R64>::from_bytes(&[3]),
+            Err(CodecError::BadTag {
+                what: "GcBundleMsg",
+                tag: 3
+            })
+        );
+        assert_eq!(
+            BundledAaMsg::from_bytes(&[0, 0, 0]),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]

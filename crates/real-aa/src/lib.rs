@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 pub mod adversary;
 mod batch;
+mod bundle;
 mod iterated;
 mod multiset;
 mod real_aa;
@@ -79,6 +80,7 @@ mod rounds;
 mod value;
 
 pub use batch::{RealAaBatchMsg, RealAaBatchParty};
+pub use bundle::{BundleError, BundledAaMsg, BundledAaParty};
 pub use iterated::{IteratedAaConfig, IteratedAaParty, PlainValueMsg};
 pub use multiset::{trimmed, trimmed_mean, trimmed_midpoint};
 pub use real_aa::{RealAaConfig, RealAaMsg, RealAaParty};

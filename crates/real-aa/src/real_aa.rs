@@ -165,6 +165,21 @@ pub(crate) fn apply_iteration(
     outputs: &[gradecast::GradecastOutput<R64>],
     muted: &mut [bool],
 ) -> IterationOutcome {
+    let mut multiset: Vec<f64> = Vec::with_capacity(cfg.n);
+    let mut accepted: Vec<f64> = Vec::with_capacity(cfg.n);
+    apply_iteration_into(cfg, outputs, muted, &mut multiset, &mut accepted)
+}
+
+/// [`apply_iteration`] with caller-owned scratch buffers (cleared here),
+/// so the bundled party can run thousands of instances per round without
+/// two allocations each. Same math, same code path.
+pub(crate) fn apply_iteration_into(
+    cfg: &RealAaConfig,
+    outputs: &[gradecast::GradecastOutput<R64>],
+    muted: &mut [bool],
+    multiset: &mut Vec<f64>,
+    accepted: &mut Vec<f64>,
+) -> IterationOutcome {
     // Build the size-n multiset: one slot per leader, the accepted value
     // for grades >= 1 and the public fill constant otherwise. Keeping
     // every honest multiset at exactly n entries is essential: two honest
@@ -174,8 +189,8 @@ pub(crate) fn apply_iteration(
     // k * range / (n - 2t) — the envelope behind Theorem 3. (With
     // variable-size multisets, one planted extreme value shifts the whole
     // trim window and the divergence can reach range/2.)
-    let mut multiset: Vec<f64> = Vec::with_capacity(cfg.n);
-    let mut accepted: Vec<f64> = Vec::with_capacity(cfg.n);
+    multiset.clear();
+    accepted.clear();
     for (leader, out) in outputs.iter().enumerate() {
         // Acceptance is purely grade-based; muting below only affects
         // future relaying (see crate docs).
@@ -191,9 +206,9 @@ pub(crate) fn apply_iteration(
         }
     }
     let (accepted_lo, accepted_hi) =
-        aa_kernels::min_max_f64(&accepted).unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
+        aa_kernels::min_max_f64(accepted).unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
     IterationOutcome {
-        new_value: trimmed_mean(&mut multiset, cfg.t),
+        new_value: trimmed_mean(multiset, cfg.t),
         accepted_lo,
         accepted_hi,
     }

@@ -14,7 +14,7 @@
 
 use real_aa::{
     halving_iterations, iterations_for, IteratedAaConfig, IteratedAaParty, PlainValueMsg,
-    RealAaConfig, RealAaMsg, RealAaParty,
+    RealAaBatchMsg, RealAaBatchParty, RealAaConfig, RealAaMsg, RealAaParty,
 };
 use sim_net::{step_standalone, Inbox, Outbox, PartyId, Payload, Received, RoundCtx};
 
@@ -23,6 +23,12 @@ use sim_net::{step_standalone, Inbox, Outbox, PartyId, Payload, Received, RoundC
 pub enum EngineKind {
     /// Gradecast-based `RealAA` (round-optimal; the paper's choice).
     Gradecast,
+    /// `RealAA` over the batched gradecast wire
+    /// ([`real_aa::RealAaBatchParty`]): the same round schedule and
+    /// outputs as [`EngineKind::Gradecast`], but one slot-vector
+    /// broadcast per sender per round instead of `n` per-leader
+    /// messages — O(n²) deliveries per round.
+    GradecastBatched,
     /// Classic halving iteration (the `O(log δ)` baseline).
     Halving,
 }
@@ -36,7 +42,7 @@ pub enum EngineKind {
 /// underlying formulas).
 pub fn engine_rounds(kind: EngineKind, d: f64, eps: f64) -> u32 {
     match kind {
-        EngineKind::Gradecast => 3 * iterations_for(d, eps),
+        EngineKind::Gradecast | EngineKind::GradecastBatched => 3 * iterations_for(d, eps),
         EngineKind::Halving => halving_iterations(d, eps),
     }
 }
@@ -47,6 +53,8 @@ pub fn engine_rounds(kind: EngineKind, d: f64, eps: f64) -> u32 {
 pub enum InnerMsg {
     /// Gradecast-based engine traffic.
     Real(RealAaMsg),
+    /// Batched-gradecast engine traffic.
+    RealBatch(RealAaBatchMsg),
     /// Halving engine traffic.
     Plain(PlainValueMsg),
 }
@@ -55,6 +63,7 @@ impl Payload for InnerMsg {
     fn size_bytes(&self) -> usize {
         1 + match self {
             InnerMsg::Real(m) => m.size_bytes(),
+            InnerMsg::RealBatch(m) => m.size_bytes(),
             InnerMsg::Plain(m) => m.size_bytes(),
         }
     }
@@ -67,6 +76,8 @@ pub enum InnerAa {
     /// Gradecast-based `RealAA` instance (boxed: it carries per-leader
     /// tallies and dwarfs the halving variant).
     Real(Box<RealAaParty>),
+    /// `RealAA` over the batched wire (boxed for the same reason).
+    RealBatch(Box<RealAaBatchParty>),
     /// Halving-iteration instance.
     Halving(IteratedAaParty),
 }
@@ -92,6 +103,10 @@ impl InnerAa {
             EngineKind::Gradecast => {
                 let cfg = RealAaConfig::new(n, t, eps, d).expect("validated by caller");
                 InnerAa::Real(Box::new(RealAaParty::new(me, cfg, input)))
+            }
+            EngineKind::GradecastBatched => {
+                let cfg = RealAaConfig::new(n, t, eps, d).expect("validated by caller");
+                InnerAa::RealBatch(Box::new(RealAaBatchParty::new(me, cfg, input)))
             }
             EngineKind::Halving => {
                 let cfg = IteratedAaConfig::new(n, t, eps, d).expect("validated by caller");
@@ -124,12 +139,28 @@ impl InnerAa {
                                 from: r.from,
                                 payload: m.clone(),
                             }),
-                            InnerMsg::Plain(_) => None,
+                            _ => None,
                         })
                         .collect(),
                 );
                 let outbox = step_standalone(p.as_mut(), me, n, local_round, &mapped);
                 rewrap(outbox, InnerMsg::Real)
+            }
+            InnerAa::RealBatch(p) => {
+                let mapped = Inbox::from_messages(
+                    inbox
+                        .iter()
+                        .filter_map(|r| match &r.payload {
+                            InnerMsg::RealBatch(m) => Some(Received {
+                                from: r.from,
+                                payload: m.clone(),
+                            }),
+                            _ => None,
+                        })
+                        .collect(),
+                );
+                let outbox = step_standalone(p.as_mut(), me, n, local_round, &mapped);
+                rewrap(outbox, InnerMsg::RealBatch)
             }
             InnerAa::Halving(p) => {
                 let mapped = Inbox::from_messages(
@@ -140,7 +171,7 @@ impl InnerAa {
                                 from: r.from,
                                 payload: *m,
                             }),
-                            InnerMsg::Real(_) => None,
+                            _ => None,
                         })
                         .collect(),
                 );
@@ -154,6 +185,7 @@ impl InnerAa {
     pub fn output(&self) -> Option<f64> {
         match self {
             InnerAa::Real(p) => sim_net::Protocol::output(p.as_ref()),
+            InnerAa::RealBatch(p) => sim_net::Protocol::output(p.as_ref()),
             InnerAa::Halving(p) => sim_net::Protocol::output(p),
         }
     }
@@ -164,6 +196,7 @@ impl InnerAa {
     pub fn current_value(&self) -> f64 {
         match self {
             InnerAa::Real(p) => p.current_value(),
+            InnerAa::RealBatch(p) => p.current_value(),
             InnerAa::Halving(p) => p.current_value(),
         }
     }

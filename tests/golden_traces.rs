@@ -36,8 +36,8 @@ fn golden_files() -> Vec<(String, String)> {
         .collect();
     files.sort();
     assert!(
-        (4..=8).contains(&files.len()),
-        "expected 4-8 golden traces, found {}",
+        (4..=10).contains(&files.len()),
+        "expected 4-10 golden traces, found {}",
         files.len()
     );
     files
