@@ -189,6 +189,41 @@ pub enum EventKind {
         /// Index of the partition in the fault plan.
         id: usize,
     },
+    /// A real-transport node attempted to re-dial a disconnected peer.
+    NetReconnect {
+        /// The party attempting the reconnect.
+        party: usize,
+        /// The peer being re-dialed.
+        peer: usize,
+        /// 0-based attempt number within the backoff schedule.
+        attempt: usize,
+    },
+    /// A real-transport node declared a peer dead (crash-fault budget
+    /// consumed; the peer's watermark no longer gates progress).
+    NetDeadPeer {
+        /// The party making the declaration.
+        party: usize,
+        /// The peer declared dead.
+        peer: usize,
+    },
+    /// A real-transport node exhausted its reconnect backoff schedule
+    /// for a peer without re-establishing the connection.
+    NetBackoffExhausted {
+        /// The party that gave up dialing.
+        party: usize,
+        /// The unreachable peer.
+        peer: usize,
+        /// How many dial attempts were made.
+        attempts: usize,
+    },
+    /// A real-transport node restarted from its write-ahead log and
+    /// rejoined the protocol mid-run.
+    NetRecovery {
+        /// The recovering party.
+        party: usize,
+        /// How many protocol events were replayed from the WAL.
+        replayed: usize,
+    },
 }
 
 /// One entry of a [`Trace`]: a round number plus the event.
@@ -285,6 +320,36 @@ impl TraceEvent {
                 fields.push(kind("partition_heal"));
                 fields.push(("id".to_string(), Json::int(*id as u64)));
             }
+            EventKind::NetReconnect {
+                party,
+                peer,
+                attempt,
+            } => {
+                fields.push(kind("net_reconnect"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+                fields.push(("peer".to_string(), Json::int(*peer as u64)));
+                fields.push(("attempt".to_string(), Json::int(*attempt as u64)));
+            }
+            EventKind::NetDeadPeer { party, peer } => {
+                fields.push(kind("net_dead_peer"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+                fields.push(("peer".to_string(), Json::int(*peer as u64)));
+            }
+            EventKind::NetBackoffExhausted {
+                party,
+                peer,
+                attempts,
+            } => {
+                fields.push(kind("net_backoff_exhausted"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+                fields.push(("peer".to_string(), Json::int(*peer as u64)));
+                fields.push(("attempts".to_string(), Json::int(*attempts as u64)));
+            }
+            EventKind::NetRecovery { party, replayed } => {
+                fields.push(kind("net_recovery"));
+                fields.push(("party".to_string(), Json::int(*party as u64)));
+                fields.push(("replayed".to_string(), Json::int(*replayed as u64)));
+            }
         }
         Json::Obj(fields)
     }
@@ -363,6 +428,24 @@ impl TraceEvent {
             },
             "partition_heal" => EventKind::PartitionHeal {
                 id: req_usize(json, "id")?,
+            },
+            "net_reconnect" => EventKind::NetReconnect {
+                party: req_usize(json, "party")?,
+                peer: req_usize(json, "peer")?,
+                attempt: req_usize(json, "attempt")?,
+            },
+            "net_dead_peer" => EventKind::NetDeadPeer {
+                party: req_usize(json, "party")?,
+                peer: req_usize(json, "peer")?,
+            },
+            "net_backoff_exhausted" => EventKind::NetBackoffExhausted {
+                party: req_usize(json, "party")?,
+                peer: req_usize(json, "peer")?,
+                attempts: req_usize(json, "attempts")?,
+            },
+            "net_recovery" => EventKind::NetRecovery {
+                party: req_usize(json, "party")?,
+                replayed: req_usize(json, "replayed")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };

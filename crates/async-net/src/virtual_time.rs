@@ -279,6 +279,15 @@ impl AsyncRecorder {
             .push(round_of(vt), EventKind::FaultDrop { from, to });
     }
 
+    /// Records a transport-level state transition (reconnect attempt,
+    /// dead-peer declaration, backoff exhaustion, WAL recovery) at
+    /// virtual time `vt`. These are non-proto events: the differential
+    /// gate's proto projection ignores them, so forensics gain the
+    /// transport timeline without perturbing reconciliation.
+    pub fn record_net(&mut self, vt: f64, kind: EventKind) {
+        self.trace.push(round_of(vt), kind);
+    }
+
     /// Read access to the trace recorded so far.
     #[must_use]
     pub fn trace(&self) -> &Trace {

@@ -144,6 +144,19 @@ pub enum Command {
         peers: String,
         /// File for this node's canonical trace JSON (empty disables).
         trace_out: String,
+        /// Write-ahead log file recording every protocol-relevant state
+        /// transition (empty disables durability).
+        wal: String,
+        /// Replay the WAL at `--wal` before going live: the node
+        /// re-executes its logged prefix, re-handshakes, and rejoins the
+        /// protocol mid-run. A missing or empty WAL falls back to a
+        /// fresh start, so a supervisor can pass this unconditionally.
+        recover: bool,
+        /// Override of the reconnect policy's dial-attempt budget.
+        reconnect_attempts: Option<u32>,
+        /// Override of the reconnect policy's dead-peer deadline, in
+        /// milliseconds of continuous disconnection.
+        dead_after_ms: Option<u64>,
     },
     /// `cluster`: launch `n` local `serve` processes on loopback,
     /// referee their outcomes, and optionally run the differential
@@ -166,6 +179,23 @@ pub enum Command {
         /// Check every run's merged trace against the in-process
         /// reference, event for event.
         gate: bool,
+        /// Supervise the children: run every node durably behind a
+        /// stable supervisor-owned relay, restart crashed nodes into
+        /// `--recover` mode with capped backoff, and watchdog the whole
+        /// deployment against silent stalls.
+        supervise: bool,
+        /// Seed of a chaos fault plan injected by the relays (resets,
+        /// corruption, stalls, transient blackouts). Implies relays;
+        /// incompatible with `--gate` (chaos legitimately shifts the
+        /// retransmission schedule).
+        chaos: Option<u64>,
+        /// Comma-separated party indices to SIGKILL once every node has
+        /// printed `READY` (the supervised crash-recovery e2e); empty
+        /// kills nobody. Requires `--supervise`.
+        kill_after_ready: String,
+        /// Directory for the children's WALs in supervised mode (empty
+        /// uses a per-run scratch directory).
+        wal_dir: String,
     },
     /// `bench`: measure bundled many-instance AA throughput against
     /// independent single-instance runs, with a differential output gate.
@@ -200,7 +230,13 @@ fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option starting with --, got `{k}`"))?;
-        if key == "dot" || key == "minimize" || key == "faults" || key == "gate" {
+        if key == "dot"
+            || key == "minimize"
+            || key == "faults"
+            || key == "gate"
+            || key == "recover"
+            || key == "supervise"
+        {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -312,6 +348,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .unwrap_or_else(|| "127.0.0.1:0".into()),
             peers: opts.get("peers").cloned().unwrap_or_default(),
             trace_out: opts.get("trace-out").cloned().unwrap_or_default(),
+            wal: opts.get("wal").cloned().unwrap_or_default(),
+            recover: opts.contains_key("recover"),
+            reconnect_attempts: opts
+                .get("reconnect-attempts")
+                .map(|s| parse_num(s, "reconnect-attempts"))
+                .transpose()?,
+            dead_after_ms: opts
+                .get("dead-after-ms")
+                .map(|s| parse_num(s, "dead-after-ms"))
+                .transpose()?,
         }),
         "cluster" => Ok(Command::Cluster {
             tree: req(&opts, "tree")?.to_string(),
@@ -326,6 +372,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .map_or(Ok(0), |s| parse_num(s, "secret"))?,
             runs: opts.get("runs").map_or(Ok(1), |s| parse_num(s, "runs"))?,
             gate: opts.contains_key("gate"),
+            supervise: opts.contains_key("supervise"),
+            chaos: opts
+                .get("chaos")
+                .map(|s| parse_num(s, "chaos"))
+                .transpose()?,
+            kill_after_ready: opts.get("kill-after-ready").cloned().unwrap_or_default(),
+            wal_dir: opts.get("wal-dir").cloned().unwrap_or_default(),
         }),
         "bench" => Ok(Command::Bench {
             bundle: parse_num(req(&opts, "bundle")?, "bundle")?,
@@ -376,10 +429,12 @@ USAGE:
   treeaa serve  --tree <familyK|file> --inputs <l1,l2,...> --party-id <I>
                 [--t <T>] [--seed <S>] [--min-delay <F>] [--secret <K>]
                 [--bind <addr:port>] [--peers <a0,a1,...>]
-                [--trace-out <file>]
+                [--trace-out <file>] [--wal <file>] [--recover]
+                [--reconnect-attempts <K>] [--dead-after-ms <MS>]
   treeaa cluster --tree <familyK|file> --inputs <l1,l2,...> [--t <T>]
                 [--seed <S>] [--min-delay <F>] [--secret <K>]
-                [--runs <R>] [--gate]
+                [--runs <R>] [--gate] [--supervise] [--chaos <S>]
+                [--kill-after-ready <i,j,...>] [--wal-dir <dir>]
 
 `run` uses one party per input label; with an adversary, the *last* t
 parties are corrupted and their input labels are ignored.
@@ -442,17 +497,36 @@ tree-AA protocol under conservative virtual-time synchronisation, and
 prints one final machine-readable `OUTCOME` line. All processes of a
 deployment must be launched with identical --tree/--inputs/--t/--seed/
 --min-delay (a fingerprint in the handshake rejects mismatches) and the
-same --secret.
+same --secret. With --wal the node appends every protocol-relevant
+state transition to a checksummed write-ahead log; with --recover it
+first replays that log (shaving any torn tail a crash left behind),
+re-handshakes under the same config fingerprint, and rejoins the
+protocol exactly where it died — recovery is invisible to the
+differential gate. --reconnect-attempts and --dead-after-ms loosen the
+reconnect policy so peers sit out a supervised restart.
 
 `cluster` is the local launcher and referee: it spawns n `serve`
 processes on 127.0.0.1 ephemeral ports (n = number of input labels),
 wires them up over the PORT/PEERS protocol, waits for the outcomes, and
 checks 1-agreement inside the input hull. With --gate it additionally
-runs the in-process reference simulator on the same case and demands
-that the merged networked trace reconciles with the reference trace
-event for event — the differential gate. --runs repeats the whole
+runs the in-process reference simulator on the same case, demands that
+the merged networked trace reconciles with the reference trace event
+for event — the differential gate — and prints the schedule-blind
+`proto fingerprint` of the merged trace. --runs repeats the whole
 deployment as a load driver; every run must pass. Exits non-zero on any
 disagreement, degradation, or gate divergence.
+
+With --supervise every child runs durably (a WAL under --wal-dir)
+behind a stable supervisor-owned relay; a child that exits before its
+OUTCOME is restarted with --recover under capped backoff (at most 3
+restarts), its relay is retargeted to the new incarnation, and a
+liveness watchdog turns a silent stall into a diagnostic dump and a
+non-zero exit instead of a hang. --kill-after-ready i,j SIGKILLs those
+children once the whole deployment is READY — the crash-recovery e2e.
+--chaos S drives the relays with the seeded fault plan S (connection
+resets, byte corruption, latency stalls, transient blackouts);
+correctness is still refereed, but --gate is refused because chaos
+legitimately shifts the retransmission schedule.
 ";
 
 fn build_family(family: &str, size: usize, seed: u64) -> Result<Tree, String> {
@@ -595,6 +669,59 @@ struct ClusterSpec<'a> {
     secret: u64,
 }
 
+/// Per-incarnation launch parameters of one `serve` child.
+#[derive(Default)]
+struct ChildLaunch<'a> {
+    /// `--peers` to pass directly (None uses the PORT/PEERS protocol).
+    peers: Option<&'a str>,
+    /// `--trace-out` file.
+    trace_file: Option<&'a std::path::Path>,
+    /// `--wal` file and whether to pass `--recover`.
+    wal: Option<(&'a std::path::Path, bool)>,
+    /// `--reconnect-attempts` / `--dead-after-ms` overrides.
+    reconnect: Option<(u32, u64)>,
+}
+
+/// Spawns one `serve` child with piped stdin/stdout.
+fn spawn_serve_child(
+    spec: &ClusterSpec<'_>,
+    i: usize,
+    launch: &ChildLaunch<'_>,
+) -> Result<(std::process::Child, std::process::ChildStdout), String> {
+    use std::process::Stdio;
+    let mut cmd = std::process::Command::new(spec.exe);
+    cmd.arg("serve")
+        .args(["--tree", spec.tree])
+        .args(["--inputs", spec.inputs])
+        .args(["--party-id", &i.to_string()])
+        .args(["--t", &spec.t.to_string()])
+        .args(["--seed", &spec.seed.to_string()])
+        .args(["--min-delay", &spec.min_delay.to_string()])
+        .args(["--secret", &spec.secret.to_string()])
+        .args(["--bind", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+    if let Some(peers) = launch.peers {
+        cmd.args(["--peers", peers]);
+    }
+    if let Some(file) = launch.trace_file {
+        cmd.args(["--trace-out", &file.to_string_lossy()]);
+    }
+    if let Some((wal, recover)) = launch.wal {
+        cmd.args(["--wal", &wal.to_string_lossy()]);
+        if recover {
+            cmd.arg("--recover");
+        }
+    }
+    if let Some((attempts, dead_after)) = launch.reconnect {
+        cmd.args(["--reconnect-attempts", &attempts.to_string()])
+            .args(["--dead-after-ms", &dead_after.to_string()]);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("party {i}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    Ok((child, stdout))
+}
+
 /// Launches `n` `serve` processes on loopback, wires them over the
 /// PORT/PEERS protocol, and collects their outcomes (and traces, when
 /// `trace_files` names one file per party).
@@ -604,29 +731,18 @@ fn run_cluster_once(
     trace_files: Option<&[std::path::PathBuf]>,
 ) -> Result<Vec<ServeOutcome>, String> {
     use std::io::{BufRead, BufReader, Write};
-    use std::process::{Child, Stdio};
+    use std::process::Child;
 
     let mut children: Vec<Child> = Vec::with_capacity(n);
     let mut stdouts = Vec::with_capacity(n);
     let spawn_err = |i: usize, e: &dyn std::fmt::Display| format!("party {i}: {e}");
     for i in 0..n {
-        let mut cmd = std::process::Command::new(spec.exe);
-        cmd.arg("serve")
-            .args(["--tree", spec.tree])
-            .args(["--inputs", spec.inputs])
-            .args(["--party-id", &i.to_string()])
-            .args(["--t", &spec.t.to_string()])
-            .args(["--seed", &spec.seed.to_string()])
-            .args(["--min-delay", &spec.min_delay.to_string()])
-            .args(["--secret", &spec.secret.to_string()])
-            .args(["--bind", "127.0.0.1:0"])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped());
-        if let Some(files) = trace_files {
-            cmd.args(["--trace-out", &files[i].to_string_lossy()]);
-        }
-        let mut child = cmd.spawn().map_err(|e| spawn_err(i, &e))?;
-        stdouts.push(BufReader::new(child.stdout.take().expect("piped stdout")));
+        let launch = ChildLaunch {
+            trace_file: trace_files.map(|files| files[i].as_path()),
+            ..ChildLaunch::default()
+        };
+        let (child, stdout) = spawn_serve_child(spec, i, &launch)?;
+        stdouts.push(BufReader::new(stdout));
         children.push(child);
     }
     // Kill everything on any error so a partial deployment can't linger.
@@ -651,7 +767,12 @@ fn run_cluster_once(
             loop {
                 let mut line = String::new();
                 if rd.read_line(&mut line).map_err(|e| spawn_err(i, &e))? == 0 {
-                    return Err(format!("party {i}: exited without an OUTCOME line"));
+                    // EOF before an OUTCOME: reap the child right here
+                    // (no zombie) and report how it actually died.
+                    let status = children[i].wait().map_err(|e| spawn_err(i, &e))?;
+                    return Err(format!(
+                        "party {i}: exited with {status} before an OUTCOME line"
+                    ));
                 }
                 if line.starts_with("OUTCOME ") {
                     outcomes.push(parse_outcome_line(&line)?);
@@ -675,6 +796,284 @@ fn run_cluster_once(
         }
     }
     result
+}
+
+/// One stdout event from a supervised child.
+enum ChildEvent {
+    Line(String),
+    Eof,
+}
+
+/// Streams one incarnation's stdout into the supervisor's event queue.
+/// Each incarnation gets its own reader thread; the thread dies with
+/// the pipe, so per-party events stay ordered (…lines, then Eof).
+fn spawn_stdout_reader(
+    i: usize,
+    stdout: std::process::ChildStdout,
+    tx: std::sync::mpsc::Sender<(usize, ChildEvent)>,
+) {
+    use std::io::{BufRead, BufReader};
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send((i, ChildEvent::Line(line))).is_err() {
+                return;
+            }
+        }
+        let _ = tx.send((i, ChildEvent::Eof));
+    });
+}
+
+/// Supervision state of one child slot (across incarnations).
+struct Supervised {
+    child: Option<std::process::Child>,
+    port: Option<u16>,
+    ready: bool,
+    outcome: Option<ServeOutcome>,
+    reaped: bool,
+    restarts: u32,
+    last_line: String,
+}
+
+/// Restarts a crashed child are capped at this many per slot.
+const MAX_RESTARTS: u32 = 3;
+
+/// No event from any child for this long earns a diagnostic dump; for
+/// twice this long, the supervisor kills the deployment and errors out
+/// instead of hanging.
+const WATCHDOG: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// The supervised (and/or chaos-injected) cluster runner.
+///
+/// Every child is fronted by a supervisor-owned relay with a *stable*
+/// address: the PEERS vector names the relays, so when a crashed child
+/// restarts on a fresh ephemeral port (binding the old port would race
+/// lingering TIME_WAIT sockets), the supervisor simply retargets its
+/// relay and the peers' reconnect dials reach the new incarnation.
+/// Children run durably (a WAL each under `wal_dir`) and restarts pass
+/// `--recover`, so a restarted node replays its prefix and rejoins
+/// mid-protocol. With `chaos = Some(seed)` the same relays also inject
+/// the seeded fault plan.
+fn run_cluster_supervised(
+    spec: &ClusterSpec<'_>,
+    n: usize,
+    trace_files: Option<&[std::path::PathBuf]>,
+    wal_dir: &std::path::Path,
+    chaos: Option<u64>,
+    kills: &[usize],
+    supervise: bool,
+) -> Result<Vec<ServeOutcome>, String> {
+    use std::io::Write;
+    use std::sync::mpsc;
+
+    // Chaos needs many dial attempts (relay resets are routine) but a
+    // dead-peer deadline well below the node's wall cap: a peer that
+    // exits just as a reset eats its final Done announcement would
+    // otherwise be waited on until the wall timeout. Plain supervision
+    // needs the opposite — few retries, but a deadline long enough to
+    // sit out a capped-backoff restart plus a WAL replay.
+    let reconnect = if chaos.is_some() {
+        (200u32, 15_000u64)
+    } else {
+        (60u32, 20_000u64)
+    };
+    let max_restarts = if supervise { MAX_RESTARTS } else { 0 };
+    let wal_file = |i: usize| wal_dir.join(format!("node{i}.wal"));
+
+    let (tx, rx) = mpsc::channel::<(usize, ChildEvent)>();
+    let mut slots: Vec<Supervised> = Vec::with_capacity(n);
+    for i in 0..n {
+        let wal = wal_file(i);
+        let launch = ChildLaunch {
+            trace_file: trace_files.map(|files| files[i].as_path()),
+            wal: Some((&wal, false)),
+            reconnect: Some(reconnect),
+            ..ChildLaunch::default()
+        };
+        let (child, stdout) = spawn_serve_child(spec, i, &launch)?;
+        spawn_stdout_reader(i, stdout, tx.clone());
+        slots.push(Supervised {
+            child: Some(child),
+            port: None,
+            ready: false,
+            outcome: None,
+            reaped: false,
+            restarts: 0,
+            last_line: String::new(),
+        });
+    }
+
+    let mut proxies: Vec<net::ChaosProxy> = Vec::new();
+    let mut peer_list = String::new();
+    let mut kills_fired = kills.is_empty();
+    let mut idle_strikes = 0u32;
+
+    let dump = |slots: &[Supervised], note: &str| {
+        eprintln!("supervisor: {note}");
+        for (i, s) in slots.iter().enumerate() {
+            eprintln!(
+                "supervisor:   party {i}: port={:?} ready={} outcome={} reaped={} \
+                 restarts={} last=`{}`",
+                s.port,
+                s.ready,
+                s.outcome.is_some(),
+                s.reaped,
+                s.restarts,
+                s.last_line,
+            );
+        }
+    };
+
+    let result = (|| -> Result<(), String> {
+        loop {
+            if slots.iter().all(|s| s.outcome.is_some() && s.reaped) {
+                return Ok(());
+            }
+            let (i, event) = match rx.recv_timeout(WATCHDOG) {
+                Ok(ev) => ev,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    idle_strikes += 1;
+                    dump(&slots, "no progress from any child, dumping state");
+                    if idle_strikes >= 2 {
+                        return Err(format!(
+                            "watchdog: no child produced output for {}s",
+                            WATCHDOG.as_secs() * u64::from(idle_strikes)
+                        ));
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err("watchdog: every child stream closed unexpectedly".into());
+                }
+            };
+            idle_strikes = 0;
+            match event {
+                ChildEvent::Line(line) => {
+                    slots[i].last_line.clone_from(&line);
+                    if let Some(port) = line.strip_prefix("PORT ") {
+                        let port: u16 = parse_num(port.trim(), "port")?;
+                        slots[i].port = Some(port);
+                        let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+                        if let Some(proxy) = proxies.get(i) {
+                            // A restarted incarnation: swing its stable
+                            // relay over to the fresh port.
+                            proxy.retarget(addr);
+                            eprintln!("supervisor: party {i} back up on {addr}, relay retargeted");
+                        } else if slots.iter().all(|s| s.port.is_some()) && proxies.is_empty() {
+                            // Bring-up complete: front every child with
+                            // a relay and hand out the relay addresses.
+                            for (j, slot) in slots.iter().enumerate() {
+                                let target = std::net::SocketAddr::from((
+                                    [127, 0, 0, 1],
+                                    slot.port.expect("all ports known"),
+                                ));
+                                let plan = match chaos {
+                                    Some(seed) => net::seeded_plan(seed, n),
+                                    None => sim_net::FaultPlan::none(),
+                                };
+                                let proxy = net::spawn_chaos_proxy(
+                                    target,
+                                    net::ChaosConfig {
+                                        plan,
+                                        node: j,
+                                        round_ms: 40,
+                                    },
+                                )
+                                .map_err(|e| format!("relay for party {j}: {e}"))?;
+                                proxies.push(proxy);
+                            }
+                            peer_list = proxies
+                                .iter()
+                                .map(|p| p.addr.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            for (j, slot) in slots.iter_mut().enumerate() {
+                                let child = slot.child.as_mut().expect("live child");
+                                let stdin = child.stdin.as_mut().expect("piped stdin");
+                                writeln!(stdin, "PEERS {peer_list}")
+                                    .map_err(|e| format!("party {j}: {e}"))?;
+                            }
+                        }
+                    } else if line.trim() == "READY" {
+                        slots[i].ready = true;
+                        if !kills_fired && slots.iter().all(|s| s.ready) {
+                            kills_fired = true;
+                            for &k in kills {
+                                eprintln!("supervisor: SIGKILL party {k} (deployment is READY)");
+                                if let Some(child) = slots[k].child.as_mut() {
+                                    child.kill().map_err(|e| format!("kill party {k}: {e}"))?;
+                                }
+                            }
+                        }
+                    } else if line.starts_with("OUTCOME ") {
+                        slots[i].outcome = Some(parse_outcome_line(&line)?);
+                    }
+                }
+                ChildEvent::Eof => {
+                    let mut child = slots[i].child.take().expect("live child");
+                    let status = child.wait().map_err(|e| format!("party {i}: {e}"))?;
+                    if slots[i].outcome.is_some() {
+                        if !status.success() {
+                            return Err(format!(
+                                "party {i}: exited with {status} after its OUTCOME"
+                            ));
+                        }
+                        slots[i].reaped = true;
+                        continue;
+                    }
+                    // Died before an outcome: restart into recovery, or
+                    // give up and surface how it actually died.
+                    if peer_list.is_empty() {
+                        return Err(format!("party {i}: exited with {status} during bring-up"));
+                    }
+                    if slots[i].restarts >= max_restarts {
+                        return Err(format!(
+                            "party {i}: exited with {status} and exhausted {max_restarts} restart(s)"
+                        ));
+                    }
+                    let backoff = std::time::Duration::from_millis(
+                        (100u64 << slots[i].restarts.min(10)).min(1_000),
+                    );
+                    eprintln!(
+                        "supervisor: party {i} exited with {status}; restarting with --recover \
+                         in {backoff:?} ({}/{max_restarts})",
+                        slots[i].restarts + 1,
+                    );
+                    std::thread::sleep(backoff);
+                    let wal = wal_file(i);
+                    let launch = ChildLaunch {
+                        peers: Some(&peer_list),
+                        trace_file: trace_files.map(|files| files[i].as_path()),
+                        wal: Some((&wal, true)),
+                        reconnect: Some(reconnect),
+                    };
+                    let (child, stdout) = spawn_serve_child(spec, i, &launch)?;
+                    spawn_stdout_reader(i, stdout, tx.clone());
+                    slots[i].child = Some(child);
+                    slots[i].port = None;
+                    slots[i].ready = false;
+                    slots[i].restarts += 1;
+                }
+            }
+        }
+    })();
+
+    if let Err(e) = result {
+        dump(&slots, &format!("aborting: {e}"));
+        for slot in &mut slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        return Err(e);
+    }
+    let mut outcomes: Vec<ServeOutcome> = slots
+        .into_iter()
+        .map(|s| s.outcome.expect("complete run"))
+        .collect();
+    outcomes.sort_by_key(|o| o.party);
+    Ok(outcomes)
 }
 
 /// Result of one bundled-vs-independent throughput comparison.
@@ -1276,11 +1675,18 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             bind,
             peers,
             trace_out,
+            wal,
+            recover,
+            reconnect_attempts,
+            dead_after_ms,
         } => {
             let case = build_gate_case(&tree, &inputs, t, seed, min_delay)?;
             let n = case.n();
             if party_id >= n {
                 return Err(format!("--party-id {party_id} out of range (n = {n})"));
+            }
+            if recover && wal.is_empty() {
+                return Err("--recover needs a log to replay; pass --wal <file>".into());
             }
             let listener = std::net::TcpListener::bind(&bind).map_err(io)?;
             let port = listener.local_addr().map_err(io)?.port();
@@ -1297,18 +1703,35 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 peers
             };
             let addrs = parse_peer_addrs(&peer_list, n)?;
-            let cfg = net::node_config(&case, party_id, addrs, secret);
+            let mut cfg = net::node_config(&case, party_id, addrs, secret);
+            if let Some(attempts) = reconnect_attempts {
+                cfg.reconnect.attempts = attempts;
+            }
+            if let Some(dead_after) = dead_after_ms {
+                cfg.reconnect.dead_after_ms = dead_after;
+            }
+            let durability = (!wal.is_empty()).then(|| net::Durability {
+                wal_path: std::path::PathBuf::from(&wal),
+                recover,
+            });
             let party = case.party(party_id);
             // READY must reach the launcher the moment the links are up
             // (crash tests kill victims on it), so it bypasses `out` and
             // goes straight to the process stdout — the same stream in a
             // real `serve` process.
-            let report = net::run_node(&cfg, listener, party, || {
-                use std::io::Write as _;
-                let mut so = std::io::stdout();
-                let _ = writeln!(so, "READY");
-                let _ = so.flush();
-            })
+            let report = net::run_node_durable(
+                &cfg,
+                listener,
+                party,
+                durability.as_ref(),
+                |p| p.state_fingerprint(),
+                || {
+                    use std::io::Write as _;
+                    let mut so = std::io::stdout();
+                    let _ = writeln!(so, "READY");
+                    let _ = so.flush();
+                },
+            )
             .map_err(|e| format!("party {party_id}: {e}"))?;
             if !trace_out.is_empty() {
                 let json = report.trace.to_canonical_string();
@@ -1342,9 +1765,35 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             secret,
             runs,
             gate,
+            supervise,
+            chaos,
+            kill_after_ready,
+            wal_dir,
         } => {
             let case = build_gate_case(&tree, &inputs, t, seed, min_delay)?;
             let n = case.n();
+            let kills: Vec<usize> = kill_after_ready
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| parse_num(s, "kill-after-ready index"))
+                .collect::<Result<_, _>>()?;
+            if kills.iter().any(|&k| k >= n) {
+                return Err(format!("--kill-after-ready index out of range (n = {n})"));
+            }
+            if !kills.is_empty() && !supervise {
+                return Err(
+                    "--kill-after-ready needs --supervise (nobody would restart the victim)".into(),
+                );
+            }
+            if gate && chaos.is_some() {
+                return Err(
+                    "--gate and --chaos are incompatible: chaos legitimately shifts the \
+                     retransmission schedule the gate reconciles"
+                        .into(),
+                );
+            }
+            let managed = supervise || chaos.is_some();
             let exe = std::env::current_exe().map_err(io)?;
             let spec = ClusterSpec {
                 exe: &exe,
@@ -1372,8 +1821,33 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                         })
                         .collect()
                 });
-                let outcomes = run_cluster_once(&spec, n, trace_files.as_deref())
-                    .map_err(|e| format!("run {run}: {e}"))?;
+                let outcomes = if managed {
+                    let (wdir, scratch) = if wal_dir.is_empty() {
+                        let dir = std::env::temp_dir()
+                            .join(format!("treeaa-wal-{}-{run}", std::process::id()));
+                        (dir, true)
+                    } else {
+                        (std::path::PathBuf::from(&wal_dir), false)
+                    };
+                    std::fs::create_dir_all(&wdir).map_err(io)?;
+                    let result = run_cluster_supervised(
+                        &spec,
+                        n,
+                        trace_files.as_deref(),
+                        &wdir,
+                        chaos,
+                        &kills,
+                        supervise,
+                    );
+                    // A failed run keeps its WALs around for diagnosis.
+                    if scratch && result.is_ok() {
+                        let _ = std::fs::remove_dir_all(&wdir);
+                    }
+                    result
+                } else {
+                    run_cluster_once(&spec, n, trace_files.as_deref())
+                }
+                .map_err(|e| format!("run {run}: {e}"))?;
                 for o in &outcomes {
                     if o.degraded {
                         return Err(format!(
@@ -1408,6 +1882,12 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                         .map_err(|e| format!("run {run}: differential gate FAILED: {e}"))?;
                     writeln!(out, "run {run}: gate reconciled {reconciled} proto events")
                         .map_err(io)?;
+                    // Schedule-blind hash of the merged protocol events:
+                    // bit-identical across reruns, and blind to whether
+                    // any node crashed and recovered along the way.
+                    let fp =
+                        net::proto_fingerprint(&merged).map_err(|e| format!("run {run}: {e}"))?;
+                    writeln!(out, "run {run}: proto fingerprint {fp:016x}").map_err(io)?;
                 }
             }
             writeln!(out, "cluster: {runs} run(s) passed on {n} processes").map_err(io)
@@ -1922,10 +2402,37 @@ mod tests {
                 bind: "127.0.0.1:0".into(),
                 peers: String::new(),
                 trace_out: String::new(),
+                wal: String::new(),
+                recover: false,
+                reconnect_attempts: None,
+                dead_after_ms: None,
             }
         );
         let err = parse_args(&argv("serve --tree path9 --inputs a,b")).unwrap_err();
         assert!(err.contains("--party-id"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_durability_flags() {
+        let cmd = parse_args(&argv(
+            "serve --tree path9 --inputs a,b,c,d --party-id 1 --wal /tmp/n1.wal --recover \
+             --reconnect-attempts 60 --dead-after-ms 20000",
+        ))
+        .unwrap();
+        let Command::Serve {
+            wal,
+            recover,
+            reconnect_attempts,
+            dead_after_ms,
+            ..
+        } = cmd
+        else {
+            panic!("not a serve command: {cmd:?}");
+        };
+        assert_eq!(wal, "/tmp/n1.wal");
+        assert!(recover);
+        assert_eq!(reconnect_attempts, Some(60));
+        assert_eq!(dead_after_ms, Some(20_000));
     }
 
     #[test]
@@ -1944,8 +2451,65 @@ mod tests {
                 secret: 77,
                 runs: 5,
                 gate: true,
+                supervise: false,
+                chaos: None,
+                kill_after_ready: String::new(),
+                wal_dir: String::new(),
             }
         );
+    }
+
+    #[test]
+    fn parses_cluster_supervision_flags() {
+        let cmd = parse_args(&argv(
+            "cluster --tree path9 --inputs a,b,c,d --supervise --chaos 7 \
+             --kill-after-ready 1,3 --wal-dir /tmp/wals",
+        ))
+        .unwrap();
+        let Command::Cluster {
+            supervise,
+            chaos,
+            kill_after_ready,
+            wal_dir,
+            ..
+        } = cmd
+        else {
+            panic!("not a cluster command: {cmd:?}");
+        };
+        assert!(supervise);
+        assert_eq!(chaos, Some(7));
+        assert_eq!(kill_after_ready, "1,3");
+        assert_eq!(wal_dir, "/tmp/wals");
+    }
+
+    #[test]
+    fn cluster_refuses_contradictory_fault_flags() {
+        let cluster = |extra: &str| {
+            parse_args(&argv(&format!(
+                "cluster --tree path9 --inputs v0000,v0003,v0006,v0008 {extra}"
+            )))
+            .unwrap()
+        };
+        let err = execute(cluster("--gate --chaos 3"), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+        let err = execute(cluster("--kill-after-ready 1"), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--supervise"), "{err}");
+        let err =
+            execute(cluster("--supervise --kill-after-ready 9"), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn serve_recover_without_a_wal_is_refused() {
+        let err = execute(
+            parse_args(&argv(
+                "serve --tree path9 --inputs v0000,v0003,v0006,v0008 --party-id 0 --recover",
+            ))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--wal"), "{err}");
     }
 
     #[test]
@@ -1962,6 +2526,10 @@ mod tests {
                 bind: "127.0.0.1:0".into(),
                 peers: "x".into(),
                 trace_out: String::new(),
+                wal: String::new(),
+                recover: false,
+                reconnect_attempts: None,
+                dead_after_ms: None,
             },
             &mut Vec::new(),
         )
@@ -1978,6 +2546,10 @@ mod tests {
                 secret: 0,
                 runs: 1,
                 gate: false,
+                supervise: false,
+                chaos: None,
+                kill_after_ready: String::new(),
+                wal_dir: String::new(),
             },
             &mut Vec::new(),
         )

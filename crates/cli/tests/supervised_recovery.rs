@@ -1,0 +1,109 @@
+//! The crash-recovery e2e against real OS processes: `treeaa cluster
+//! --supervise` SIGKILLs serve nodes mid-protocol, the supervisor
+//! restarts them into `--recover` (WAL replay + rejoin through their
+//! stable relay address), and the referee still sees in-hull agreement,
+//! a passing differential gate, and a proto fingerprint that is
+//! bit-identical to an unperturbed deployment.
+
+use std::process::{Command, Output};
+
+fn cluster(seed: u64, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_treeaa"))
+        .args([
+            "cluster",
+            "--tree",
+            "path9",
+            "--inputs",
+            "v0000,v0003,v0006,v0008",
+            "--t",
+            "1",
+            "--seed",
+            &seed.to_string(),
+        ])
+        .args(extra)
+        .output()
+        .expect("launch cluster")
+}
+
+fn fingerprint_line(out: &Output) -> String {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find(|l| l.contains("proto fingerprint"))
+        .unwrap_or_else(|| panic!("no fingerprint line in:\n{stdout}"))
+        .to_string()
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// SIGKILL 1 of 4 nodes once the deployment is READY: the supervisor
+/// must restart it with `--recover`, and the run must end exactly like
+/// an unperturbed one — same outcomes, passing gate, and the identical
+/// schedule-blind proto fingerprint.
+#[test]
+fn a_supervised_sigkill_recovers_and_passes_the_gate() {
+    let killed = cluster(5, &["--supervise", "--gate", "--kill-after-ready", "2"]);
+    assert_ok(&killed, "supervised kill run");
+    let stderr = String::from_utf8_lossy(&killed.stderr);
+    assert!(
+        stderr.contains("restarting with --recover"),
+        "the victim was never restarted:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&killed.stdout);
+    assert!(stdout.contains("gate reconciled"), "{stdout}");
+
+    let clean = cluster(5, &["--supervise", "--gate"]);
+    assert_ok(&clean, "clean supervised run");
+    assert_eq!(
+        fingerprint_line(&killed),
+        fingerprint_line(&clean),
+        "a crash-and-recovery must be invisible to the proto fingerprint"
+    );
+}
+
+/// Two reruns of the same supervised kill deployment — fresh processes,
+/// fresh ports, fresh WALs — print bit-identical fingerprints.
+#[test]
+fn supervised_recovery_fingerprints_are_bit_identical() {
+    let first = cluster(11, &["--supervise", "--gate", "--kill-after-ready", "1"]);
+    assert_ok(&first, "first kill run");
+    let second = cluster(11, &["--supervise", "--gate", "--kill-after-ready", "1"]);
+    assert_ok(&second, "second kill run");
+    assert_eq!(fingerprint_line(&first), fingerprint_line(&second));
+}
+
+/// Killing 2 of 4 nodes exceeds the corruption budget `t = 1` — but a
+/// supervised deployment restarts both victims, turning the permanent
+/// crashes the budget fears into transient ones, so every node still
+/// terminates non-degraded.
+#[test]
+fn an_over_budget_kill_set_recovers_under_supervision() {
+    let out = cluster(7, &["--supervise", "--kill-after-ready", "1,3"]);
+    assert_ok(&out, "double-kill run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 run(s) passed on 4 processes"),
+        "{stdout}"
+    );
+}
+
+/// A seeded chaos plan injected by the relays (resets, corruption,
+/// stalls, blackouts) never costs correctness: the referee still sees
+/// non-degraded, 1-agreeing, in-hull outcomes.
+#[test]
+fn a_chaos_cluster_still_agrees_in_hull() {
+    let out = cluster(3, &["--chaos", "11"]);
+    assert_ok(&out, "chaos run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 run(s) passed on 4 processes"),
+        "{stdout}"
+    );
+}

@@ -200,6 +200,25 @@ pub fn differential_gate(reference: &Trace, networked: &Trace) -> Result<usize, 
     reconcile_proto(reference, networked)
 }
 
+/// A canonical fingerprint of a trace's *protocol* projection: the
+/// FNV-1a hash of the canonical JSON of the proto events alone, in the
+/// gate's reconciliation order. Transport-level events (fault drops,
+/// reconnects, recovery markers) are excluded, so a run that crashed
+/// and recovered fingerprints identically to one that never did — this
+/// is the value the crash-recovery e2e checks for bit-identity.
+///
+/// # Errors
+///
+/// Propagates projection failures (malformed proto events) as text.
+pub fn proto_fingerprint(trace: &Trace) -> Result<u64, String> {
+    let projected = aa_trace::proto_projection(trace)?;
+    let mut canon = Trace::new(trace.n, trace.t, &trace.label);
+    for ev in projected {
+        canon.push(ev.round, ev.kind);
+    }
+    Ok(aa_trace::fnv1a_64(canon.to_canonical_string().as_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,26 +16,45 @@
 //! * [`node`] — the per-party TCP node: connect/accept with peer
 //!   handshakes, per-peer send queues, capped-backoff reconnects, and a
 //!   conservative virtual-time main loop;
+//! * [`wal`] — a per-node write-ahead log of protocol-relevant state
+//!   transitions (checksummed, torn-tail tolerant) that lets a
+//!   SIGKILLed node replay itself back to its crash point;
+//! * [`node`] — the per-party TCP node: connect/accept with peer
+//!   handshakes, per-peer send queues, capped-backoff reconnects,
+//!   WAL-backed crash recovery with handshake gap-resend, and a
+//!   conservative virtual-time main loop;
 //! * [`cluster`] — an in-process loopback cluster (n nodes, n threads,
 //!   real sockets) used by the tests and the differential gate;
+//! * [`chaos`] — a seeded fault-injecting TCP relay (resets, stalls,
+//!   corruption, partitions) driven by the `sim_net` fault plans;
 //! * [`gate`] — the differential trace gate: a networked run's merged
 //!   trace must reconcile event-for-event with the in-process
 //!   [`async_net::VirtualScheduler`] reference run of the same seed.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod codec;
 pub mod frame;
 pub mod gate;
 pub mod mac;
 pub mod node;
+pub mod wal;
 pub mod wire;
 
-pub use cluster::{node_config, run_local_cluster, ClusterReport};
+pub use chaos::{seeded_plan, spawn_chaos_proxy, ChaosConfig, ChaosProxy};
+pub use cluster::{
+    node_config, run_local_cluster, run_local_cluster_opts, ClusterChaos, ClusterOpts,
+    ClusterReport,
+};
 pub use codec::{CodecError, Reader, WireCodec};
 pub use frame::{frame, FrameBuffer, FrameError, MAX_FRAME, PREFIX_LEN};
-pub use gate::{differential_gate, GateCase, ReferenceRun};
+pub use gate::{differential_gate, proto_fingerprint, GateCase, ReferenceRun};
 pub use mac::{pair_key, siphash24, MacKey};
-pub use node::{run_node, NetError, NetStats, NodeConfig, NodeReport, ReconnectPolicy};
+pub use node::{
+    run_node, run_node_durable, Durability, NetError, NetStats, NodeConfig, NodeReport,
+    ReconnectPolicy,
+};
+pub use wal::{read_wal, WalCursor, WalError, WalHeader, WalRecord, WalScan, WalWriter};
 pub use wire::{FrameKind, HelloBody, WrapperMsg, WIRE_VERSION};

@@ -34,6 +34,11 @@ pub enum FrameKind {
     Null,
     /// The sender has produced its output and will send no more Data.
     Done,
+    /// Acknowledges a received `Done` (no payload). `Done` frames are
+    /// re-announced on a wall-clock keepalive until acknowledged, so a
+    /// completion notice lost on a live-but-lossy link cannot stall the
+    /// peer's termination.
+    DoneAck,
 }
 
 impl FrameKind {
@@ -43,6 +48,7 @@ impl FrameKind {
             FrameKind::Data => 1,
             FrameKind::Null => 2,
             FrameKind::Done => 3,
+            FrameKind::DoneAck => 4,
         }
     }
 
@@ -52,6 +58,7 @@ impl FrameKind {
             1 => Ok(FrameKind::Data),
             2 => Ok(FrameKind::Null),
             3 => Ok(FrameKind::Done),
+            4 => Ok(FrameKind::DoneAck),
             tag => Err(CodecError::BadTag {
                 what: "FrameKind",
                 tag,
@@ -62,8 +69,10 @@ impl FrameKind {
 
 /// Wire protocol version, carried in Hello bodies; bumped on any layout
 /// change so mismatched builds fail the handshake instead of
-/// misinterpreting frames.
-pub const WIRE_VERSION: u32 = 1;
+/// misinterpreting frames. Version 2 added the reverse-link HaveSet to
+/// the Hello body (crash-recovery resend negotiation) and the
+/// `DoneAck` keepalive acknowledgement.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Header bytes preceding the body: kind(1) + from(4) + to(4) +
 /// wire_seq(8) + lseq(8) + vsend(8) + vdeliver(8) + body_len(4).
@@ -179,27 +188,68 @@ impl WrapperMsg {
     }
 }
 
+/// Hard cap on the number of non-contiguous HaveSet entries a Hello may
+/// carry; an honest node's gaps are bounded by in-flight traffic, so
+/// anything larger is garbage or an attack.
+pub const MAX_HAVE_EXTRAS: usize = 1 << 14;
+
 /// The Hello body: proves both ends run the same wire layout and the
-/// same experiment configuration before any protocol traffic flows.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// same experiment configuration before any protocol traffic flows, and
+/// (since wire version 2) reports which Data `lseq`s the sender already
+/// holds on the **reverse** link, so a reconnecting peer can resend
+/// exactly the frames lost to the crash or reset.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HelloBody {
     /// Fingerprint of the run configuration (tree, inputs, seed, n, t,
     /// min_delay); mismatch aborts the connection.
     pub config_fp: u64,
     /// Wire protocol version.
     pub version: u32,
+    /// All Data `lseq`s below this on the reverse link have been
+    /// received (contiguous prefix).
+    pub have_prefix: u64,
+    /// Received `lseq`s at or above `have_prefix` (out-of-order tail),
+    /// strictly increasing.
+    pub have_extras: Vec<u64>,
+}
+
+impl HelloBody {
+    /// Whether the sender reported holding Data ordinal `lseq` on the
+    /// reverse link.
+    #[must_use]
+    pub fn has(&self, lseq: u64) -> bool {
+        lseq < self.have_prefix || self.have_extras.binary_search(&lseq).is_ok()
+    }
 }
 
 impl WireCodec for HelloBody {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.config_fp.to_le_bytes());
         out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.have_prefix.to_le_bytes());
+        out.extend_from_slice(&(self.have_extras.len() as u32).to_le_bytes());
+        for lseq in &self.have_extras {
+            out.extend_from_slice(&lseq.to_le_bytes());
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config_fp = r.u64()?;
+        let version = r.u32()?;
+        let have_prefix = r.u64()?;
+        let count = r.u32()? as usize;
+        if count > MAX_HAVE_EXTRAS {
+            return Err(CodecError::BadLength { announced: count });
+        }
+        let mut have_extras = Vec::with_capacity(count);
+        for _ in 0..count {
+            have_extras.push(r.u64()?);
+        }
         Ok(HelloBody {
-            config_fp: r.u64()?,
-            version: r.u32()?,
+            config_fp,
+            version,
+            have_prefix,
+            have_extras,
         })
     }
 }
@@ -278,7 +328,29 @@ mod tests {
         let h = HelloBody {
             config_fp: 0xfeed_f00d,
             version: WIRE_VERSION,
+            have_prefix: 12,
+            have_extras: vec![14, 17, 900],
         };
         assert_eq!(HelloBody::from_bytes(&h.to_bytes()).unwrap(), h);
+        assert!(h.has(0) && h.has(11) && h.has(14) && h.has(900));
+        assert!(!h.has(12) && !h.has(15) && !h.has(901));
+    }
+
+    #[test]
+    fn hello_body_rejects_absurd_have_lists() {
+        let mut bytes = HelloBody {
+            config_fp: 1,
+            version: WIRE_VERSION,
+            have_prefix: 0,
+            have_extras: Vec::new(),
+        }
+        .to_bytes();
+        // Overwrite the extras count with an absurd value.
+        let count_at = 8 + 4 + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            HelloBody::from_bytes(&bytes),
+            Err(CodecError::BadLength { .. }) | Err(CodecError::Truncated)
+        ));
     }
 }

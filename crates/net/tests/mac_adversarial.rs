@@ -60,6 +60,8 @@ impl RawPeer {
         let hello = HelloBody {
             config_fp: CONFIG_FP,
             version: WIRE_VERSION,
+            have_prefix: 0,
+            have_extras: Vec::new(),
         };
         let msg = peer.envelope(FrameKind::Hello, 0, 0.0, 0.0, hello.to_bytes());
         peer.send_raw(&msg.encode());
@@ -166,6 +168,10 @@ fn tampered_wrong_key_and_replayed_frames_are_rejected_never_delivered() {
     }
     let done = peer.envelope(FrameKind::Done, 0, 50.0, 50.0, Vec::new());
     peer.send_raw(&done.encode());
+    // A v2 peer also acknowledges the node's Done; without the ack (or a
+    // hang-up) the node keeps re-announcing instead of terminating.
+    let ack = peer.envelope(FrameKind::DoneAck, 0, 50.0, 50.0, Vec::new());
+    peer.send_raw(&ack.encode());
 
     let report = node.join().expect("node thread").expect("node run");
 
@@ -209,6 +215,8 @@ fn mismatched_config_fingerprint_is_refused_at_handshake() {
     let hello = HelloBody {
         config_fp: CONFIG_FP ^ 0xff,
         version: WIRE_VERSION,
+        have_prefix: 0,
+        have_extras: Vec::new(),
     };
     let msg = WrapperMsg {
         kind: FrameKind::Hello,
